@@ -1,0 +1,51 @@
+# Energy-aware disk scheduling reproduction — common tasks.
+
+GO ?= go
+
+.PHONY: all build test vet bench fuzz figures figures-full summary examples cover clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# One benchmark per paper figure plus component and ablation benches.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Short fuzz pass over the trace parsers.
+fuzz:
+	$(GO) test ./internal/trace -fuzz FuzzReadSPC -fuzztime 10s
+	$(GO) test ./internal/trace -fuzz FuzzReadCelloText -fuzztime 10s
+
+# Fast (small-scale) regeneration of every paper figure.
+figures:
+	$(GO) run ./cmd/figures -out results
+
+# The paper's full 180-disk / 70k-request setup, including the extension
+# experiments (takes a few minutes).
+figures-full:
+	$(GO) run ./cmd/figures -scale full -ext -out results
+
+summary:
+	$(GO) run ./cmd/figures -scale full -ext -fig none -summary results/summary.md
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/offline-optimal
+	$(GO) run ./examples/tradeoff
+	$(GO) run ./examples/realtrace
+	$(GO) run ./examples/fullstack
+	$(GO) run ./examples/failures
+
+cover:
+	$(GO) test -coverprofile=cover.out ./... && $(GO) tool cover -func=cover.out | tail -1
+
+clean:
+	rm -f cover.out test_output.txt bench_output.txt

@@ -1,0 +1,350 @@
+package repro
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/diskmodel"
+	"repro/internal/experiments"
+	"repro/internal/graph"
+	"repro/internal/offline"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// benchScale keeps one benchmark iteration well under a second while
+// preserving every qualitative trend; pass -scale full to cmd/figures for
+// paper-scale numbers (recorded in EXPERIMENTS.md).
+func benchScale() experiments.Scale {
+	return experiments.Scale{
+		NumDisks:       12,
+		NumRequests:    1500,
+		NumBlocks:      800,
+		Seed:           1,
+		BatchInterval:  100 * time.Millisecond,
+		MWISSuccessors: 4,
+		MWISMaxNodes:   1_000_000,
+		MWISPasses:     2,
+		ZipfSteps:      []float64{0, 1},
+		Alphas:         []float64{0, 1},
+		Betas:          []float64{10},
+	}
+}
+
+// --- One benchmark per paper table/figure ------------------------------
+
+func BenchmarkFigure2BatchExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure2()
+	}
+}
+
+func BenchmarkFigure3OfflineExample(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure3()
+	}
+}
+
+func BenchmarkFigure4MWISWalkthrough(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure4()
+	}
+}
+
+func BenchmarkFigure5PowerConfig(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.Figure5()
+	}
+}
+
+func benchSweep(b *testing.B, tr experiments.Trace, render func(*experiments.ReplicationSweep) *experiments.Table) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		sw, err := experiments.SweepReplication(benchScale(), tr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if out := render(sw).Render(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+func BenchmarkFigure6EnergyVsReplication(b *testing.B) {
+	benchSweep(b, experiments.Cello, (*experiments.ReplicationSweep).Figure6)
+}
+
+func BenchmarkFigure7SpinUpsVsReplication(b *testing.B) {
+	benchSweep(b, experiments.Cello, (*experiments.ReplicationSweep).Figure7)
+}
+
+func BenchmarkFigure8ResponseVsReplication(b *testing.B) {
+	benchSweep(b, experiments.Cello, (*experiments.ReplicationSweep).Figure8)
+}
+
+func BenchmarkFigure9PerDiskBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchScale(), experiments.Cello); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure10LocalitySurface(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure10(benchScale(), experiments.Cello); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure11CostFunctionSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure11(benchScale(), experiments.Cello); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure12ResponseCCDF(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure12(benchScale(), experiments.Cello); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFigure13P90Response(b *testing.B) {
+	benchSweep(b, experiments.Cello, (*experiments.ReplicationSweep).Figure13)
+}
+
+func BenchmarkFigure14FinancialEnergy(b *testing.B) {
+	benchSweep(b, experiments.Financial, (*experiments.ReplicationSweep).Figure6)
+}
+
+func BenchmarkFigure15FinancialSpinUps(b *testing.B) {
+	benchSweep(b, experiments.Financial, (*experiments.ReplicationSweep).Figure7)
+}
+
+func BenchmarkFigure16FinancialResponse(b *testing.B) {
+	benchSweep(b, experiments.Financial, (*experiments.ReplicationSweep).Figure8)
+}
+
+func BenchmarkFigure17FinancialBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure9(benchScale(), experiments.Financial); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Component benchmarks ----------------------------------------------
+
+func benchFixture(b *testing.B, rf int) ([]Request, *placement.Placement, storage.Config) {
+	b.Helper()
+	s := benchScale()
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: s.NumDisks, NumBlocks: s.NumBlocks,
+		ReplicationFactor: rf, ZipfExponent: 1, Seed: 7,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	reqs := workload.CelloLike(s.NumRequests, s.NumBlocks, 1)
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = s.NumDisks
+	return reqs, plc, cfg
+}
+
+// BenchmarkSimulateOnline measures end-to-end event-driven simulation
+// throughput (requests scheduled, serviced and power-managed per op).
+func BenchmarkSimulateOnline(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulateBatchWSC measures the batch path including greedy set
+// cover at every interval.
+func BenchmarkSimulateBatchWSC(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	w := sched.WSC{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := storage.RunBatch(cfg, plc.Locations, w, reqs, 100*time.Millisecond); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkOfflineMWISPipeline measures graph construction + GWMIN +
+// schedule derivation + refinement on the bench trace.
+func BenchmarkOfflineMWISPipeline(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := offline.SolveRefined(reqs, plc.Locations, cfg.Power,
+			offline.BuildOptions{MaxSuccessors: 4}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices called out in DESIGN.md) -------
+
+// BenchmarkAblationMWISNoRefinement isolates the local-search contribution:
+// compare ns/op and the reported energy against the refined pipeline.
+func BenchmarkAblationMWISNoRefinement(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	b.ResetTimer()
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		_, st, err := offline.Solve(reqs, plc.Locations, cfg.Power, offline.BuildOptions{MaxSuccessors: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = st.Energy
+	}
+	b.ReportMetric(energy, "joules")
+}
+
+func BenchmarkAblationMWISWithRefinement(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	b.ResetTimer()
+	var energy float64
+	for i := 0; i < b.N; i++ {
+		_, st, err := offline.SolveRefined(reqs, plc.Locations, cfg.Power, offline.BuildOptions{MaxSuccessors: 4}, 4)
+		if err != nil {
+			b.Fatal(err)
+		}
+		energy = st.Energy
+	}
+	b.ReportMetric(energy, "joules")
+}
+
+// BenchmarkAblationSuccessorCap measures how the MWIS graph-construction
+// cap trades graph size (and build time) against schedule quality.
+func BenchmarkAblationSuccessorCap(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	for _, cap := range []int{1, 4, 16} {
+		cap := cap
+		b.Run(fmt.Sprintf("cap=%d", cap), func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				_, st, err := offline.Solve(reqs, plc.Locations, cfg.Power, offline.BuildOptions{MaxSuccessors: cap})
+				if err != nil {
+					b.Fatal(err)
+				}
+				energy = st.Energy
+			}
+			b.ReportMetric(energy, "joules")
+		})
+	}
+}
+
+// BenchmarkAblationBatchInterval measures the WSC queueing/energy tradeoff
+// across scheduling intervals (the paper fixes 0.1 s).
+func BenchmarkAblationBatchInterval(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	w := sched.WSC{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+	for _, interval := range []time.Duration{10 * time.Millisecond, 100 * time.Millisecond, time.Second} {
+		interval := interval
+		b.Run(interval.String(), func(b *testing.B) {
+			var mean time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := storage.RunBatch(cfg, plc.Locations, w, reqs, interval)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Response.Mean()
+			}
+			b.ReportMetric(float64(mean.Milliseconds()), "ms-mean-response")
+		})
+	}
+}
+
+// BenchmarkAblationCoverSolver compares the greedy and exact covers on the
+// real WSC batch path: cost difference shows the greedy's optimality gap.
+func BenchmarkAblationCoverSolver(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	cost := sched.DefaultCost(cfg.Power)
+	for _, solver := range []struct {
+		name  string
+		batch sched.Batch
+	}{
+		{"greedy", sched.WSC{Locations: plc.Locations, Cost: cost}},
+		{"exact", sched.WSCExact{Locations: plc.Locations, Cost: cost, MaxExpansions: 50000}},
+	} {
+		solver := solver
+		b.Run(solver.name, func(b *testing.B) {
+			var energy float64
+			for i := 0; i < b.N; i++ {
+				res, err := storage.RunBatch(cfg, plc.Locations, solver.batch, reqs, 100*time.Millisecond)
+				if err != nil {
+					b.Fatal(err)
+				}
+				energy = res.Energy
+			}
+			b.ReportMetric(energy, "joules")
+		})
+	}
+}
+
+// BenchmarkAblationQueueDiscipline measures how the per-disk service order
+// affects response time under the heuristic scheduler.
+func BenchmarkAblationQueueDiscipline(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+	for _, disc := range []diskmodel.Discipline{diskmodel.FIFO, diskmodel.SSTF, diskmodel.SCAN} {
+		disc := disc
+		b.Run(disc.String(), func(b *testing.B) {
+			var mean time.Duration
+			dcfg := cfg
+			dcfg.Discipline = disc
+			for i := 0; i < b.N; i++ {
+				res, err := storage.RunOnline(dcfg, plc.Locations, h, reqs)
+				if err != nil {
+					b.Fatal(err)
+				}
+				mean = res.Response.Mean()
+			}
+			b.ReportMetric(float64(mean.Milliseconds()), "ms-mean-response")
+		})
+	}
+}
+
+// BenchmarkAblationGreedyMWISVariant compares the two greedy MWIS rules of
+// Sakai et al. on the offline reduction graph.
+func BenchmarkAblationGreedyMWISVariant(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	in, err := offline.Build(reqs, plc.Locations, cfg.Power, offline.BuildOptions{MaxSuccessors: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, variant := range []struct {
+		name string
+		algo func(*graph.Graph) ([]int, float64)
+	}{
+		{"gwmin", graph.GWMIN},
+		{"gwmin2", graph.GWMIN2},
+	} {
+		variant := variant
+		b.Run(variant.name, func(b *testing.B) {
+			var weight float64
+			for i := 0; i < b.N; i++ {
+				_, weight = variant.algo(in.Graph)
+			}
+			b.ReportMetric(weight, "saving-joules")
+		})
+	}
+}

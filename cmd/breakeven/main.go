@@ -1,0 +1,54 @@
+// Command breakeven prints the 2CPM power configuration (the paper's
+// Figure 5) and the quantities derived from it: the breakeven idleness
+// threshold T_B, the replacement window, and the per-request worst-case
+// energy. Flags override individual parameters for what-if analysis.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+	"repro/internal/experiments"
+)
+
+func main() {
+	cfg := repro.DefaultPowerConfig()
+	var (
+		idle    = flag.Float64("idle", cfg.IdlePower, "idle power P_I (W)")
+		active  = flag.Float64("active", cfg.ActivePower, "active power (W)")
+		standby = flag.Float64("standby", cfg.StandbyPower, "standby power (W)")
+		eup     = flag.Float64("eup", cfg.SpinUpEnergy, "spin-up energy (J)")
+		edown   = flag.Float64("edown", cfg.SpinDownEnergy, "spin-down energy (J)")
+		tup     = flag.Duration("tup", cfg.SpinUpTime, "spin-up time")
+		tdown   = flag.Duration("tdown", cfg.SpinDownTime, "spin-down time")
+	)
+	flag.Parse()
+
+	cfg.IdlePower = *idle
+	cfg.ActivePower = *active
+	cfg.StandbyPower = *standby
+	cfg.SpinUpEnergy = *eup
+	cfg.SpinDownEnergy = *edown
+	cfg.SpinUpTime = *tup
+	cfg.SpinDownTime = *tdown
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "breakeven:", err)
+		os.Exit(1)
+	}
+
+	if cfg == repro.DefaultPowerConfig() {
+		fmt.Print(experiments.Figure5().Render())
+	} else {
+		fmt.Printf("idle %.1f W, active %.1f W, standby %.1f W\n", cfg.IdlePower, cfg.ActivePower, cfg.StandbyPower)
+		fmt.Printf("spin-up %.0f J / %s, spin-down %.0f J / %s\n",
+			cfg.SpinUpEnergy, cfg.SpinUpTime, cfg.SpinDownEnergy, cfg.SpinDownTime)
+	}
+	fmt.Printf("\nderived:\n")
+	fmt.Printf("  breakeven time T_B           %s\n", cfg.Breakeven().Round(time.Millisecond))
+	fmt.Printf("  replacement window T_B+T_up+T_down  %s\n", cfg.ReplacementWindow().Round(time.Millisecond))
+	fmt.Printf("  max per-request energy       %.1f J\n", cfg.MaxRequestEnergy())
+	fmt.Printf("  idle:standby power ratio     %.1fx\n", cfg.IdlePower/cfg.StandbyPower)
+}

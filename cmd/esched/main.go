@@ -1,0 +1,258 @@
+// Command esched runs one energy-aware scheduling simulation and prints
+// its metrics: energy (absolute and normalized to always-on), spin
+// operations, and response-time statistics.
+//
+// Workloads are synthetic by default (-workload cello|financial) or loaded
+// from a real trace file (-trace FILE -format spc|cellotext). Example:
+//
+//	esched -disks 180 -requests 70000 -rf 3 -scheduler wsc
+//	esched -trace Financial1.spc -format spc -scheduler heuristic
+package main
+
+import (
+	"bufio"
+	"compress/gzip"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "esched:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		disks     = flag.Int("disks", 180, "number of disks")
+		requests  = flag.Int("requests", 70000, "number of requests (synthetic workloads)")
+		blocks    = flag.Int("blocks", 30000, "number of blocks (synthetic workloads)")
+		rf        = flag.Int("rf", 3, "data replication factor")
+		zipf      = flag.Float64("z", 1, "data locality Zipf exponent (0 = uniform)")
+		seed      = flag.Int64("seed", 1, "random seed")
+		schedName = flag.String("scheduler", "heuristic", "random | static | heuristic | wsc | mwis | always-on")
+		alpha     = flag.Float64("alpha", 0.2, "cost-function energy/performance mix")
+		beta      = flag.Float64("beta", 10, "cost-function unit scale")
+		interval  = flag.Duration("interval", 100*time.Millisecond, "batch scheduling interval (wsc)")
+		workload  = flag.String("workload", "cello", "synthetic workload: cello | financial")
+		traceFile = flag.String("trace", "", "real trace file (overrides -workload)")
+		format    = flag.String("format", "spc", "trace format: spc | cellotext")
+		compare   = flag.Bool("compare", false, "run every scheduler and print a comparison table")
+		stateLog  = flag.String("statelog", "", "write per-disk state transitions as CSV to this file")
+	)
+	flag.Parse()
+
+	reqs, err := loadRequests(*traceFile, *format, *workload, *requests, *blocks, *seed)
+	if err != nil {
+		return err
+	}
+	nblocks := *blocks
+	if mb := int(maxBlock(reqs)) + 1; mb > nblocks {
+		nblocks = mb // traces may reference more blocks than -blocks
+	}
+	plc, err := repro.GeneratePlacement(repro.PlacementConfig{
+		NumDisks: *disks, NumBlocks: nblocks,
+		ReplicationFactor: *rf, ZipfExponent: *zipf, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	cfg := repro.DefaultSystemConfig()
+	cfg.NumDisks = *disks
+	cost := repro.CostConfig{Alpha: *alpha, Beta: *beta, Power: cfg.Power}
+	if err := cost.Validate(); err != nil {
+		return err
+	}
+
+	var runOpts []repro.RunOption
+	if *stateLog != "" {
+		f, err := os.Create(*stateLog)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		bw := bufio.NewWriter(f)
+		defer bw.Flush()
+		fmt.Fprintln(bw, "seconds,disk,from,to")
+		runOpts = append(runOpts, repro.WithStateLog(bw))
+	}
+
+	ws := repro.AnalyzeWorkload(reqs)
+	fmt.Printf("workload: %d requests, %d unique blocks, %s span, inter-arrival CoV %.1f\n",
+		ws.Count, ws.UniqueBlocks, ws.Duration.Round(time.Second), ws.CoV)
+
+	if *compare {
+		return runComparison(cfg, plc, cost, reqs, *interval, *seed)
+	}
+
+	switch *schedName {
+	case "mwis":
+		_, st, err := repro.SolveOffline(reqs, plc.Locations, cfg.Power, repro.OfflineOptions{
+			MaxSuccessors: 4, MaxNodes: 5_000_000,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("scheduler: energy-aware MWIS (offline analytic model)\n")
+		fmt.Printf("energy: %.0f J using %d disks, %d spin-ups / %d spin-downs\n",
+			st.Energy, st.DisksUsed, st.SpinUps, st.SpinDowns)
+		fmt.Printf("energy saving vs per-request worst case: %.0f J\n", st.Saving)
+		return nil
+	case "always-on":
+		cfg.Policy = repro.AlwaysOnPolicy()
+		cfg.InitialState = repro.StateIdle
+		res, err := repro.RunOnline(cfg, plc.Locations, repro.NewStaticScheduler(plc.Locations), reqs, runOpts...)
+		if err != nil {
+			return err
+		}
+		report(res)
+		return nil
+	case "wsc":
+		res, err := repro.RunBatch(cfg, plc.Locations, repro.NewWSCScheduler(plc.Locations, cost), reqs, *interval, runOpts...)
+		if err != nil {
+			return err
+		}
+		report(res)
+		return nil
+	}
+
+	var s repro.OnlineScheduler
+	switch *schedName {
+	case "random":
+		s = repro.NewRandomScheduler(plc.Locations, *seed+1)
+	case "static":
+		s = repro.NewStaticScheduler(plc.Locations)
+	case "heuristic":
+		s = repro.NewHeuristicScheduler(plc.Locations, cost)
+	default:
+		return fmt.Errorf("unknown scheduler %q", *schedName)
+	}
+	res, err := repro.RunOnline(cfg, plc.Locations, s, reqs, runOpts...)
+	if err != nil {
+		return err
+	}
+	report(res)
+	return nil
+}
+
+func loadRequests(traceFile, format, workload string, n, blocks int, seed int64) ([]repro.Request, error) {
+	if traceFile != "" {
+		f, err := os.Open(traceFile)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		var r io.Reader = f
+		if strings.HasSuffix(traceFile, ".gz") {
+			gz, err := gzip.NewReader(f)
+			if err != nil {
+				return nil, fmt.Errorf("gunzip %s: %w", traceFile, err)
+			}
+			defer gz.Close()
+			r = gz
+		}
+		var tf repro.TraceFormat
+		switch format {
+		case "spc":
+			tf = repro.FormatSPC
+		case "cellotext":
+			tf = repro.FormatCelloText
+		default:
+			return nil, fmt.Errorf("unknown trace format %q", format)
+		}
+		reqs, _, err := repro.LoadTrace(r, tf, n)
+		return reqs, err
+	}
+	switch workload {
+	case "cello":
+		return repro.CelloLike(n, blocks, seed), nil
+	case "financial":
+		return repro.FinancialLike(n, blocks, seed), nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q", workload)
+	}
+}
+
+func maxBlock(reqs []repro.Request) repro.BlockID {
+	var m repro.BlockID
+	for _, r := range reqs {
+		if r.Block > m {
+			m = r.Block
+		}
+	}
+	return m
+}
+
+func report(res *repro.Result) {
+	fmt.Printf("scheduler: %s\n", res.Scheduler)
+	fmt.Printf("energy: %.0f J (%.3f of always-on %.0f J) over %s\n",
+		res.Energy, res.NormalizedEnergy(), res.AlwaysOnEnergy, res.Horizon.Round(time.Second))
+	fmt.Printf("spin operations: %d up / %d down\n", res.SpinUps, res.SpinDowns)
+	fmt.Printf("requests: %d served, %d dropped\n", res.Served, res.Dropped)
+	fmt.Printf("response time: mean %s, p90 %s, p99 %s, max %s\n",
+		res.Response.Mean().Round(time.Millisecond),
+		res.Response.Percentile(90).Round(time.Millisecond),
+		res.Response.Percentile(99).Round(time.Millisecond),
+		res.Response.Max().Round(time.Millisecond))
+}
+
+// runComparison runs every scheduler against the same workload and prints
+// one row per algorithm.
+func runComparison(cfg repro.SystemConfig, plc *repro.Placement, cost repro.CostConfig, reqs []repro.Request, interval time.Duration, seed int64) error {
+	fmt.Printf("\n%-26s %-12s %-10s %-14s %-10s\n", "scheduler", "norm energy", "spin-ups", "mean response", "p90")
+	row := func(name string, norm float64, spins int, mean, p90 time.Duration) {
+		fmt.Printf("%-26s %-12.3f %-10d %-14v %-10v\n", name, norm, spins,
+			mean.Round(time.Millisecond), p90.Round(time.Millisecond))
+	}
+	type runner struct {
+		name string
+		run  func() (*repro.Result, error)
+	}
+	runners := []runner{
+		{"random", func() (*repro.Result, error) {
+			return repro.RunOnline(cfg, plc.Locations, repro.NewRandomScheduler(plc.Locations, seed+1), reqs)
+		}},
+		{"static", func() (*repro.Result, error) {
+			return repro.RunOnline(cfg, plc.Locations, repro.NewStaticScheduler(plc.Locations), reqs)
+		}},
+		{"heuristic", func() (*repro.Result, error) {
+			return repro.RunOnline(cfg, plc.Locations, repro.NewHeuristicScheduler(plc.Locations, cost), reqs)
+		}},
+		{"predictive", func() (*repro.Result, error) {
+			p, err := repro.NewPredictiveScheduler(plc.Locations, cost, 0.5, cfg.Power.Breakeven())
+			if err != nil {
+				return nil, err
+			}
+			return repro.RunOnline(cfg, plc.Locations, p, reqs)
+		}},
+		{"wsc (batch)", func() (*repro.Result, error) {
+			return repro.RunBatch(cfg, plc.Locations, repro.NewWSCScheduler(plc.Locations, cost), reqs, interval)
+		}},
+	}
+	for _, r := range runners {
+		res, err := r.run()
+		if err != nil {
+			return fmt.Errorf("%s: %w", r.name, err)
+		}
+		row(r.name, res.NormalizedEnergy(), res.SpinUps,
+			res.Response.Mean(), res.Response.Percentile(90))
+	}
+	// Offline MWIS, analytic model.
+	_, st, err := repro.SolveOffline(reqs, plc.Locations, cfg.Power, repro.OfflineOptions{
+		MaxSuccessors: 4, MaxNodes: 5_000_000,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%-26s %-12s %-10d %-14s %-10s  (offline analytic: %.0f J)\n",
+		"mwis (offline)", "-", st.SpinUps, "-", "-", st.Energy)
+	return nil
+}

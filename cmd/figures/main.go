@@ -1,0 +1,214 @@
+// Command figures regenerates the paper's evaluation figures as text
+// tables (see EXPERIMENTS.md for the recorded full-scale output).
+//
+//	figures                     # all figures at small scale (fast)
+//	figures -scale full         # the paper's 180-disk / 70k-request setup
+//	figures -fig 6,7,8          # a subset
+//	figures -tsv -out results/  # write TSV files instead of stdout tables
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "figures:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		scaleName = flag.String("scale", "small", "small | full")
+		figList   = flag.String("fig", "all", "comma-separated figure numbers (2-17) or 'all'")
+		ext       = flag.Bool("ext", false, "also run the extension experiments (off-loading, caching, rack-aware placement, prediction, DPM policies, queue disciplines)")
+		tsv       = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
+		summary   = flag.String("summary", "", "write a Markdown summary report to this file (runs both trace sweeps)")
+		outDir    = flag.String("out", "", "write each figure to DIR/figNN.{txt,tsv} instead of stdout")
+	)
+	flag.Parse()
+
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	want := map[string]bool{}
+	if *figList != "all" {
+		for _, f := range strings.Split(*figList, ",") {
+			want[strings.TrimSpace(f)] = true
+		}
+	}
+	selected := func(n string) bool { return *figList == "all" || want[n] }
+
+	emit := func(n string, t *experiments.Table) error {
+		content := t.Render()
+		ext := "txt"
+		if *tsv {
+			content = t.TSV()
+			ext = "tsv"
+		}
+		if *outDir != "" {
+			path := filepath.Join(*outDir, fmt.Sprintf("fig%s.%s", n, ext))
+			if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", path)
+			return nil
+		}
+		fmt.Println(content)
+		return nil
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	start := time.Now()
+	// Worked examples and configuration (independent of scale).
+	if selected("2") {
+		if err := emit("2", experiments.Figure2()); err != nil {
+			return err
+		}
+	}
+	if selected("3") {
+		if err := emit("3", experiments.Figure3()); err != nil {
+			return err
+		}
+	}
+	if selected("4") {
+		if err := emit("4", experiments.Figure4()); err != nil {
+			return err
+		}
+	}
+	if selected("5") {
+		if err := emit("5", experiments.Figure5()); err != nil {
+			return err
+		}
+	}
+
+	// Cello replication sweep: Figures 6, 7, 8, 13.
+	if selected("6") || selected("7") || selected("8") || selected("13") {
+		sw, err := experiments.SweepReplication(scale, experiments.Cello)
+		if err != nil {
+			return err
+		}
+		for n, t := range map[string]*experiments.Table{
+			"6": sw.Figure6(), "7": sw.Figure7(), "8": sw.Figure8(), "13": sw.Figure13(),
+		} {
+			if selected(n) {
+				if err := emit(n, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if selected("9") {
+		t, err := experiments.Figure9(scale, experiments.Cello)
+		if err != nil {
+			return err
+		}
+		if err := emit("9", t); err != nil {
+			return err
+		}
+	}
+	if selected("10") {
+		t, err := experiments.Figure10(scale, experiments.Cello)
+		if err != nil {
+			return err
+		}
+		if err := emit("10", t); err != nil {
+			return err
+		}
+	}
+	if selected("11") {
+		t, err := experiments.Figure11(scale, experiments.Cello)
+		if err != nil {
+			return err
+		}
+		if err := emit("11", t); err != nil {
+			return err
+		}
+	}
+	if selected("12") {
+		t, err := experiments.Figure12(scale, experiments.Cello)
+		if err != nil {
+			return err
+		}
+		if err := emit("12", t); err != nil {
+			return err
+		}
+	}
+
+	// Financial1 sweep: Figures 14, 15, 16.
+	if selected("14") || selected("15") || selected("16") {
+		sw, err := experiments.SweepReplication(scale, experiments.Financial)
+		if err != nil {
+			return err
+		}
+		for n, t := range map[string]*experiments.Table{
+			"14": sw.Figure6(), "15": sw.Figure7(), "16": sw.Figure8(),
+		} {
+			if selected(n) {
+				if err := emit(n, t); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	if selected("17") {
+		t, err := experiments.Figure9(scale, experiments.Financial)
+		if err != nil {
+			return err
+		}
+		if err := emit("17", t); err != nil {
+			return err
+		}
+	}
+
+	if *summary != "" {
+		md, err := report.Generate(report.Options{
+			Scale:      scale,
+			Extensions: *ext,
+			Generated:  time.Now().UTC(),
+		})
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*summary, []byte(md), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *summary)
+	}
+
+	if *ext {
+		tables, err := experiments.Extensions(scale, experiments.Cello)
+		if err != nil {
+			return err
+		}
+		for i, t := range tables {
+			if err := emit(fmt.Sprintf("-ext%d", i+1), t); err != nil {
+				return err
+			}
+		}
+	}
+
+	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Second))
+	return nil
+}

@@ -1,0 +1,76 @@
+// Realtrace: round-trip a trace through the on-disk SPC format — write a
+// synthetic Financial1-like trace, load it back exactly the way a real
+// UMass trace would be (writes dropped, unique (device,LBA) pairs become
+// blocks), and simulate it. Substitute the generated file with the real
+// Financial1.spc to reproduce the paper on the true trace.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	dir, err := os.MkdirTemp("", "repro-trace")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "financial-like.spc")
+
+	// Write a synthetic OLTP trace in SPC format.
+	f, err := os.Create(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := repro.WriteTrace(f, repro.FormatSPC, repro.FinancialLike(10000, 4000, 5)); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	// Load it back as the scheduler input.
+	in, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer in.Close()
+	reqs, blocks, err := repro.LoadTrace(in, repro.FormatSPC, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ws := repro.AnalyzeWorkload(reqs)
+	fmt.Printf("loaded %d read requests over %d blocks, %s span\n",
+		len(reqs), blocks, ws.Duration.Round(time.Second))
+
+	// Place the trace's blocks with 3 replicas and compare schedulers.
+	plc, err := repro.GeneratePlacement(repro.PlacementConfig{
+		NumDisks: 48, NumBlocks: blocks, ReplicationFactor: 3, ZipfExponent: 1, Seed: 5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg := repro.DefaultSystemConfig()
+	cfg.NumDisks = 48
+
+	static, err := repro.RunOnline(cfg, plc.Locations, repro.NewStaticScheduler(plc.Locations), reqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	wsc, err := repro.RunBatch(cfg, plc.Locations,
+		repro.NewWSCScheduler(plc.Locations, repro.DefaultCost(cfg.Power)), reqs, 100*time.Millisecond)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, res := range []*repro.Result{static, wsc} {
+		fmt.Printf("%-18s energy %.3f of always-on, mean response %v\n",
+			res.Scheduler, res.NormalizedEnergy(), res.Response.Mean().Round(time.Millisecond))
+	}
+}

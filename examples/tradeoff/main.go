@@ -1,0 +1,57 @@
+// Tradeoff: sweep the cost function's alpha parameter (Eq. 6) to expose
+// the energy/response-time tradeoff of Appendix A.2 — alpha=0 optimizes
+// response only, alpha=1 energy only — and report the balance point.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	plc, err := repro.GeneratePlacement(repro.PlacementConfig{
+		NumDisks: 48, NumBlocks: 8000, ReplicationFactor: 3, ZipfExponent: 1, Seed: 11,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	reqs := repro.CelloLike(20000, 8000, 11)
+	cfg := repro.DefaultSystemConfig()
+	cfg.NumDisks = 48
+
+	type point struct {
+		alpha  float64
+		energy float64
+		mean   time.Duration
+	}
+	var pts []point
+	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8, 1} {
+		cost := repro.CostConfig{Alpha: alpha, Beta: 10, Power: cfg.Power}
+		res, err := repro.RunOnline(cfg, plc.Locations,
+			repro.NewHeuristicScheduler(plc.Locations, cost), reqs)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pts = append(pts, point{alpha, res.NormalizedEnergy(), res.Response.Mean()})
+	}
+
+	fmt.Printf("%-8s %-14s %-16s\n", "alpha", "norm energy", "mean response")
+	for _, p := range pts {
+		fmt.Printf("%-8.1f %-14.3f %-16v\n", p.alpha, p.energy, p.mean.Round(time.Millisecond))
+	}
+
+	// Balance point: the alpha minimizing the product of normalized energy
+	// and normalized response (both relative to their alpha=0 values).
+	best, bestScore := pts[0], 1e18
+	for _, p := range pts {
+		score := (p.energy / pts[0].energy) * (float64(p.mean) / float64(pts[0].mean))
+		if score < bestScore {
+			best, bestScore = p, score
+		}
+	}
+	fmt.Printf("\nbalance point: alpha=%.1f (energy %.3f, response %v)\n",
+		best.alpha, best.energy, best.mean.Round(time.Millisecond))
+}

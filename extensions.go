@@ -1,0 +1,189 @@
+package repro
+
+import (
+	"io"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/diskmodel"
+	"repro/internal/dpm"
+	"repro/internal/gear"
+	"repro/internal/offload"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// This file exposes the subsystems built beyond the paper's core
+// algorithms: write off-loading (Section 2.1's assumed mechanism),
+// power-aware caching (related work [26,27]), rack-aware placement (the
+// conclusion's HDFS target), prediction-discounted costs (Section 3.3),
+// disk queue disciplines, and single-disk power-management analysis.
+
+// Write off-loading.
+type (
+	// OffloadManager tracks off-loaded writes and their temporary holders.
+	OffloadManager = offload.Manager
+	// OffloadStats counts off-loading activity.
+	OffloadStats = offload.Stats
+)
+
+// NewOffloadManager creates a write off-loading manager over the home
+// placement. Build read schedulers over Manager.Locations so reads follow
+// off-loaded blocks, and wrap them with NewOffloadScheduler.
+func NewOffloadManager(home Locator, numDisks int) (*OffloadManager, error) {
+	return offload.NewManager(home, numDisks)
+}
+
+// NewOffloadScheduler splits traffic: writes through the off-load manager,
+// reads through the inner scheduler.
+func NewOffloadScheduler(m *OffloadManager, reads OnlineScheduler) OnlineScheduler {
+	return offload.Scheduler{Manager: m, Reads: reads}
+}
+
+// WithWrites marks a deterministic pseudo-random fraction of a request
+// stream as writes.
+func WithWrites(reqs []Request, fraction float64, seed int64) []Request {
+	return offload.WithWrites(reqs, fraction, seed)
+}
+
+// Caching.
+type (
+	// Cache is a fixed-capacity block cache for the front of the system.
+	Cache = cache.Cache
+	// CachePolicy selects the eviction strategy.
+	CachePolicy = cache.Policy
+	// CacheStats counts cache activity.
+	CacheStats = cache.Stats
+)
+
+// Cache eviction policies.
+const (
+	CacheLRU        = cache.LRU
+	CachePowerAware = cache.PowerAware
+)
+
+// NewCache creates a block cache; pass it to RunOnline/RunBatch via
+// WithCache.
+func NewCache(capacity int, policy CachePolicy, loc Locator) (*Cache, error) {
+	return cache.New(capacity, policy, loc)
+}
+
+// WithCache returns a run option placing the cache in front of the
+// scheduler.
+func WithCache(c *Cache) storage.RunOption { return storage.WithCache(c) }
+
+// RunOption configures RunOnline/RunBatch.
+type RunOption = storage.RunOption
+
+// Rack-aware placement.
+
+// RackPlacementConfig parameterizes the HDFS-style layout.
+type RackPlacementConfig = placement.RackConfig
+
+// GenerateRackAwarePlacement builds an HDFS-style layout: original replica
+// anywhere (Zipf-skewed), second in the same rack, third in another rack.
+func GenerateRackAwarePlacement(cfg RackPlacementConfig) (*Placement, error) {
+	return placement.GenerateRackAware(cfg)
+}
+
+// RackOf returns the rack housing a disk under the generator's striping.
+func RackOf(d DiskID, numDisks, numRacks int) int {
+	return placement.RackOf(d, numDisks, numRacks)
+}
+
+// Prediction-discounted scheduling.
+
+// NewPredictiveScheduler returns the Section 3.3 extension: the composite
+// cost discounted by each disk's decayed access frequency. gamma in [0,1)
+// scales the discount; halfLife controls how fast history fades.
+func NewPredictiveScheduler(loc Locator, cost CostConfig, gamma float64, halfLife time.Duration) (OnlineScheduler, error) {
+	return sched.NewPredictive(loc, cost, gamma, halfLife)
+}
+
+// Queue disciplines.
+
+// QueueDiscipline selects disk queue service order (set on
+// SystemConfig.Discipline).
+type QueueDiscipline = diskmodel.Discipline
+
+// Disk queue disciplines.
+const (
+	QueueFIFO = diskmodel.FIFO
+	QueueSSTF = diskmodel.SSTF
+	QueueSCAN = diskmodel.SCAN
+)
+
+// Single-disk power-management analysis.
+type (
+	// GapPolicy is a single-disk spin-down policy over idle gaps.
+	GapPolicy = dpm.GapPolicy
+)
+
+// FixedGapPolicy returns the fixed-threshold policy (2CPM when tau is
+// OptimalGapThreshold).
+func FixedGapPolicy(tau time.Duration) GapPolicy { return dpm.Fixed{Tau: tau} }
+
+// OptimalGapThreshold returns tau* = E_up/down / (P_I - P_s), the
+// 2-competitive threshold.
+func OptimalGapThreshold(cfg PowerConfig) time.Duration { return dpm.OptimalThreshold(cfg) }
+
+// GapPolicyCost evaluates a policy over an idle-gap sequence.
+func GapPolicyCost(cfg PowerConfig, gaps []time.Duration, p GapPolicy) float64 {
+	return dpm.PolicyCost(cfg, gaps, p)
+}
+
+// GapOracleCost evaluates the offline-optimal power manager.
+func GapOracleCost(cfg PowerConfig, gaps []time.Duration) float64 {
+	return dpm.OracleCost(cfg, gaps)
+}
+
+// CompetitiveRatio returns policy cost over oracle cost for a gap
+// sequence.
+func CompetitiveRatio(cfg PowerConfig, gaps []time.Duration, p GapPolicy) float64 {
+	return dpm.CompetitiveRatio(cfg, gaps, p)
+}
+
+// Gear-shifting (PARAID-style) array.
+type (
+	// GearConfig parameterizes the gear-shifting manager.
+	GearConfig = gear.Config
+	// GearManager is the gear-shifting scheduler.
+	GearManager = gear.Manager
+)
+
+// DefaultGearConfig returns a sensible gear configuration for numDisks.
+func DefaultGearConfig(numDisks int) GearConfig { return gear.DefaultConfig(numDisks) }
+
+// NewGearManager builds a gear-shifting scheduler over the placement.
+func NewGearManager(cfg GearConfig, loc Locator) (*GearManager, error) {
+	return gear.NewManager(cfg, loc)
+}
+
+// GenerateGearPlacement builds a layout where every block keeps a replica
+// inside the low gear [0, minGear), so the array is fully servable in its
+// lowest gear.
+func GenerateGearPlacement(numDisks, minGear, numBlocks, rf int, seed int64) (*Placement, error) {
+	return gear.GeneratePlacement(numDisks, minGear, numBlocks, rf, seed)
+}
+
+// NewWSCExactScheduler returns the batch scheduler with an optimal
+// set-cover solver (branch and bound with greedy fallback); exponential
+// worst case, for optimality-gap studies.
+func NewWSCExactScheduler(loc Locator, cost CostConfig) BatchScheduler {
+	return sched.WSCExact{Locations: loc, Cost: cost}
+}
+
+// Failure injection.
+
+// FailureEvent takes a disk offline at At for Duration; its pending
+// requests are re-dispatched to surviving replicas.
+type FailureEvent = storage.FailureEvent
+
+// WithFailures returns a run option injecting disk failures into a
+// simulation.
+func WithFailures(events ...FailureEvent) RunOption { return storage.WithFailures(events...) }
+
+// WithStateLog streams every disk power-state transition to w as CSV
+// ("seconds,disk,from,to").
+func WithStateLog(w io.Writer) RunOption { return storage.WithStateLog(w) }

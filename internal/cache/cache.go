@@ -1,0 +1,183 @@
+// Package cache implements a block cache in front of the storage system
+// with two eviction policies: plain LRU and a power-aware variant in the
+// spirit of PA-LRU / PB-LRU (the paper's references 26 and 27, discussed
+// as complementary techniques in Section 1): when choosing a victim,
+// prefer blocks whose backing disks are spinning — re-fetching those is
+// cheap — and protect blocks that live only on standby disks, because a
+// miss on them forces a spin-up.
+package cache
+
+import (
+	"container/list"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Policy selects the eviction strategy.
+type Policy int
+
+// Eviction policies.
+const (
+	// LRU evicts the least recently used block.
+	LRU Policy = iota + 1
+	// PowerAware scans the cold end of the LRU list and evicts the first
+	// block with a spinning replica, falling back to plain LRU when the
+	// cold candidates all live on sleeping disks.
+	PowerAware
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case PowerAware:
+		return "power-aware"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// scanDepth bounds how far PowerAware looks from the cold end; deeper
+// scans protect more standby blocks but disturb recency order more.
+const scanDepth = 8
+
+// Cache is a fixed-capacity block cache. The zero value is not usable;
+// call New. Not safe for concurrent use (the simulator is
+// single-threaded).
+type Cache struct {
+	capacity int
+	policy   Policy
+	loc      sched.Locator
+	entries  map[core.BlockID]*list.Element
+	order    *list.List // front = most recent
+	stats    Stats
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits      int
+	Misses    int
+	Evictions int
+	// StandbyEvictions counts victims whose every replica was asleep at
+	// eviction time — the evictions the power-aware policy tries to avoid.
+	StandbyEvictions int
+}
+
+// HitRate returns Hits / (Hits + Misses), zero when empty.
+func (s Stats) HitRate() float64 {
+	total := s.Hits + s.Misses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(total)
+}
+
+// New creates a cache holding up to capacity blocks. The locator is used
+// by the power-aware policy to inspect victims' disk states; plain LRU
+// may pass nil.
+func New(capacity int, policy Policy, loc sched.Locator) (*Cache, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("cache: capacity %d", capacity)
+	}
+	switch policy {
+	case LRU:
+	case PowerAware:
+		if loc == nil {
+			return nil, fmt.Errorf("cache: power-aware policy needs a locator")
+		}
+	default:
+		return nil, fmt.Errorf("cache: unknown policy %d", int(policy))
+	}
+	return &Cache{
+		capacity: capacity,
+		policy:   policy,
+		loc:      loc,
+		entries:  make(map[core.BlockID]*list.Element, capacity),
+		order:    list.New(),
+	}, nil
+}
+
+// Stats returns a copy of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Len returns the number of cached blocks.
+func (c *Cache) Len() int { return c.order.Len() }
+
+// Contains reports whether the block is cached, without touching recency.
+func (c *Cache) Contains(b core.BlockID) bool {
+	_, ok := c.entries[b]
+	return ok
+}
+
+// Access looks the block up, returning true on a hit. On a miss the block
+// is admitted, evicting per policy if the cache is full. The view provides
+// current disk states for the power-aware victim choice; plain LRU
+// ignores it.
+func (c *Cache) Access(b core.BlockID, v sched.View) bool {
+	if el, ok := c.entries[b]; ok {
+		c.order.MoveToFront(el)
+		c.stats.Hits++
+		return true
+	}
+	c.stats.Misses++
+	if c.order.Len() >= c.capacity {
+		c.evict(v)
+	}
+	c.entries[b] = c.order.PushFront(b)
+	return false
+}
+
+// Invalidate drops a block (e.g. after an off-loaded write supersedes it).
+func (c *Cache) Invalidate(b core.BlockID) {
+	if el, ok := c.entries[b]; ok {
+		c.order.Remove(el)
+		delete(c.entries, b)
+	}
+}
+
+func (c *Cache) evict(v sched.View) {
+	victim := c.order.Back()
+	if victim == nil {
+		return
+	}
+	if c.policy == PowerAware && v != nil {
+		if el := c.findSpinningVictim(v); el != nil {
+			victim = el
+		}
+	}
+	b := victim.Value.(core.BlockID)
+	if c.policy == PowerAware || c.loc != nil {
+		if v != nil && !c.anyReplicaSpinning(b, v) {
+			c.stats.StandbyEvictions++
+		}
+	}
+	c.order.Remove(victim)
+	delete(c.entries, b)
+	c.stats.Evictions++
+}
+
+// findSpinningVictim scans up to scanDepth entries from the cold end for a
+// block with a spinning replica.
+func (c *Cache) findSpinningVictim(v sched.View) *list.Element {
+	el := c.order.Back()
+	for i := 0; i < scanDepth && el != nil; i++ {
+		b := el.Value.(core.BlockID)
+		if c.anyReplicaSpinning(b, v) {
+			return el
+		}
+		el = el.Prev()
+	}
+	return nil
+}
+
+func (c *Cache) anyReplicaSpinning(b core.BlockID, v sched.View) bool {
+	for _, d := range c.loc(b) {
+		if v.DiskState(d).Spinning() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+// Package core defines the shared domain types of the energy-aware
+// scheduling reproduction: requests, disks, blocks and the vocabulary used
+// across every other package (mirroring Table 1 of the paper).
+//
+// The types are deliberately small value types so that every simulator layer
+// can pass them around without aliasing hazards.
+package core
+
+import (
+	"fmt"
+	"time"
+)
+
+// DiskID identifies a disk d_k in the storage system. IDs are dense indices
+// in [0, NumDisks).
+type DiskID int
+
+// InvalidDisk is returned by schedulers when no placement exists for a
+// request's block; a well-formed system never observes it.
+const InvalidDisk DiskID = -1
+
+// BlockID identifies a data item b_m (a unique combination of the original
+// trace's disk id and logical block address, per Section 4.1 of the paper).
+type BlockID int64
+
+// RequestID identifies a request r_i. IDs are dense indices in the order of
+// arrival (the paper's request stream R is sorted by arrival time).
+type RequestID int
+
+// Request is a read I/O request r_i against a replicated block. Arrival is
+// the disk access time t_i measured from simulation start. Size and LBA feed
+// the disk service-time model; they do not influence scheduling decisions
+// (Section 2.1: I/O time is negligible at the power-management time scale).
+type Request struct {
+	ID      RequestID
+	Block   BlockID
+	Arrival time.Duration
+	Size    int64 // bytes; zero means the model's default block size
+	LBA     int64 // logical block address on the serving disk
+	// Write marks a write request. The paper's scheduler only handles
+	// reads (Section 2.1), assuming writes are diverted by write
+	// off-loading; internal/offload implements that diversion.
+	Write bool
+}
+
+// String implements fmt.Stringer for debugging output.
+func (r Request) String() string {
+	op := "read"
+	if r.Write {
+		op = "write"
+	}
+	return fmt.Sprintf("r%d{%s block=%d t=%s size=%dB}", r.ID, op, r.Block, r.Arrival, r.Size)
+}
+
+// Assignment maps a request to the disk chosen to serve it.
+type Assignment struct {
+	Request RequestID
+	Disk    DiskID
+}
+
+// Schedule is a complete scheduling solution S^x_ES: one disk per request.
+// Index i holds the disk serving request ID i.
+type Schedule []DiskID
+
+// Clone returns an independent copy of the schedule.
+func (s Schedule) Clone() Schedule {
+	out := make(Schedule, len(s))
+	copy(out, s)
+	return out
+}
+
+// Valid reports whether every request has been assigned to one of its
+// replica locations according to the placement lookup.
+func (s Schedule) Valid(reqs []Request, locations func(BlockID) []DiskID) bool {
+	if len(s) != len(reqs) {
+		return false
+	}
+	for _, r := range reqs {
+		found := false
+		for _, d := range locations(r.Block) {
+			if d == s[r.ID] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}
+
+// DiskState enumerates the power states of a disk. The ordering matches the
+// paper's Figure 9 breakdown (standby, active, idle, spin-up/down); values
+// start at 1 so the zero value is invalid and cannot be mistaken for a state.
+type DiskState int
+
+// Disk power states.
+const (
+	StateStandby  DiskState = iota + 1 // spun down, near-zero power
+	StateSpinUp                        // transitioning standby -> idle
+	StateIdle                          // platters spinning, no I/O in flight
+	StateActive                        // servicing an I/O
+	StateSpinDown                      // transitioning idle -> standby
+)
+
+var stateNames = map[DiskState]string{
+	StateStandby:  "standby",
+	StateSpinUp:   "spin-up",
+	StateIdle:     "idle",
+	StateActive:   "active",
+	StateSpinDown: "spin-down",
+}
+
+// String implements fmt.Stringer.
+func (s DiskState) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("DiskState(%d)", int(s))
+}
+
+// Valid reports whether s is one of the defined states.
+func (s DiskState) Valid() bool {
+	_, ok := stateNames[s]
+	return ok
+}
+
+// Spinning reports whether the platters are rotating at full speed, i.e. the
+// disk can service a request without a spin-up delay.
+func (s DiskState) Spinning() bool {
+	return s == StateIdle || s == StateActive
+}

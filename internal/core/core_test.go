@@ -1,0 +1,104 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDiskStateString(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		state DiskState
+		want  string
+	}{
+		{StateStandby, "standby"},
+		{StateSpinUp, "spin-up"},
+		{StateIdle, "idle"},
+		{StateActive, "active"},
+		{StateSpinDown, "spin-down"},
+		{DiskState(0), "DiskState(0)"},
+		{DiskState(42), "DiskState(42)"},
+	}
+	for _, tc := range tests {
+		if got := tc.state.String(); got != tc.want {
+			t.Errorf("DiskState(%d).String() = %q, want %q", int(tc.state), got, tc.want)
+		}
+	}
+}
+
+func TestDiskStateValid(t *testing.T) {
+	t.Parallel()
+	for s := StateStandby; s <= StateSpinDown; s++ {
+		if !s.Valid() {
+			t.Errorf("%v.Valid() = false", s)
+		}
+	}
+	if DiskState(0).Valid() || DiskState(6).Valid() {
+		t.Error("out-of-range state reported valid")
+	}
+}
+
+func TestDiskStateSpinning(t *testing.T) {
+	t.Parallel()
+	spinning := map[DiskState]bool{
+		StateStandby: false, StateSpinUp: false, StateIdle: true,
+		StateActive: true, StateSpinDown: false,
+	}
+	for s, want := range spinning {
+		if got := s.Spinning(); got != want {
+			t.Errorf("%v.Spinning() = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestRequestString(t *testing.T) {
+	t.Parallel()
+	r := Request{ID: 3, Block: 17, Arrival: 2 * time.Second, Size: 512}
+	if got := r.String(); got != "r3{read block=17 t=2s size=512B}" {
+		t.Errorf("String() = %q", got)
+	}
+	r.Write = true
+	if got := r.String(); got != "r3{write block=17 t=2s size=512B}" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestScheduleCloneIsIndependent(t *testing.T) {
+	t.Parallel()
+	s := Schedule{1, 2, 3}
+	c := s.Clone()
+	c[0] = 9
+	if s[0] != 1 {
+		t.Error("Clone shares backing array")
+	}
+}
+
+func TestScheduleValid(t *testing.T) {
+	t.Parallel()
+	reqs := []Request{
+		{ID: 0, Block: 0},
+		{ID: 1, Block: 1},
+	}
+	locs := func(b BlockID) []DiskID {
+		return map[BlockID][]DiskID{0: {0, 1}, 1: {2}}[b]
+	}
+	tests := []struct {
+		name  string
+		sched Schedule
+		want  bool
+	}{
+		{"valid", Schedule{1, 2}, true},
+		{"valid alt replica", Schedule{0, 2}, true},
+		{"wrong disk", Schedule{2, 2}, false},
+		{"length mismatch", Schedule{1}, false},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if got := tc.sched.Valid(reqs, locs); got != tc.want {
+				t.Errorf("Valid() = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}

@@ -1,0 +1,109 @@
+package diskmodel
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Discipline selects the order in which a disk drains its queue. The
+// paper's evaluation uses DiskSim's default queueing; FIFO is our default,
+// with SSTF and SCAN available for service-time ablations (see
+// BenchmarkAblationQueueDiscipline).
+type Discipline int
+
+// Queue disciplines.
+const (
+	// FIFO serves requests in arrival order.
+	FIFO Discipline = iota + 1
+	// SSTF serves the request with the shortest seek from the current
+	// head position.
+	SSTF
+	// SCAN sweeps the head across the platter, serving requests in LBA
+	// order in the current direction and reversing at the last one (the
+	// classic elevator algorithm).
+	SCAN
+)
+
+// String implements fmt.Stringer.
+func (d Discipline) String() string {
+	switch d {
+	case FIFO:
+		return "fifo"
+	case SSTF:
+		return "sstf"
+	case SCAN:
+		return "scan"
+	default:
+		return fmt.Sprintf("Discipline(%d)", int(d))
+	}
+}
+
+// Valid reports whether d is a defined discipline.
+func (d Discipline) Valid() bool { return d >= FIFO && d <= SCAN }
+
+// pickNext removes and returns the next request to serve from the queue
+// according to the discipline, given the current head position and sweep
+// direction. It returns the chosen request, the remaining queue, and the
+// possibly-flipped direction.
+func pickNext(disc Discipline, queue []core.Request, headLBA int64, ascending bool) (core.Request, []core.Request, bool) {
+	if len(queue) == 0 {
+		panic("diskmodel: pickNext on empty queue")
+	}
+	pick := 0
+	switch disc {
+	case FIFO:
+		// Arrival order: the queue head.
+	case SSTF:
+		best := seekDistance(queue[0].LBA, headLBA)
+		for i := 1; i < len(queue); i++ {
+			if d := seekDistance(queue[i].LBA, headLBA); d < best {
+				best, pick = d, i
+			}
+		}
+	case SCAN:
+		pick = -1
+		// Nearest request at or beyond the head in the sweep direction.
+		var bestAhead int64 = -1
+		for i, r := range queue {
+			ahead := r.LBA >= headLBA
+			if !ascending {
+				ahead = r.LBA <= headLBA
+			}
+			if !ahead {
+				continue
+			}
+			d := seekDistance(r.LBA, headLBA)
+			if bestAhead < 0 || d < bestAhead {
+				bestAhead, pick = d, i
+			}
+		}
+		if pick < 0 {
+			// Nothing ahead: reverse the sweep.
+			ascending = !ascending
+			var best int64 = -1
+			for i, r := range queue {
+				d := seekDistance(r.LBA, headLBA)
+				if best < 0 || d < best {
+					best, pick = d, i
+				}
+			}
+		}
+	default:
+		panic(fmt.Sprintf("diskmodel: invalid discipline %v", disc))
+	}
+	req := queue[pick]
+	rest := append(queue[:pick:pick], queue[pick+1:]...)
+	return req, rest, ascending
+}
+
+func seekDistance(a, b int64) int64 {
+	if b < 0 {
+		// Unknown head position: all requests equally far.
+		return 0
+	}
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -1,0 +1,208 @@
+package diskmodel
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/simkernel"
+)
+
+func TestDisciplineString(t *testing.T) {
+	t.Parallel()
+	if FIFO.String() != "fifo" || SSTF.String() != "sstf" || SCAN.String() != "scan" {
+		t.Error("discipline names wrong")
+	}
+	if Discipline(9).String() != "Discipline(9)" {
+		t.Error("unknown discipline name wrong")
+	}
+	if Discipline(9).Valid() || Discipline(0).Valid() {
+		t.Error("invalid disciplines report valid")
+	}
+}
+
+func mkQueue(lbas ...int64) []core.Request {
+	q := make([]core.Request, len(lbas))
+	for i, lba := range lbas {
+		q[i] = core.Request{ID: core.RequestID(i), LBA: lba}
+	}
+	return q
+}
+
+func TestPickNextFIFO(t *testing.T) {
+	t.Parallel()
+	q := mkQueue(500, 100, 900)
+	req, rest, _ := pickNext(FIFO, q, 450, true)
+	if req.LBA != 500 || len(rest) != 2 {
+		t.Errorf("FIFO picked LBA %d", req.LBA)
+	}
+}
+
+func TestPickNextSSTF(t *testing.T) {
+	t.Parallel()
+	q := mkQueue(500, 100, 900)
+	req, rest, _ := pickNext(SSTF, q, 120, true)
+	if req.LBA != 100 {
+		t.Errorf("SSTF picked LBA %d, want 100 (closest to head 120)", req.LBA)
+	}
+	if len(rest) != 2 || rest[0].LBA != 500 || rest[1].LBA != 900 {
+		t.Errorf("rest = %v", rest)
+	}
+}
+
+func TestPickNextSSTFUnknownHead(t *testing.T) {
+	t.Parallel()
+	// Head position -1 (unknown): all distances tie, first wins.
+	q := mkQueue(500, 100)
+	req, _, _ := pickNext(SSTF, q, -1, true)
+	if req.LBA != 500 {
+		t.Errorf("picked LBA %d, want first (tie)", req.LBA)
+	}
+}
+
+func TestPickNextSCANSweepsAndReverses(t *testing.T) {
+	t.Parallel()
+	q := mkQueue(500, 100, 900)
+	// Ascending from 450: next is 500, then 900, then reverse to 100.
+	var order []int64
+	head := int64(450)
+	asc := true
+	for len(q) > 0 {
+		var req core.Request
+		req, q, asc = pickNext(SCAN, q, head, asc)
+		order = append(order, req.LBA)
+		head = req.LBA
+	}
+	want := []int64{500, 900, 100}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("SCAN order = %v, want %v", order, want)
+		}
+	}
+	if asc {
+		t.Error("direction did not flip after reaching the top")
+	}
+}
+
+func TestPickNextPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic on empty queue")
+		}
+	}()
+	pickNext(FIFO, nil, 0, true)
+}
+
+// Property: every discipline serves each queued request exactly once and
+// never invents requests.
+func TestDisciplinesServeAllProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, n uint8, discRaw uint8) bool {
+		disc := Discipline(int(discRaw)%3 + 1)
+		rng := rand.New(rand.NewSource(seed))
+		count := int(n)%12 + 1
+		lbas := make([]int64, count)
+		for i := range lbas {
+			lbas[i] = rng.Int63n(1 << 20)
+		}
+		q := mkQueue(lbas...)
+		head := int64(rng.Int63n(1 << 20))
+		asc := true
+		var served []int
+		for len(q) > 0 {
+			var req core.Request
+			req, q, asc = pickNext(disc, q, head, asc)
+			served = append(served, int(req.ID))
+			head = req.LBA
+		}
+		if len(served) != count {
+			return false
+		}
+		sort.Ints(served)
+		for i, id := range served {
+			if id != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// SSTF should yield lower total seek time than FIFO on a random backlog.
+func TestSSTFBeatsFIFOSeekTime(t *testing.T) {
+	t.Parallel()
+	mech := Cheetah15K5()
+	rng := rand.New(rand.NewSource(9))
+	lbas := make([]int64, 64)
+	for i := range lbas {
+		lbas[i] = rng.Int63n(mech.MaxLBA)
+	}
+	totalSeek := func(disc Discipline) time.Duration {
+		q := mkQueue(lbas...)
+		head := int64(0)
+		asc := true
+		var total time.Duration
+		for len(q) > 0 {
+			var req core.Request
+			req, q, asc = pickNext(disc, q, head, asc)
+			total += mech.SeekTime(head, req.LBA)
+			head = req.LBA
+		}
+		return total
+	}
+	fifo, sstf, scan := totalSeek(FIFO), totalSeek(SSTF), totalSeek(SCAN)
+	if sstf >= fifo {
+		t.Errorf("SSTF total seek %v not below FIFO %v", sstf, fifo)
+	}
+	if scan >= fifo {
+		t.Errorf("SCAN total seek %v not below FIFO %v", scan, fifo)
+	}
+}
+
+// End-to-end: a disk with a deep queue completes sooner under SSTF.
+func TestDiskDisciplineEndToEnd(t *testing.T) {
+	t.Parallel()
+	run := func(disc Discipline) time.Duration {
+		var eng simkernel.Engine
+		pcfg := power.DefaultConfig()
+		var last time.Duration
+		d, err := New(0, Cheetah15K5(), pcfg, power.TwoCompetitive{Config: pcfg}, &eng,
+			func(_ core.Request, at time.Duration) { last = at },
+			Options{Discipline: disc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(2))
+		eng.At(0, func(time.Duration) {
+			for i := 0; i < 100; i++ {
+				d.Submit(core.Request{ID: core.RequestID(i), LBA: rng.Int63n(Cheetah15K5().MaxLBA)})
+			}
+		})
+		eng.Run()
+		d.Close()
+		return last
+	}
+	fifo := run(FIFO)
+	sstf := run(SSTF)
+	if sstf >= fifo {
+		t.Errorf("SSTF drain time %v not below FIFO %v", sstf, fifo)
+	}
+}
+
+func TestNewRejectsInvalidDiscipline(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	_, err := New(0, Cheetah15K5(), power.DefaultConfig(), power.AlwaysOn{}, &eng, nil,
+		Options{Discipline: Discipline(42)})
+	if err == nil {
+		t.Error("accepted invalid discipline")
+	}
+}

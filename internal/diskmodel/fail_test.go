@@ -1,0 +1,150 @@
+package diskmodel
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+	"repro/internal/simkernel"
+)
+
+func TestFailWhileActiveDrainsInFlightAndQueue(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	pcfg := power.DefaultConfig()
+	served := 0
+	d := newTestDisk(t, &eng, pcfg, power.TwoCompetitive{Config: pcfg}, func(core.Request, time.Duration) {
+		served++
+	}, Options{})
+
+	eng.At(0, func(time.Duration) {
+		for i := 0; i < 4; i++ {
+			d.Submit(core.Request{ID: core.RequestID(i), LBA: int64(1000 * i)})
+		}
+	})
+	// Fail mid-service: after spin-up plus half a service time.
+	var drained []core.Request
+	eng.At(pcfg.SpinUpTime+3*time.Millisecond, func(time.Duration) {
+		drained = d.Fail()
+	})
+	eng.Run()
+	if !d.Failed() || d.Failures() != 1 {
+		t.Fatalf("failed=%v failures=%d", d.Failed(), d.Failures())
+	}
+	// One request was in flight, three queued; served at most one before
+	// the failure.
+	if len(drained)+served != 4 {
+		t.Fatalf("drained %d + served %d != 4", len(drained), served)
+	}
+	if len(drained) == 0 {
+		t.Fatal("nothing drained from a busy disk")
+	}
+	if d.Load() != 0 {
+		t.Errorf("Load after Fail = %d", d.Load())
+	}
+	if d.State() != core.StateStandby {
+		t.Errorf("state after Fail = %v, want standby (unpowered)", d.State())
+	}
+}
+
+func TestFailDuringSpinUpCancelsTransition(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	pcfg := power.DefaultConfig()
+	d := newTestDisk(t, &eng, pcfg, power.TwoCompetitive{Config: pcfg}, nil, Options{})
+	eng.At(0, func(time.Duration) { d.Submit(core.Request{ID: 0, LBA: 1}) })
+	eng.At(pcfg.SpinUpTime/2, func(time.Duration) {
+		if got := len(d.Fail()); got != 1 {
+			t.Errorf("drained %d, want the queued request", got)
+		}
+	})
+	end := eng.Run()
+	// The spin-up completion was cancelled: nothing else happens.
+	if end != pcfg.SpinUpTime/2 {
+		t.Errorf("run ended at %v, want %v (no surviving events)", end, pcfg.SpinUpTime/2)
+	}
+	if d.State() != core.StateStandby {
+		t.Errorf("state = %v", d.State())
+	}
+}
+
+func TestFailIsIdempotentAndRepairRestores(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	pcfg := power.DefaultConfig()
+	served := 0
+	d := newTestDisk(t, &eng, pcfg, power.TwoCompetitive{Config: pcfg}, func(core.Request, time.Duration) {
+		served++
+	}, Options{})
+	eng.At(time.Second, func(time.Duration) {
+		if d.Fail() != nil {
+			t.Error("idle disk drained requests")
+		}
+		if d.Fail() != nil {
+			t.Error("double Fail drained requests")
+		}
+		if d.Failures() != 1 {
+			t.Errorf("failures = %d, want 1 (no-op second failure)", d.Failures())
+		}
+	})
+	eng.At(2*time.Second, func(time.Duration) {
+		d.Repair()
+		d.Repair() // no-op
+		d.Submit(core.Request{ID: 0, LBA: 9})
+	})
+	eng.Run()
+	if served != 1 {
+		t.Fatalf("served %d after repair, want 1", served)
+	}
+	st := d.Close()
+	if st.SpinUps != 1 {
+		t.Errorf("spin-ups = %d, want 1 (repair leaves the disk spun down)", st.SpinUps)
+	}
+}
+
+func TestSubmitOnFailedDiskPanics(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	pcfg := power.DefaultConfig()
+	d := newTestDisk(t, &eng, pcfg, power.TwoCompetitive{Config: pcfg}, nil, Options{})
+	eng.At(0, func(time.Duration) {
+		d.Fail()
+		defer func() {
+			if recover() == nil {
+				t.Error("Submit on failed disk did not panic")
+			}
+		}()
+		d.Submit(core.Request{ID: 0})
+	})
+	eng.Run()
+}
+
+func TestFailOnClosedDiskPanics(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	pcfg := power.DefaultConfig()
+	d := newTestDisk(t, &eng, pcfg, power.TwoCompetitive{Config: pcfg}, nil, Options{})
+	d.Close()
+	defer func() {
+		if recover() == nil {
+			t.Error("Fail on closed disk did not panic")
+		}
+	}()
+	d.Fail()
+}
+
+func TestFailLosesHeadPosition(t *testing.T) {
+	t.Parallel()
+	var eng simkernel.Engine
+	pcfg := power.DefaultConfig()
+	d := newTestDisk(t, &eng, pcfg, power.TwoCompetitive{Config: pcfg}, nil, Options{})
+	eng.At(0, func(time.Duration) { d.Submit(core.Request{ID: 0, LBA: 12345}) })
+	eng.At(time.Minute, func(time.Duration) {
+		d.Fail()
+		if d.headLBA != -1 {
+			t.Errorf("headLBA = %d after power loss, want -1", d.headLBA)
+		}
+	})
+	eng.Run()
+}

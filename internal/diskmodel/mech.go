@@ -1,0 +1,95 @@
+// Package diskmodel simulates a single rotating disk: an analytic
+// seek/rotation/transfer service-time model (replacing DiskSim in the
+// paper's setup, Section 4) and an event-driven power-state machine
+// (standby / spin-up / idle / active / spin-down) governed by a
+// power.Policy.
+package diskmodel
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// MechConfig describes disk mechanics for the service-time model.
+type MechConfig struct {
+	RPM          float64       // spindle speed
+	MinSeek      time.Duration // track-to-track seek
+	MaxSeek      time.Duration // full-stroke seek
+	TransferRate float64       // sustained bytes/second
+	MaxLBA       int64         // addressable logical blocks (512 B sectors)
+	SectorSize   int64         // bytes per logical block
+	DefaultIO    int64         // request size when a request carries none
+}
+
+// Cheetah15K5 returns mechanics approximating the Seagate Cheetah 15K.5
+// enterprise disk simulated in the paper (15000 RPM, ~3.5/7.4 ms seeks,
+// ~125 MB/s sustained transfer, 300 GB).
+func Cheetah15K5() MechConfig {
+	return MechConfig{
+		RPM:          15000,
+		MinSeek:      400 * time.Microsecond,
+		MaxSeek:      7400 * time.Microsecond,
+		TransferRate: 125e6,
+		MaxLBA:       586072368, // ~300 GB of 512 B sectors
+		SectorSize:   512,
+		DefaultIO:    512 << 10, // paper: file blocks are normally 512 KB
+	}
+}
+
+// Validate reports whether the mechanics are physically sensible.
+func (c MechConfig) Validate() error {
+	switch {
+	case c.RPM <= 0 || math.IsNaN(c.RPM):
+		return fmt.Errorf("diskmodel: invalid RPM %v", c.RPM)
+	case c.MinSeek < 0 || c.MaxSeek < c.MinSeek:
+		return fmt.Errorf("diskmodel: invalid seek range [%s,%s]", c.MinSeek, c.MaxSeek)
+	case c.TransferRate <= 0:
+		return fmt.Errorf("diskmodel: invalid transfer rate %v", c.TransferRate)
+	case c.MaxLBA <= 0 || c.SectorSize <= 0:
+		return fmt.Errorf("diskmodel: invalid geometry lba=%d sector=%d", c.MaxLBA, c.SectorSize)
+	case c.DefaultIO <= 0:
+		return fmt.Errorf("diskmodel: invalid default I/O size %d", c.DefaultIO)
+	}
+	return nil
+}
+
+// rotation returns the duration of one full platter revolution.
+func (c MechConfig) rotation() time.Duration {
+	return time.Duration(60 / c.RPM * float64(time.Second))
+}
+
+// SeekTime models seek duration between two LBAs with the standard
+// square-root profile: short moves near MinSeek, full-stroke moves at
+// MaxSeek.
+func (c MechConfig) SeekTime(fromLBA, toLBA int64) time.Duration {
+	if fromLBA < 0 || toLBA < 0 {
+		return c.MaxSeek
+	}
+	dist := fromLBA - toLBA
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(dist) / float64(c.MaxLBA))
+	if frac > 1 {
+		frac = 1
+	}
+	return c.MinSeek + time.Duration(frac*float64(c.MaxSeek-c.MinSeek))
+}
+
+// ServiceTime returns the time to service a request of size bytes at lba,
+// with the head previously at prevLBA (negative for unknown): seek + mean
+// rotational latency (half a revolution) + transfer. A non-positive size
+// uses the configured default.
+func (c MechConfig) ServiceTime(prevLBA, lba, size int64) time.Duration {
+	if size <= 0 {
+		size = c.DefaultIO
+	}
+	seek := c.SeekTime(prevLBA, lba)
+	rot := c.rotation() / 2
+	xfer := time.Duration(float64(size) / c.TransferRate * float64(time.Second))
+	return seek + rot + xfer
+}

@@ -1,0 +1,296 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 5 and Appendix A). Each FigureN function returns a
+// typed result that renders as an aligned text table; cmd/figures drives
+// them all, and the root bench harness wraps them as benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/metrics"
+	"repro/internal/offline"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Scale sizes an experiment. FullScale matches the paper's setup
+// (Section 4: 180 disks, 70,000 requests, 30,000 blocks); SmallScale keeps
+// unit tests and benchmarks fast while preserving every qualitative trend.
+type Scale struct {
+	NumDisks    int
+	NumRequests int
+	NumBlocks   int
+	Seed        int64
+	// BatchInterval is the WSC scheduling interval (paper: 0.1 s).
+	BatchInterval time.Duration
+	// MWIS graph construction bounds and refinement passes.
+	MWISSuccessors int
+	MWISMaxNodes   int
+	MWISPasses     int
+	// ZipfSteps are the data-locality exponents swept in Figure 10
+	// (paper: 0 to 1 every 0.1).
+	ZipfSteps []float64
+	// Alphas and Betas are the cost-function sweep of Figure 11.
+	Alphas []float64
+	Betas  []float64
+	// Parallelism bounds concurrent simulation cells (0 = half the CPUs).
+	Parallelism int
+}
+
+// FullScale reproduces the paper's experimental scale.
+func FullScale() Scale {
+	return Scale{
+		NumDisks:       180,
+		NumRequests:    70000,
+		NumBlocks:      30000,
+		Seed:           1,
+		BatchInterval:  100 * time.Millisecond,
+		MWISSuccessors: 4,
+		MWISMaxNodes:   5_000_000,
+		MWISPasses:     8,
+		ZipfSteps:      []float64{0, 0.25, 0.5, 0.75, 1},
+		Alphas:         []float64{0, 0.2, 0.4, 0.6, 0.8, 1},
+		Betas:          []float64{1, 10, 100, 500, 1000},
+	}
+}
+
+// SmallScale is a fast configuration for tests and benchmarks.
+func SmallScale() Scale {
+	return Scale{
+		NumDisks:       24,
+		NumRequests:    6000,
+		NumBlocks:      2500,
+		Seed:           1,
+		BatchInterval:  100 * time.Millisecond,
+		MWISSuccessors: 4,
+		MWISMaxNodes:   2_000_000,
+		MWISPasses:     4,
+		ZipfSteps:      []float64{0, 0.5, 1},
+		Alphas:         []float64{0, 0.2, 0.6, 1},
+		Betas:          []float64{1, 10, 100},
+	}
+}
+
+// Validate checks the scale parameters.
+func (s Scale) Validate() error {
+	switch {
+	case s.NumDisks <= 0 || s.NumRequests < 0 || s.NumBlocks <= 0:
+		return fmt.Errorf("experiments: invalid sizes in %+v", s)
+	case s.BatchInterval <= 0:
+		return fmt.Errorf("experiments: batch interval %s", s.BatchInterval)
+	case s.MWISPasses < 0:
+		return fmt.Errorf("experiments: MWIS passes %d", s.MWISPasses)
+	}
+	return nil
+}
+
+// Trace selects the evaluation workload.
+type Trace int
+
+// The two workloads of Section 4.1.
+const (
+	Cello     Trace = iota + 1 // bursty timesharing trace (HP Cello)
+	Financial                  // smoother OLTP trace (UMass Financial1)
+)
+
+// String implements fmt.Stringer.
+func (t Trace) String() string {
+	switch t {
+	case Cello:
+		return "cello"
+	case Financial:
+		return "financial1"
+	default:
+		return fmt.Sprintf("Trace(%d)", int(t))
+	}
+}
+
+// Requests generates the trace's synthetic request stream at this scale.
+func (t Trace) Requests(s Scale) []core.Request {
+	switch t {
+	case Cello:
+		return workload.CelloLike(s.NumRequests, s.NumBlocks, s.Seed)
+	case Financial:
+		return workload.FinancialLike(s.NumRequests, s.NumBlocks, s.Seed)
+	default:
+		panic(fmt.Sprintf("experiments: invalid trace %d", int(t)))
+	}
+}
+
+// Algorithm names, in the paper's presentation order.
+const (
+	AlgoRandom    = "random"
+	AlgoStatic    = "static"
+	AlgoHeuristic = "energy-aware heuristic"
+	AlgoWSC       = "energy-aware WSC"
+	AlgoMWIS      = "energy-aware MWIS"
+)
+
+// Algorithms lists the five schedulers compared throughout Section 5.
+func Algorithms() []string {
+	return []string{AlgoRandom, AlgoStatic, AlgoHeuristic, AlgoWSC, AlgoMWIS}
+}
+
+// Run is one (trace, replication, locality, algorithm) measurement cell.
+type Run struct {
+	Algo string
+	// NormEnergy is energy normalized to the always-on configuration.
+	NormEnergy float64
+	SpinUps    int
+	SpinDowns  int
+	// Mean and P90 response times; zero for the offline MWIS model, which
+	// by assumption has no spin-up delay (Section 2.2) and is therefore
+	// omitted from the paper's response-time plots.
+	Mean time.Duration
+	P90  time.Duration
+	// Response holds the full sample set for CCDF plots (nil for MWIS).
+	Response *metrics.ResponseTimes
+	// PerDisk has one entry per disk for the Figure 9/17 breakdowns.
+	PerDisk []diskmodel.Stats
+}
+
+// cell runs one algorithm against one placement and trace.
+func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, cost sched.CostConfig) (Run, error) {
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = s.NumDisks
+
+	if algo == AlgoMWIS {
+		schedule, _, err := offline.SolveRefined(reqs, plc.Locations, cfg.Power, offline.BuildOptions{
+			MaxSuccessors: s.MWISSuccessors,
+			MaxNodes:      s.MWISMaxNodes,
+		}, s.MWISPasses)
+		if err != nil {
+			return Run{}, fmt.Errorf("experiments: MWIS pipeline: %w", err)
+		}
+		horizon := offline.Horizon(reqs, cfg.Power)
+		perDisk, err := offline.Breakdown(reqs, schedule, cfg.Power, s.NumDisks, horizon)
+		if err != nil {
+			return Run{}, err
+		}
+		spinUps, spinDowns := 0, 0
+		for _, st := range perDisk {
+			spinUps += st.SpinUps
+			spinDowns += st.SpinDowns
+		}
+		return Run{
+			Algo:       algo,
+			NormEnergy: offline.BreakdownEnergy(perDisk) / offline.AlwaysOnEnergy(cfg.Power, s.NumDisks, horizon),
+			SpinUps:    spinUps,
+			SpinDowns:  spinDowns,
+			PerDisk:    perDisk,
+		}, nil
+	}
+
+	var res *storage.Result
+	var err error
+	switch algo {
+	case AlgoRandom:
+		res, err = storage.RunOnline(cfg, plc.Locations, sched.NewRandom(plc.Locations, s.Seed+1), reqs)
+	case AlgoStatic:
+		res, err = storage.RunOnline(cfg, plc.Locations, sched.Static{Locations: plc.Locations}, reqs)
+	case AlgoHeuristic:
+		res, err = storage.RunOnline(cfg, plc.Locations, sched.Heuristic{Locations: plc.Locations, Cost: cost}, reqs)
+	case AlgoWSC:
+		res, err = storage.RunBatch(cfg, plc.Locations, sched.WSC{Locations: plc.Locations, Cost: cost}, reqs, s.BatchInterval)
+	default:
+		return Run{}, fmt.Errorf("experiments: unknown algorithm %q", algo)
+	}
+	if err != nil {
+		return Run{}, err
+	}
+	return Run{
+		Algo:       algo,
+		NormEnergy: res.NormalizedEnergy(),
+		SpinUps:    res.SpinUps,
+		SpinDowns:  res.SpinDowns,
+		Mean:       res.Response.Mean(),
+		P90:        res.Response.Percentile(90),
+		Response:   &res.Response,
+		PerDisk:    res.PerDisk,
+	}, nil
+}
+
+// makePlacement builds the Section 4.2 layout for a replication factor and
+// locality exponent.
+func makePlacement(s Scale, rf int, z float64) (*placement.Placement, error) {
+	return placement.Generate(placement.GenerateConfig{
+		NumDisks:          s.NumDisks,
+		NumBlocks:         s.NumBlocks,
+		ReplicationFactor: rf,
+		ZipfExponent:      z,
+		Seed:              s.Seed + 7,
+	})
+}
+
+// ReplicationFactors is the sweep range of Figures 6-8 and 13-16.
+func ReplicationFactors() []int { return []int{1, 2, 3, 4, 5} }
+
+// ReplicationSweep holds the shared measurements behind Figures 6, 7, 8 and
+// 13 (Cello) or 14, 15, 16 (Financial1): every algorithm at every
+// replication factor with Zipf(1) data locality.
+type ReplicationSweep struct {
+	Trace Trace
+	Scale Scale
+	RFs   []int
+	// Runs[rf] holds one Run per algorithm, in Algorithms() order.
+	Runs map[int][]Run
+}
+
+// SweepReplication runs the shared replication-factor sweep. Cells (one
+// per replication factor and algorithm) execute on a bounded worker pool;
+// they share only read-only inputs.
+func SweepReplication(s Scale, tr Trace) (*ReplicationSweep, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	reqs := tr.Requests(s)
+	cost := sched.DefaultCost(storage.DefaultConfig().Power)
+	rfs := ReplicationFactors()
+	algos := Algorithms()
+
+	placements := make([]*placement.Placement, len(rfs))
+	for i, rf := range rfs {
+		plc, err := makePlacement(s, rf, 1)
+		if err != nil {
+			return nil, err
+		}
+		placements[i] = plc
+	}
+
+	results := make([][]Run, len(rfs))
+	for i := range results {
+		results[i] = make([]Run, len(algos))
+	}
+	err := runParallel(len(rfs)*len(algos), s.Parallelism, func(i int) error {
+		rfIdx, algoIdx := i/len(algos), i%len(algos)
+		run, err := cell(s, reqs, placements[rfIdx], algos[algoIdx], cost)
+		if err != nil {
+			return fmt.Errorf("rf=%d %s: %w", rfs[rfIdx], algos[algoIdx], err)
+		}
+		results[rfIdx][algoIdx] = run
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sweep := &ReplicationSweep{Trace: tr, Scale: s, RFs: rfs, Runs: map[int][]Run{}}
+	for i, rf := range rfs {
+		sweep.Runs[rf] = results[i]
+	}
+	return sweep, nil
+}
+
+// Get returns the run for an algorithm at a replication factor.
+func (sw *ReplicationSweep) Get(rf int, algo string) (Run, bool) {
+	for _, r := range sw.Runs[rf] {
+		if r.Algo == algo {
+			return r, true
+		}
+	}
+	return Run{}, false
+}

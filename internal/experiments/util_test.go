@@ -1,0 +1,6 @@
+package experiments
+
+import "fmt"
+
+// fmtSscan parses a single float from a table cell.
+func fmtSscan(s string, v *float64) (int, error) { return fmt.Sscan(s, v) }

@@ -1,0 +1,227 @@
+package gear
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+type fakeView struct {
+	now   time.Duration
+	loads map[core.DiskID]int
+}
+
+func (f *fakeView) Now() time.Duration                                { return f.now }
+func (f *fakeView) DiskState(core.DiskID) core.DiskState              { return core.StateStandby }
+func (f *fakeView) Load(d core.DiskID) int                            { return f.loads[d] }
+func (f *fakeView) LastRequestTime(core.DiskID) (time.Duration, bool) { return 0, false }
+
+func TestConfigValidate(t *testing.T) {
+	t.Parallel()
+	if err := DefaultConfig(16).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bads := []Config{
+		{NumDisks: 0, MinGear: 1, CapacityPerDisk: 1, HalfLife: time.Second},
+		{NumDisks: 4, MinGear: 0, CapacityPerDisk: 1, HalfLife: time.Second},
+		{NumDisks: 4, MinGear: 5, CapacityPerDisk: 1, HalfLife: time.Second},
+		{NumDisks: 4, MinGear: 1, CapacityPerDisk: 0, HalfLife: time.Second},
+		{NumDisks: 4, MinGear: 1, CapacityPerDisk: 1, HalfLife: 0},
+	}
+	for _, c := range bads {
+		if err := c.Validate(); err == nil {
+			t.Errorf("accepted %+v", c)
+		}
+	}
+}
+
+func TestGeneratePlacementLowGearCoverage(t *testing.T) {
+	t.Parallel()
+	const minGear = 4
+	plc, err := GeneratePlacement(16, minGear, 800, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 800; b++ {
+		covered := false
+		for _, d := range plc.Locations(core.BlockID(b)) {
+			if int(d) < minGear {
+				covered = true
+			}
+		}
+		if !covered {
+			t.Fatalf("block %d has no replica in the low gear", b)
+		}
+	}
+}
+
+func TestGeneratePlacementProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, disksRaw, gearRaw, rfRaw uint8) bool {
+		numDisks := int(disksRaw)%14 + 2
+		minGear := int(gearRaw)%numDisks + 1
+		rf := int(rfRaw)%numDisks + 1
+		plc, err := GeneratePlacement(numDisks, minGear, 40, rf, seed)
+		if err != nil {
+			return false
+		}
+		for b := 0; b < 40; b++ {
+			ls := plc.Locations(core.BlockID(b))
+			if len(ls) != rf {
+				return false
+			}
+			if rf >= 2 {
+				covered := false
+				for _, d := range ls {
+					if int(d) < minGear {
+						covered = true
+					}
+				}
+				if !covered {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeneratePlacementValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := GeneratePlacement(0, 1, 10, 2, 1); err == nil {
+		t.Error("accepted zero disks")
+	}
+	if _, err := GeneratePlacement(8, 9, 10, 2, 1); err == nil {
+		t.Error("accepted minGear > disks")
+	}
+	if _, err := GeneratePlacement(8, 2, 10, 9, 1); err == nil {
+		t.Error("accepted rf > disks")
+	}
+}
+
+func TestManagerRoutesInsideGear(t *testing.T) {
+	t.Parallel()
+	plc, err := GeneratePlacement(16, 4, 200, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(16)
+	cfg.MinGear = 4
+	m, err := NewManager(cfg, plc.Locations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &fakeView{}
+	// At zero estimated load, the gear is MinGear and every decision must
+	// land inside disks [0,4).
+	for b := 0; b < 200; b++ {
+		v.now += time.Second // keep the rate estimate near zero
+		d := m.Schedule(core.Request{ID: core.RequestID(b), Block: core.BlockID(b)}, v)
+		if int(d) >= 4 {
+			t.Fatalf("block %d routed to disk %d outside gear 4", b, d)
+		}
+	}
+	if m.Gear() != 4 {
+		t.Errorf("gear = %d, want MinGear 4", m.Gear())
+	}
+}
+
+func TestManagerShiftsUpUnderLoadAndBackDown(t *testing.T) {
+	t.Parallel()
+	plc, err := GeneratePlacement(16, 2, 100, 2, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{NumDisks: 16, MinGear: 2, CapacityPerDisk: 10, HalfLife: 2 * time.Second}
+	m, err := NewManager(cfg, plc.Locations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := &fakeView{}
+	// Burst: 400 requests at 100/s ⇒ rate estimate ~100/s ⇒ desired gear
+	// ceil(100/5) = 16.
+	for i := 0; i < 400; i++ {
+		v.now += 10 * time.Millisecond
+		m.Schedule(core.Request{ID: core.RequestID(i), Block: core.BlockID(i % 100)}, v)
+	}
+	if m.Gear() < 8 {
+		t.Errorf("gear = %d after sustained burst, want upshift", m.Gear())
+	}
+	upShifts := m.Shifts()
+	if upShifts == 0 {
+		t.Error("no gear shifts recorded")
+	}
+	// Quiet period: the estimate decays and the array downshifts.
+	for i := 0; i < 50; i++ {
+		v.now += 30 * time.Second
+		m.Schedule(core.Request{ID: core.RequestID(1000 + i), Block: core.BlockID(i % 100)}, v)
+	}
+	if m.Gear() != 2 {
+		t.Errorf("gear = %d after quiet period, want MinGear 2", m.Gear())
+	}
+}
+
+func TestManagerUnplacedBlock(t *testing.T) {
+	t.Parallel()
+	m, err := NewManager(DefaultConfig(4), func(core.BlockID) []core.DiskID { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := m.Schedule(core.Request{}, &fakeView{}); d != core.InvalidDisk {
+		t.Errorf("got %v", d)
+	}
+}
+
+func TestNewManagerValidation(t *testing.T) {
+	t.Parallel()
+	if _, err := NewManager(Config{}, nil); err == nil {
+		t.Error("accepted invalid config")
+	}
+	if _, err := NewManager(DefaultConfig(4), nil); err == nil {
+		t.Error("accepted nil locator")
+	}
+}
+
+// Integration: gear scheduling concentrates load on the low gear, letting
+// the rest of the array sleep — less energy than random over the same
+// placement.
+func TestGearSavesEnergyEndToEnd(t *testing.T) {
+	t.Parallel()
+	const disks = 16
+	plc, err := GeneratePlacement(disks, 4, 1200, 2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(5000, 1200, 7)
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = disks
+
+	m, err := NewManager(DefaultConfig(disks), plc.Locations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gearRes, err := storage.RunOnline(cfg, plc.Locations, m, reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rndRes, err := storage.RunOnline(cfg, plc.Locations, sched.NewRandom(plc.Locations, 7), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gearRes.Energy >= rndRes.Energy {
+		t.Errorf("gear energy %.0f J not below random %.0f J", gearRes.Energy, rndRes.Energy)
+	}
+	// High-numbered disks should sleep most of the time under gears.
+	tail := gearRes.PerDisk[disks-1]
+	if tail.StandbyFraction() < 0.5 {
+		t.Errorf("top disk standby fraction %.2f, want mostly asleep", tail.StandbyFraction())
+	}
+}

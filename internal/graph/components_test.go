@@ -1,0 +1,157 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestConnectedComponents(t *testing.T) {
+	t.Parallel()
+	// Two triangles and an isolated vertex.
+	g := NewGraph(7)
+	for v := 0; v < 7; v++ {
+		g.SetWeight(v, 1)
+	}
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 2)
+	g.AddEdge(0, 2)
+	g.AddEdge(3, 4)
+	g.AddEdge(4, 5)
+	g.AddEdge(3, 5)
+	comps := ConnectedComponents(g)
+	if len(comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(comps))
+	}
+	want := [][]int{{0, 1, 2}, {3, 4, 5}, {6}}
+	for i := range want {
+		if len(comps[i]) != len(want[i]) {
+			t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+		}
+		for j := range want[i] {
+			if comps[i][j] != want[i][j] {
+				t.Fatalf("component %d = %v, want %v", i, comps[i], want[i])
+			}
+		}
+	}
+}
+
+func TestConnectedComponentsEmptyGraph(t *testing.T) {
+	t.Parallel()
+	if comps := ConnectedComponents(NewGraph(0)); len(comps) != 0 {
+		t.Errorf("components of empty graph = %v", comps)
+	}
+}
+
+// Property: components partition the vertex set.
+func TestComponentsPartitionProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(30), 0.1)
+		seen := map[int]bool{}
+		total := 0
+		for _, comp := range ConnectedComponents(g) {
+			for _, v := range comp {
+				if seen[v] {
+					return false
+				}
+				seen[v] = true
+				total++
+			}
+		}
+		return total == g.N()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridMWISMatchesExactOnSmallComponents(t *testing.T) {
+	t.Parallel()
+	// Many small disconnected components: hybrid with a generous limit
+	// must equal the exact optimum.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build 3 disjoint random blobs of <= 6 vertices.
+		g := NewGraph(18)
+		for v := 0; v < 18; v++ {
+			g.SetWeight(v, rng.Float64()*10)
+		}
+		for blob := 0; blob < 3; blob++ {
+			base := blob * 6
+			for i := 0; i < 6; i++ {
+				for j := i + 1; j < 6; j++ {
+					if rng.Float64() < 0.4 {
+						g.AddEdge(base+i, base+j)
+					}
+				}
+			}
+		}
+		hybridIS, hybridW := HybridMWIS(g, 10)
+		_, exactW := ExactMWIS(g)
+		if !g.IsIndependentSet(hybridIS) {
+			return false
+		}
+		return math.Abs(hybridW-exactW) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHybridMWISFallsBackToGreedyOnBigComponents(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(3))
+	g := randomGraph(rng, 40, 0.2) // likely one big component
+	is, w := HybridMWIS(g, 5)
+	if !g.IsIndependentSet(is) {
+		t.Fatal("hybrid returned dependent set")
+	}
+	if math.Abs(g.SetWeightSum(is)-w) > 1e-9 {
+		t.Errorf("weight mismatch: %v vs %v", g.SetWeightSum(is), w)
+	}
+	// Never worse than plain greedy on the whole graph.
+	_, gw := GWMIN(g)
+	if w < gw-1e-9 {
+		t.Errorf("hybrid %v below plain greedy %v", w, gw)
+	}
+}
+
+func TestHybridNeverBelowGreedyProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraph(rng, 2+rng.Intn(24), 0.15)
+		is, w := HybridMWIS(g, 8)
+		if !g.IsIndependentSet(is) {
+			return false
+		}
+		_, gw := GWMIN(g)
+		return w >= gw-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSubgraphInducesEdges(t *testing.T) {
+	t.Parallel()
+	g := pathGraph([]float64{1, 2, 3, 4})
+	sub, back := subgraph(g, []int{1, 2, 3})
+	if sub.N() != 3 || sub.M() != 2 {
+		t.Fatalf("subgraph n=%d m=%d", sub.N(), sub.M())
+	}
+	if sub.Weight(0) != 2 || back[0] != 1 {
+		t.Errorf("vertex mapping wrong")
+	}
+	sorted := append([]int(nil), back...)
+	sort.Ints(sorted)
+	for i := range sorted {
+		if sorted[i] != back[i] {
+			t.Error("back-mapping not sorted")
+		}
+	}
+}

@@ -1,0 +1,309 @@
+package graph
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Graph is an undirected vertex-weighted graph for the maximum weighted
+// independent set problem. Vertices are 0..N-1; parallel edges and
+// self-loops are rejected. The zero value is an empty graph; use NewGraph
+// to size it.
+type Graph struct {
+	weights []float64
+	adj     [][]int32
+	edges   int
+	seen    map[uint64]struct{}
+}
+
+// NewGraph returns a graph with n vertices of weight zero and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{
+		weights: make([]float64, n),
+		adj:     make([][]int32, n),
+		seen:    make(map[uint64]struct{}),
+	}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return len(g.weights) }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return g.edges }
+
+// SetWeight assigns vertex v's weight.
+func (g *Graph) SetWeight(v int, w float64) {
+	if w < 0 || math.IsNaN(w) {
+		panic(fmt.Sprintf("graph: invalid MWIS weight %v for vertex %d", w, v))
+	}
+	g.weights[v] = w
+}
+
+// Weight returns vertex v's weight.
+func (g *Graph) Weight(v int) float64 { return g.weights[v] }
+
+// Degree returns the number of neighbors of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors returns v's adjacency list. The caller must not modify it.
+func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+
+// AddEdge inserts the undirected edge {u,v}. Duplicate edges are ignored;
+// self-loops panic (a vertex cannot conflict with itself in the reduction).
+func (g *Graph) AddEdge(u, v int) {
+	if u == v {
+		panic(fmt.Sprintf("graph: self-loop on vertex %d", u))
+	}
+	if u > v {
+		u, v = v, u
+	}
+	key := uint64(u)<<32 | uint64(uint32(v))
+	if _, dup := g.seen[key]; dup {
+		return
+	}
+	g.seen[key] = struct{}{}
+	g.adj[u] = append(g.adj[u], int32(v))
+	g.adj[v] = append(g.adj[v], int32(u))
+	g.edges++
+}
+
+// HasEdge reports whether {u,v} is an edge.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u > v {
+		u, v = v, u
+	}
+	_, ok := g.seen[uint64(u)<<32|uint64(uint32(v))]
+	return ok
+}
+
+// IsIndependentSet reports whether the vertex set contains no edge.
+func (g *Graph) IsIndependentSet(vs []int) bool {
+	in := make(map[int]struct{}, len(vs))
+	for _, v := range vs {
+		if v < 0 || v >= g.N() {
+			return false
+		}
+		if _, dup := in[v]; dup {
+			return false
+		}
+		in[v] = struct{}{}
+	}
+	for _, v := range vs {
+		for _, u := range g.adj[v] {
+			if _, ok := in[int(u)]; ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// SetWeightSum returns the total weight of the vertex set.
+func (g *Graph) SetWeightSum(vs []int) float64 {
+	total := 0.0
+	for _, v := range vs {
+		total += g.weights[v]
+	}
+	return total
+}
+
+// ratioItem is a lazy max-heap entry keyed by a selection ratio. Entries go
+// stale when deletions change a vertex's degree or neighborhood weight; a
+// stale pop is re-keyed and reinserted (ratios only grow as the graph
+// shrinks, so the first fresh pop is the true maximum).
+type ratioItem struct {
+	v     int
+	ratio float64
+	stamp int64 // value of the vertex's version counter when keyed
+}
+
+type ratioHeap []ratioItem
+
+func (h ratioHeap) Len() int { return len(h) }
+func (h ratioHeap) Less(i, j int) bool {
+	if h[i].ratio != h[j].ratio {
+		return h[i].ratio > h[j].ratio // max-heap
+	}
+	return h[i].v < h[j].v
+}
+func (h ratioHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
+func (h *ratioHeap) Push(x any)        { *h = append(*h, x.(ratioItem)) }
+func (h *ratioHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+func (h *ratioHeap) pop() ratioItem    { return heap.Pop(h).(ratioItem) }
+func (h *ratioHeap) push(it ratioItem) { heap.Push(h, it) }
+
+// GWMIN is the greedy of Sakai, Togasaki and Yamazaki [22] used by the
+// paper's offline scheduler: repeatedly select the vertex maximizing
+// W(u)/(deg(u)+1) in the remaining graph. It guarantees an independent set
+// of weight at least Sum_v W(v)/(deg(v)+1).
+func GWMIN(g *Graph) ([]int, float64) {
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	return greedyWithAlive(g, alive, func(v int) float64 {
+		deg := 0
+		for _, u := range g.adj[v] {
+			if alive[u] {
+				deg++
+			}
+		}
+		return g.weights[v] / float64(deg+1)
+	})
+}
+
+// GWMIN2 is the second greedy from [22]: select the vertex maximizing
+// W(u) / Sum_{x in N[u]} W(x). It often beats GWMIN on weight-skewed graphs.
+func GWMIN2(g *Graph) ([]int, float64) {
+	alive := make([]bool, g.N())
+	for i := range alive {
+		alive[i] = true
+	}
+	return greedyWithAlive(g, alive, func(v int) float64 {
+		sum := g.weights[v]
+		for _, u := range g.adj[v] {
+			if alive[u] {
+				sum += g.weights[u]
+			}
+		}
+		if sum == 0 {
+			return math.Inf(1) // zero-weight isolated vertex: free to take
+		}
+		return g.weights[v] / sum
+	})
+}
+
+// greedyWithAlive runs a degree-driven greedy: repeatedly select the alive
+// vertex maximizing ratio(v), add it to the independent set, and delete it
+// with its closed neighborhood. ratio must be non-decreasing under vertex
+// deletions (true for GWMIN and GWMIN2), which keeps the lazy max-heap
+// exact: a stale pop is re-keyed and reinserted with a ratio at least as
+// large. The aliveness slice is shared with the caller's ratio callback.
+func greedyWithAlive(g *Graph, alive []bool, ratio func(v int) float64) ([]int, float64) {
+	n := g.N()
+	version := make([]int64, n)
+	h := make(ratioHeap, 0, n)
+	for v := 0; v < n; v++ {
+		h = append(h, ratioItem{v: v, ratio: ratio(v)})
+	}
+	heap.Init(&h)
+
+	deleteVertex := func(v int) {
+		alive[v] = false
+		for _, u := range g.adj[v] {
+			if alive[u] {
+				version[u]++
+			}
+		}
+	}
+
+	var is []int
+	total := 0.0
+	for h.Len() > 0 {
+		it := h.pop()
+		if !alive[it.v] {
+			continue
+		}
+		if it.stamp != version[it.v] {
+			h.push(ratioItem{v: it.v, ratio: ratio(it.v), stamp: version[it.v]})
+			continue
+		}
+		is = append(is, it.v)
+		total += g.weights[it.v]
+		neighbors := g.adj[it.v]
+		deleteVertex(it.v)
+		for _, u := range neighbors {
+			if alive[u] {
+				deleteVertex(int(u))
+			}
+		}
+	}
+	return is, total
+}
+
+// ExactMWIS solves maximum weighted independent set exactly by branch and
+// bound, branching on the maximum-degree vertex with a residual-weight
+// bound. Exponential in the worst case; intended for instances with up to a
+// few dozen vertices (tests and optimality-gap measurements).
+func ExactMWIS(g *Graph) ([]int, float64) {
+	n := g.N()
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+	var best []int
+	bestW := math.Inf(-1)
+	var cur []int
+
+	var rec func(curW, residual float64)
+	rec = func(curW, residual float64) {
+		if curW+residual <= bestW {
+			return
+		}
+		// Pick the alive vertex with maximum degree; take isolated
+		// vertices greedily (always optimal).
+		pick, pickDeg := -1, -1
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			deg := 0
+			for _, u := range g.adj[v] {
+				if alive[u] {
+					deg++
+				}
+			}
+			if deg == 0 {
+				// Isolated: include unconditionally.
+				alive[v] = false
+				cur = append(cur, v)
+				rec(curW+g.weights[v], residual-g.weights[v])
+				cur = cur[:len(cur)-1]
+				alive[v] = true
+				return
+			}
+			if deg > pickDeg {
+				pick, pickDeg = v, deg
+			}
+		}
+		if pick < 0 {
+			if curW > bestW {
+				bestW = curW
+				best = append(best[:0], cur...)
+			}
+			return
+		}
+		// Branch 1: include pick, removing its closed neighborhood.
+		removed := []int{pick}
+		removedW := g.weights[pick]
+		alive[pick] = false
+		for _, u := range g.adj[pick] {
+			if alive[u] {
+				alive[u] = false
+				removed = append(removed, int(u))
+				removedW += g.weights[u]
+			}
+		}
+		cur = append(cur, pick)
+		rec(curW+g.weights[pick], residual-removedW)
+		cur = cur[:len(cur)-1]
+		for _, v := range removed {
+			alive[v] = true
+		}
+		// Branch 2: exclude pick.
+		alive[pick] = false
+		rec(curW, residual-g.weights[pick])
+		alive[pick] = true
+	}
+
+	residual := 0.0
+	for v := 0; v < n; v++ {
+		residual += g.weights[v]
+	}
+	rec(0, residual)
+	if best == nil {
+		return []int{}, 0
+	}
+	return best, bestW
+}

@@ -1,0 +1,258 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pathGraph(weights []float64) *Graph {
+	g := NewGraph(len(weights))
+	for v, w := range weights {
+		g.SetWeight(v, w)
+	}
+	for v := 0; v+1 < len(weights); v++ {
+		g.AddEdge(v, v+1)
+	}
+	return g
+}
+
+func TestGraphBasics(t *testing.T) {
+	t.Parallel()
+	g := NewGraph(3)
+	g.SetWeight(0, 1)
+	g.AddEdge(0, 1)
+	g.AddEdge(1, 0) // duplicate, reversed
+	if g.M() != 1 {
+		t.Errorf("M() = %d, want 1 (duplicate edge ignored)", g.M())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) {
+		t.Error("HasEdge missing inserted edge")
+	}
+	if g.HasEdge(0, 2) {
+		t.Error("HasEdge reports phantom edge")
+	}
+	if g.Degree(1) != 1 || g.Degree(2) != 0 {
+		t.Errorf("degrees = %d,%d", g.Degree(1), g.Degree(2))
+	}
+}
+
+func TestGraphSelfLoopPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddEdge(2,2) did not panic")
+		}
+	}()
+	NewGraph(3).AddEdge(2, 2)
+}
+
+func TestGraphNegativeWeightPanics(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("SetWeight(-1) did not panic")
+		}
+	}()
+	NewGraph(1).SetWeight(0, -1)
+}
+
+func TestIsIndependentSet(t *testing.T) {
+	t.Parallel()
+	g := pathGraph([]float64{1, 1, 1})
+	tests := []struct {
+		name string
+		set  []int
+		want bool
+	}{
+		{"empty", nil, true},
+		{"endpoints", []int{0, 2}, true},
+		{"adjacent", []int{0, 1}, false},
+		{"duplicate vertex", []int{0, 0}, false},
+		{"out of range", []int{7}, false},
+	}
+	for _, tc := range tests {
+		if got := g.IsIndependentSet(tc.set); got != tc.want {
+			t.Errorf("%s: IsIndependentSet(%v) = %v, want %v", tc.name, tc.set, got, tc.want)
+		}
+	}
+}
+
+func TestExactMWISPath(t *testing.T) {
+	t.Parallel()
+	// Path 1-10-1-10-1: optimum picks the two 10s (weight 20).
+	g := pathGraph([]float64{1, 10, 1, 10, 1})
+	is, w := ExactMWIS(g)
+	if w != 20 {
+		t.Errorf("ExactMWIS weight = %v, want 20", w)
+	}
+	if !g.IsIndependentSet(is) {
+		t.Errorf("ExactMWIS returned dependent set %v", is)
+	}
+}
+
+func TestExactMWISEmptyAndEdgeless(t *testing.T) {
+	t.Parallel()
+	is, w := ExactMWIS(NewGraph(0))
+	if len(is) != 0 || w != 0 {
+		t.Errorf("empty graph: is=%v w=%v", is, w)
+	}
+	g := NewGraph(3)
+	for v := 0; v < 3; v++ {
+		g.SetWeight(v, float64(v+1))
+	}
+	is, w = ExactMWIS(g)
+	if w != 6 || len(is) != 3 {
+		t.Errorf("edgeless graph: is=%v w=%v, want all vertices weight 6", is, w)
+	}
+}
+
+func TestGWMINIsIndependentAndReasonable(t *testing.T) {
+	t.Parallel()
+	g := pathGraph([]float64{1, 10, 1, 10, 1})
+	is, w := GWMIN(g)
+	if !g.IsIndependentSet(is) {
+		t.Fatalf("GWMIN returned dependent set %v", is)
+	}
+	if w != 20 {
+		t.Errorf("GWMIN weight = %v, want 20 on this easy path", w)
+	}
+	if got := g.SetWeightSum(is); got != w {
+		t.Errorf("reported weight %v != recomputed %v", w, got)
+	}
+}
+
+func TestGWMIN2IsIndependent(t *testing.T) {
+	t.Parallel()
+	g := pathGraph([]float64{5, 6, 7, 8, 9, 10})
+	is, w := GWMIN2(g)
+	if !g.IsIndependentSet(is) {
+		t.Fatalf("GWMIN2 returned dependent set %v", is)
+	}
+	if w <= 0 {
+		t.Errorf("GWMIN2 weight = %v", w)
+	}
+}
+
+func TestGWMINStarGraph(t *testing.T) {
+	t.Parallel()
+	// Star: center weight 2, five leaves weight 1 each. Optimal = leaves (5);
+	// GWMIN's degree penalty (2/6 < 1/2) steers it away from the center.
+	g := NewGraph(6)
+	g.SetWeight(0, 2)
+	for v := 1; v < 6; v++ {
+		g.SetWeight(v, 1)
+		g.AddEdge(0, v)
+	}
+	_, w := GWMIN(g)
+	if w != 5 {
+		t.Errorf("GWMIN on star = %v, want 5 (leaves beat center via degree penalty)", w)
+	}
+}
+
+func randomGraph(rng *rand.Rand, n int, p float64) *Graph {
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64()*10)
+	}
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if rng.Float64() < p {
+				g.AddEdge(u, v)
+			}
+		}
+	}
+	return g
+}
+
+// Properties on random graphs: all algorithms return independent sets;
+// exact >= greedy; GWMIN respects its published lower bound
+// Sum_v w(v)/(deg(v)+1).
+func TestMWISProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(14)
+		g := randomGraph(rng, n, 0.4)
+		exactIS, exactW := ExactMWIS(g)
+		if !g.IsIndependentSet(exactIS) {
+			return false
+		}
+		for _, algo := range []func(*Graph) ([]int, float64){GWMIN, GWMIN2} {
+			is, w := algo(g)
+			if !g.IsIndependentSet(is) {
+				return false
+			}
+			if w > exactW+1e-9 {
+				return false
+			}
+			if math.Abs(g.SetWeightSum(is)-w) > 1e-9 {
+				return false
+			}
+		}
+		bound := 0.0
+		for v := 0; v < n; v++ {
+			bound += g.Weight(v) / float64(g.Degree(v)+1)
+		}
+		_, gw := GWMIN(g)
+		return gw >= bound-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGWMINLargeSparseGraphTerminates(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(7))
+	n := 20000
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64())
+	}
+	for i := 0; i < 5*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	is, w := GWMIN(g)
+	if !g.IsIndependentSet(is) {
+		t.Fatal("GWMIN returned dependent set on large graph")
+	}
+	if w <= 0 || len(is) == 0 {
+		t.Errorf("GWMIN degenerate result: |IS|=%d w=%v", len(is), w)
+	}
+}
+
+func BenchmarkGWMINSparse(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	n := 5000
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64())
+	}
+	for i := 0; i < 5*n; i++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			g.AddEdge(u, v)
+		}
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GWMIN(g)
+	}
+}
+
+func BenchmarkGreedyCover(b *testing.B) {
+	in := randomCoverInstance(rand.New(rand.NewSource(3)), 200, 100)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := GreedyCover(in); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

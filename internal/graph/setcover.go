@@ -1,0 +1,218 @@
+// Package graph implements the two NP-hard combinatorial problems the
+// paper's schedulers reduce to (Section 3, Section 6): weighted set cover
+// (batch scheduling, Theorem 2) and maximum weighted independent set
+// (offline scheduling, Theorems 1 and 3).
+//
+// For each problem it provides the approximation algorithm the paper uses
+// (the H_n-approximate greedy cover; the GWMIN greedy of Sakai et al. [22])
+// plus an exact branch-and-bound solver used on small instances for
+// benchmarking optimality gaps and for property tests.
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Set is one candidate set in a weighted set cover instance. In the batch
+// scheduling reduction a Set is a disk: its Elements are the queued requests
+// whose block has a replica on the disk and its Weight is the disk's
+// additional energy cost E(d_k) (Eq. 5).
+type Set struct {
+	Weight   float64
+	Elements []int
+}
+
+// CoverInstance is a weighted set cover problem over elements
+// 0..NumElements-1.
+type CoverInstance struct {
+	NumElements int
+	Sets        []Set
+}
+
+// ErrUncoverable is returned when some element appears in no set.
+var ErrUncoverable = errors.New("graph: element not covered by any set")
+
+// Validate checks element indices and weights.
+func (in CoverInstance) Validate() error {
+	if in.NumElements < 0 {
+		return fmt.Errorf("graph: negative element count %d", in.NumElements)
+	}
+	for si, s := range in.Sets {
+		if s.Weight < 0 || math.IsNaN(s.Weight) {
+			return fmt.Errorf("graph: set %d has invalid weight %v", si, s.Weight)
+		}
+		for _, e := range s.Elements {
+			if e < 0 || e >= in.NumElements {
+				return fmt.Errorf("graph: set %d references element %d outside [0,%d)", si, e, in.NumElements)
+			}
+		}
+	}
+	return nil
+}
+
+// IsCover reports whether the chosen set indices cover every element.
+func (in CoverInstance) IsCover(chosen []int) bool {
+	covered := make([]bool, in.NumElements)
+	n := 0
+	for _, si := range chosen {
+		if si < 0 || si >= len(in.Sets) {
+			return false
+		}
+		for _, e := range in.Sets[si].Elements {
+			if !covered[e] {
+				covered[e] = true
+				n++
+			}
+		}
+	}
+	return n == in.NumElements
+}
+
+// Cost returns the total weight of the chosen sets.
+func (in CoverInstance) Cost(chosen []int) float64 {
+	total := 0.0
+	for _, si := range chosen {
+		total += in.Sets[si].Weight
+	}
+	return total
+}
+
+// GreedyCover runs the classic greedy weighted set cover algorithm: it
+// repeatedly selects the most cost-effective set (minimum weight per newly
+// covered element) until all elements are covered. It is an H_n-factor
+// approximation (Section 6). Returns the chosen set indices in selection
+// order and their total weight.
+func GreedyCover(in CoverInstance) ([]int, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	covered := make([]bool, in.NumElements)
+	remaining := in.NumElements
+	var chosen []int
+	total := 0.0
+	for remaining > 0 {
+		best, bestRatio, bestGain := -1, math.Inf(1), 0
+		for si, s := range in.Sets {
+			gain := 0
+			for _, e := range s.Elements {
+				if !covered[e] {
+					gain++
+				}
+			}
+			if gain == 0 {
+				continue
+			}
+			ratio := s.Weight / float64(gain)
+			// Tie-break on larger gain, then lower index, for determinism.
+			if ratio < bestRatio || (ratio == bestRatio && gain > bestGain) {
+				best, bestRatio, bestGain = si, ratio, gain
+			}
+		}
+		if best < 0 {
+			return nil, 0, ErrUncoverable
+		}
+		chosen = append(chosen, best)
+		total += in.Sets[best].Weight
+		for _, e := range in.Sets[best].Elements {
+			if !covered[e] {
+				covered[e] = true
+				remaining--
+			}
+		}
+	}
+	return chosen, total, nil
+}
+
+// ExactCover solves weighted set cover optimally by branch and bound.
+// Intended for small instances (tests, optimality-gap benchmarks); the
+// search is exponential in the worst case. maxExpansions caps the search
+// (0 means no cap); exceeding it returns an error.
+func ExactCover(in CoverInstance, maxExpansions int) ([]int, float64, error) {
+	if err := in.Validate(); err != nil {
+		return nil, 0, err
+	}
+	// Precompute, per element, the sets containing it (sorted by weight so
+	// cheap branches are explored first).
+	setsFor := make([][]int, in.NumElements)
+	for si, s := range in.Sets {
+		for _, e := range s.Elements {
+			setsFor[e] = append(setsFor[e], si)
+		}
+	}
+	for e, ss := range setsFor {
+		if len(ss) == 0 && in.NumElements > 0 {
+			return nil, 0, fmt.Errorf("%w: element %d", ErrUncoverable, e)
+		}
+		sort.Slice(ss, func(i, j int) bool { return in.Sets[ss[i]].Weight < in.Sets[ss[j]].Weight })
+	}
+	// Seed the upper bound with the greedy solution.
+	bestChosen, bestCost, err := GreedyCover(in)
+	if err != nil {
+		return nil, 0, err
+	}
+	bestChosen = append([]int(nil), bestChosen...)
+
+	covered := make([]int, in.NumElements) // coverage multiplicity
+	remaining := in.NumElements
+	var cur []int
+	expansions := 0
+	exceeded := false
+
+	var rec func(cost float64)
+	rec = func(cost float64) {
+		if exceeded {
+			return
+		}
+		if remaining == 0 {
+			if cost < bestCost {
+				bestCost = cost
+				bestChosen = append(bestChosen[:0], cur...)
+			}
+			return
+		}
+		if cost >= bestCost {
+			return
+		}
+		// Branch on the first uncovered element.
+		first := -1
+		for e := 0; e < in.NumElements; e++ {
+			if covered[e] == 0 {
+				first = e
+				break
+			}
+		}
+		for _, si := range setsFor[first] {
+			if maxExpansions > 0 {
+				expansions++
+				if expansions > maxExpansions {
+					exceeded = true
+					return
+				}
+			}
+			cur = append(cur, si)
+			for _, e := range in.Sets[si].Elements {
+				covered[e]++
+				if covered[e] == 1 {
+					remaining--
+				}
+			}
+			rec(cost + in.Sets[si].Weight)
+			for _, e := range in.Sets[si].Elements {
+				covered[e]--
+				if covered[e] == 0 {
+					remaining++
+				}
+			}
+			cur = cur[:len(cur)-1]
+		}
+	}
+	rec(0)
+	if exceeded {
+		return nil, 0, fmt.Errorf("graph: ExactCover exceeded %d expansions", maxExpansions)
+	}
+	sort.Ints(bestChosen)
+	return bestChosen, bestCost, nil
+}

@@ -1,0 +1,200 @@
+package graph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestGreedyCoverSimple(t *testing.T) {
+	t.Parallel()
+	in := CoverInstance{
+		NumElements: 4,
+		Sets: []Set{
+			{Weight: 1, Elements: []int{0, 1}},
+			{Weight: 1, Elements: []int{2, 3}},
+			{Weight: 3, Elements: []int{0, 1, 2, 3}},
+		},
+	}
+	chosen, cost, err := GreedyCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !in.IsCover(chosen) {
+		t.Fatalf("greedy result %v is not a cover", chosen)
+	}
+	if cost != 2 {
+		t.Errorf("greedy cost = %v, want 2 (two unit sets)", cost)
+	}
+}
+
+func TestGreedyCoverPrefersZeroWeightSets(t *testing.T) {
+	t.Parallel()
+	// A zero-weight set models an already-active disk (Eq. 5): it should
+	// always be taken before any positive-weight alternative it dominates.
+	in := CoverInstance{
+		NumElements: 2,
+		Sets: []Set{
+			{Weight: 100, Elements: []int{0, 1}},
+			{Weight: 0, Elements: []int{0, 1}},
+		},
+	}
+	chosen, cost, err := GreedyCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost != 0 || len(chosen) != 1 || chosen[0] != 1 {
+		t.Errorf("chosen = %v cost = %v, want the free set", chosen, cost)
+	}
+}
+
+func TestGreedyCoverUncoverable(t *testing.T) {
+	t.Parallel()
+	in := CoverInstance{NumElements: 2, Sets: []Set{{Weight: 1, Elements: []int{0}}}}
+	if _, _, err := GreedyCover(in); err == nil {
+		t.Error("GreedyCover accepted an uncoverable instance")
+	}
+	if _, _, err := ExactCover(in, 0); err == nil {
+		t.Error("ExactCover accepted an uncoverable instance")
+	}
+}
+
+func TestGreedyCoverEmptyInstance(t *testing.T) {
+	t.Parallel()
+	chosen, cost, err := GreedyCover(CoverInstance{})
+	if err != nil || len(chosen) != 0 || cost != 0 {
+		t.Errorf("empty instance: chosen=%v cost=%v err=%v", chosen, cost, err)
+	}
+}
+
+func TestCoverValidate(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name string
+		in   CoverInstance
+		ok   bool
+	}{
+		{"valid", CoverInstance{NumElements: 2, Sets: []Set{{Weight: 1, Elements: []int{0, 1}}}}, true},
+		{"negative count", CoverInstance{NumElements: -1}, false},
+		{"negative weight", CoverInstance{NumElements: 1, Sets: []Set{{Weight: -2, Elements: []int{0}}}}, false},
+		{"NaN weight", CoverInstance{NumElements: 1, Sets: []Set{{Weight: math.NaN(), Elements: []int{0}}}}, false},
+		{"element out of range", CoverInstance{NumElements: 1, Sets: []Set{{Weight: 1, Elements: []int{5}}}}, false},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if err := tc.in.Validate(); (err == nil) != tc.ok {
+				t.Errorf("Validate() err = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestExactCoverBeatsGreedyTrap(t *testing.T) {
+	t.Parallel()
+	// Classic greedy trap: greedy picks the big cheap-per-element set first
+	// and then needs extras; optimal uses two disjoint sets.
+	in := CoverInstance{
+		NumElements: 6,
+		Sets: []Set{
+			{Weight: 3.1, Elements: []int{0, 1, 2, 3, 4}},
+			{Weight: 2, Elements: []int{0, 1, 2}},
+			{Weight: 2, Elements: []int{3, 4, 5}},
+		},
+	}
+	_, exactCost, err := ExactCover(in, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactCost != 4 {
+		t.Errorf("exact cost = %v, want 4", exactCost)
+	}
+	_, greedyCost, err := GreedyCover(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if greedyCost < exactCost {
+		t.Errorf("greedy %v beat exact %v", greedyCost, exactCost)
+	}
+}
+
+func TestExactCoverExpansionCap(t *testing.T) {
+	t.Parallel()
+	in := randomCoverInstance(rand.New(rand.NewSource(1)), 12, 24)
+	if _, _, err := ExactCover(in, 1); err == nil {
+		t.Error("ExactCover with 1-expansion cap did not fail on a nontrivial instance")
+	}
+}
+
+func randomCoverInstance(rng *rand.Rand, elements, sets int) CoverInstance {
+	in := CoverInstance{NumElements: elements}
+	for s := 0; s < sets; s++ {
+		var elems []int
+		for e := 0; e < elements; e++ {
+			if rng.Intn(3) == 0 {
+				elems = append(elems, e)
+			}
+		}
+		in.Sets = append(in.Sets, Set{Weight: rng.Float64() * 10, Elements: elems})
+	}
+	// Guarantee coverability.
+	all := make([]int, elements)
+	for e := range all {
+		all[e] = e
+	}
+	in.Sets = append(in.Sets, Set{Weight: 25, Elements: all})
+	return in
+}
+
+// Properties on random instances: greedy covers, exact covers, and
+// exact <= greedy <= H_n * exact.
+func TestCoverGreedyVsExactProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := randomCoverInstance(rng, 3+rng.Intn(8), 2+rng.Intn(8))
+		gChosen, gCost, err := GreedyCover(in)
+		if err != nil || !in.IsCover(gChosen) {
+			return false
+		}
+		eChosen, eCost, err := ExactCover(in, 0)
+		if err != nil || !in.IsCover(eChosen) {
+			return false
+		}
+		if eCost > gCost+1e-9 {
+			return false
+		}
+		hn := 0.0
+		for i := 1; i <= in.NumElements; i++ {
+			hn += 1 / float64(i)
+		}
+		return gCost <= hn*eCost+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoverCostMatchesChosenWeights(t *testing.T) {
+	t.Parallel()
+	in := CoverInstance{
+		NumElements: 1,
+		Sets:        []Set{{Weight: 2.5, Elements: []int{0}}, {Weight: 4, Elements: []int{0}}},
+	}
+	if got := in.Cost([]int{0, 1}); got != 6.5 {
+		t.Errorf("Cost = %v, want 6.5", got)
+	}
+}
+
+func TestIsCoverRejectsBadIndices(t *testing.T) {
+	t.Parallel()
+	in := CoverInstance{NumElements: 1, Sets: []Set{{Weight: 1, Elements: []int{0}}}}
+	if in.IsCover([]int{5}) {
+		t.Error("IsCover accepted an out-of-range set index")
+	}
+	if in.IsCover(nil) {
+		t.Error("IsCover accepted an empty selection for a nonempty universe")
+	}
+}

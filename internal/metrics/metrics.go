@@ -1,0 +1,155 @@
+// Package metrics collects and summarizes simulation measurements: request
+// response times (means, percentiles, inverse CDFs for the paper's Figures
+// 8, 12, 13 and 16), scalar series normalization (Figures 6, 7, 14, 15) and
+// running moments.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ResponseTimes accumulates request response-time samples. The zero value
+// is ready to use.
+type ResponseTimes struct {
+	samples []time.Duration
+	sorted  bool
+}
+
+// Add records one sample.
+func (r *ResponseTimes) Add(d time.Duration) {
+	if d < 0 {
+		panic(fmt.Sprintf("metrics: negative response time %s", d))
+	}
+	r.samples = append(r.samples, d)
+	r.sorted = false
+}
+
+// Count returns the number of samples.
+func (r *ResponseTimes) Count() int { return len(r.samples) }
+
+// Mean returns the average sample, or zero when empty.
+func (r *ResponseTimes) Mean() time.Duration {
+	if len(r.samples) == 0 {
+		return 0
+	}
+	var total time.Duration
+	for _, d := range r.samples {
+		total += d
+	}
+	return total / time.Duration(len(r.samples))
+}
+
+// Max returns the largest sample, or zero when empty.
+func (r *ResponseTimes) Max() time.Duration {
+	var m time.Duration
+	for _, d := range r.samples {
+		if d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func (r *ResponseTimes) sort() {
+	if !r.sorted {
+		sort.Slice(r.samples, func(i, j int) bool { return r.samples[i] < r.samples[j] })
+		r.sorted = true
+	}
+}
+
+// Percentile returns the p-th percentile (0 < p <= 100) using the
+// nearest-rank method, or zero when empty.
+func (r *ResponseTimes) Percentile(p float64) time.Duration {
+	if p <= 0 || p > 100 || math.IsNaN(p) {
+		panic(fmt.Sprintf("metrics: percentile %v outside (0,100]", p))
+	}
+	if len(r.samples) == 0 {
+		return 0
+	}
+	r.sort()
+	rank := int(math.Ceil(p / 100 * float64(len(r.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return r.samples[rank-1]
+}
+
+// CCDF returns P[response time > x] for each threshold, reproducing the
+// paper's inverse cumulative distribution plots (Figure 12).
+func (r *ResponseTimes) CCDF(thresholds []time.Duration) []float64 {
+	r.sort()
+	out := make([]float64, len(thresholds))
+	n := float64(len(r.samples))
+	if n == 0 {
+		return out
+	}
+	for i, x := range thresholds {
+		// Index of first sample > x.
+		idx := sort.Search(len(r.samples), func(k int) bool { return r.samples[k] > x })
+		out[i] = float64(len(r.samples)-idx) / n
+	}
+	return out
+}
+
+// LogSpace returns n thresholds geometrically spaced between lo and hi
+// inclusive, for CCDF plots on log axes.
+func LogSpace(lo, hi time.Duration, n int) []time.Duration {
+	if n < 2 || lo <= 0 || hi <= lo {
+		panic(fmt.Sprintf("metrics: invalid LogSpace(%s,%s,%d)", lo, hi, n))
+	}
+	out := make([]time.Duration, n)
+	ratio := math.Pow(float64(hi)/float64(lo), 1/float64(n-1))
+	x := float64(lo)
+	for i := 0; i < n; i++ {
+		out[i] = time.Duration(x)
+		x *= ratio
+	}
+	out[n-1] = hi
+	return out
+}
+
+// Normalize divides each value by base; a zero or invalid base yields NaNs,
+// surfacing bad baselines instead of hiding them.
+func Normalize(vals []float64, base float64) []float64 {
+	out := make([]float64, len(vals))
+	for i, v := range vals {
+		out[i] = v / base
+	}
+	return out
+}
+
+// Moments accumulates streaming mean and variance (Welford's algorithm).
+// The zero value is ready to use.
+type Moments struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+// Add records one observation.
+func (m *Moments) Add(x float64) {
+	m.n++
+	delta := x - m.mean
+	m.mean += delta / float64(m.n)
+	m.m2 += delta * (x - m.mean)
+}
+
+// N returns the observation count.
+func (m *Moments) N() int { return m.n }
+
+// Mean returns the running mean (zero when empty).
+func (m *Moments) Mean() float64 { return m.mean }
+
+// Variance returns the sample variance (zero for fewer than two samples).
+func (m *Moments) Variance() float64 {
+	if m.n < 2 {
+		return 0
+	}
+	return m.m2 / float64(m.n-1)
+}
+
+// Stddev returns the sample standard deviation.
+func (m *Moments) Stddev() float64 { return math.Sqrt(m.Variance()) }

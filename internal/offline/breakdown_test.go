@@ -1,0 +1,151 @@
+package offline
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+func TestBreakdownPaperScheduleC(t *testing.T) {
+	t.Parallel()
+	// Figure 3(b): d1 idle 0-8, d3 idle 5-10, d4 idle 12-18 (toy model,
+	// instantaneous transitions).
+	reqs := offlineRequests()
+	sched := core.Schedule{0, 0, 0, 2, 3, 3}
+	cfg := power.ToyConfig()
+	horizon := Horizon(reqs, cfg) // 18s
+	stats, err := Breakdown(reqs, sched, cfg, 4, horizon)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantIdle := []time.Duration{8 * time.Second, 0, 5 * time.Second, 6 * time.Second}
+	for d, want := range wantIdle {
+		if got := stats[d].TimeIn[core.StateIdle]; got != want {
+			t.Errorf("disk %d idle = %v, want %v", d+1, got, want)
+		}
+	}
+	// d2 never used: full-horizon standby.
+	if got := stats[1].TimeIn[core.StateStandby]; got != horizon {
+		t.Errorf("d2 standby = %v, want %v", got, horizon)
+	}
+	// Toy standby power is zero, so breakdown energy equals Evaluate's 19.
+	if got := BreakdownEnergy(stats); math.Abs(got-19) > 1e-9 {
+		t.Errorf("breakdown energy = %v, want 19", got)
+	}
+}
+
+func TestBreakdownTimeConservation(t *testing.T) {
+	t.Parallel()
+	// Property: per-disk state times sum to the horizon (modulo the
+	// clamped pre-time-zero spin-up lead-in).
+	cfg := power.DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs, locations := randomInstance(rng)
+		sched := make(core.Schedule, len(reqs))
+		numDisks := 0
+		for _, r := range reqs {
+			locs := locations(r.Block)
+			sched[r.ID] = locs[rng.Intn(len(locs))]
+			for _, d := range locs {
+				if int(d) >= numDisks {
+					numDisks = int(d) + 1
+				}
+			}
+		}
+		horizon := Horizon(reqs, cfg) + time.Minute
+		stats, err := Breakdown(reqs, sched, cfg, numDisks, horizon)
+		if err != nil {
+			return false
+		}
+		for _, st := range stats {
+			if st.Total() != horizon {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownEnergyConsistentWithEvaluate(t *testing.T) {
+	t.Parallel()
+	// With zero standby power, Breakdown's energy must equal Evaluate's
+	// (they are two views of the same analytic model).
+	cfg := power.DefaultConfig()
+	cfg.StandbyPower = 0
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		reqs, locations := randomInstance(rng)
+		// Shift all arrivals past T_up so no lead-in clipping occurs.
+		for i := range reqs {
+			reqs[i].Arrival += cfg.SpinUpTime
+		}
+		sched := make(core.Schedule, len(reqs))
+		numDisks := 0
+		for _, r := range reqs {
+			locs := locations(r.Block)
+			sched[r.ID] = locs[rng.Intn(len(locs))]
+			for _, d := range locs {
+				if int(d) >= numDisks {
+					numDisks = int(d) + 1
+				}
+			}
+		}
+		st, err := Evaluate(reqs, sched, cfg, nil)
+		if err != nil {
+			return false
+		}
+		stats, err := Breakdown(reqs, sched, cfg, numDisks, Horizon(reqs, cfg))
+		if err != nil {
+			return false
+		}
+		got := BreakdownEnergy(stats)
+		return math.Abs(got-st.Energy) < 1e-6*(1+st.Energy)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBreakdownSpinCountsMatchEvaluate(t *testing.T) {
+	t.Parallel()
+	reqs := offlineRequests()
+	sched := core.Schedule{0, 0, 0, 2, 0, 2} // schedule B
+	cfg := power.ToyConfig()
+	st, err := Evaluate(reqs, sched, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats, err := Breakdown(reqs, sched, cfg, 4, Horizon(reqs, cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups, downs := 0, 0
+	for _, s := range stats {
+		ups += s.SpinUps
+		downs += s.SpinDowns
+	}
+	if ups != st.SpinUps || downs != st.SpinDowns {
+		t.Errorf("breakdown spin ops = %d/%d, Evaluate = %d/%d", ups, downs, st.SpinUps, st.SpinDowns)
+	}
+}
+
+func TestBreakdownRejectsBadInput(t *testing.T) {
+	t.Parallel()
+	reqs := offlineRequests()
+	if _, err := Breakdown(reqs, core.Schedule{0}, power.ToyConfig(), 4, time.Minute); err == nil {
+		t.Error("accepted short schedule")
+	}
+	bad := core.Schedule{9, 0, 0, 2, 0, 2}
+	if _, err := Breakdown(reqs, bad, power.ToyConfig(), 4, time.Minute); err == nil {
+		t.Error("accepted out-of-range disk")
+	}
+}

@@ -1,0 +1,169 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// Improve refines a feasible offline schedule by local search: each pass
+// visits every request and moves it to the replica location that most
+// reduces total analytic energy, until a pass makes no progress or
+// maxPasses is reached. Energy deltas are evaluated incrementally from the
+// per-disk timelines (a move only disturbs the gaps adjacent to the moved
+// request), so a pass costs O(N * replicationFactor * log N).
+//
+// The paper notes (Section 5.1) that "more sophisticated set cover and
+// independent set algorithms" could push its greedy results further; this
+// is that refinement for the MWIS pipeline, and it never worsens a
+// schedule.
+func Improve(reqs []core.Request, sched core.Schedule, cfg power.Config, locations func(core.BlockID) []core.DiskID, maxPasses int) (core.Schedule, int, error) {
+	if len(sched) != len(reqs) {
+		return nil, 0, fmt.Errorf("offline: schedule covers %d of %d requests", len(sched), len(reqs))
+	}
+	out := sched.Clone()
+	tl := newTimelines(reqs, out, cfg)
+	moves := 0
+	for pass := 0; pass < maxPasses; pass++ {
+		improvedThisPass := false
+		for _, r := range reqs {
+			cur := out[r.ID]
+			locs := locations(r.Block)
+			best := cur
+			bestDelta := 0.0
+			for _, d := range locs {
+				if d == cur {
+					continue
+				}
+				delta := tl.removalDelta(cur, r) + tl.insertionDelta(d, r)
+				if delta < bestDelta-1e-9 {
+					best, bestDelta = d, delta
+				}
+			}
+			if best != cur {
+				tl.remove(cur, r)
+				tl.insert(best, r)
+				out[r.ID] = best
+				moves++
+				improvedThisPass = true
+			}
+		}
+		if !improvedThisPass {
+			break
+		}
+	}
+	return out, moves, nil
+}
+
+// timelines maintains per-disk request timelines sorted by (time, id) with
+// incremental energy-delta queries.
+type timelines struct {
+	cfg  power.Config
+	tail float64
+	byD  map[core.DiskID][]core.Request
+}
+
+func newTimelines(reqs []core.Request, sched core.Schedule, cfg power.Config) *timelines {
+	tl := &timelines{
+		cfg:  cfg,
+		tail: cfg.Breakeven().Seconds()*cfg.IdlePower + cfg.SpinDownEnergy,
+		byD:  make(map[core.DiskID][]core.Request),
+	}
+	for _, r := range reqs {
+		tl.byD[sched[r.ID]] = append(tl.byD[sched[r.ID]], r)
+	}
+	for d := range tl.byD {
+		rs := tl.byD[d]
+		sort.Slice(rs, func(i, j int) bool { return lessReq(rs[i], rs[j]) })
+	}
+	return tl
+}
+
+func lessReq(a, b core.Request) bool {
+	if a.Arrival != b.Arrival {
+		return a.Arrival < b.Arrival
+	}
+	return a.ID < b.ID
+}
+
+// pos locates r in disk d's timeline.
+func (tl *timelines) pos(d core.DiskID, r core.Request) int {
+	rs := tl.byD[d]
+	i := sort.Search(len(rs), func(k int) bool { return !lessReq(rs[k], r) })
+	if i >= len(rs) || rs[i].ID != r.ID {
+		panic(fmt.Sprintf("offline: request %d not on disk %d", r.ID, d))
+	}
+	return i
+}
+
+func (tl *timelines) gap(a, b time.Duration) float64 { return GapCost(tl.cfg, b-a) }
+
+// removalDelta returns the energy change from removing r from disk d.
+func (tl *timelines) removalDelta(d core.DiskID, r core.Request) float64 {
+	rs := tl.byD[d]
+	i := tl.pos(d, r)
+	switch {
+	case len(rs) == 1:
+		return -(tl.cfg.SpinUpEnergy + tl.tail)
+	case i == 0:
+		return -tl.gap(rs[0].Arrival, rs[1].Arrival)
+	case i == len(rs)-1:
+		return -tl.gap(rs[i-1].Arrival, rs[i].Arrival)
+	default:
+		return tl.gap(rs[i-1].Arrival, rs[i+1].Arrival) -
+			tl.gap(rs[i-1].Arrival, rs[i].Arrival) -
+			tl.gap(rs[i].Arrival, rs[i+1].Arrival)
+	}
+}
+
+// insertionDelta returns the energy change from adding r to disk d.
+func (tl *timelines) insertionDelta(d core.DiskID, r core.Request) float64 {
+	rs := tl.byD[d]
+	if len(rs) == 0 {
+		return tl.cfg.SpinUpEnergy + tl.tail
+	}
+	i := sort.Search(len(rs), func(k int) bool { return !lessReq(rs[k], r) })
+	switch {
+	case i == 0:
+		return tl.gap(r.Arrival, rs[0].Arrival)
+	case i == len(rs):
+		return tl.gap(rs[i-1].Arrival, r.Arrival)
+	default:
+		return tl.gap(rs[i-1].Arrival, r.Arrival) +
+			tl.gap(r.Arrival, rs[i].Arrival) -
+			tl.gap(rs[i-1].Arrival, rs[i].Arrival)
+	}
+}
+
+func (tl *timelines) remove(d core.DiskID, r core.Request) {
+	rs := tl.byD[d]
+	i := tl.pos(d, r)
+	tl.byD[d] = append(rs[:i], rs[i+1:]...)
+}
+
+func (tl *timelines) insert(d core.DiskID, r core.Request) {
+	rs := tl.byD[d]
+	i := sort.Search(len(rs), func(k int) bool { return !lessReq(rs[k], r) })
+	rs = append(rs, core.Request{})
+	copy(rs[i+1:], rs[i:])
+	rs[i] = r
+	tl.byD[d] = rs
+}
+
+// SolveRefined runs the greedy MWIS pipeline followed by local-search
+// refinement, the configuration used for the full-trace MWIS experiments.
+func SolveRefined(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg power.Config, opts BuildOptions, passes int) (core.Schedule, Stats, error) {
+	sched, _, err := Solve(reqs, locations, cfg, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	sched, _, err = Improve(reqs, sched, cfg, locations, passes)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := Evaluate(reqs, sched, cfg, locations)
+	return sched, st, err
+}

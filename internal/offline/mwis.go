@@ -1,0 +1,257 @@
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/power"
+)
+
+// Node is one X(i,j,k) vertex of the MWIS reduction: scheduling requests
+// r_I and r_J consecutively on disk Disk saves Weight joules.
+type Node struct {
+	I, J   core.RequestID
+	Disk   core.DiskID
+	Weight float64
+}
+
+// Instance is a constructed MWIS problem plus the node metadata needed to
+// derive a schedule from an independent set.
+type Instance struct {
+	Graph *graph.Graph
+	Nodes []Node
+}
+
+// BuildOptions bounds graph construction on large traces.
+type BuildOptions struct {
+	// MaxSuccessors caps, per (request, disk), how many candidate
+	// successors inside the replacement window become nodes. In any
+	// schedule the realized successor is overwhelmingly one of the next
+	// few same-disk requests, so small caps lose almost nothing while
+	// keeping the graph near-linear in the trace length. 0 means
+	// unlimited (exact reduction).
+	MaxSuccessors int
+	// MaxNodes aborts construction when exceeded (0 = unlimited),
+	// guarding against quadratic blowup on pathological traces.
+	MaxNodes int
+	// HybridExactLimit, when positive, solves connected components of the
+	// conflict graph with at most this many vertices exactly (branch and
+	// bound) and only the larger ones greedily. Bursty traces decompose
+	// into many small components, so modest limits recover most of the
+	// optimum at near-greedy cost.
+	HybridExactLimit int
+}
+
+// Build constructs the MWIS reduction of Section 3.1.2 for a request
+// stream: Step 1 adds a vertex for every non-zero X(i,j,k) (Eqs. 3-4),
+// Step 2 adds an edge for every energy-constraint violation (same i) and
+// schedule-constraint violation (shared request, different disk).
+func Build(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg power.Config, opts BuildOptions) (*Instance, error) {
+	window := cfg.ReplacementWindow()
+
+	// Requests that can be served by each disk, in time order.
+	perDisk := make(map[core.DiskID][]core.Request)
+	for _, r := range reqs {
+		locs := locations(r.Block)
+		if len(locs) == 0 {
+			return nil, fmt.Errorf("offline: request %d block %d has no locations", r.ID, r.Block)
+		}
+		for _, d := range locs {
+			perDisk[d] = append(perDisk[d], r)
+		}
+	}
+	var nodes []Node
+	for d, rs := range perDisk {
+		sort.Slice(rs, func(i, j int) bool {
+			if rs[i].Arrival != rs[j].Arrival {
+				return rs[i].Arrival < rs[j].Arrival
+			}
+			return rs[i].ID < rs[j].ID
+		})
+		for i := 0; i < len(rs); i++ {
+			succ := 0
+			for j := i + 1; j < len(rs); j++ {
+				if rs[j].Arrival-rs[i].Arrival >= window {
+					break
+				}
+				w := Saving(cfg, rs[i].Arrival, rs[j].Arrival)
+				if w <= 0 {
+					continue
+				}
+				nodes = append(nodes, Node{I: rs[i].ID, J: rs[j].ID, Disk: d, Weight: w})
+				if opts.MaxNodes > 0 && len(nodes) > opts.MaxNodes {
+					return nil, fmt.Errorf("offline: MWIS graph exceeds %d nodes", opts.MaxNodes)
+				}
+				succ++
+				if opts.MaxSuccessors > 0 && succ >= opts.MaxSuccessors {
+					break
+				}
+			}
+		}
+	}
+	// Deterministic vertex order regardless of map iteration.
+	sort.Slice(nodes, func(a, b int) bool {
+		na, nb := nodes[a], nodes[b]
+		if na.I != nb.I {
+			return na.I < nb.I
+		}
+		if na.J != nb.J {
+			return na.J < nb.J
+		}
+		return na.Disk < nb.Disk
+	})
+
+	g := graph.NewGraph(len(nodes))
+	// Nodes mentioning each request, in either role.
+	byRequest := make(map[core.RequestID][]int)
+	for v, n := range nodes {
+		g.SetWeight(v, n.Weight)
+		byRequest[n.I] = append(byRequest[n.I], v)
+		byRequest[n.J] = append(byRequest[n.J], v)
+	}
+	for _, vs := range byRequest {
+		for a := 0; a < len(vs); a++ {
+			for b := a + 1; b < len(vs); b++ {
+				u, v := vs[a], vs[b]
+				nu, nv := nodes[u], nodes[v]
+				// Energy constraint: at most one node per predecessor i.
+				// Schedule constraint: shared request forces same disk.
+				if nu.I == nv.I || nu.Disk != nv.Disk {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+	}
+	return &Instance{Graph: g, Nodes: nodes}, nil
+}
+
+// DeriveSchedule is Step 4 of the algorithm: requests appearing in selected
+// nodes go to those nodes' disks; requests with no selected node cannot
+// save energy anywhere and are placed on a replica already in use when
+// possible, else their original location.
+func (in *Instance) DeriveSchedule(reqs []core.Request, locations func(core.BlockID) []core.DiskID, selected []int) (core.Schedule, error) {
+	sched := make(core.Schedule, len(reqs))
+	for i := range sched {
+		sched[i] = core.InvalidDisk
+	}
+	assign := func(r core.RequestID, d core.DiskID) error {
+		if sched[r] != core.InvalidDisk && sched[r] != d {
+			return fmt.Errorf("offline: request %d assigned to disks %d and %d (selection not independent)", r, sched[r], d)
+		}
+		sched[r] = d
+		return nil
+	}
+	for _, v := range selected {
+		if v < 0 || v >= len(in.Nodes) {
+			return nil, fmt.Errorf("offline: selected vertex %d out of range", v)
+		}
+		n := in.Nodes[v]
+		if err := assign(n.I, n.Disk); err != nil {
+			return nil, err
+		}
+		if err := assign(n.J, n.Disk); err != nil {
+			return nil, err
+		}
+	}
+	used := make(map[core.DiskID]struct{})
+	for _, d := range sched {
+		if d != core.InvalidDisk {
+			used[d] = struct{}{}
+		}
+	}
+	for _, r := range reqs {
+		if sched[r.ID] != core.InvalidDisk {
+			continue
+		}
+		locs := locations(r.Block)
+		if len(locs) == 0 {
+			return nil, fmt.Errorf("offline: request %d block %d has no locations", r.ID, r.Block)
+		}
+		choice := locs[0]
+		for _, d := range locs {
+			if _, ok := used[d]; ok {
+				choice = d
+				break
+			}
+		}
+		sched[r.ID] = choice
+		used[choice] = struct{}{}
+	}
+	return sched, nil
+}
+
+// Solve runs the full offline pipeline with the GWMIN greedy the paper uses
+// (Section 4.3): build the reduction, solve MWIS, derive the schedule.
+func Solve(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg power.Config, opts BuildOptions) (core.Schedule, Stats, error) {
+	in, err := Build(reqs, locations, cfg, opts)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	var selected []int
+	if opts.HybridExactLimit > 0 {
+		selected, _ = graph.HybridMWIS(in.Graph, opts.HybridExactLimit)
+	} else {
+		selected, _ = graph.GWMIN(in.Graph)
+	}
+	sched, err := in.DeriveSchedule(reqs, locations, selected)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := Evaluate(reqs, sched, cfg, locations)
+	return sched, st, err
+}
+
+// SolveExact is Solve with the exact branch-and-bound MWIS solver; only
+// viable on small instances (tests, worked examples).
+func SolveExact(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg power.Config) (core.Schedule, Stats, error) {
+	in, err := Build(reqs, locations, cfg, BuildOptions{})
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	selected, _ := graph.ExactMWIS(in.Graph)
+	sched, err := in.DeriveSchedule(reqs, locations, selected)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	st, err := Evaluate(reqs, sched, cfg, locations)
+	return sched, st, err
+}
+
+// Gadget builds the Theorem 3 NP-completeness reduction from an arbitrary
+// graph G: disks are G's vertices; every edge e=(u,v) contributes a request
+// r_e replicated on disks u and v plus dummy requests r_eu (only on u) and
+// r_ev (only on v) at the same arrival time, with consecutive edge groups
+// separated by more than the replacement window.
+func Gadget(n int, edges [][2]int, cfg power.Config) ([]core.Request, func(core.BlockID) []core.DiskID, error) {
+	if n <= 0 {
+		return nil, nil, fmt.Errorf("offline: gadget needs vertices, got %d", n)
+	}
+	sep := cfg.ReplacementWindow() + time.Second
+	var reqs []core.Request
+	locs := make([][]core.DiskID, 0, 3*len(edges))
+	addReq := func(at time.Duration, disks ...core.DiskID) {
+		b := core.BlockID(len(locs))
+		locs = append(locs, disks)
+		reqs = append(reqs, core.Request{ID: core.RequestID(len(reqs)), Block: b, Arrival: at})
+	}
+	for idx, e := range edges {
+		u, v := e[0], e[1]
+		if u < 0 || v < 0 || u >= n || v >= n || u == v {
+			return nil, nil, fmt.Errorf("offline: gadget edge %d = (%d,%d) invalid for %d vertices", idx, u, v, n)
+		}
+		at := time.Duration(idx+1) * sep
+		addReq(at, core.DiskID(u), core.DiskID(v)) // r_e
+		addReq(at, core.DiskID(u))                 // r_eu
+		addReq(at, core.DiskID(v))                 // r_ev
+	}
+	lookup := func(b core.BlockID) []core.DiskID {
+		if b < 0 || int(b) >= len(locs) {
+			return nil
+		}
+		return locs[b]
+	}
+	return reqs, lookup, nil
+}

@@ -1,0 +1,119 @@
+// Package offline implements the paper's offline scheduling theory
+// (Section 3.1 and Appendix B): the per-request energy-saving function
+// X(i,j,k) of Lemma 1/Eq. 3, the analytic energy evaluator for a schedule
+// under the offline model (disks are spun up in advance or kept idle so
+// requests never wait), the reduction of offline scheduling to maximum
+// weighted independent set (Theorem 1), and the Theorem 3 NP-completeness
+// gadget.
+//
+// In the offline model a disk serving requests at times t_1 < ... < t_n
+// costs
+//
+//	E = E_up + sum_{i<n} gapCost(t_{i+1}-t_i) + (T_B*P_I + E_down)
+//
+// where gapCost(g) = g*P_I when g < T_B+T_up+T_down (the disk stays idle,
+// Lemma 1 cases II/III) and E_up/down + T_B*P_I otherwise (full power
+// cycle, case I). Total schedule energy then equals
+// N*MaxRequestEnergy - totalSaving, so maximizing Eq. 3 savings is exactly
+// minimizing energy.
+package offline
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// Saving computes X(i,j,k) of Eq. 3: the energy saved on request r_i when
+// its successor on the same disk arrives at t_j. It is zero when the gap
+// reaches the replacement window T_B + T_up + T_down.
+func Saving(cfg power.Config, ti, tj time.Duration) float64 {
+	gap := tj - ti
+	if gap < 0 || gap >= cfg.ReplacementWindow() {
+		return 0
+	}
+	return cfg.UpDownEnergy() + (cfg.Breakeven()-gap).Seconds()*cfg.IdlePower
+}
+
+// GapCost returns the energy a disk spends between servicing a request and
+// its successor arriving gap later (Lemma 1): idle power for gaps inside
+// the replacement window, one full power cycle beyond it.
+func GapCost(cfg power.Config, gap time.Duration) float64 {
+	if gap < 0 {
+		panic(fmt.Sprintf("offline: negative gap %s", gap))
+	}
+	if gap < cfg.ReplacementWindow() {
+		return gap.Seconds() * cfg.IdlePower
+	}
+	return cfg.UpDownEnergy() + cfg.Breakeven().Seconds()*cfg.IdlePower
+}
+
+// Stats summarizes a schedule under the offline analytic model.
+type Stats struct {
+	Energy    float64 // joules
+	Saving    float64 // joules versus the per-request worst case
+	DisksUsed int
+	SpinUps   int // including each disk's initial spin-up
+	SpinDowns int
+}
+
+// Evaluate computes the analytic offline energy of a schedule. locations is
+// consulted only for validation and may be nil to skip it.
+func Evaluate(reqs []core.Request, sched core.Schedule, cfg power.Config, locations func(core.BlockID) []core.DiskID) (Stats, error) {
+	if len(sched) != len(reqs) {
+		return Stats{}, fmt.Errorf("offline: schedule covers %d of %d requests", len(sched), len(reqs))
+	}
+	if locations != nil && !sched.Valid(reqs, locations) {
+		return Stats{}, fmt.Errorf("offline: schedule assigns a request off its replica locations")
+	}
+	perDisk := make(map[core.DiskID][]time.Duration)
+	for _, r := range reqs {
+		d := sched[r.ID]
+		perDisk[d] = append(perDisk[d], r.Arrival)
+	}
+	var st Stats
+	tail := cfg.Breakeven().Seconds()*cfg.IdlePower + cfg.SpinDownEnergy
+	for _, times := range perDisk {
+		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		st.DisksUsed++
+		st.SpinUps++
+		st.SpinDowns++
+		st.Energy += cfg.SpinUpEnergy
+		for i := 0; i+1 < len(times); i++ {
+			gap := times[i+1] - times[i]
+			st.Energy += GapCost(cfg, gap)
+			if gap >= cfg.ReplacementWindow() {
+				st.SpinUps++
+				st.SpinDowns++
+			}
+		}
+		st.Energy += tail
+	}
+	st.Saving = float64(len(reqs))*cfg.MaxRequestEnergy() - st.Energy
+	return st, nil
+}
+
+// AlwaysOnEnergy returns the energy of the paper's normalization baseline:
+// all numDisks disks spinning idle for the whole horizon.
+func AlwaysOnEnergy(cfg power.Config, numDisks int, horizon time.Duration) float64 {
+	return float64(numDisks) * cfg.IdlePower * horizon.Seconds()
+}
+
+// Horizon returns the accounting horizon used when normalizing a trace's
+// energy: the last arrival plus the time for the last disk to finish its
+// breakeven idle period and spin down.
+func Horizon(reqs []core.Request, cfg power.Config) time.Duration {
+	if len(reqs) == 0 {
+		return 0
+	}
+	last := reqs[len(reqs)-1].Arrival
+	for _, r := range reqs {
+		if r.Arrival > last {
+			last = r.Arrival
+		}
+	}
+	return last + cfg.Breakeven() + cfg.SpinUpTime + cfg.SpinDownTime
+}

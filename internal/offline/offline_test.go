@@ -1,0 +1,225 @@
+package offline
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// paperExample builds the worked example of Figures 2-4: requests r1..r6
+// for blocks b1..b6 (0-indexed here), four disks with the paper's layout.
+func paperExample() (locations func(core.BlockID) []core.DiskID) {
+	locs := [][]core.DiskID{
+		0: {0},       // b1 on d1
+		1: {0, 1},    // b2 on d1, d2
+		2: {0, 1, 3}, // b3 on d1, d2, d4
+		3: {2, 3},    // b4 on d3, d4
+		4: {0, 3},    // b5 on d1, d4
+		5: {2, 3},    // b6 on d3, d4
+	}
+	return func(b core.BlockID) []core.DiskID {
+		if b < 0 || int(b) >= len(locs) {
+			return nil
+		}
+		return locs[b]
+	}
+}
+
+func offlineRequests() []core.Request {
+	times := []time.Duration{0, 1 * time.Second, 3 * time.Second, 5 * time.Second, 12 * time.Second, 13 * time.Second}
+	reqs := make([]core.Request, 6)
+	for i := range reqs {
+		reqs[i] = core.Request{ID: core.RequestID(i), Block: core.BlockID(i), Arrival: times[i]}
+	}
+	return reqs
+}
+
+func batchRequests() []core.Request {
+	reqs := make([]core.Request, 6)
+	for i := range reqs {
+		reqs[i] = core.Request{ID: core.RequestID(i), Block: core.BlockID(i)}
+	}
+	return reqs
+}
+
+func TestSavingEquation3(t *testing.T) {
+	t.Parallel()
+	cfg := power.ToyConfig() // T_B=5s, E=0, P_I=1
+	tests := []struct {
+		name   string
+		ti, tj time.Duration
+		want   float64
+	}{
+		{"zero gap", 0, 0, 5},
+		{"one second gap (paper: saving of r1 is 4)", 0, time.Second, 4},
+		{"gap at breakeven edge", 0, 5 * time.Second, 0},
+		{"gap beyond window", 0, 10 * time.Second, 0},
+		{"negative gap", 5 * time.Second, 0, 0},
+	}
+	for _, tc := range tests {
+		if got := Saving(cfg, tc.ti, tc.tj); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: Saving = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestSavingWithTransitionTimes(t *testing.T) {
+	t.Parallel()
+	cfg := power.DefaultConfig()
+	window := cfg.ReplacementWindow()
+	// Inside the window but beyond breakeven (case II): saving is positive
+	// only while E_up/down exceeds the extra idle energy.
+	gap := cfg.Breakeven() + time.Second
+	want := cfg.UpDownEnergy() - (gap-cfg.Breakeven()).Seconds()*cfg.IdlePower
+	if got := Saving(cfg, 0, gap); math.Abs(got-want) > 1e-9 {
+		t.Errorf("case II saving = %v, want %v", got, want)
+	}
+	if got := Saving(cfg, 0, window); got != 0 {
+		t.Errorf("saving at window edge = %v, want 0", got)
+	}
+}
+
+func TestGapCostMonotoneUnderFootnote4(t *testing.T) {
+	t.Parallel()
+	// Footnote 4's condition ((T_up+T_down)*P_I <= E_up/down) holds for the
+	// default config, making gapCost non-decreasing — the property that
+	// makes the MWIS objective exact.
+	cfg := power.DefaultConfig()
+	if (cfg.SpinUpTime+cfg.SpinDownTime).Seconds()*cfg.IdlePower > cfg.UpDownEnergy() {
+		t.Fatal("default config violates footnote 4 precondition")
+	}
+	prev := -1.0
+	for g := time.Duration(0); g < 2*cfg.ReplacementWindow(); g += 100 * time.Millisecond {
+		c := GapCost(cfg, g)
+		if c < prev {
+			t.Fatalf("GapCost not monotone at gap %s: %v < %v", g, c, prev)
+		}
+		prev = c
+	}
+}
+
+func TestGapCostPanicsOnNegative(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	GapCost(power.ToyConfig(), -time.Second)
+}
+
+func TestEvaluatePaperScheduleB_Offline(t *testing.T) {
+	t.Parallel()
+	// Figure 3(a): schedule B = {r1,r2,r3,r5 -> d1; r4,r6 -> d3},
+	// energy 23 (13 on d1, 10 on d3).
+	reqs := offlineRequests()
+	sched := core.Schedule{0, 0, 0, 2, 0, 2}
+	st, err := Evaluate(reqs, sched, power.ToyConfig(), paperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Energy-23) > 1e-9 {
+		t.Errorf("schedule B energy = %v, want 23", st.Energy)
+	}
+	if st.DisksUsed != 2 {
+		t.Errorf("disks used = %d, want 2", st.DisksUsed)
+	}
+	// d1 cycles twice (gap 3->12 exceeds window), d3 cycles twice.
+	if st.SpinUps != 4 {
+		t.Errorf("spin-ups = %d, want 4", st.SpinUps)
+	}
+}
+
+func TestEvaluatePaperScheduleC_Offline(t *testing.T) {
+	t.Parallel()
+	// Figure 3(b): schedule C = {r1,r2,r3 -> d1; r4 -> d3; r5,r6 -> d4},
+	// energy 19 (Section 2.3.2's text; the figure caption's 21 is
+	// inconsistent with the text's own arithmetic).
+	reqs := offlineRequests()
+	sched := core.Schedule{0, 0, 0, 2, 3, 3}
+	st, err := Evaluate(reqs, sched, power.ToyConfig(), paperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(st.Energy-19) > 1e-9 {
+		t.Errorf("schedule C energy = %v, want 19", st.Energy)
+	}
+	if st.DisksUsed != 3 {
+		t.Errorf("disks used = %d, want 3", st.DisksUsed)
+	}
+}
+
+func TestEvaluatePaperBatchSchedules(t *testing.T) {
+	t.Parallel()
+	// Figure 2: with all requests concurrent, schedule A (3 disks) costs 15
+	// and schedule B (2 disks) costs 10.
+	reqs := batchRequests()
+	cfg := power.ToyConfig()
+	schedA := core.Schedule{0, 1, 1, 2, 0, 2}
+	stA, err := Evaluate(reqs, schedA, cfg, paperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stA.Energy-15) > 1e-9 {
+		t.Errorf("schedule A energy = %v, want 15", stA.Energy)
+	}
+	schedB := core.Schedule{0, 0, 0, 2, 0, 2}
+	stB, err := Evaluate(reqs, schedB, cfg, paperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(stB.Energy-10) > 1e-9 {
+		t.Errorf("schedule B energy = %v, want 10", stB.Energy)
+	}
+}
+
+func TestEvaluateSavingIdentity(t *testing.T) {
+	t.Parallel()
+	// Total energy = N*MaxRequestEnergy - saving (Section 3.1.1).
+	reqs := offlineRequests()
+	cfg := power.ToyConfig()
+	sched := core.Schedule{0, 0, 0, 2, 3, 3}
+	st, err := Evaluate(reqs, sched, cfg, paperExample())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := float64(len(reqs))*cfg.MaxRequestEnergy() - st.Energy
+	if math.Abs(st.Saving-want) > 1e-9 {
+		t.Errorf("saving = %v, want %v", st.Saving, want)
+	}
+}
+
+func TestEvaluateRejectsBadSchedules(t *testing.T) {
+	t.Parallel()
+	reqs := offlineRequests()
+	if _, err := Evaluate(reqs, core.Schedule{0}, power.ToyConfig(), paperExample()); err == nil {
+		t.Error("accepted short schedule")
+	}
+	// r1 (block b1) lives only on d1; scheduling it on d2 must fail.
+	bad := core.Schedule{1, 0, 0, 2, 0, 2}
+	if _, err := Evaluate(reqs, bad, power.ToyConfig(), paperExample()); err == nil {
+		t.Error("accepted off-replica assignment")
+	}
+}
+
+func TestAlwaysOnEnergyAndHorizon(t *testing.T) {
+	t.Parallel()
+	cfg := power.ToyConfig()
+	reqs := offlineRequests()
+	h := Horizon(reqs, cfg)
+	if h != 18*time.Second {
+		t.Errorf("Horizon = %v, want 18s (last arrival 13s + T_B 5s)", h)
+	}
+	// Figure 3's always-on benchmark: 4 disks * 18s * 1 W = 72... the paper
+	// says 76 (=18*4) with a slightly different horizon reading; we assert
+	// our own arithmetic.
+	if got := AlwaysOnEnergy(cfg, 4, h); math.Abs(got-72) > 1e-9 {
+		t.Errorf("AlwaysOnEnergy = %v, want 72", got)
+	}
+	if Horizon(nil, cfg) != 0 {
+		t.Error("empty horizon != 0")
+	}
+}

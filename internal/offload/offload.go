@@ -1,0 +1,216 @@
+// Package offload implements write off-loading [Narayanan et al., the
+// paper's reference 17], the mechanism Section 2.1 assumes for keeping
+// writes away from the read scheduler: a write destined for a sleeping
+// disk is temporarily redirected ("off-loaded") to a disk that is already
+// spinning, and written back to its home disk the next time that disk is
+// up anyway.
+//
+// The Manager composes with any read scheduler: wrap the scheduler's
+// Locator with Manager.Locations so reads of off-loaded blocks follow the
+// data to its temporary holder, and route write requests through
+// Manager.RouteWrite.
+package offload
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// Manager tracks off-loaded blocks and picks write destinations. Not safe
+// for concurrent use; the simulator is single-threaded by design.
+type Manager struct {
+	home     sched.Locator
+	numDisks int
+
+	// holder maps an off-loaded block to the disk currently holding its
+	// latest version.
+	holder map[core.BlockID]core.DiskID
+	// byHolder indexes off-loaded blocks by holding disk (for stats) and
+	// byHome by home disk (for reclaim).
+	byHome map[core.DiskID]map[core.BlockID]struct{}
+
+	stats Stats
+}
+
+// Stats counts off-loading activity.
+type Stats struct {
+	Writes      int // total writes routed
+	Offloaded   int // writes diverted away from a sleeping home disk
+	HomeWrites  int // writes that went straight home (home was spinning)
+	ForcedWakes int // writes with no spinning disk anywhere (home woken)
+	Reclaims    int // blocks written back to their home disk
+}
+
+// NewManager creates a write off-loading manager over the home placement.
+func NewManager(home sched.Locator, numDisks int) (*Manager, error) {
+	if home == nil {
+		return nil, fmt.Errorf("offload: nil home locator")
+	}
+	if numDisks <= 0 {
+		return nil, fmt.Errorf("offload: numDisks = %d", numDisks)
+	}
+	return &Manager{
+		home:     home,
+		numDisks: numDisks,
+		holder:   make(map[core.BlockID]core.DiskID),
+		byHome:   make(map[core.DiskID]map[core.BlockID]struct{}),
+	}, nil
+}
+
+// Stats returns a copy of the activity counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// OffloadedBlocks returns the number of blocks currently living away from
+// home.
+func (m *Manager) OffloadedBlocks() int { return len(m.holder) }
+
+// Locations resolves a block for reading: an off-loaded block's latest
+// version lives only on its holder; otherwise the home replicas apply.
+func (m *Manager) Locations(b core.BlockID) []core.DiskID {
+	if d, ok := m.holder[b]; ok {
+		return []core.DiskID{d}
+	}
+	return m.home(b)
+}
+
+// RouteWrite picks the disk to absorb a write at the current instant:
+//
+//  1. if any home replica is spinning, write home (and reclaim any stale
+//     off-loaded copy);
+//  2. otherwise divert to the spinning disk with the lowest load;
+//  3. if nothing in the system is spinning, wake the home disk (counted
+//     as a forced wake).
+func (m *Manager) RouteWrite(req core.Request, v sched.View) core.DiskID {
+	if !req.Write {
+		panic(fmt.Sprintf("offload: RouteWrite on read request %v", req))
+	}
+	m.stats.Writes++
+	homes := m.home(req.Block)
+	if len(homes) == 0 {
+		return core.InvalidDisk
+	}
+	// Home first: cheapest and immediately durable in place.
+	for _, d := range homes {
+		if v.DiskState(d).Spinning() || v.DiskState(d) == core.StateSpinUp {
+			m.stats.HomeWrites++
+			m.markHome(req.Block)
+			return d
+		}
+	}
+	// Divert to the least-loaded spinning disk.
+	best := core.InvalidDisk
+	bestLoad := 0
+	for d := core.DiskID(0); int(d) < m.numDisks; d++ {
+		if !v.DiskState(d).Spinning() && v.DiskState(d) != core.StateSpinUp {
+			continue
+		}
+		if best == core.InvalidDisk || v.Load(d) < bestLoad {
+			best, bestLoad = d, v.Load(d)
+		}
+	}
+	if best != core.InvalidDisk {
+		m.stats.Offloaded++
+		m.markOffloaded(req.Block, homes[0], best)
+		return best
+	}
+	// Whole system asleep: wake home.
+	m.stats.ForcedWakes++
+	m.markHome(req.Block)
+	return homes[0]
+}
+
+func (m *Manager) markOffloaded(b core.BlockID, home, holder core.DiskID) {
+	m.clear(b)
+	m.holder[b] = holder
+	set := m.byHome[home]
+	if set == nil {
+		set = make(map[core.BlockID]struct{})
+		m.byHome[home] = set
+	}
+	set[b] = struct{}{}
+}
+
+// markHome records that the block's latest version is at home again.
+func (m *Manager) markHome(b core.BlockID) { m.clear(b) }
+
+func (m *Manager) clear(b core.BlockID) {
+	if _, ok := m.holder[b]; !ok {
+		return
+	}
+	delete(m.holder, b)
+	for home, set := range m.byHome {
+		if _, ok := set[b]; ok {
+			delete(set, b)
+			if len(set) == 0 {
+				delete(m.byHome, home)
+			}
+			break
+		}
+	}
+}
+
+// ReclaimSpinning writes back every off-loaded block whose home disk is
+// currently spinning, returning how many were reclaimed. The write-back
+// I/O itself is milliseconds-scale and modeled as free, consistent with
+// the paper's time-scale argument (Section 2.1); the caller decides when
+// to invoke it (the Scheduler wrapper does so on every decision).
+func (m *Manager) ReclaimSpinning(v sched.View) int {
+	n := 0
+	for home, set := range m.byHome {
+		if !v.DiskState(home).Spinning() {
+			continue
+		}
+		for b := range set {
+			delete(m.holder, b)
+			n++
+		}
+		delete(m.byHome, home)
+	}
+	m.stats.Reclaims += n
+	return n
+}
+
+// Scheduler wraps a read scheduler with write off-loading: writes go
+// through the Manager, reads through the inner scheduler (which must have
+// been built over Manager.Locations so redirected reads follow the data).
+type Scheduler struct {
+	Manager *Manager
+	Reads   sched.Online
+}
+
+// Name implements sched.Online.
+func (s Scheduler) Name() string {
+	return fmt.Sprintf("%s + write off-loading", s.Reads.Name())
+}
+
+// Schedule implements sched.Online.
+func (s Scheduler) Schedule(req core.Request, v sched.View) core.DiskID {
+	s.Manager.ReclaimSpinning(v)
+	if req.Write {
+		return s.Manager.RouteWrite(req, v)
+	}
+	return s.Reads.Schedule(req, v)
+}
+
+var _ sched.Online = Scheduler{}
+
+// WithWrites marks a deterministic pseudo-random fraction of a request
+// stream as writes (for building mixed read/write workloads from the
+// read-only generators). The fraction must lie in [0,1].
+func WithWrites(reqs []core.Request, fraction float64, seed int64) []core.Request {
+	if fraction < 0 || fraction > 1 {
+		panic(fmt.Sprintf("offload: write fraction %v outside [0,1]", fraction))
+	}
+	out := make([]core.Request, len(reqs))
+	copy(out, reqs)
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	for i := range out {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		out[i].Write = float64(state%1e9)/1e9 < fraction
+	}
+	return out
+}

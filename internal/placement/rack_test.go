@@ -1,0 +1,132 @@
+package placement
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestRackOf(t *testing.T) {
+	t.Parallel()
+	// 10 disks, 3 racks: per=3, so disks 0-2 rack0, 3-5 rack1, 6-9 rack2
+	// (last rack absorbs the remainder).
+	tests := []struct {
+		d    core.DiskID
+		want int
+	}{{0, 0}, {2, 0}, {3, 1}, {5, 1}, {6, 2}, {9, 2}}
+	for _, tc := range tests {
+		if got := RackOf(tc.d, 10, 3); got != tc.want {
+			t.Errorf("RackOf(%d) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}
+
+func TestGenerateRackAwareValidation(t *testing.T) {
+	t.Parallel()
+	base := RackConfig{NumDisks: 12, NumRacks: 3, NumBlocks: 10, ReplicationFactor: 3, ZipfExponent: 1}
+	muts := []struct {
+		name   string
+		mutate func(*RackConfig)
+	}{
+		{"no disks", func(c *RackConfig) { c.NumDisks = 0 }},
+		{"no racks", func(c *RackConfig) { c.NumRacks = 0 }},
+		{"more racks than disks", func(c *RackConfig) { c.NumRacks = 13 }},
+		{"negative blocks", func(c *RackConfig) { c.NumBlocks = -1 }},
+		{"zero replication", func(c *RackConfig) { c.ReplicationFactor = 0 }},
+		{"negative zipf", func(c *RackConfig) { c.ZipfExponent = -1 }},
+	}
+	for _, tc := range muts {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := base
+			tc.mutate(&cfg)
+			if _, err := GenerateRackAware(cfg); err == nil {
+				t.Errorf("accepted %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestGenerateRackAwareHDFSInvariants(t *testing.T) {
+	t.Parallel()
+	cfg := RackConfig{
+		NumDisks: 30, NumRacks: 5, NumBlocks: 2000,
+		ReplicationFactor: 3, ZipfExponent: 1, Seed: 6,
+	}
+	p, err := GenerateRackAware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameRackSecond, crossRackThird := 0, 0
+	for b := 0; b < cfg.NumBlocks; b++ {
+		ls := p.Locations(core.BlockID(b))
+		if len(ls) != 3 {
+			t.Fatalf("block %d has %d replicas", b, len(ls))
+		}
+		seen := map[core.DiskID]struct{}{}
+		for _, d := range ls {
+			if _, dup := seen[d]; dup {
+				t.Fatalf("block %d duplicates disk %d", b, d)
+			}
+			seen[d] = struct{}{}
+		}
+		r0 := RackOf(ls[0], cfg.NumDisks, cfg.NumRacks)
+		r1 := RackOf(ls[1], cfg.NumDisks, cfg.NumRacks)
+		r2 := RackOf(ls[2], cfg.NumDisks, cfg.NumRacks)
+		if r0 == r1 {
+			sameRackSecond++
+		}
+		if r2 != r0 && r2 != r1 {
+			crossRackThird++
+		}
+	}
+	// HDFS policy: second replica in the same rack, third in a new rack —
+	// always, given racks have >= 2 disks and more than 2 racks exist.
+	if sameRackSecond != cfg.NumBlocks {
+		t.Errorf("second replica in original rack for %d/%d blocks", sameRackSecond, cfg.NumBlocks)
+	}
+	if crossRackThird != cfg.NumBlocks {
+		t.Errorf("third replica in a fresh rack for %d/%d blocks", crossRackThird, cfg.NumBlocks)
+	}
+}
+
+func TestGenerateRackAwareHighReplicationWraps(t *testing.T) {
+	t.Parallel()
+	// rf exceeds the rack count: placement must still succeed with
+	// distinct disks.
+	p, err := GenerateRackAware(RackConfig{
+		NumDisks: 8, NumRacks: 2, NumBlocks: 50,
+		ReplicationFactor: 6, ZipfExponent: 0, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b := 0; b < 50; b++ {
+		ls := p.Locations(core.BlockID(b))
+		if len(ls) != 6 {
+			t.Fatalf("block %d has %d replicas", b, len(ls))
+		}
+	}
+}
+
+func TestGenerateRackAwareDeterministic(t *testing.T) {
+	t.Parallel()
+	cfg := RackConfig{NumDisks: 12, NumRacks: 3, NumBlocks: 100, ReplicationFactor: 3, ZipfExponent: 1, Seed: 5}
+	a, err := GenerateRackAware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRackAware(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for blk := 0; blk < 100; blk++ {
+		la, lb := a.Locations(core.BlockID(blk)), b.Locations(core.BlockID(blk))
+		for i := range la {
+			if la[i] != lb[i] {
+				t.Fatalf("block %d differs across same-seed generations", blk)
+			}
+		}
+	}
+}

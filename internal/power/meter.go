@@ -1,0 +1,123 @@
+package power
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Meter integrates a single disk's energy over its state timeline and
+// counts spin operations. Drive it by calling Transition at every state
+// change and Close once at the end of the run.
+type Meter struct {
+	cfg     Config
+	state   core.DiskState
+	since   time.Duration
+	closed  bool
+	elapsed [core.StateSpinDown + 1]time.Duration
+	energy  float64
+	spinUps int
+	spinDn  int
+}
+
+// NewMeter returns a meter for a disk that is in the initial state at
+// virtual time start (the paper assumes all disks start in standby).
+func NewMeter(cfg Config, initial core.DiskState, start time.Duration) *Meter {
+	if !initial.Valid() {
+		panic(fmt.Sprintf("power: invalid initial state %v", initial))
+	}
+	return &Meter{cfg: cfg, state: initial, since: start}
+}
+
+// State returns the state currently being accumulated.
+func (m *Meter) State() core.DiskState { return m.state }
+
+// Transition accrues energy for the state ending now and switches to next.
+// Transitioning into spin-up or spin-down with a zero-duration configuration
+// still charges the full transition energy as an impulse (the paper's toy
+// model has instantaneous transitions but still defines E_up/down).
+func (m *Meter) Transition(now time.Duration, next core.DiskState) {
+	if m.closed {
+		panic("power: Transition on closed Meter")
+	}
+	if !next.Valid() {
+		panic(fmt.Sprintf("power: invalid state %v", next))
+	}
+	if now < m.since {
+		panic(fmt.Sprintf("power: time went backwards: %s < %s", now, m.since))
+	}
+	m.accrue(now)
+	switch next {
+	case core.StateSpinUp:
+		m.spinUps++
+		if m.cfg.SpinUpTime == 0 {
+			m.energy += m.cfg.SpinUpEnergy
+		}
+	case core.StateSpinDown:
+		m.spinDn++
+		if m.cfg.SpinDownTime == 0 {
+			m.energy += m.cfg.SpinDownEnergy
+		}
+	}
+	m.state = next
+	m.since = now
+}
+
+// Close accrues energy up to the end-of-run time. Further transitions
+// panic; Close is idempotent for the same timestamp.
+func (m *Meter) Close(now time.Duration) {
+	if m.closed {
+		return
+	}
+	m.accrue(now)
+	m.since = now
+	m.closed = true
+}
+
+func (m *Meter) accrue(now time.Duration) {
+	dt := now - m.since
+	m.elapsed[m.state] += dt
+	m.energy += m.cfg.StatePower(m.state) * dt.Seconds()
+}
+
+// Energy returns the accumulated energy in joules.
+func (m *Meter) Energy() float64 { return m.energy }
+
+// SpinUps returns the number of spin-up operations so far.
+func (m *Meter) SpinUps() int { return m.spinUps }
+
+// SpinDowns returns the number of spin-down operations so far.
+func (m *Meter) SpinDowns() int { return m.spinDn }
+
+// TimeIn returns the accumulated time spent in the given state.
+func (m *Meter) TimeIn(s core.DiskState) time.Duration {
+	if !s.Valid() {
+		panic(fmt.Sprintf("power: invalid state %v", s))
+	}
+	return m.elapsed[s]
+}
+
+// Total returns the total accounted time across all states.
+func (m *Meter) Total() time.Duration {
+	var t time.Duration
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		t += m.elapsed[s]
+	}
+	return t
+}
+
+// Breakdown returns the fraction of accounted time in each state; fractions
+// sum to 1 for a non-empty timeline.
+func (m *Meter) Breakdown() map[core.DiskState]float64 {
+	total := m.Total().Seconds()
+	out := make(map[core.DiskState]float64, 5)
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		if total > 0 {
+			out[s] = m.elapsed[s].Seconds() / total
+		} else {
+			out[s] = 0
+		}
+	}
+	return out
+}

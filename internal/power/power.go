@@ -1,0 +1,188 @@
+// Package power models disk power consumption and power-management
+// policies.
+//
+// It implements the paper's 2CPM scheme (Section 1): a disk is spun down
+// after an idle period of length T_B = E_up/down / P_I, the breakeven time,
+// which is 2-competitive against an offline-optimal power manager. It also
+// provides an always-on policy (the paper's normalization baseline) and a
+// per-disk energy Meter that integrates power over the disk state timeline.
+package power
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Config holds the electrical and mechanical power parameters of a disk
+// (the paper's P = {T_up/down, E_up/down, T_B, P_I}, Figure 5).
+//
+// The zero value is not meaningful; use DefaultConfig, ToyConfig or fill all
+// fields. FixedBreakeven, when non-zero, overrides the derived breakeven
+// time (the paper's toy examples use T_B = 5 s with zero transition energy).
+type Config struct {
+	ActivePower  float64 // watts while servicing an I/O
+	IdlePower    float64 // watts while spinning with no I/O (P_I)
+	StandbyPower float64 // watts while spun down
+
+	SpinUpEnergy   float64       // joules for standby -> idle (E_up)
+	SpinDownEnergy float64       // joules for idle -> standby (E_down)
+	SpinUpTime     time.Duration // T_up
+	SpinDownTime   time.Duration // T_down
+
+	// FixedBreakeven overrides the derived breakeven time when > 0.
+	FixedBreakeven time.Duration
+}
+
+// DefaultConfig returns the power parameters used by the evaluation
+// (Section 4): Seagate Cheetah 15K.5 mechanics with Seagate Barracuda-class
+// power figures, since the Cheetah documents omit standby power.
+func DefaultConfig() Config {
+	return Config{
+		ActivePower:    12.8,
+		IdlePower:      9.3,
+		StandbyPower:   0.8,
+		SpinUpEnergy:   135,
+		SpinDownEnergy: 13,
+		SpinUpTime:     10 * time.Second,
+		SpinDownTime:   4 * time.Second,
+	}
+}
+
+// ToyConfig returns the simplified model of the paper's Section 2.3
+// examples: 1 W in idle/active, free and instantaneous spin transitions, and
+// a fixed 5-second breakeven time.
+func ToyConfig() Config {
+	return Config{
+		ActivePower:    1,
+		IdlePower:      1,
+		StandbyPower:   0,
+		FixedBreakeven: 5 * time.Second,
+	}
+}
+
+// UpDownEnergy returns E_up/down = E_up + E_down, the energy of one full
+// spin-down/spin-up cycle.
+func (c Config) UpDownEnergy() float64 { return c.SpinUpEnergy + c.SpinDownEnergy }
+
+// Breakeven returns the idleness threshold T_B. Unless overridden by
+// FixedBreakeven it is E_up/down / P_I, the optimal deterministic threshold
+// [Irani et al.], which makes 2CPM 2-competitive.
+func (c Config) Breakeven() time.Duration {
+	if c.FixedBreakeven > 0 {
+		return c.FixedBreakeven
+	}
+	if c.IdlePower <= 0 {
+		return 0
+	}
+	return time.Duration(c.UpDownEnergy() / c.IdlePower * float64(time.Second))
+}
+
+// ReplacementWindow returns T_B + T_up + T_down: if the next request on a
+// disk arrives within this window of the previous one, keeping the disk idle
+// is no more expensive than cycling it down and up (Lemma 1, cases II/III).
+func (c Config) ReplacementWindow() time.Duration {
+	return c.Breakeven() + c.SpinUpTime + c.SpinDownTime
+}
+
+// MaxRequestEnergy returns the worst-case energy attributable to one request
+// under 2CPM: E_up + E_down + T_B * P_I (Section 3.1.1). Request savings
+// X(i,j,k) are measured against this ceiling.
+func (c Config) MaxRequestEnergy() float64 {
+	return c.UpDownEnergy() + c.Breakeven().Seconds()*c.IdlePower
+}
+
+// StatePower returns the power draw, in watts, for a disk state. Spin
+// transitions draw their transition energy spread uniformly over the
+// transition time; with instantaneous transitions the energy is accounted
+// for separately by the Meter as an impulse.
+func (c Config) StatePower(s core.DiskState) float64 {
+	switch s {
+	case core.StateActive:
+		return c.ActivePower
+	case core.StateIdle:
+		return c.IdlePower
+	case core.StateStandby:
+		return c.StandbyPower
+	case core.StateSpinUp:
+		if c.SpinUpTime > 0 {
+			return c.SpinUpEnergy / c.SpinUpTime.Seconds()
+		}
+		return 0
+	case core.StateSpinDown:
+		if c.SpinDownTime > 0 {
+			return c.SpinDownEnergy / c.SpinDownTime.Seconds()
+		}
+		return 0
+	default:
+		panic(fmt.Sprintf("power: invalid state %v", s))
+	}
+}
+
+// Validate reports whether the configuration is physically sensible.
+func (c Config) Validate() error {
+	switch {
+	case c.ActivePower < 0 || c.IdlePower < 0 || c.StandbyPower < 0:
+		return fmt.Errorf("power: negative power in %+v", c)
+	case c.SpinUpEnergy < 0 || c.SpinDownEnergy < 0:
+		return fmt.Errorf("power: negative transition energy in %+v", c)
+	case c.SpinUpTime < 0 || c.SpinDownTime < 0:
+		return fmt.Errorf("power: negative transition time in %+v", c)
+	case c.IdlePower < c.StandbyPower:
+		return fmt.Errorf("power: idle power %.2f below standby power %.2f", c.IdlePower, c.StandbyPower)
+	case math.IsNaN(c.ActivePower) || math.IsNaN(c.IdlePower) || math.IsNaN(c.StandbyPower):
+		return fmt.Errorf("power: NaN power in %+v", c)
+	}
+	return nil
+}
+
+// Policy decides how long a disk may stay idle before being spun down.
+type Policy interface {
+	// SpinDownAfter returns the idle duration after which the disk should
+	// spin down. ok=false means the disk never spins down (always-on).
+	SpinDownAfter() (idle time.Duration, ok bool)
+	// Name identifies the policy in reports.
+	Name() string
+}
+
+// TwoCompetitive is the 2CPM policy: spin down after the breakeven time.
+type TwoCompetitive struct {
+	Config Config
+}
+
+// SpinDownAfter implements Policy.
+func (p TwoCompetitive) SpinDownAfter() (time.Duration, bool) {
+	return p.Config.Breakeven(), true
+}
+
+// Name implements Policy.
+func (TwoCompetitive) Name() string { return "2CPM" }
+
+// AlwaysOn never spins disks down; it is the paper's normalization baseline.
+type AlwaysOn struct{}
+
+// SpinDownAfter implements Policy.
+func (AlwaysOn) SpinDownAfter() (time.Duration, bool) { return 0, false }
+
+// Name implements Policy.
+func (AlwaysOn) Name() string { return "always-on" }
+
+// FixedThreshold spins down after an arbitrary idle duration, for ablations
+// of the breakeven choice.
+type FixedThreshold struct {
+	Idle time.Duration
+}
+
+// SpinDownAfter implements Policy.
+func (p FixedThreshold) SpinDownAfter() (time.Duration, bool) { return p.Idle, true }
+
+// Name implements Policy.
+func (p FixedThreshold) Name() string { return fmt.Sprintf("fixed(%s)", p.Idle) }
+
+var (
+	_ Policy = TwoCompetitive{}
+	_ Policy = AlwaysOn{}
+	_ Policy = FixedThreshold{}
+)

@@ -1,0 +1,267 @@
+package power
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestDefaultConfigValid(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("DefaultConfig invalid: %v", err)
+	}
+	// T_B = (135+13)/9.3 ~= 15.91s.
+	tb := cfg.Breakeven()
+	want := 148.0 / 9.3
+	if got := tb.Seconds(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Breakeven = %.4fs, want %.4fs", got, want)
+	}
+}
+
+func TestToyConfigMatchesPaperExamples(t *testing.T) {
+	t.Parallel()
+	cfg := ToyConfig()
+	if got := cfg.Breakeven(); got != 5*time.Second {
+		t.Errorf("toy breakeven = %v, want 5s", got)
+	}
+	// Max per-request energy in the toy model is T_B * P_I = 5 units
+	// (Section 3.1.1's worked example: max energy of r1 is 5).
+	if got := cfg.MaxRequestEnergy(); math.Abs(got-5) > 1e-9 {
+		t.Errorf("MaxRequestEnergy = %v, want 5", got)
+	}
+}
+
+func TestBreakevenOverride(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	cfg.FixedBreakeven = 42 * time.Second
+	if got := cfg.Breakeven(); got != 42*time.Second {
+		t.Errorf("Breakeven = %v, want 42s", got)
+	}
+}
+
+func TestStatePowerCoversAllStates(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		if p := cfg.StatePower(s); p < 0 || math.IsNaN(p) {
+			t.Errorf("StatePower(%v) = %v", s, p)
+		}
+	}
+	if got := cfg.StatePower(core.StateSpinUp); math.Abs(got-13.5) > 1e-9 {
+		t.Errorf("spin-up power = %v, want 135J/10s = 13.5W", got)
+	}
+}
+
+func TestStatePowerPanicsOnInvalid(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("StatePower(0) did not panic")
+		}
+	}()
+	DefaultConfig().StatePower(core.DiskState(0))
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative idle", func(c *Config) { c.IdlePower = -1 }},
+		{"negative spin-up energy", func(c *Config) { c.SpinUpEnergy = -5 }},
+		{"negative spin-down time", func(c *Config) { c.SpinDownTime = -time.Second }},
+		{"idle below standby", func(c *Config) { c.IdlePower = 0.1; c.StandbyPower = 0.8 }},
+		{"NaN power", func(c *Config) { c.ActivePower = math.NaN() }},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := DefaultConfig()
+			tc.mutate(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Errorf("Validate accepted %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestPolicies(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	if d, ok := (TwoCompetitive{Config: cfg}).SpinDownAfter(); !ok || d != cfg.Breakeven() {
+		t.Errorf("2CPM SpinDownAfter = (%v,%v), want (%v,true)", d, ok, cfg.Breakeven())
+	}
+	if _, ok := (AlwaysOn{}).SpinDownAfter(); ok {
+		t.Error("AlwaysOn reports a spin-down threshold")
+	}
+	if d, ok := (FixedThreshold{Idle: time.Minute}).SpinDownAfter(); !ok || d != time.Minute {
+		t.Errorf("FixedThreshold SpinDownAfter = (%v,%v)", d, ok)
+	}
+	for _, p := range []Policy{TwoCompetitive{Config: cfg}, AlwaysOn{}, FixedThreshold{Idle: time.Second}} {
+		if p.Name() == "" {
+			t.Errorf("%T has empty name", p)
+		}
+	}
+}
+
+func TestReplacementWindow(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	want := cfg.Breakeven() + cfg.SpinUpTime + cfg.SpinDownTime
+	if got := cfg.ReplacementWindow(); got != want {
+		t.Errorf("ReplacementWindow = %v, want %v", got, want)
+	}
+}
+
+func TestMeterSimpleTimeline(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	m := NewMeter(cfg, core.StateStandby, 0)
+	// standby 10s -> spin-up 10s -> idle 20s -> active 5s -> idle 16s ->
+	// spin-down 4s -> standby, close at 80s.
+	m.Transition(10*time.Second, core.StateSpinUp)
+	m.Transition(20*time.Second, core.StateIdle)
+	m.Transition(40*time.Second, core.StateActive)
+	m.Transition(45*time.Second, core.StateIdle)
+	m.Transition(61*time.Second, core.StateSpinDown)
+	m.Transition(65*time.Second, core.StateStandby)
+	m.Close(80 * time.Second)
+
+	want := 0.8*10 + 135 + 9.3*20 + 12.8*5 + 9.3*16 + 13 + 0.8*15
+	if got := m.Energy(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("Energy = %.3f, want %.3f", got, want)
+	}
+	if m.SpinUps() != 1 || m.SpinDowns() != 1 {
+		t.Errorf("spin ops = (%d,%d), want (1,1)", m.SpinUps(), m.SpinDowns())
+	}
+	if got := m.TimeIn(core.StateIdle); got != 36*time.Second {
+		t.Errorf("idle time = %v, want 36s", got)
+	}
+	if got := m.Total(); got != 80*time.Second {
+		t.Errorf("Total = %v, want 80s", got)
+	}
+}
+
+func TestMeterImpulseEnergyForInstantTransitions(t *testing.T) {
+	t.Parallel()
+	cfg := ToyConfig()
+	cfg.SpinUpEnergy = 7
+	cfg.SpinDownEnergy = 3
+	m := NewMeter(cfg, core.StateStandby, 0)
+	m.Transition(0, core.StateSpinUp)
+	m.Transition(0, core.StateIdle) // instantaneous
+	m.Transition(10*time.Second, core.StateSpinDown)
+	m.Transition(10*time.Second, core.StateStandby)
+	m.Close(10 * time.Second)
+	want := 7.0 + 10*1 + 3.0
+	if got := m.Energy(); math.Abs(got-want) > 1e-9 {
+		t.Errorf("Energy = %v, want %v", got, want)
+	}
+}
+
+func TestMeterBreakdownSumsToOne(t *testing.T) {
+	t.Parallel()
+	m := NewMeter(DefaultConfig(), core.StateStandby, 0)
+	m.Transition(3*time.Second, core.StateSpinUp)
+	m.Transition(13*time.Second, core.StateIdle)
+	m.Close(100 * time.Second)
+	sum := 0.0
+	for _, f := range m.Breakdown() {
+		sum += f
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("breakdown fractions sum to %v, want 1", sum)
+	}
+}
+
+func TestMeterPanics(t *testing.T) {
+	t.Parallel()
+	t.Run("backwards time", func(t *testing.T) {
+		t.Parallel()
+		m := NewMeter(DefaultConfig(), core.StateIdle, 10*time.Second)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on backwards transition")
+			}
+		}()
+		m.Transition(5*time.Second, core.StateActive)
+	})
+	t.Run("after close", func(t *testing.T) {
+		t.Parallel()
+		m := NewMeter(DefaultConfig(), core.StateIdle, 0)
+		m.Close(time.Second)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on transition after Close")
+			}
+		}()
+		m.Transition(2*time.Second, core.StateActive)
+	})
+	t.Run("invalid state", func(t *testing.T) {
+		t.Parallel()
+		m := NewMeter(DefaultConfig(), core.StateIdle, 0)
+		defer func() {
+			if recover() == nil {
+				t.Error("no panic on invalid state")
+			}
+		}()
+		m.Transition(time.Second, core.DiskState(99))
+	})
+}
+
+// Property: energy equals the sum over states of state power times time in
+// state (plus impulse energies, absent here), for arbitrary valid timelines.
+func TestMeterEnergyDecomposition(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	states := []core.DiskState{
+		core.StateStandby, core.StateSpinUp, core.StateIdle,
+		core.StateActive, core.StateSpinDown,
+	}
+	f := func(steps []uint16) bool {
+		m := NewMeter(cfg, core.StateStandby, 0)
+		now := time.Duration(0)
+		for i, s := range steps {
+			now += time.Duration(s) * time.Millisecond
+			m.Transition(now, states[i%len(states)])
+		}
+		m.Close(now + time.Second)
+		want := 0.0
+		for _, s := range states {
+			want += cfg.StatePower(s) * m.TimeIn(s).Seconds()
+		}
+		return math.Abs(m.Energy()-want) < 1e-6*(1+want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: total accounted time equals close time minus start time.
+func TestMeterTotalTimeConservation(t *testing.T) {
+	t.Parallel()
+	cfg := DefaultConfig()
+	f := func(steps []uint16, tail uint16) bool {
+		m := NewMeter(cfg, core.StateIdle, 0)
+		now := time.Duration(0)
+		for i, s := range steps {
+			now += time.Duration(s) * time.Millisecond
+			next := core.DiskState(i%5 + 1)
+			m.Transition(now, next)
+		}
+		end := now + time.Duration(tail)*time.Millisecond
+		m.Close(end)
+		return m.Total() == end
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

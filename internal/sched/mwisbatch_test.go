@@ -1,0 +1,130 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+func figure2Locations() Locator {
+	locs := [][]core.DiskID{
+		{0}, {0, 1}, {0, 1, 3}, {2, 3}, {0, 3}, {2, 3},
+	}
+	return func(b core.BlockID) []core.DiskID {
+		if b < 0 || int(b) >= len(locs) {
+			return nil
+		}
+		return locs[b]
+	}
+}
+
+func TestMWISBatchSolvesFigure2(t *testing.T) {
+	t.Parallel()
+	// Theorem 2: the batch instance's MWIS solution uses the minimum
+	// number of disks — Figure 2's schedule B needs only two.
+	m := MWISBatch{Locations: figure2Locations(), Power: power.ToyConfig(), HybridExactLimit: 64}
+	reqs := make([]core.Request, 6)
+	for i := range reqs {
+		reqs[i] = core.Request{ID: core.RequestID(i), Block: core.BlockID(i)}
+	}
+	out := m.ScheduleBatch(reqs, &fakeView{})
+	used := map[core.DiskID]struct{}{}
+	for i, d := range out {
+		valid := false
+		for _, l := range figure2Locations()(core.BlockID(i)) {
+			if l == d {
+				valid = true
+			}
+		}
+		if !valid {
+			t.Fatalf("request %d off-replica (%v)", i, d)
+		}
+		used[d] = struct{}{}
+	}
+	if len(used) != 2 {
+		t.Errorf("MWIS batch used %d disks, want 2 (Theorem 2 minimum cover)", len(used))
+	}
+	if m.Name() != "energy-aware MWIS (batch)" {
+		t.Errorf("Name = %q", m.Name())
+	}
+}
+
+func TestMWISBatchHandlesUnplacedAndEmpty(t *testing.T) {
+	t.Parallel()
+	m := MWISBatch{
+		Locations: func(b core.BlockID) []core.DiskID {
+			if b == 0 {
+				return nil
+			}
+			return []core.DiskID{1}
+		},
+		Power: power.ToyConfig(),
+	}
+	out := m.ScheduleBatch([]core.Request{{ID: 0, Block: 0}, {ID: 1, Block: 1}}, &fakeView{})
+	if out[0] != core.InvalidDisk || out[1] != 1 {
+		t.Errorf("out = %v", out)
+	}
+	if got := m.ScheduleBatch(nil, &fakeView{}); len(got) != 0 {
+		t.Errorf("empty batch -> %v", got)
+	}
+	all := m.ScheduleBatch([]core.Request{{ID: 0, Block: 0}}, &fakeView{})
+	if all[0] != core.InvalidDisk {
+		t.Errorf("unplaced-only batch -> %v", all)
+	}
+}
+
+// Property: MWISBatch always produces valid assignments, and with the
+// exact solver it never uses more disks than the greedy WSC cover on a
+// fresh (all-standby) system.
+func TestMWISBatchVsWSCDiskCountProperty(t *testing.T) {
+	t.Parallel()
+	pcfg := power.DefaultConfig()
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numDisks := 2 + rng.Intn(4)
+		numBlocks := 1 + rng.Intn(6)
+		locs := make([][]core.DiskID, numBlocks)
+		for b := range locs {
+			n := 1 + rng.Intn(numDisks)
+			perm := rng.Perm(numDisks)
+			for _, d := range perm[:n] {
+				locs[b] = append(locs[b], core.DiskID(d))
+			}
+		}
+		loc := func(b core.BlockID) []core.DiskID { return locs[b] }
+		reqs := make([]core.Request, numBlocks)
+		for i := range reqs {
+			reqs[i] = core.Request{ID: core.RequestID(i), Block: core.BlockID(i)}
+		}
+		v := &fakeView{} // all standby: uniform Eq. 5 weights
+		countDisks := func(out []core.DiskID) int {
+			used := map[core.DiskID]struct{}{}
+			for _, d := range out {
+				used[d] = struct{}{}
+			}
+			return len(used)
+		}
+		contains := func(ds []core.DiskID, d core.DiskID) bool {
+			for _, x := range ds {
+				if x == d {
+					return true
+				}
+			}
+			return false
+		}
+		mwisOut := MWISBatch{Locations: loc, Power: pcfg, HybridExactLimit: 64}.ScheduleBatch(reqs, v)
+		wscOut := WSC{Locations: loc, Cost: CostConfig{Alpha: 1, Beta: 1, Power: pcfg}}.ScheduleBatch(reqs, v)
+		for i := range reqs {
+			if !contains(locs[i], mwisOut[i]) || !contains(locs[i], wscOut[i]) {
+				return false
+			}
+		}
+		return countDisks(mwisOut) <= countDisks(wscOut)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

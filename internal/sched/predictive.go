@@ -1,0 +1,104 @@
+package sched
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Predictive is the cost-function extension sketched in Section 3.3: "a
+// prediction technique could be used to estimate the access probability of
+// a disk and assign lower cost to a more frequently used disk". It keeps
+// an exponentially decayed access counter per disk and discounts the
+// composite cost of frequently accessed disks, steering requests toward
+// disks that are likely to be kept spinning by future traffic anyway.
+//
+// Predictive carries mutable per-disk state; create one per run with
+// NewPredictive and do not share across concurrent simulations.
+type Predictive struct {
+	locations Locator
+	cost      CostConfig
+	// gamma in [0,1) is the maximum discount applied to the hottest disk.
+	gamma float64
+	// halfLife controls how fast access history fades.
+	halfLife time.Duration
+
+	rate        map[core.DiskID]float64
+	lastUpdated map[core.DiskID]time.Duration
+}
+
+// NewPredictive builds the predictive scheduler. gamma must be in [0,1);
+// halfLife must be positive.
+func NewPredictive(loc Locator, cost CostConfig, gamma float64, halfLife time.Duration) (*Predictive, error) {
+	if loc == nil {
+		return nil, fmt.Errorf("sched: nil locator")
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	if gamma < 0 || gamma >= 1 || math.IsNaN(gamma) {
+		return nil, fmt.Errorf("sched: predictive gamma %v outside [0,1)", gamma)
+	}
+	if halfLife <= 0 {
+		return nil, fmt.Errorf("sched: predictive half-life %s", halfLife)
+	}
+	return &Predictive{
+		locations:   loc,
+		cost:        cost,
+		gamma:       gamma,
+		halfLife:    halfLife,
+		rate:        make(map[core.DiskID]float64),
+		lastUpdated: make(map[core.DiskID]time.Duration),
+	}, nil
+}
+
+// Name implements Online.
+func (p *Predictive) Name() string { return "energy-aware predictive" }
+
+// decayedRate returns the disk's access counter decayed to now.
+func (p *Predictive) decayedRate(d core.DiskID, now time.Duration) float64 {
+	r, ok := p.rate[d]
+	if !ok || r == 0 {
+		return 0
+	}
+	dt := now - p.lastUpdated[d]
+	if dt <= 0 {
+		return r
+	}
+	return r * math.Exp2(-float64(dt)/float64(p.halfLife))
+}
+
+// Schedule implements Online: pick the replica minimizing the discounted
+// cost C(d) * (1 - gamma * rate(d)/maxRate), then bump the chosen disk's
+// counter.
+func (p *Predictive) Schedule(req core.Request, v View) core.DiskID {
+	locs := p.locations(req.Block)
+	if len(locs) == 0 {
+		return core.InvalidDisk
+	}
+	now := v.Now()
+	maxRate := 0.0
+	for _, d := range locs {
+		if r := p.decayedRate(d, now); r > maxRate {
+			maxRate = r
+		}
+	}
+	best := locs[0]
+	bestCost := math.Inf(1)
+	for _, d := range locs {
+		c := p.cost.Cost(v, d)
+		if maxRate > 0 {
+			c *= 1 - p.gamma*p.decayedRate(d, now)/maxRate
+		}
+		if c < bestCost || (c == bestCost && d < best) {
+			best, bestCost = d, c
+		}
+	}
+	p.rate[best] = p.decayedRate(best, now) + 1
+	p.lastUpdated[best] = now
+	return best
+}
+
+var _ Online = (*Predictive)(nil)

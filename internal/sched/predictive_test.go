@@ -1,0 +1,119 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+func newPredictive(t *testing.T, gamma float64) *Predictive {
+	t.Helper()
+	p, err := NewPredictive(twoLocs, DefaultCost(power.DefaultConfig()), gamma, 30*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestNewPredictiveValidation(t *testing.T) {
+	t.Parallel()
+	cost := DefaultCost(power.DefaultConfig())
+	if _, err := NewPredictive(nil, cost, 0.5, time.Second); err == nil {
+		t.Error("accepted nil locator")
+	}
+	if _, err := NewPredictive(twoLocs, cost, 1, time.Second); err == nil {
+		t.Error("accepted gamma = 1")
+	}
+	if _, err := NewPredictive(twoLocs, cost, -0.1, time.Second); err == nil {
+		t.Error("accepted negative gamma")
+	}
+	if _, err := NewPredictive(twoLocs, cost, 0.5, 0); err == nil {
+		t.Error("accepted zero half-life")
+	}
+	bad := cost
+	bad.Alpha = 2
+	if _, err := NewPredictive(twoLocs, bad, 0.5, time.Second); err == nil {
+		t.Error("accepted invalid cost config")
+	}
+}
+
+func TestPredictiveZeroGammaMatchesHeuristic(t *testing.T) {
+	t.Parallel()
+	cost := DefaultCost(power.DefaultConfig())
+	p := newPredictive(t, 0)
+	h := Heuristic{Locations: twoLocs, Cost: cost}
+	v := &fakeView{
+		now: time.Minute,
+		states: map[core.DiskID]core.DiskState{
+			0: core.StateStandby,
+			1: core.StateIdle,
+		},
+		lasts: map[core.DiskID]time.Duration{1: 55 * time.Second},
+	}
+	for i := 0; i < 10; i++ {
+		req := core.Request{ID: core.RequestID(i)}
+		if got, want := p.Schedule(req, v), h.Schedule(req, v); got != want {
+			t.Fatalf("gamma=0 predictive picked %v, heuristic %v", got, want)
+		}
+	}
+}
+
+func TestPredictiveFavorsFrequentlyUsedDisk(t *testing.T) {
+	t.Parallel()
+	// Both disks standby (equal base cost). Seed history on disk 1, then
+	// check the discount steers the next request there.
+	p := newPredictive(t, 0.8)
+	v := &fakeView{now: time.Second, states: map[core.DiskID]core.DiskState{}}
+	// Manually seed: schedule several requests while only disk 1 is
+	// spinning so its counter grows.
+	warm := &fakeView{now: time.Second, states: map[core.DiskID]core.DiskState{1: core.StateIdle}}
+	for i := 0; i < 5; i++ {
+		if d := p.Schedule(core.Request{ID: core.RequestID(i)}, warm); d != 1 {
+			t.Fatalf("warmup pick = %v", d)
+		}
+	}
+	// Now both asleep: identical Eq. 5 cost, but disk 1's history wins.
+	v.now = 2 * time.Second
+	if d := p.Schedule(core.Request{ID: 99}, v); d != 1 {
+		t.Errorf("predictive picked %v, want history-favored disk 1", d)
+	}
+}
+
+func TestPredictiveHistoryDecays(t *testing.T) {
+	t.Parallel()
+	p := newPredictive(t, 0.8)
+	warm := &fakeView{now: time.Second, states: map[core.DiskID]core.DiskState{1: core.StateIdle}}
+	for i := 0; i < 3; i++ {
+		p.Schedule(core.Request{ID: core.RequestID(i)}, warm)
+	}
+	r0 := p.decayedRate(1, time.Second)
+	rLater := p.decayedRate(1, time.Second+30*time.Second) // one half-life
+	if math.Abs(rLater-r0/2) > 1e-9 {
+		t.Errorf("rate after one half-life = %v, want %v", rLater, r0/2)
+	}
+	if p.decayedRate(0, time.Minute) != 0 {
+		t.Error("untouched disk has nonzero rate")
+	}
+}
+
+func TestPredictiveUnplacedBlock(t *testing.T) {
+	t.Parallel()
+	p, err := NewPredictive(func(core.BlockID) []core.DiskID { return nil },
+		DefaultCost(power.DefaultConfig()), 0.5, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := p.Schedule(core.Request{}, &fakeView{}); d != core.InvalidDisk {
+		t.Errorf("got %v, want InvalidDisk", d)
+	}
+}
+
+func TestPredictiveName(t *testing.T) {
+	t.Parallel()
+	if got := newPredictive(t, 0.5).Name(); got != "energy-aware predictive" {
+		t.Errorf("Name = %q", got)
+	}
+}

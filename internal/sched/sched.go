@@ -1,0 +1,317 @@
+// Package sched implements the paper's five scheduling algorithms
+// (Section 4.3): the energy-oblivious Random and Static baselines, the
+// cost-function online Heuristic (Section 3.3), the weighted-set-cover
+// batch scheduler (Section 3.2), and the precomputed offline MWIS schedule
+// (Section 3.1, built by internal/offline).
+package sched
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/graph"
+	"repro/internal/power"
+)
+
+// Locator resolves a block to its replica locations (original first).
+type Locator func(core.BlockID) []core.DiskID
+
+// View is the scheduler's read-only window onto the running system.
+type View interface {
+	// Now returns the current virtual time.
+	Now() time.Duration
+	// DiskState returns the disk's power state.
+	DiskState(core.DiskID) core.DiskState
+	// Load returns the number of requests queued or in service (Eq. 7).
+	Load(core.DiskID) int
+	// LastRequestTime returns T_last; ok is false before the first request.
+	LastRequestTime(core.DiskID) (time.Duration, bool)
+}
+
+// Online schedules each request the moment it arrives.
+type Online interface {
+	Name() string
+	// Schedule returns the disk to serve the request; it must be one of
+	// the block's replica locations.
+	Schedule(req core.Request, v View) core.DiskID
+}
+
+// Batch schedules a queued batch of requests at each scheduling interval.
+type Batch interface {
+	Name() string
+	// ScheduleBatch returns one disk per request, parallel to reqs.
+	ScheduleBatch(reqs []core.Request, v View) []core.DiskID
+}
+
+// CostConfig parameterizes the composite cost function of Eq. 6:
+// C(d) = E(d)*Alpha/Beta + P(d)*(1-Alpha), with E(d) from Eq. 5.
+type CostConfig struct {
+	Alpha float64 // energy/performance mix: 1 = energy only, 0 = load only
+	Beta  float64 // unit scale between joules and queued requests
+	Power power.Config
+}
+
+// DefaultCost returns the configuration used throughout the evaluation:
+// the paper's alpha=0.2 (Appendix A.2) with beta=10. Beta only fixes the
+// unit scale between E(d) and P(d); the paper's beta=100 assumed its own
+// energy unit, and with E(d) in joules under our power model the same
+// energy/response balance point (Figure 11's knee) sits at beta=10 — see
+// EXPERIMENTS.md for the sweep.
+func DefaultCost(p power.Config) CostConfig {
+	return CostConfig{Alpha: 0.2, Beta: 10, Power: p}
+}
+
+// Validate checks the cost parameters.
+func (c CostConfig) Validate() error {
+	if c.Alpha < 0 || c.Alpha > 1 || math.IsNaN(c.Alpha) {
+		return fmt.Errorf("sched: alpha %v outside [0,1]", c.Alpha)
+	}
+	if c.Beta <= 0 || math.IsNaN(c.Beta) {
+		return fmt.Errorf("sched: beta %v must be positive", c.Beta)
+	}
+	return c.Power.Validate()
+}
+
+// EnergyCost computes E(d_k) of Eq. 5: the additional energy incurred by
+// routing a request to the disk given its current state.
+func (c CostConfig) EnergyCost(v View, d core.DiskID) float64 {
+	switch s := v.DiskState(d); s {
+	case core.StateActive, core.StateSpinUp:
+		return 0
+	case core.StateStandby, core.StateSpinDown:
+		return c.Power.UpDownEnergy() + c.Power.Breakeven().Seconds()*c.Power.IdlePower
+	case core.StateIdle:
+		last, ok := v.LastRequestTime(d)
+		if !ok {
+			last = 0
+		}
+		return (v.Now() - last).Seconds() * c.Power.IdlePower
+	default:
+		panic(fmt.Sprintf("sched: invalid disk state %v", s))
+	}
+}
+
+// Cost computes the composite C(d_k) of Eq. 6.
+func (c CostConfig) Cost(v View, d core.DiskID) float64 {
+	return c.EnergyCost(v, d)*c.Alpha/c.Beta + float64(v.Load(d))*(1-c.Alpha)
+}
+
+// Random is the energy-oblivious baseline that sends each request to a
+// uniformly random replica.
+type Random struct {
+	Locations Locator
+	rng       *rand.Rand
+}
+
+// NewRandom returns a seeded Random scheduler.
+func NewRandom(loc Locator, seed int64) *Random {
+	return &Random{Locations: loc, rng: rand.New(rand.NewSource(seed))}
+}
+
+// Name implements Online.
+func (*Random) Name() string { return "random" }
+
+// Schedule implements Online.
+func (r *Random) Schedule(req core.Request, _ View) core.DiskID {
+	locs := r.Locations(req.Block)
+	if len(locs) == 0 {
+		return core.InvalidDisk
+	}
+	return locs[r.rng.Intn(len(locs))]
+}
+
+// Static is the energy-oblivious baseline that always uses the original
+// data location.
+type Static struct {
+	Locations Locator
+}
+
+// Name implements Online.
+func (Static) Name() string { return "static" }
+
+// Schedule implements Online.
+func (s Static) Schedule(req core.Request, _ View) core.DiskID {
+	locs := s.Locations(req.Block)
+	if len(locs) == 0 {
+		return core.InvalidDisk
+	}
+	return locs[0]
+}
+
+// Heuristic is the online energy-aware scheduler of Section 3.3: each
+// request goes to the replica location minimizing the composite cost C(d).
+type Heuristic struct {
+	Locations Locator
+	Cost      CostConfig
+}
+
+// Name implements Online.
+func (Heuristic) Name() string { return "energy-aware heuristic" }
+
+// Schedule implements Online. Ties break toward the lower disk ID so runs
+// are reproducible.
+func (h Heuristic) Schedule(req core.Request, v View) core.DiskID {
+	locs := h.Locations(req.Block)
+	if len(locs) == 0 {
+		return core.InvalidDisk
+	}
+	best := locs[0]
+	bestCost := h.Cost.Cost(v, best)
+	for _, d := range locs[1:] {
+		c := h.Cost.Cost(v, d)
+		if c < bestCost || (c == bestCost && d < best) {
+			best, bestCost = d, c
+		}
+	}
+	return best
+}
+
+// WSC is the weighted-set-cover batch scheduler of Section 3.2: the
+// universe is the queued batch, each disk is a set containing the requests
+// it can serve, weighted by the composite cost function, and the greedy
+// cover picks the serving disks.
+type WSC struct {
+	Locations Locator
+	Cost      CostConfig
+}
+
+// Name implements Batch.
+func (WSC) Name() string { return "energy-aware WSC" }
+
+// buildCover constructs the Theorem 2 reduction for a batch: the universe
+// is the subset of requests that have locations at all (covIdx maps
+// universe elements back to batch positions), each candidate disk is a set
+// weighted by the composite cost, and out is pre-marked with InvalidDisk
+// for unplaced requests.
+func buildCover(loc Locator, cost CostConfig, reqs []core.Request, v View) (in graph.CoverInstance, disks []core.DiskID, covIdx []int, out []core.DiskID) {
+	out = make([]core.DiskID, len(reqs))
+	elements := make(map[core.DiskID][]int)
+	for i, r := range reqs {
+		locs := loc(r.Block)
+		if len(locs) == 0 {
+			out[i] = core.InvalidDisk
+			continue
+		}
+		e := len(covIdx)
+		covIdx = append(covIdx, i)
+		for _, d := range locs {
+			if _, seen := elements[d]; !seen {
+				disks = append(disks, d)
+			}
+			elements[d] = append(elements[d], e)
+		}
+	}
+	in = graph.CoverInstance{NumElements: len(covIdx)}
+	for _, d := range disks {
+		in.Sets = append(in.Sets, graph.Set{
+			Weight:   cost.Cost(v, d),
+			Elements: elements[d],
+		})
+	}
+	return in, disks, covIdx, out
+}
+
+// applyCover assigns each covered request to its covering disk.
+func applyCover(in graph.CoverInstance, chosen []int, disks []core.DiskID, covIdx []int, out []core.DiskID) {
+	assigned := make([]bool, len(covIdx))
+	for _, si := range chosen {
+		d := disks[si]
+		for _, e := range in.Sets[si].Elements {
+			if !assigned[e] {
+				assigned[e] = true
+				out[covIdx[e]] = d
+			}
+		}
+	}
+}
+
+// ScheduleBatch implements Batch.
+func (w WSC) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
+	if len(reqs) == 0 {
+		return nil
+	}
+	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v)
+	// Every universe element appears in at least one set by construction,
+	// so the greedy cover cannot fail.
+	chosen, _, err := graph.GreedyCover(in)
+	if err != nil {
+		panic(fmt.Sprintf("sched: greedy cover on coverable instance failed: %v", err))
+	}
+	applyCover(in, chosen, disks, covIdx, out)
+	return out
+}
+
+// WSCExact is the batch scheduler with an optimal set-cover solver: each
+// batch's Theorem 2 instance is solved by branch and bound, falling back
+// to the greedy cover when the search exceeds MaxExpansions. Useful for
+// measuring the greedy's optimality gap on real batches
+// (BenchmarkAblationCoverSolver); exponential worst case.
+type WSCExact struct {
+	Locations Locator
+	Cost      CostConfig
+	// MaxExpansions caps the branch-and-bound search per batch
+	// (0 = a conservative default).
+	MaxExpansions int
+}
+
+// Name implements Batch.
+func (WSCExact) Name() string { return "energy-aware WSC (exact)" }
+
+// ScheduleBatch implements Batch.
+func (w WSCExact) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
+	if len(reqs) == 0 {
+		return nil
+	}
+	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v)
+	limit := w.MaxExpansions
+	if limit == 0 {
+		limit = 200000
+	}
+	chosen, _, err := graph.ExactCover(in, limit)
+	if err != nil {
+		// Search too large (or uncoverable, which cannot happen by
+		// construction): fall back to the greedy cover.
+		chosen, _, err = graph.GreedyCover(in)
+		if err != nil {
+			panic(fmt.Sprintf("sched: greedy cover on coverable instance failed: %v", err))
+		}
+	}
+	applyCover(in, chosen, disks, covIdx, out)
+	return out
+}
+
+// Precomputed wraps a full offline schedule (e.g. from internal/offline's
+// MWIS pipeline) as an Online scheduler: each arriving request is sent to
+// its precomputed disk.
+type Precomputed struct {
+	Label       string
+	Assignments core.Schedule
+}
+
+// Name implements Online.
+func (p Precomputed) Name() string {
+	if p.Label != "" {
+		return p.Label
+	}
+	return "precomputed"
+}
+
+// Schedule implements Online.
+func (p Precomputed) Schedule(req core.Request, _ View) core.DiskID {
+	if req.ID < 0 || int(req.ID) >= len(p.Assignments) {
+		return core.InvalidDisk
+	}
+	return p.Assignments[req.ID]
+}
+
+var (
+	_ Online = (*Random)(nil)
+	_ Online = Static{}
+	_ Online = Heuristic{}
+	_ Online = Precomputed{}
+	_ Batch  = WSC{}
+	_ Batch  = WSCExact{}
+)

@@ -1,0 +1,367 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/power"
+)
+
+// fakeView is a scriptable scheduler view.
+type fakeView struct {
+	now    time.Duration
+	states map[core.DiskID]core.DiskState
+	loads  map[core.DiskID]int
+	lasts  map[core.DiskID]time.Duration
+}
+
+func (f *fakeView) Now() time.Duration { return f.now }
+func (f *fakeView) DiskState(d core.DiskID) core.DiskState {
+	if s, ok := f.states[d]; ok {
+		return s
+	}
+	return core.StateStandby
+}
+func (f *fakeView) Load(d core.DiskID) int { return f.loads[d] }
+func (f *fakeView) LastRequestTime(d core.DiskID) (time.Duration, bool) {
+	t, ok := f.lasts[d]
+	return t, ok
+}
+
+func twoLocs(b core.BlockID) []core.DiskID { return []core.DiskID{0, 1} }
+
+func TestCostConfigValidate(t *testing.T) {
+	t.Parallel()
+	good := DefaultCost(power.DefaultConfig())
+	if err := good.Validate(); err != nil {
+		t.Fatalf("default cost invalid: %v", err)
+	}
+	if good.Alpha != 0.2 || good.Beta != 10 {
+		t.Errorf("default alpha/beta = %v/%v, want 0.2/10 (paper A.2's alpha, rescaled beta)", good.Alpha, good.Beta)
+	}
+	for _, bad := range []CostConfig{
+		{Alpha: -0.1, Beta: 1, Power: power.DefaultConfig()},
+		{Alpha: 1.1, Beta: 1, Power: power.DefaultConfig()},
+		{Alpha: 0.5, Beta: 0, Power: power.DefaultConfig()},
+		{Alpha: math.NaN(), Beta: 1, Power: power.DefaultConfig()},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted %+v", bad)
+		}
+	}
+}
+
+func TestEnergyCostEquation5(t *testing.T) {
+	t.Parallel()
+	pcfg := power.DefaultConfig()
+	c := DefaultCost(pcfg)
+	v := &fakeView{
+		now: 100 * time.Second,
+		states: map[core.DiskID]core.DiskState{
+			0: core.StateActive,
+			1: core.StateSpinUp,
+			2: core.StateStandby,
+			3: core.StateSpinDown,
+			4: core.StateIdle,
+		},
+		lasts: map[core.DiskID]time.Duration{4: 90 * time.Second},
+	}
+	cycle := pcfg.UpDownEnergy() + pcfg.Breakeven().Seconds()*pcfg.IdlePower
+	tests := []struct {
+		name string
+		disk core.DiskID
+		want float64
+	}{
+		{"active is free", 0, 0},
+		{"spin-up is free", 1, 0},
+		{"standby pays a full cycle", 2, cycle},
+		{"spin-down pays a full cycle", 3, cycle},
+		{"idle pays the extension", 4, 10 * pcfg.IdlePower},
+	}
+	for _, tc := range tests {
+		if got := c.EnergyCost(v, tc.disk); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("%s: EnergyCost = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestEnergyCostIdleWithoutHistory(t *testing.T) {
+	t.Parallel()
+	pcfg := power.DefaultConfig()
+	c := DefaultCost(pcfg)
+	v := &fakeView{now: 7 * time.Second, states: map[core.DiskID]core.DiskState{0: core.StateIdle}}
+	if got := c.EnergyCost(v, 0); math.Abs(got-7*pcfg.IdlePower) > 1e-9 {
+		t.Errorf("idle-without-history cost = %v", got)
+	}
+}
+
+func TestCostEquation6Mixing(t *testing.T) {
+	t.Parallel()
+	pcfg := power.DefaultConfig()
+	v := &fakeView{
+		now:    time.Second,
+		states: map[core.DiskID]core.DiskState{0: core.StateStandby},
+		loads:  map[core.DiskID]int{0: 5},
+	}
+	cycle := pcfg.UpDownEnergy() + pcfg.Breakeven().Seconds()*pcfg.IdlePower
+	// alpha=1: energy only.
+	c := CostConfig{Alpha: 1, Beta: 100, Power: pcfg}
+	if got := c.Cost(v, 0); math.Abs(got-cycle/100) > 1e-9 {
+		t.Errorf("alpha=1 cost = %v, want %v", got, cycle/100)
+	}
+	// alpha=0: load only.
+	c.Alpha = 0
+	if got := c.Cost(v, 0); math.Abs(got-5) > 1e-9 {
+		t.Errorf("alpha=0 cost = %v, want 5", got)
+	}
+	// Mixed.
+	c.Alpha = 0.2
+	want := cycle*0.2/100 + 5*0.8
+	if got := c.Cost(v, 0); math.Abs(got-want) > 1e-9 {
+		t.Errorf("alpha=0.2 cost = %v, want %v", got, want)
+	}
+}
+
+func TestStaticAlwaysPicksOriginal(t *testing.T) {
+	t.Parallel()
+	s := Static{Locations: func(core.BlockID) []core.DiskID { return []core.DiskID{3, 1, 2} }}
+	for i := 0; i < 5; i++ {
+		if got := s.Schedule(core.Request{Block: 1}, &fakeView{}); got != 3 {
+			t.Fatalf("Static picked %v, want original disk 3", got)
+		}
+	}
+	none := Static{Locations: func(core.BlockID) []core.DiskID { return nil }}
+	if got := none.Schedule(core.Request{}, &fakeView{}); got != core.InvalidDisk {
+		t.Errorf("Static on unplaced block = %v", got)
+	}
+}
+
+func TestRandomIsUniformAcrossReplicas(t *testing.T) {
+	t.Parallel()
+	r := NewRandom(func(core.BlockID) []core.DiskID { return []core.DiskID{0, 1, 2} }, 42)
+	counts := map[core.DiskID]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[r.Schedule(core.Request{}, &fakeView{})]++
+	}
+	for d := core.DiskID(0); d < 3; d++ {
+		frac := float64(counts[d]) / n
+		if math.Abs(frac-1.0/3) > 0.02 {
+			t.Errorf("disk %d frequency %.3f, want ~0.333", d, frac)
+		}
+	}
+}
+
+func TestRandomDeterministicForSeed(t *testing.T) {
+	t.Parallel()
+	mk := func() *Random { return NewRandom(twoLocs, 9) }
+	a, b := mk(), mk()
+	for i := 0; i < 100; i++ {
+		if a.Schedule(core.Request{}, &fakeView{}) != b.Schedule(core.Request{}, &fakeView{}) {
+			t.Fatal("same-seed Random diverged")
+		}
+	}
+}
+
+func TestHeuristicPrefersCheapDisk(t *testing.T) {
+	t.Parallel()
+	pcfg := power.DefaultConfig()
+	h := Heuristic{Locations: twoLocs, Cost: DefaultCost(pcfg)}
+	// Disk 0 standby (expensive), disk 1 active (free): pick 1.
+	v := &fakeView{states: map[core.DiskID]core.DiskState{
+		0: core.StateStandby,
+		1: core.StateActive,
+	}}
+	if got := h.Schedule(core.Request{}, v); got != 1 {
+		t.Errorf("Heuristic picked %v, want active disk 1", got)
+	}
+}
+
+func TestHeuristicPrefersSpinUpOverIdle(t *testing.T) {
+	t.Parallel()
+	// Section 3.3: a spinning-up disk (E=0) beats an idle disk whose idle
+	// window would be extended.
+	pcfg := power.DefaultConfig()
+	h := Heuristic{Locations: twoLocs, Cost: CostConfig{Alpha: 1, Beta: 100, Power: pcfg}}
+	v := &fakeView{
+		now:    60 * time.Second,
+		states: map[core.DiskID]core.DiskState{0: core.StateIdle, 1: core.StateSpinUp},
+		lasts:  map[core.DiskID]time.Duration{0: 50 * time.Second},
+	}
+	if got := h.Schedule(core.Request{}, v); got != 1 {
+		t.Errorf("Heuristic picked %v, want spinning-up disk 1", got)
+	}
+}
+
+func TestHeuristicLoadBalancesWhenAlphaZero(t *testing.T) {
+	t.Parallel()
+	h := Heuristic{Locations: twoLocs, Cost: CostConfig{Alpha: 0, Beta: 100, Power: power.DefaultConfig()}}
+	v := &fakeView{
+		states: map[core.DiskID]core.DiskState{0: core.StateActive, 1: core.StateStandby},
+		loads:  map[core.DiskID]int{0: 10, 1: 0},
+	}
+	if got := h.Schedule(core.Request{}, v); got != 1 {
+		t.Errorf("alpha=0 Heuristic picked %v, want unloaded disk 1", got)
+	}
+}
+
+func TestWSCCoversBatchOnActiveDisk(t *testing.T) {
+	t.Parallel()
+	// Three requests, all replicated on disks {0,1}; disk 1 is active
+	// (free) so the whole batch should land there.
+	w := WSC{Locations: twoLocs, Cost: DefaultCost(power.DefaultConfig())}
+	v := &fakeView{states: map[core.DiskID]core.DiskState{
+		0: core.StateStandby,
+		1: core.StateActive,
+	}}
+	reqs := []core.Request{{ID: 0}, {ID: 1}, {ID: 2}}
+	got := w.ScheduleBatch(reqs, v)
+	for i, d := range got {
+		if d != 1 {
+			t.Errorf("request %d -> disk %v, want 1", i, d)
+		}
+	}
+}
+
+func TestWSCConsolidatesOntoFewerDisks(t *testing.T) {
+	t.Parallel()
+	// Figure 2's structure: the greedy cover should use 2 disks, not 3.
+	locs := [][]core.DiskID{
+		{0}, {0, 1}, {0, 1, 3}, {2, 3}, {0, 3}, {2, 3},
+	}
+	loc := func(b core.BlockID) []core.DiskID { return locs[b] }
+	w := WSC{Locations: loc, Cost: CostConfig{Alpha: 1, Beta: 1, Power: power.ToyConfig()}}
+	reqs := make([]core.Request, 6)
+	for i := range reqs {
+		reqs[i] = core.Request{ID: core.RequestID(i), Block: core.BlockID(i)}
+	}
+	got := w.ScheduleBatch(reqs, &fakeView{}) // all disks standby
+	used := map[core.DiskID]struct{}{}
+	for i, d := range got {
+		found := false
+		for _, l := range locs[i] {
+			if l == d {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("request %d assigned off-replica disk %v", i, d)
+		}
+		used[d] = struct{}{}
+	}
+	if len(used) != 2 {
+		t.Errorf("WSC used %d disks, want 2 (schedule B)", len(used))
+	}
+}
+
+func TestWSCHandlesUnplacedAndEmpty(t *testing.T) {
+	t.Parallel()
+	w := WSC{
+		Locations: func(b core.BlockID) []core.DiskID {
+			if b == 0 {
+				return nil
+			}
+			return []core.DiskID{2}
+		},
+		Cost: DefaultCost(power.DefaultConfig()),
+	}
+	got := w.ScheduleBatch([]core.Request{{ID: 0, Block: 0}, {ID: 1, Block: 1}}, &fakeView{})
+	if got[0] != core.InvalidDisk {
+		t.Errorf("unplaced request -> %v, want InvalidDisk", got[0])
+	}
+	if got[1] != 2 {
+		t.Errorf("placed request -> %v, want 2", got[1])
+	}
+	if out := w.ScheduleBatch(nil, &fakeView{}); len(out) != 0 {
+		t.Errorf("empty batch -> %v", out)
+	}
+}
+
+func TestPrecomputed(t *testing.T) {
+	t.Parallel()
+	p := Precomputed{Label: "energy-aware MWIS", Assignments: core.Schedule{3, 1}}
+	if p.Name() != "energy-aware MWIS" {
+		t.Errorf("Name = %q", p.Name())
+	}
+	if got := (Precomputed{}).Name(); got != "precomputed" {
+		t.Errorf("default name = %q", got)
+	}
+	v := &fakeView{}
+	if got := p.Schedule(core.Request{ID: 0}, v); got != 3 {
+		t.Errorf("Schedule(r0) = %v, want 3", got)
+	}
+	var o Online = p
+	if got := o.Schedule(core.Request{ID: 1}, v); got != 1 {
+		t.Errorf("Schedule(r1) = %v, want 1", got)
+	}
+	if got := o.Schedule(core.Request{ID: 99}, v); got != core.InvalidDisk {
+		t.Errorf("out-of-range = %v, want InvalidDisk", got)
+	}
+}
+
+// Property: every scheduler returns one of the block's replica locations
+// (or InvalidDisk for unplaced blocks), for arbitrary system states.
+func TestSchedulersReturnValidLocations(t *testing.T) {
+	t.Parallel()
+	pcfg := power.DefaultConfig()
+	f := func(seed int64, stateSeed uint8, load uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numDisks := 3
+		locs := [][]core.DiskID{}
+		for b := 0; b < 4; b++ {
+			n := 1 + rng.Intn(numDisks)
+			perm := rng.Perm(numDisks)
+			row := make([]core.DiskID, 0, n)
+			for _, d := range perm[:n] {
+				row = append(row, core.DiskID(d))
+			}
+			locs = append(locs, row)
+		}
+		loc := func(b core.BlockID) []core.DiskID { return locs[b] }
+		v := &fakeView{
+			now:    time.Duration(rng.Int63n(int64(time.Hour))),
+			states: map[core.DiskID]core.DiskState{},
+			loads:  map[core.DiskID]int{0: int(load) % 7},
+			lasts:  map[core.DiskID]time.Duration{},
+		}
+		for d := core.DiskID(0); d < 3; d++ {
+			v.states[d] = core.DiskState(int(stateSeed+uint8(d))%5 + 1)
+		}
+		contains := func(ds []core.DiskID, d core.DiskID) bool {
+			for _, x := range ds {
+				if x == d {
+					return true
+				}
+			}
+			return false
+		}
+		schedulers := []Online{
+			NewRandom(loc, seed),
+			Static{Locations: loc},
+			Heuristic{Locations: loc, Cost: DefaultCost(pcfg)},
+		}
+		for b := core.BlockID(0); b < 4; b++ {
+			req := core.Request{Block: b}
+			for _, s := range schedulers {
+				if d := s.Schedule(req, v); !contains(locs[b], d) {
+					return false
+				}
+			}
+		}
+		w := WSC{Locations: loc, Cost: DefaultCost(pcfg)}
+		batch := []core.Request{{ID: 0, Block: 0}, {ID: 1, Block: 1}, {ID: 2, Block: 2}}
+		for i, d := range w.ScheduleBatch(batch, v) {
+			if !contains(locs[batch[i].Block], d) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,173 @@
+// Package simkernel provides a deterministic discrete-event simulation
+// kernel: a virtual clock and a priority event queue.
+//
+// It replaces the role OMNeT++ plays in the paper's evaluation (Section 4).
+// Events scheduled for the same instant fire in FIFO order of scheduling,
+// which keeps runs bit-for-bit reproducible for a fixed seed.
+package simkernel
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"time"
+)
+
+// Event is a callback executed at a virtual time.
+type Event func(now time.Duration)
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	item *eventItem
+}
+
+// Cancelled reports whether the handle's event has been cancelled or already
+// fired. A zero Handle reports true.
+func (h Handle) Cancelled() bool {
+	return h.item == nil || h.item.cancelled || h.item.index == fired
+}
+
+type eventItem struct {
+	at        time.Duration
+	seq       uint64
+	fn        Event
+	index     int // heap index, or `fired` once popped
+	cancelled bool
+}
+
+const fired = -2
+
+type eventHeap []*eventItem
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	it := x.(*eventItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.index = fired
+	*h = old[:n-1]
+	return it
+}
+
+// Engine is a discrete-event simulator. The zero value is ready to use.
+type Engine struct {
+	now    time.Duration
+	seq    uint64
+	queue  eventHeap
+	fired  uint64
+	halted bool
+}
+
+// ErrPast is returned when an event is scheduled before the current virtual
+// time.
+var ErrPast = errors.New("simkernel: event scheduled in the past")
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Pending returns the number of events still queued (including cancelled
+// events not yet reaped).
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Fired returns the number of events executed so far.
+func (e *Engine) Fired() uint64 { return e.fired }
+
+// At schedules fn to run at absolute virtual time t. Scheduling in the past
+// panics: it always indicates a simulator bug, never an input problem.
+func (e *Engine) At(t time.Duration, fn Event) Handle {
+	if t < e.now {
+		panic(fmt.Errorf("%w: at=%s now=%s", ErrPast, t, e.now))
+	}
+	it := &eventItem{at: t, seq: e.seq, fn: fn}
+	e.seq++
+	heap.Push(&e.queue, it)
+	return Handle{item: it}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn Event) Handle {
+	return e.At(e.now+d, fn)
+}
+
+// Cancel prevents the handled event from firing. Cancelling an already-fired
+// or zero handle is a no-op.
+func (e *Engine) Cancel(h Handle) {
+	if h.item == nil || h.item.index == fired {
+		return
+	}
+	h.item.cancelled = true
+}
+
+// Halt stops the run loop after the currently executing event returns.
+func (e *Engine) Halt() { e.halted = true }
+
+// Step executes the next non-cancelled event, advancing the clock. It
+// returns false when the queue is empty.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		it := heap.Pop(&e.queue).(*eventItem)
+		if it.cancelled {
+			continue
+		}
+		e.now = it.at
+		e.fired++
+		it.fn(e.now)
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue is empty or Halt is called, and
+// returns the final virtual time.
+func (e *Engine) Run() time.Duration {
+	e.halted = false
+	for !e.halted && e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= deadline; the clock is then
+// advanced to the deadline even if no event fired exactly there.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	e.halted = false
+	for !e.halted {
+		next, ok := e.peek()
+		if !ok || next > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// peek returns the timestamp of the next live event.
+func (e *Engine) peek() (time.Duration, bool) {
+	for len(e.queue) > 0 {
+		if e.queue[0].cancelled {
+			heap.Pop(&e.queue)
+			continue
+		}
+		return e.queue[0].at, true
+	}
+	return 0, false
+}

@@ -1,0 +1,266 @@
+package storage
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/workload"
+)
+
+func TestValidateFailures(t *testing.T) {
+	t.Parallel()
+	tests := []struct {
+		name   string
+		events []FailureEvent
+		ok     bool
+	}{
+		{"valid", []FailureEvent{{Disk: 0, At: time.Second, Duration: time.Minute}}, true},
+		{"nonexistent disk", []FailureEvent{{Disk: 99, At: 0, Duration: time.Second}}, false},
+		{"negative time", []FailureEvent{{Disk: 0, At: -1, Duration: time.Second}}, false},
+		{"zero duration", []FailureEvent{{Disk: 0, At: 0, Duration: 0}}, false},
+		{"overlap same disk", []FailureEvent{
+			{Disk: 1, At: 0, Duration: time.Minute},
+			{Disk: 1, At: 30 * time.Second, Duration: time.Minute},
+		}, false},
+		{"adjacent same disk ok", []FailureEvent{
+			{Disk: 1, At: 0, Duration: time.Minute},
+			{Disk: 1, At: time.Minute, Duration: time.Minute},
+		}, true},
+		{"overlap different disks ok", []FailureEvent{
+			{Disk: 1, At: 0, Duration: time.Minute},
+			{Disk: 2, At: 0, Duration: time.Minute},
+		}, true},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			err := validateFailures(tc.events, 4)
+			if (err == nil) != tc.ok {
+				t.Errorf("err = %v, want ok=%v", err, tc.ok)
+			}
+		})
+	}
+}
+
+func TestFailureRedirectsToSurvivingReplica(t *testing.T) {
+	t.Parallel()
+	// Two disks, one block replicated on both; disk 0 fails before the
+	// request arrives, so it must be served by disk 1.
+	loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0, 1} }
+	reqs := []core.Request{{ID: 0, Block: 0, Arrival: time.Minute}}
+	res, err := RunOnline(smallConfig(2), loc, sched.Static{Locations: loc}, reqs,
+		WithFailures(FailureEvent{Disk: 0, At: time.Second, Duration: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 1 || res.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d", res.Served, res.Dropped)
+	}
+	if res.PerDisk[0].Served != 0 || res.PerDisk[1].Served != 1 {
+		t.Errorf("per-disk served = %d/%d, want 0/1", res.PerDisk[0].Served, res.PerDisk[1].Served)
+	}
+}
+
+func TestFailureDrainsInFlightWork(t *testing.T) {
+	t.Parallel()
+	// Requests land on disk 0 at t=0; the disk fails mid-spin-up at t=2s.
+	// All drained requests must be re-dispatched to disk 1 and served.
+	loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0, 1} }
+	var reqs []core.Request
+	for i := 0; i < 5; i++ {
+		reqs = append(reqs, core.Request{ID: core.RequestID(i), Block: 0, Arrival: time.Duration(i) * 100 * time.Millisecond})
+	}
+	res, err := RunOnline(smallConfig(2), loc, sched.Static{Locations: loc}, reqs,
+		WithFailures(FailureEvent{Disk: 0, At: 2 * time.Second, Duration: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 5 {
+		t.Fatalf("served = %d, want 5", res.Served)
+	}
+	if res.Redispatched == 0 {
+		t.Error("no requests re-dispatched despite failing a loaded disk")
+	}
+	if res.PerDisk[1].Served != 5 {
+		t.Errorf("disk 1 served %d, want all 5", res.PerDisk[1].Served)
+	}
+}
+
+func TestFailureUnavailableWhenAllReplicasDown(t *testing.T) {
+	t.Parallel()
+	loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0} }
+	reqs := []core.Request{{ID: 0, Block: 0, Arrival: time.Minute}}
+	res, err := RunOnline(smallConfig(2), loc, sched.Static{Locations: loc}, reqs,
+		WithFailures(FailureEvent{Disk: 0, At: time.Second, Duration: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 0 || res.Dropped != 1 || res.Unavailable != 1 {
+		t.Fatalf("served/dropped/unavailable = %d/%d/%d, want 0/1/1",
+			res.Served, res.Dropped, res.Unavailable)
+	}
+}
+
+func TestRepairRestoresService(t *testing.T) {
+	t.Parallel()
+	loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0} }
+	reqs := []core.Request{
+		{ID: 0, Block: 0, Arrival: time.Minute},      // during the outage: lost
+		{ID: 1, Block: 0, Arrival: 10 * time.Minute}, // after repair: served
+	}
+	res, err := RunOnline(smallConfig(2), loc, sched.Static{Locations: loc}, reqs,
+		WithFailures(FailureEvent{Disk: 0, At: time.Second, Duration: 5 * time.Minute}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 1 || res.Unavailable != 1 {
+		t.Fatalf("served/unavailable = %d/%d, want 1/1", res.Served, res.Unavailable)
+	}
+}
+
+func TestFailureRejectsBadEvents(t *testing.T) {
+	t.Parallel()
+	loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0} }
+	_, err := RunOnline(smallConfig(2), loc, sched.Static{Locations: loc}, nil,
+		WithFailures(FailureEvent{Disk: 9, At: 0, Duration: time.Second}))
+	if err == nil {
+		t.Error("accepted failure event for nonexistent disk")
+	}
+}
+
+func TestBatchRunWithFailures(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 8, 100, 400, 2, 11)
+	w := sched.WSC{Locations: p.Locations, Cost: sched.DefaultCost(smallConfig(8).Power)}
+	res, err := RunBatch(smallConfig(8), p.Locations, w, reqs, 100*time.Millisecond,
+		WithFailures(
+			FailureEvent{Disk: 0, At: 30 * time.Second, Duration: 5 * time.Minute},
+			FailureEvent{Disk: 3, At: time.Minute, Duration: 5 * time.Minute},
+		))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served+res.Dropped != 400 {
+		t.Fatalf("served %d + dropped %d != 400", res.Served, res.Dropped)
+	}
+	// With rf=2 over 8 disks and only two concurrent failures, nearly all
+	// requests must find a surviving replica.
+	if res.Unavailable > 40 {
+		t.Errorf("unavailable = %d, too many for rf=2 with 2 failed disks", res.Unavailable)
+	}
+}
+
+// Property: with replication factor >= 2 and at most one failed disk at
+// any time, every request is served (no block is confined to one disk).
+func TestSingleFailureNeverLosesRequestsProperty(t *testing.T) {
+	t.Parallel()
+	f := func(seed int64, diskRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numDisks := 6
+		reqs, p := func() ([]core.Request, sched.Locator) {
+			plc, err := placementGen(numDisks, 200, 2, seed)
+			if err != nil {
+				return nil, nil
+			}
+			return workload.CelloLike(300, 200, seed), plc
+		}()
+		if p == nil {
+			return false
+		}
+		failAt := time.Duration(rng.Int63n(int64(5 * time.Minute)))
+		ev := FailureEvent{
+			Disk:     core.DiskID(int(diskRaw) % numDisks),
+			At:       failAt,
+			Duration: time.Duration(rng.Int63n(int64(10*time.Minute))) + time.Second,
+		}
+		res, err := RunOnline(smallConfig(numDisks), p,
+			sched.Heuristic{Locations: p, Cost: sched.DefaultCost(smallConfig(numDisks).Power)},
+			reqs, WithFailures(ev))
+		if err != nil {
+			return false
+		}
+		return res.Served == 300 && res.Unavailable == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// placementGen builds a uniform-replica placement locator for tests.
+func placementGen(numDisks, numBlocks, rf int, seed int64) (sched.Locator, error) {
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: numDisks, NumBlocks: numBlocks,
+		ReplicationFactor: rf, ZipfExponent: 1, Seed: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return plc.Locations, nil
+}
+
+func TestBatchFailureRequeuesDrainedWork(t *testing.T) {
+	t.Parallel()
+	// Pile work onto disk 0 via batch scheduling, fail it mid-spin-up, and
+	// confirm the drained requests re-enter a later batch and are served
+	// by the surviving replica.
+	loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0, 1} }
+	cost := sched.CostConfig{Alpha: 1, Beta: 1, Power: smallConfig(2).Power}
+	w := sched.WSC{Locations: loc, Cost: cost}
+	var reqs []core.Request
+	for i := 0; i < 6; i++ {
+		reqs = append(reqs, core.Request{ID: core.RequestID(i), Block: 0, Arrival: time.Duration(i) * 200 * time.Millisecond})
+	}
+	res, err := RunBatch(smallConfig(2), loc, w, reqs, 100*time.Millisecond,
+		WithFailures(FailureEvent{Disk: 0, At: 3 * time.Second, Duration: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 6 {
+		t.Fatalf("served = %d, want 6", res.Served)
+	}
+	if res.Redispatched == 0 {
+		t.Error("expected drained requests to be re-dispatched through a batch")
+	}
+	if res.PerDisk[1].Served == 0 {
+		t.Error("surviving replica served nothing")
+	}
+}
+
+func TestCacheWriteInvalidationThroughStorage(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 8, 200, 600, 2, 21)
+	// Mark half the stream as writes: they bypass and invalidate the cache.
+	mixed := make([]core.Request, len(reqs))
+	copy(mixed, reqs)
+	for i := range mixed {
+		if i%2 == 1 {
+			mixed[i].Write = true
+		}
+	}
+	c, err := cache.New(50, cache.LRU, p.Locations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(8)
+	res, err := RunOnline(cfg, p.Locations,
+		sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power)},
+		mixed, WithCache(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != len(mixed) {
+		t.Fatalf("served = %d", res.Served)
+	}
+	st := c.Stats()
+	// Only reads consult the cache.
+	if st.Hits+st.Misses != len(mixed)/2 {
+		t.Errorf("cache accesses = %d, want %d reads only", st.Hits+st.Misses, len(mixed)/2)
+	}
+}

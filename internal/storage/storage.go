@@ -1,0 +1,419 @@
+// Package storage assembles the full simulated storage system of Figure 1:
+// a scheduler (online or batch), a population of disks with their power
+// manager, and the data-placement lookup. It drives a request stream
+// through the system on the discrete-event kernel and reports the paper's
+// evaluation metrics: energy, spin-up/down operations, response times and
+// per-disk state breakdowns.
+package storage
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/metrics"
+	"repro/internal/offline"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/simkernel"
+)
+
+// Config describes the simulated system.
+type Config struct {
+	NumDisks int
+	Power    power.Config
+	Mech     diskmodel.MechConfig
+	// Policy defaults to 2CPM over Power when nil.
+	Policy power.Policy
+	// InitialState defaults to standby (the paper's assumption); always-on
+	// baselines pass core.StateIdle.
+	InitialState core.DiskState
+	// Discipline selects each disk's queue service order (default FIFO).
+	Discipline diskmodel.Discipline
+}
+
+// DefaultConfig returns the paper's evaluation system: 180 disks, Cheetah
+// mechanics, Barracuda-class power, 2CPM (Section 4).
+func DefaultConfig() Config {
+	p := power.DefaultConfig()
+	return Config{
+		NumDisks: 180,
+		Power:    p,
+		Mech:     diskmodel.Cheetah15K5(),
+		Policy:   power.TwoCompetitive{Config: p},
+	}
+}
+
+func (c Config) validate() error {
+	if c.NumDisks <= 0 {
+		return fmt.Errorf("storage: NumDisks = %d", c.NumDisks)
+	}
+	if err := c.Power.Validate(); err != nil {
+		return err
+	}
+	return c.Mech.Validate()
+}
+
+// Result aggregates one simulation run.
+type Result struct {
+	Scheduler string
+	// Energy is the total energy of all disks over the horizon, in joules.
+	Energy float64
+	// AlwaysOnEnergy is the normalization baseline: every disk idling over
+	// the same horizon (the paper's Figures 6, 10, 14 denominators).
+	AlwaysOnEnergy float64
+	SpinUps        int
+	SpinDowns      int
+	Served         int
+	// Dropped counts requests that could not be served: blocks with no
+	// replica locations plus blocks whose every replica was failed.
+	Dropped int
+	// Unavailable is the subset of Dropped caused by failures.
+	Unavailable int
+	// Redispatched counts requests drained from failing disks and resent.
+	Redispatched int
+	Horizon      time.Duration
+	Response     metrics.ResponseTimes
+	PerDisk      []diskmodel.Stats
+}
+
+// NormalizedEnergy returns Energy / AlwaysOnEnergy (Figure 6's y-axis).
+func (r *Result) NormalizedEnergy() float64 { return r.Energy / r.AlwaysOnEnergy }
+
+// system wires an engine, disks and metrics together and implements
+// sched.View.
+type system struct {
+	cfg          Config
+	eng          simkernel.Engine
+	disks        []*diskmodel.Disk
+	resp         metrics.ResponseTimes
+	err          error
+	served       int
+	dropped      int
+	unavailable  int
+	redispatched int
+}
+
+var _ sched.View = (*system)(nil)
+
+func newSystem(cfg Config, o runOptions) (*system, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	policy := cfg.Policy
+	if policy == nil {
+		policy = power.TwoCompetitive{Config: cfg.Power}
+	}
+	var onTrans func(core.DiskID, time.Duration, core.DiskState, core.DiskState)
+	if o.stateLog != nil {
+		onTrans = func(d core.DiskID, now time.Duration, from, to core.DiskState) {
+			fmt.Fprintf(o.stateLog, "%.6f,%d,%s,%s\n", now.Seconds(), d, from, to)
+		}
+	}
+	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks)}
+	for i := range s.disks {
+		d, err := diskmodel.New(core.DiskID(i), cfg.Mech, cfg.Power, policy, &s.eng,
+			func(req core.Request, done time.Duration) {
+				s.resp.Add(done - req.Arrival)
+				s.served++
+			},
+			diskmodel.Options{
+				InitialState: cfg.InitialState,
+				Discipline:   cfg.Discipline,
+				OnTransition: onTrans,
+			})
+		if err != nil {
+			return nil, err
+		}
+		s.disks[i] = d
+	}
+	return s, nil
+}
+
+// Now implements sched.View.
+func (s *system) Now() time.Duration { return s.eng.Now() }
+
+// DiskState implements sched.View.
+func (s *system) DiskState(d core.DiskID) core.DiskState { return s.disks[d].State() }
+
+// Load implements sched.View.
+func (s *system) Load(d core.DiskID) int { return s.disks[d].Load() }
+
+// LastRequestTime implements sched.View.
+func (s *system) LastRequestTime(d core.DiskID) (time.Duration, bool) {
+	return s.disks[d].LastRequestTime()
+}
+
+// fail records the first simulation error and halts the run.
+func (s *system) fail(err error) {
+	if s.err == nil {
+		s.err = err
+		s.eng.Halt()
+	}
+}
+
+// dispatch validates the scheduling decision and submits the request.
+func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator) {
+	if d == core.InvalidDisk {
+		s.dropped++
+		return
+	}
+	if d < 0 || int(d) >= len(s.disks) {
+		s.fail(fmt.Errorf("storage: scheduler chose nonexistent disk %d for %v", d, req))
+		return
+	}
+	valid := false
+	for _, l := range loc(req.Block) {
+		if l == d {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		s.fail(fmt.Errorf("storage: scheduler chose off-replica disk %d for %v", d, req))
+		return
+	}
+	s.disks[d].Submit(req)
+}
+
+// finish drains the engine up to the workload horizon (not beyond it for
+// administrative events such as distant repairs), extends accounting to
+// the normalization horizon, and collects results.
+func (s *system) finish(name string, reqs []core.Request) (*Result, error) {
+	end := s.eng.RunUntil(offline.Horizon(reqs, s.cfg.Power))
+	if s.err != nil {
+		return nil, s.err
+	}
+	// Late completions: keep stepping while disks still hold work (long
+	// queues can outlive the nominal horizon), then let the trailing idle
+	// timeouts and spin-downs settle.
+	stepped := false
+	for s.err == nil {
+		outstanding := 0
+		for _, d := range s.disks {
+			outstanding += d.Load()
+		}
+		if outstanding == 0 {
+			break
+		}
+		if !s.eng.Step() {
+			break
+		}
+		stepped = true
+	}
+	if s.err != nil {
+		return nil, s.err
+	}
+	if stepped && s.eng.Now() > end {
+		tail := s.cfg.Power.Breakeven() + s.cfg.Power.SpinDownTime + time.Second
+		end = s.eng.RunUntil(s.eng.Now() + tail)
+	}
+	res := &Result{
+		Scheduler:    name,
+		Served:       s.served,
+		Dropped:      s.dropped,
+		Unavailable:  s.unavailable,
+		Redispatched: s.redispatched,
+		Horizon:      end,
+		Response:     s.resp,
+		PerDisk:      make([]diskmodel.Stats, len(s.disks)),
+	}
+	for i, d := range s.disks {
+		st := d.Close()
+		res.PerDisk[i] = st
+		res.Energy += st.Energy
+		res.SpinUps += st.SpinUps
+		res.SpinDowns += st.SpinDowns
+	}
+	res.AlwaysOnEnergy = offline.AlwaysOnEnergy(s.cfg.Power, s.cfg.NumDisks, end)
+	if want := len(reqs) - s.dropped; s.served != want {
+		return nil, fmt.Errorf("storage: served %d of %d requests", s.served, want)
+	}
+	return res, nil
+}
+
+// ReadCache absorbs read requests before they reach the scheduler. Access
+// returns true on a hit (the request is served from memory) and admits the
+// block on a miss. internal/cache provides LRU and power-aware
+// implementations.
+type ReadCache interface {
+	Access(b core.BlockID, v sched.View) bool
+}
+
+// WriteInvalidator is optionally implemented by caches that must drop a
+// block when it is overwritten.
+type WriteInvalidator interface {
+	Invalidate(b core.BlockID)
+}
+
+// RunOption configures a simulation run.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	cache    ReadCache
+	failures []FailureEvent
+	stateLog io.Writer
+}
+
+// WithCache places a block cache in front of the scheduler: read hits are
+// served from memory (no disk activity, ~zero latency at this time scale)
+// and writes invalidate cached copies.
+func WithCache(c ReadCache) RunOption {
+	return func(o *runOptions) { o.cache = c }
+}
+
+func applyOptions(opts []RunOption) runOptions {
+	var o runOptions
+	for _, opt := range opts {
+		opt(&o)
+	}
+	return o
+}
+
+// cacheHitLatency stands in for a DRAM access — effectively instant at the
+// power-management time scale but nonzero so percentile plots keep hits
+// visible.
+const cacheHitLatency = 100 * time.Microsecond
+
+// lookupCache serves a request from the cache when possible, returning
+// true if the request is fully absorbed.
+func (s *system) lookupCache(o runOptions, r core.Request) bool {
+	if o.cache == nil {
+		return false
+	}
+	if r.Write {
+		if inv, ok := o.cache.(WriteInvalidator); ok {
+			inv.Invalidate(r.Block)
+		}
+		return false
+	}
+	if o.cache.Access(r.Block, s) {
+		s.resp.Add(cacheHitLatency)
+		s.served++
+		return true
+	}
+	return false
+}
+
+// RunOnline simulates the online scheduling model (Section 2.2): every
+// request is assigned to a disk the moment it arrives.
+func RunOnline(cfg Config, loc sched.Locator, scheduler sched.Online, reqs []core.Request, opts ...RunOption) (*Result, error) {
+	if scheduler == nil || loc == nil {
+		return nil, errors.New("storage: nil scheduler or locator")
+	}
+	o := applyOptions(opts)
+	s, err := newSystem(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	deliver := func(r core.Request) {
+		d := scheduler.Schedule(r, s)
+		if len(o.failures) > 0 {
+			s.dispatchWithFailover(r, d, loc)
+			return
+		}
+		s.dispatch(r, d, loc)
+	}
+	if len(o.failures) > 0 {
+		if err := s.armFailures(o.failures, func(r core.Request) {
+			s.redispatched++
+			deliver(r)
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range reqs {
+		r := r
+		s.eng.At(r.Arrival, func(time.Duration) {
+			if s.lookupCache(o, r) {
+				return
+			}
+			deliver(r)
+		})
+	}
+	return s.finish(scheduler.Name(), reqs)
+}
+
+// RunBatch simulates the batch scheduling model (Section 2.2): arrivals
+// queue up and the whole batch is scheduled together at each interval
+// boundary, so requests see queueing delay on top of any spin-up delay.
+func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.Request, interval time.Duration, opts ...RunOption) (*Result, error) {
+	if scheduler == nil || loc == nil {
+		return nil, errors.New("storage: nil scheduler or locator")
+	}
+	if interval <= 0 {
+		return nil, fmt.Errorf("storage: batch interval %s must be positive", interval)
+	}
+	o := applyOptions(opts)
+	s, err := newSystem(cfg, o)
+	if err != nil {
+		return nil, err
+	}
+	deliver := func(r core.Request, d core.DiskID) {
+		if len(o.failures) > 0 {
+			s.dispatchWithFailover(r, d, loc)
+			return
+		}
+		s.dispatch(r, d, loc)
+	}
+	var pending []core.Request
+	tickScheduled := false
+
+	var tick func(now time.Duration)
+	tick = func(now time.Duration) {
+		tickScheduled = false
+		if len(pending) == 0 {
+			return
+		}
+		batch := pending
+		pending = nil
+		assignment := scheduler.ScheduleBatch(batch, s)
+		if len(assignment) != len(batch) {
+			s.fail(fmt.Errorf("storage: batch scheduler returned %d assignments for %d requests",
+				len(assignment), len(batch)))
+			return
+		}
+		for i, r := range batch {
+			deliver(r, assignment[i])
+		}
+	}
+	if len(o.failures) > 0 {
+		if err := s.armFailures(o.failures, func(r core.Request) {
+			s.redispatched++
+			// Re-queue into the next batch tick.
+			pending = append(pending, r)
+			if !tickScheduled {
+				tickScheduled = true
+				boundary := (s.eng.Now()/interval + 1) * interval
+				s.eng.At(boundary, tick)
+			}
+		}); err != nil {
+			return nil, err
+		}
+	}
+	for _, r := range reqs {
+		r := r
+		s.eng.At(r.Arrival, func(now time.Duration) {
+			if s.lookupCache(o, r) {
+				return
+			}
+			pending = append(pending, r)
+			if !tickScheduled {
+				tickScheduled = true
+				boundary := (now/interval + 1) * interval
+				s.eng.At(boundary, tick)
+			}
+		})
+	}
+	return s.finish(scheduler.Name(), reqs)
+}
+
+// WithStateLog streams every disk power-state transition to w as CSV
+// ("seconds,disk,from,to"), enabling external timeline visualization of
+// runs (the raw data behind Figure 9-style plots).
+func WithStateLog(w io.Writer) RunOption {
+	return func(o *runOptions) { o.stateLog = w }
+}

@@ -1,0 +1,272 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"repro/internal/core"
+)
+
+func TestGenerateValidation(t *testing.T) {
+	t.Parallel()
+	valid := Config{NumRequests: 10, NumBlocks: 5, PopularityZipf: 1, Arrivals: Poisson{Rate: 1}}
+	if _, err := Generate(valid); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	tests := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"negative requests", func(c *Config) { c.NumRequests = -1 }},
+		{"zero blocks", func(c *Config) { c.NumBlocks = 0 }},
+		{"nil arrivals", func(c *Config) { c.Arrivals = nil }},
+		{"negative zipf", func(c *Config) { c.PopularityZipf = -1 }},
+		{"negative block size", func(c *Config) { c.BlockSize = -4 }},
+	}
+	for _, tc := range tests {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := valid
+			tc.mutate(&cfg)
+			if _, err := Generate(cfg); err == nil {
+				t.Errorf("Generate accepted %+v", cfg)
+			}
+		})
+	}
+}
+
+func TestGenerateStreamShape(t *testing.T) {
+	t.Parallel()
+	reqs, err := Generate(Config{
+		NumRequests: 1000, NumBlocks: 300, PopularityZipf: 1,
+		Arrivals: Poisson{Rate: 5}, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reqs) != 1000 {
+		t.Fatalf("len = %d", len(reqs))
+	}
+	for i, r := range reqs {
+		if r.ID != core.RequestID(i) {
+			t.Fatalf("request %d has ID %d, want dense IDs", i, r.ID)
+		}
+		if r.Block < 0 || int(r.Block) >= 300 {
+			t.Fatalf("request %d block %d out of range", i, r.Block)
+		}
+		if r.Size != 512<<10 {
+			t.Fatalf("request %d size %d, want default 512 KB", i, r.Size)
+		}
+		if r.LBA < 0 {
+			t.Fatalf("request %d negative LBA", i)
+		}
+		if i > 0 && r.Arrival < reqs[i-1].Arrival {
+			t.Fatalf("arrivals not sorted at %d", i)
+		}
+	}
+}
+
+func TestGenerateDeterministicForSeed(t *testing.T) {
+	t.Parallel()
+	cfg := Config{NumRequests: 200, NumBlocks: 50, PopularityZipf: 1, Arrivals: Poisson{Rate: 3}, Seed: 5}
+	a, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("request %d differs between same-seed generations", i)
+		}
+	}
+}
+
+func TestBlockLBAStableAndInRange(t *testing.T) {
+	t.Parallel()
+	f := func(b int64) bool {
+		lba := blockLBA(core.BlockID(b))
+		return lba >= 0 && lba < 586072368 && lba == blockLBA(core.BlockID(b))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPoissonGapStatistics(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	p := Poisson{Rate: 10}
+	var total time.Duration
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := p.NextGap(rng)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		total += g
+	}
+	mean := total.Seconds() / n
+	if mean < 0.095 || mean > 0.105 {
+		t.Errorf("mean gap = %.4fs, want ~0.1s", mean)
+	}
+}
+
+func TestPoissonPanicsOnBadRate(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("Poisson rate 0 did not panic")
+		}
+	}()
+	Poisson{}.NextGap(rand.New(rand.NewSource(1)))
+}
+
+func TestBurstyPanicsOnBadParams(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid BurstyOnOff did not panic")
+		}
+	}()
+	(&BurstyOnOff{BurstRate: -1}).NextGap(rand.New(rand.NewSource(1)))
+}
+
+func TestCelloLikeIsBurstierThanFinancialLike(t *testing.T) {
+	t.Parallel()
+	cello := Analyze(CelloLike(20000, 8000, 1))
+	fin := Analyze(FinancialLike(20000, 8000, 1))
+	if cello.CoV <= 2 {
+		t.Errorf("Cello-like CoV = %.2f, want heavy burstiness (> 2)", cello.CoV)
+	}
+	if fin.CoV > 1.5 {
+		t.Errorf("Financial-like CoV = %.2f, want near-Poisson (~1)", fin.CoV)
+	}
+	if cello.CoV < 2*fin.CoV {
+		t.Errorf("Cello CoV %.2f not clearly burstier than Financial %.2f", cello.CoV, fin.CoV)
+	}
+}
+
+func TestCelloLikeScaleMatchesPaper(t *testing.T) {
+	t.Parallel()
+	reqs := CelloLike(70000, 31000, 2)
+	s := Analyze(reqs)
+	if s.Count != 70000 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	// Section 4.1: 70,000 requests over a 30,000+ block universe. With Zipf
+	// popularity a fair share of blocks is never touched; require that the
+	// stream still spreads over a wide working set.
+	if s.UniqueBlocks < 12000 {
+		t.Errorf("unique blocks = %d, want a wide working set", s.UniqueBlocks)
+	}
+	// Several hours of trace time so disks see idle gaps beyond breakeven.
+	if s.Duration < time.Hour {
+		t.Errorf("duration = %v, want multi-hour trace", s.Duration)
+	}
+}
+
+func TestPopularitySkew(t *testing.T) {
+	t.Parallel()
+	reqs := CelloLike(50000, 10000, 3)
+	counts := map[core.BlockID]int{}
+	for _, r := range reqs {
+		counts[r.Block]++
+	}
+	freq := make([]int, 0, len(counts))
+	for _, c := range counts {
+		freq = append(freq, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(freq)))
+	top := 0
+	for _, c := range freq[:len(freq)/100] { // top 1% of touched blocks
+		top += c
+	}
+	if frac := float64(top) / 50000; frac < 0.1 {
+		t.Errorf("top 1%% blocks draw %.1f%% of requests, want Zipf-like skew (>10%%)", frac*100)
+	}
+}
+
+func TestAnalyzeEdgeCases(t *testing.T) {
+	t.Parallel()
+	if s := Analyze(nil); s.Count != 0 || s.CoV != 0 {
+		t.Errorf("empty stats = %+v", s)
+	}
+	one := []core.Request{{ID: 0, Block: 1, Arrival: time.Second}}
+	if s := Analyze(one); s.Count != 1 || s.UniqueBlocks != 1 || s.Duration != 0 {
+		t.Errorf("single-request stats = %+v", s)
+	}
+}
+
+func TestGenerateZeroRequests(t *testing.T) {
+	t.Parallel()
+	reqs, err := Generate(Config{NumRequests: 0, NumBlocks: 1, Arrivals: Poisson{Rate: 1}})
+	if err != nil || len(reqs) != 0 {
+		t.Errorf("zero requests: %v, %v", reqs, err)
+	}
+}
+
+func TestDiurnalModulatesRate(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(4))
+	d := &Diurnal{Base: Poisson{Rate: 10}, Period: time.Hour, Amplitude: 0.9}
+	// Collect arrivals over two periods and compare the busiest and
+	// quietest quarter-hour bucket counts.
+	buckets := map[int]int{}
+	now := time.Duration(0)
+	for now < 2*time.Hour {
+		g := d.NextGap(rng)
+		if g < 0 {
+			t.Fatal("negative gap")
+		}
+		now += g
+		buckets[int(now/(15*time.Minute))]++
+	}
+	min, max := 1<<30, 0
+	for b := 0; b < 8; b++ {
+		c := buckets[b]
+		if c < min {
+			min = c
+		}
+		if c > max {
+			max = c
+		}
+	}
+	if max < 3*min {
+		t.Errorf("diurnal modulation too weak: min bucket %d, max bucket %d", min, max)
+	}
+}
+
+func TestDiurnalPanicsOnBadConfig(t *testing.T) {
+	t.Parallel()
+	rng := rand.New(rand.NewSource(1))
+	for _, d := range []*Diurnal{
+		{Base: nil, Period: time.Hour, Amplitude: 0.5},
+		{Base: Poisson{Rate: 1}, Period: 0, Amplitude: 0.5},
+		{Base: Poisson{Rate: 1}, Period: time.Hour, Amplitude: 1},
+	} {
+		d := d
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", d)
+				}
+			}()
+			d.NextGap(rng)
+		}()
+	}
+}
+
+func TestDiurnalName(t *testing.T) {
+	t.Parallel()
+	d := &Diurnal{Base: Poisson{Rate: 2}, Period: time.Hour, Amplitude: 0.5}
+	if got := d.Name(); got != "diurnal(poisson(2.00/s), 50%, 1h0m0s)" {
+		t.Errorf("Name = %q", got)
+	}
+}

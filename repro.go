@@ -1,0 +1,299 @@
+// Package repro is an energy-aware disk storage system scheduler and
+// simulator: a from-scratch Go reproduction of "Exploiting Replication for
+// Energy-Aware Scheduling in Disk Storage Systems" (Chou, Kim, Rotem;
+// ICDCS 2011).
+//
+// The library schedules read requests across the existing replicas of each
+// block so that as many disks as possible stay spun down under a
+// fixed-threshold power manager (2CPM), without moving any data. It
+// provides:
+//
+//   - the paper's five schedulers: Random and Static baselines, the online
+//     cost-function Heuristic, the weighted-set-cover batch scheduler, and
+//     the offline MWIS pipeline with exact and greedy solvers;
+//   - a discrete-event storage-system simulator (disk mechanics, power
+//     states, 2CPM) replacing the paper's OMNeT++/DiskSim setup;
+//   - synthetic Cello-like and Financial1-like workload generators plus
+//     SPC and SRT-text trace parsers for real traces;
+//   - an experiment harness regenerating every figure of the paper's
+//     evaluation (see internal/experiments and cmd/figures).
+//
+// Quick start:
+//
+//	plc, _ := repro.GeneratePlacement(repro.PlacementConfig{
+//		NumDisks: 180, NumBlocks: 30000, ReplicationFactor: 3, ZipfExponent: 1,
+//	})
+//	reqs := repro.CelloLike(70000, 30000, 1)
+//	cfg := repro.DefaultSystemConfig()
+//	res, _ := repro.RunOnline(cfg, plc.Locations,
+//		repro.NewHeuristicScheduler(plc.Locations, repro.DefaultCost(cfg.Power)), reqs)
+//	fmt.Printf("energy vs always-on: %.2f\n", res.NormalizedEnergy())
+package repro
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/offline"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Core domain types (Table 1 of the paper).
+type (
+	// Request is a read I/O request r_i against a replicated block.
+	Request = core.Request
+	// RequestID identifies a request.
+	RequestID = core.RequestID
+	// BlockID identifies a data item.
+	BlockID = core.BlockID
+	// DiskID identifies a disk d_k.
+	DiskID = core.DiskID
+	// DiskState is a disk power state.
+	DiskState = core.DiskState
+	// Schedule maps every request to its serving disk.
+	Schedule = core.Schedule
+)
+
+// Disk power states.
+const (
+	StateStandby  = core.StateStandby
+	StateSpinUp   = core.StateSpinUp
+	StateIdle     = core.StateIdle
+	StateActive   = core.StateActive
+	StateSpinDown = core.StateSpinDown
+)
+
+// Power management.
+type (
+	// PowerConfig holds disk power parameters (Figure 5).
+	PowerConfig = power.Config
+	// PowerPolicy decides when idle disks spin down.
+	PowerPolicy = power.Policy
+)
+
+// DefaultPowerConfig returns the evaluation's power model (Cheetah 15K.5
+// mechanics with Barracuda-class power figures).
+func DefaultPowerConfig() PowerConfig { return power.DefaultConfig() }
+
+// ToyPowerConfig returns the simplified model of the paper's worked
+// examples (1 W idle, free instantaneous transitions, 5 s breakeven).
+func ToyPowerConfig() PowerConfig { return power.ToyConfig() }
+
+// TwoCompetitivePolicy returns the 2CPM policy: spin down after the
+// breakeven time E_up/down / P_I.
+func TwoCompetitivePolicy(cfg PowerConfig) PowerPolicy { return power.TwoCompetitive{Config: cfg} }
+
+// AlwaysOnPolicy never spins disks down (the normalization baseline).
+func AlwaysOnPolicy() PowerPolicy { return power.AlwaysOn{} }
+
+// Placement.
+type (
+	// Placement is an immutable block-to-replica-locations map.
+	Placement = placement.Placement
+	// PlacementConfig parameterizes the Section 4.2 synthetic layout.
+	PlacementConfig = placement.GenerateConfig
+)
+
+// GeneratePlacement builds the evaluation layout: Zipf-skewed originals,
+// uniformly spread replicas on distinct disks.
+func GeneratePlacement(cfg PlacementConfig) (*Placement, error) { return placement.Generate(cfg) }
+
+// NewPlacement builds a placement from explicit per-block locations
+// (original first).
+func NewPlacement(numDisks int, locs [][]DiskID) (*Placement, error) {
+	return placement.New(numDisks, locs)
+}
+
+// Workloads.
+
+// CelloLike generates a bursty request stream with the HP Cello trace's
+// characteristics (Section 4.1).
+func CelloLike(numRequests, numBlocks int, seed int64) []Request {
+	return workload.CelloLike(numRequests, numBlocks, seed)
+}
+
+// FinancialLike generates a smoother OLTP stream with the Financial1
+// trace's characteristics.
+func FinancialLike(numRequests, numBlocks int, seed int64) []Request {
+	return workload.FinancialLike(numRequests, numBlocks, seed)
+}
+
+// WorkloadStats summarizes a request stream.
+type WorkloadStats = workload.Stats
+
+// AnalyzeWorkload computes arrival statistics for a request stream.
+func AnalyzeWorkload(reqs []Request) WorkloadStats { return workload.Analyze(reqs) }
+
+// Traces.
+
+// TraceFormat selects an on-disk trace format.
+type TraceFormat int
+
+// Supported trace formats.
+const (
+	// FormatSPC is the UMass storage repository format (Financial1):
+	// "ASU,LBA,Size,Opcode,Timestamp".
+	FormatSPC TraceFormat = iota + 1
+	// FormatCelloText is a whitespace text rendering of HP SRT traces:
+	// "<seconds> <device> <lba> <bytes> <R|W>".
+	FormatCelloText
+)
+
+// LoadTrace parses a real trace and converts it to a request stream the
+// way the paper does: writes dropped, each unique (device, LBA) pair one
+// block, at most maxRequests reads (0 = all). It returns the stream and
+// the number of distinct blocks.
+func LoadTrace(r io.Reader, format TraceFormat, maxRequests int) ([]Request, int, error) {
+	var recs []trace.Record
+	var err error
+	switch format {
+	case FormatSPC:
+		recs, err = trace.ReadSPC(r)
+	case FormatCelloText:
+		recs, err = trace.ReadCelloText(r)
+	default:
+		return nil, 0, fmt.Errorf("repro: unknown trace format %d", format)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	reqs, blocks := trace.ToRequests(recs, trace.ConvertOptions{MaxRequests: maxRequests})
+	return reqs, blocks, nil
+}
+
+// WriteTrace renders a request stream to an on-disk trace format.
+func WriteTrace(w io.Writer, format TraceFormat, reqs []Request) error {
+	recs := trace.FromRequests(reqs)
+	switch format {
+	case FormatSPC:
+		return trace.WriteSPC(w, recs)
+	case FormatCelloText:
+		return trace.WriteCelloText(w, recs)
+	default:
+		return fmt.Errorf("repro: unknown trace format %d", format)
+	}
+}
+
+// Schedulers.
+type (
+	// OnlineScheduler assigns each request on arrival.
+	OnlineScheduler = sched.Online
+	// BatchScheduler assigns queued batches at interval boundaries.
+	BatchScheduler = sched.Batch
+	// CostConfig parameterizes the composite cost function C(d) of Eq. 6.
+	CostConfig = sched.CostConfig
+	// Locator resolves a block to its replica locations.
+	Locator = sched.Locator
+)
+
+// DefaultCost returns the evaluation's cost parameters (alpha=0.2 with the
+// beta balance point for joule-scale energies).
+func DefaultCost(p PowerConfig) CostConfig { return sched.DefaultCost(p) }
+
+// NewRandomScheduler returns the uniform-replica baseline.
+func NewRandomScheduler(loc Locator, seed int64) OnlineScheduler { return sched.NewRandom(loc, seed) }
+
+// NewStaticScheduler returns the original-location baseline.
+func NewStaticScheduler(loc Locator) OnlineScheduler { return sched.Static{Locations: loc} }
+
+// NewHeuristicScheduler returns the online energy-aware scheduler
+// (Section 3.3).
+func NewHeuristicScheduler(loc Locator, cost CostConfig) OnlineScheduler {
+	return sched.Heuristic{Locations: loc, Cost: cost}
+}
+
+// NewWSCScheduler returns the weighted-set-cover batch scheduler
+// (Section 3.2).
+func NewWSCScheduler(loc Locator, cost CostConfig) BatchScheduler {
+	return sched.WSC{Locations: loc, Cost: cost}
+}
+
+// NewPrecomputedScheduler wraps a complete schedule (e.g. from
+// SolveOffline) as an online scheduler.
+func NewPrecomputedScheduler(label string, s Schedule) OnlineScheduler {
+	return sched.Precomputed{Label: label, Assignments: s}
+}
+
+// Offline scheduling (Section 3.1).
+type (
+	// OfflineStats summarizes a schedule under the offline analytic model.
+	OfflineStats = offline.Stats
+	// OfflineOptions bounds MWIS graph construction on large traces.
+	OfflineOptions = offline.BuildOptions
+)
+
+// SolveOffline runs the MWIS offline pipeline with the GWMIN greedy and
+// local-search refinement, returning the schedule and its analytic stats.
+func SolveOffline(reqs []Request, loc Locator, cfg PowerConfig, opts OfflineOptions) (Schedule, OfflineStats, error) {
+	return offline.SolveRefined(reqs, loc, cfg, opts, 8)
+}
+
+// SolveOfflineExact solves the offline problem optimally via exact MWIS
+// branch and bound; exponential, for small instances only.
+func SolveOfflineExact(reqs []Request, loc Locator, cfg PowerConfig) (Schedule, OfflineStats, error) {
+	return offline.SolveExact(reqs, loc, cfg)
+}
+
+// EvaluateSchedule computes the analytic offline energy of any schedule.
+func EvaluateSchedule(reqs []Request, s Schedule, cfg PowerConfig, loc Locator) (OfflineStats, error) {
+	return offline.Evaluate(reqs, s, cfg, loc)
+}
+
+// Simulation.
+type (
+	// SystemConfig describes the simulated storage system.
+	SystemConfig = storage.Config
+	// Result aggregates one simulation run.
+	Result = storage.Result
+)
+
+// DefaultSystemConfig returns the paper's 180-disk evaluation system.
+func DefaultSystemConfig() SystemConfig { return storage.DefaultConfig() }
+
+// RunOnline simulates the online scheduling model over a request stream.
+// Options (e.g. WithCache) add layers in front of the scheduler.
+func RunOnline(cfg SystemConfig, loc Locator, s OnlineScheduler, reqs []Request, opts ...RunOption) (*Result, error) {
+	return storage.RunOnline(cfg, loc, s, reqs, opts...)
+}
+
+// RunBatch simulates the batch scheduling model with the given interval.
+func RunBatch(cfg SystemConfig, loc Locator, s BatchScheduler, reqs []Request, interval time.Duration, opts ...RunOption) (*Result, error) {
+	return storage.RunBatch(cfg, loc, s, reqs, interval, opts...)
+}
+
+// Experiments (the paper's evaluation).
+type (
+	// ExperimentScale sizes an experiment run.
+	ExperimentScale = experiments.Scale
+	// ExperimentTrace selects the evaluation workload.
+	ExperimentTrace = experiments.Trace
+	// ReplicationSweep holds the shared Figures 6-8/13-16 measurements.
+	ReplicationSweep = experiments.ReplicationSweep
+	// FigureTable is a rendered experiment result.
+	FigureTable = experiments.Table
+)
+
+// Evaluation workloads.
+const (
+	TraceCello     = experiments.Cello
+	TraceFinancial = experiments.Financial
+)
+
+// FullScale reproduces the paper's experimental scale (180 disks, 70,000
+// requests); SmallScale keeps the trends at a fraction of the runtime.
+func FullScale() ExperimentScale  { return experiments.FullScale() }
+func SmallScale() ExperimentScale { return experiments.SmallScale() }
+
+// SweepReplication runs the replication-factor sweep behind Figures 6-8
+// and 13-16.
+func SweepReplication(s ExperimentScale, tr ExperimentTrace) (*ReplicationSweep, error) {
+	return experiments.SweepReplication(s, tr)
+}
