@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet bench fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check bench bench-all fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -15,8 +15,20 @@ vet:
 test:
 	$(GO) test ./...
 
-# One benchmark per paper figure plus component and ablation benches.
+# Full pre-merge gate: vet plus the race detector over every package.
+# The parallel MWIS solve, sharded graph build, and the sim-kernel event
+# plumbing all run under -race here.
+check: vet
+	$(GO) test -race ./...
+
+# Benchmark-regression harness: runs the tier-1 figure benchmarks plus the
+# offline pipeline benchmark and records a BENCH_<date>.json snapshot that
+# benchstat can diff against a previous recording (see scripts/bench.sh).
 bench:
+	scripts/bench.sh
+
+# Every benchmark in every package (component and ablation benches too).
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Short fuzz pass over the trace parsers.

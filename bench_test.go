@@ -2,6 +2,7 @@ package repro
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 	"time"
 
@@ -188,13 +189,15 @@ func BenchmarkSimulateBatchWSC(b *testing.B) {
 }
 
 // BenchmarkOfflineMWISPipeline measures graph construction + GWMIN +
-// schedule derivation + refinement on the bench trace.
+// schedule derivation + refinement on the bench trace at full parallelism
+// (the offline batch cell of the regression harness).
 func BenchmarkOfflineMWISPipeline(b *testing.B) {
 	reqs, plc, cfg := benchFixture(b, 3)
 	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := offline.SolveRefined(reqs, plc.Locations, cfg.Power,
-			offline.BuildOptions{MaxSuccessors: 4}, 2); err != nil {
+			offline.BuildOptions{MaxSuccessors: 4, Workers: runtime.GOMAXPROCS(0)}, 2); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"time"
 
 	"repro/internal/core"
@@ -38,8 +39,14 @@ type Scale struct {
 	// Alphas and Betas are the cost-function sweep of Figure 11.
 	Alphas []float64
 	Betas  []float64
-	// Parallelism bounds concurrent simulation cells (0 = half the CPUs).
+	// Parallelism bounds concurrent simulation cells (0 = just over half
+	// the CPUs; see runParallel).
 	Parallelism int
+	// Workers bounds the goroutines inside the MWIS pipeline (sharded
+	// graph construction and the component-parallel solve), split across
+	// concurrently running cells by SolverWorkers. 0 or 1 means serial;
+	// results are bit-identical for every value.
+	Workers int
 }
 
 // FullScale reproduces the paper's experimental scale.
@@ -56,6 +63,7 @@ func FullScale() Scale {
 		ZipfSteps:      []float64{0, 0.25, 0.5, 0.75, 1},
 		Alphas:         []float64{0, 0.2, 0.4, 0.6, 0.8, 1},
 		Betas:          []float64{1, 10, 100, 500, 1000},
+		Workers:        runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -73,6 +81,7 @@ func SmallScale() Scale {
 		ZipfSteps:      []float64{0, 0.5, 1},
 		Alphas:         []float64{0, 0.2, 0.6, 1},
 		Betas:          []float64{1, 10, 100},
+		Workers:        runtime.GOMAXPROCS(0),
 	}
 }
 
@@ -87,6 +96,24 @@ func (s Scale) Validate() error {
 		return fmt.Errorf("experiments: MWIS passes %d", s.MWISPasses)
 	}
 	return nil
+}
+
+// SolverWorkers returns the worker bound each MWIS cell passes to the
+// offline pipeline: the Workers budget split across the cells that may run
+// concurrently (Parallelism), at least 1. The pipeline's results are
+// worker-count independent, so the split only affects speed and memory.
+func (s Scale) SolverWorkers() int {
+	if s.Workers <= 0 {
+		return 1
+	}
+	cells := s.Parallelism
+	if cells <= 0 {
+		cells = runtime.GOMAXPROCS(0)/2 + 1
+	}
+	if w := s.Workers / cells; w > 1 {
+		return w
+	}
+	return 1
 }
 
 // Trace selects the evaluation workload.
@@ -163,6 +190,7 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 		schedule, _, err := offline.SolveRefined(reqs, plc.Locations, cfg.Power, offline.BuildOptions{
 			MaxSuccessors: s.MWISSuccessors,
 			MaxNodes:      s.MWISMaxNodes,
+			Workers:       s.SolverWorkers(),
 		}, s.MWISPasses)
 		if err != nil {
 			return Run{}, fmt.Errorf("experiments: MWIS pipeline: %w", err)
@@ -196,7 +224,9 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 	case AlgoHeuristic:
 		res, err = storage.RunOnline(cfg, plc.Locations, sched.Heuristic{Locations: plc.Locations, Cost: cost}, reqs)
 	case AlgoWSC:
-		res, err = storage.RunBatch(cfg, plc.Locations, sched.WSC{Locations: plc.Locations, Cost: cost}, reqs, s.BatchInterval)
+		res, err = storage.RunBatch(cfg, plc.Locations,
+			sched.WSC{Locations: plc.Locations, Cost: cost, Scratch: &sched.CoverScratch{}},
+			reqs, s.BatchInterval)
 	default:
 		return Run{}, fmt.Errorf("experiments: unknown algorithm %q", algo)
 	}

@@ -7,9 +7,11 @@ import (
 )
 
 // runParallel executes n independent jobs over a bounded worker pool and
-// returns the first error. Simulation cells share only read-only inputs
-// (request streams, placements), so cells parallelize safely; workers
-// default to half the CPUs to bound the memory of concurrent MWIS graphs.
+// returns the first error. The pool fails fast: after any job errors, no
+// further jobs start (in-flight jobs finish). Simulation cells share only
+// read-only inputs (request streams, placements), so cells parallelize
+// safely; workers default to just over half the CPUs (GOMAXPROCS/2 + 1) to
+// bound the memory of concurrent MWIS graphs.
 func runParallel(n, workers int, job func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)/2 + 1
@@ -23,7 +25,7 @@ func runParallel(n, workers int, job func(i int) error) error {
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := job(i); err != nil {
-				return err
+				return fmt.Errorf("experiments: job %d: %w", i, err)
 			}
 		}
 		return nil
@@ -35,23 +37,38 @@ func runParallel(n, workers int, job func(i int) error) error {
 		firstErr error
 	)
 	jobs := make(chan int)
+	done := make(chan struct{})
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
-				if err := job(i); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = fmt.Errorf("experiments: job %d: %w", i, err)
+			for {
+				select {
+				case <-done:
+					return
+				case i, ok := <-jobs:
+					if !ok {
+						return
 					}
-					mu.Unlock()
+					if err := job(i); err != nil {
+						mu.Lock()
+						if firstErr == nil {
+							firstErr = fmt.Errorf("experiments: job %d: %w", i, err)
+							close(done)
+						}
+						mu.Unlock()
+					}
 				}
 			}
 		}()
 	}
+feed:
 	for i := 0; i < n; i++ {
-		jobs <- i
+		select {
+		case jobs <- i:
+		case <-done:
+			break feed
+		}
 	}
 	close(jobs)
 	wg.Wait()

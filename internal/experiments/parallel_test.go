@@ -49,6 +49,27 @@ func TestRunParallelZeroJobs(t *testing.T) {
 	}
 }
 
+// TestRunParallelFailsFast pins the pool's cancellation: once a job errors,
+// the feeder stops handing out work, so the long tail of jobs is skipped
+// instead of being executed to completion.
+func TestRunParallelFailsFast(t *testing.T) {
+	t.Parallel()
+	sentinel := errors.New("boom")
+	var started atomic.Int64
+	err := runParallel(100000, 2, func(i int) error {
+		started.Add(1)
+		return sentinel
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want wrapped sentinel", err)
+	}
+	// The first error closes the pool; only jobs already in a worker's
+	// hands may still run, never anything close to the full input.
+	if n := started.Load(); n > 1000 {
+		t.Errorf("%d jobs started after a failure, want fail-fast", n)
+	}
+}
+
 func TestRunParallelSequentialStopsEarly(t *testing.T) {
 	t.Parallel()
 	ran := 0

@@ -1,0 +1,95 @@
+package graph
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+)
+
+// benchGraphEdges generates a reproducible bursty conflict graph: clusters
+// of densely connected vertices (mimicking the offline reduction's
+// same-request cliques) plus sparse cross-links.
+func benchGraphEdges(n int, seed int64) [][2]int {
+	rng := rand.New(rand.NewSource(seed))
+	var edges [][2]int
+	const cluster = 16
+	for base := 0; base+cluster <= n; base += cluster {
+		for i := 0; i < cluster; i++ {
+			for j := i + 1; j < cluster; j++ {
+				if rng.Intn(3) > 0 {
+					edges = append(edges, [2]int{base + i, base + j})
+				}
+			}
+		}
+	}
+	for k := 0; k < n/2; k++ {
+		u, v := rng.Intn(n), rng.Intn(n)
+		if u != v {
+			edges = append(edges, [2]int{u, v})
+		}
+	}
+	return edges
+}
+
+func buildBenchGraph(n int, edges [][2]int, rng *rand.Rand) *Graph {
+	g := NewGraph(n)
+	for v := 0; v < n; v++ {
+		g.SetWeight(v, rng.Float64()*100)
+	}
+	g.Grow(len(edges))
+	for _, e := range edges {
+		g.AddEdge(e[0], e[1])
+	}
+	return g
+}
+
+// BenchmarkGraphBuildFinalize measures edge insertion plus the CSR compile
+// (the construction path of every offline reduction graph).
+func BenchmarkGraphBuildFinalize(b *testing.B) {
+	const n = 8192
+	edges := benchGraphEdges(n, 11)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rng := rand.New(rand.NewSource(13))
+		g := buildBenchGraph(n, edges, rng)
+		g.Finalize()
+	}
+}
+
+func BenchmarkGWMIN(b *testing.B) {
+	const n = 8192
+	g := buildBenchGraph(n, benchGraphEdges(n, 11), rand.New(rand.NewSource(13)))
+	g.Finalize()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		GWMIN(g)
+	}
+}
+
+func BenchmarkHybridMWIS(b *testing.B) {
+	const n = 8192
+	g := buildBenchGraph(n, benchGraphEdges(n, 11), rand.New(rand.NewSource(13)))
+	g.Finalize()
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		HybridMWIS(g, 18)
+	}
+}
+
+// BenchmarkParallelHybridMWIS is HybridMWIS with the component solves
+// spread over every CPU; compare against BenchmarkHybridMWIS for the
+// component-parallel speedup on this machine.
+func BenchmarkParallelHybridMWIS(b *testing.B) {
+	const n = 8192
+	g := buildBenchGraph(n, benchGraphEdges(n, 11), rand.New(rand.NewSource(13)))
+	g.Finalize()
+	workers := runtime.GOMAXPROCS(0)
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ParallelHybridMWIS(g, 18, workers)
+	}
+}

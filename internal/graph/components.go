@@ -1,6 +1,11 @@
 package graph
 
-import "sort"
+import (
+	"slices"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
 
 // ConnectedComponents returns the vertex sets of g's connected components,
 // each sorted ascending, ordered by their smallest vertex. Offline
@@ -8,6 +13,7 @@ import "sort"
 // replacement window never share a vertex, so bursts form independent
 // components.
 func ConnectedComponents(g *Graph) [][]int {
+	g.Finalize()
 	n := g.N()
 	comp := make([]int, n)
 	for i := range comp {
@@ -41,22 +47,91 @@ func ConnectedComponents(g *Graph) [][]int {
 }
 
 // subgraph builds the induced subgraph on the (sorted) vertex set and a
-// mapping from subgraph vertices back to g's vertices.
+// mapping from subgraph vertices back to g's vertices. Because both the
+// vertex set and the parent adjacency lists are sorted, the subgraph's CSR
+// is emitted directly in one pass — remapped neighbor ids come out already
+// sorted, so no edge buffer, sort, or dedup is needed. Membership tests are
+// binary searches on the sorted vertex set, so no per-component index map
+// is allocated.
 func subgraph(g *Graph, vs []int) (*Graph, []int) {
-	index := make(map[int]int, len(vs))
-	for i, v := range vs {
-		index[v] = i
-	}
 	sub := NewGraph(len(vs))
+	total := 0
+	for _, v := range vs {
+		total += g.Degree(v)
+	}
+	off := make([]int32, len(vs)+1)
+	nbr := make([]int32, 0, total)
 	for i, v := range vs {
-		sub.SetWeight(i, g.Weight(v))
+		sub.weights[i] = g.weights[v]
 		for _, u := range g.Neighbors(v) {
-			if j, ok := index[int(u)]; ok && i < j {
-				sub.AddEdge(i, j)
+			if j, ok := slices.BinarySearch(vs, int(u)); ok {
+				nbr = append(nbr, int32(j))
 			}
 		}
+		off[i+1] = int32(len(nbr))
 	}
+	sub.off = off
+	sub.nbr = nbr
+	sub.edges = len(nbr) / 2
+	sub.dirty = false
 	return sub, vs
+}
+
+// solveComponents decomposes g into connected components, solves each with
+// solve, and concatenates the results in component order (components are
+// ordered by smallest vertex), remapped to g's vertex ids. With workers > 1
+// components are solved concurrently over a bounded pool; because every
+// component is an isolated subproblem and results are merged by component
+// index, the output is bit-identical for any worker count.
+func solveComponents(g *Graph, workers int, solve func(*Graph) ([]int, float64)) ([]int, float64) {
+	g.Finalize()
+	comps := ConnectedComponents(g)
+	type res struct {
+		picked []int
+		w      float64
+	}
+	results := make([]res, len(comps))
+	run := func(ci int) {
+		sub, back := subgraph(g, comps[ci])
+		picked, w := solve(sub)
+		mapped := make([]int, len(picked))
+		for k, v := range picked {
+			mapped[k] = back[v]
+		}
+		results[ci] = res{picked: mapped, w: w}
+	}
+	if workers > len(comps) {
+		workers = len(comps)
+	}
+	if workers <= 1 {
+		for ci := range comps {
+			run(ci)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(comps) {
+						return
+					}
+					run(ci)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	var is []int
+	total := 0.0
+	for _, r := range results {
+		is = append(is, r.picked...)
+		total += r.w
+	}
+	return is, total
 }
 
 // HybridMWIS solves maximum weighted independent set per connected
@@ -65,21 +140,30 @@ func subgraph(g *Graph, vs []int) (*Graph, []int) {
 // bursty scheduling graphs most components are small, so the hybrid
 // recovers most of the exact optimum at near-greedy cost.
 func HybridMWIS(g *Graph, exactLimit int) ([]int, float64) {
-	var is []int
-	total := 0.0
-	for _, members := range ConnectedComponents(g) {
-		sub, back := subgraph(g, members)
-		var picked []int
-		var w float64
+	return ParallelHybridMWIS(g, exactLimit, 1)
+}
+
+// ParallelHybridMWIS is HybridMWIS with components solved concurrently over
+// a pool of workers goroutines (1 = serial). Components are independent
+// subproblems and results merge in component order, so the selected set and
+// total weight are bit-identical for every worker count.
+func ParallelHybridMWIS(g *Graph, exactLimit, workers int) ([]int, float64) {
+	return solveComponents(g, workers, func(sub *Graph) ([]int, float64) {
 		if sub.N() <= exactLimit {
-			picked, w = ExactMWIS(sub)
-		} else {
-			picked, w = GWMIN(sub)
+			return ExactMWIS(sub)
 		}
-		for _, v := range picked {
-			is = append(is, back[v])
-		}
-		total += w
+		return GWMIN(sub)
+	})
+}
+
+// ParallelGWMIN runs the GWMIN greedy per connected component over a pool
+// of workers goroutines (1 = plain GWMIN on the whole graph). The greedy's
+// choices in one component never affect ratios in another, so the selected
+// set is identical to GWMIN's for every worker count; only the order of the
+// returned vertices differs (per-component instead of global ratio order).
+func ParallelGWMIN(g *Graph, workers int) ([]int, float64) {
+	if workers <= 1 {
+		return GWMIN(g)
 	}
-	return is, total
+	return solveComponents(g, workers, GWMIN)
 }

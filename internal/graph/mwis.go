@@ -1,36 +1,46 @@
 package graph
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"slices"
 )
 
 // Graph is an undirected vertex-weighted graph for the maximum weighted
-// independent set problem. Vertices are 0..N-1; parallel edges and
-// self-loops are rejected. The zero value is an empty graph; use NewGraph
-// to size it.
+// independent set problem. Vertices are 0..N-1; parallel edges are
+// deduplicated and self-loops are rejected.
+//
+// Edges accumulate in a flat buffer and are compiled on first query into a
+// CSR (compressed sparse row) adjacency: one offsets array and one shared
+// neighbor array, with each vertex's neighbors sorted ascending. The layout
+// replaces the per-edge dedup map and per-vertex append churn of the
+// previous implementation — graph construction is two passes over a sorted
+// edge list, and adjacency scans are contiguous. Finalize compiles
+// explicitly; reads after Finalize (and no further AddEdge calls) are safe
+// from concurrent goroutines.
 type Graph struct {
 	weights []float64
-	adj     [][]int32
-	edges   int
-	seen    map[uint64]struct{}
+	// pend holds every inserted edge as uint64(u)<<32|v with u < v.
+	// Finalize sorts and deduplicates it in place; it remains the source
+	// of truth so AddEdge after Finalize just marks the CSR dirty.
+	pend []uint64
+	// CSR adjacency, valid while !dirty.
+	off   []int32
+	nbr   []int32
+	edges int
+	dirty bool
 }
 
 // NewGraph returns a graph with n vertices of weight zero and no edges.
 func NewGraph(n int) *Graph {
-	return &Graph{
-		weights: make([]float64, n),
-		adj:     make([][]int32, n),
-		seen:    make(map[uint64]struct{}),
-	}
+	return &Graph{weights: make([]float64, n)}
 }
 
 // N returns the number of vertices.
 func (g *Graph) N() int { return len(g.weights) }
 
-// M returns the number of edges.
-func (g *Graph) M() int { return g.edges }
+// M returns the number of distinct edges.
+func (g *Graph) M() int { g.Finalize(); return g.edges }
 
 // SetWeight assigns vertex v's weight.
 func (g *Graph) SetWeight(v int, w float64) {
@@ -44,10 +54,17 @@ func (g *Graph) SetWeight(v int, w float64) {
 func (g *Graph) Weight(v int) float64 { return g.weights[v] }
 
 // Degree returns the number of neighbors of v.
-func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+func (g *Graph) Degree(v int) int {
+	g.Finalize()
+	return int(g.off[v+1] - g.off[v])
+}
 
-// Neighbors returns v's adjacency list. The caller must not modify it.
-func (g *Graph) Neighbors(v int) []int32 { return g.adj[v] }
+// Neighbors returns v's adjacency list, sorted ascending. The caller must
+// not modify it.
+func (g *Graph) Neighbors(v int) []int32 {
+	g.Finalize()
+	return g.nbr[g.off[v]:g.off[v+1]]
+}
 
 // AddEdge inserts the undirected edge {u,v}. Duplicate edges are ignored;
 // self-loops panic (a vertex cannot conflict with itself in the reduction).
@@ -58,22 +75,144 @@ func (g *Graph) AddEdge(u, v int) {
 	if u > v {
 		u, v = v, u
 	}
-	key := uint64(u)<<32 | uint64(uint32(v))
-	if _, dup := g.seen[key]; dup {
+	g.pend = append(g.pend, uint64(u)<<32|uint64(uint32(v)))
+	g.dirty = true
+}
+
+// Grow reserves capacity for n additional edges, so bulk construction
+// (e.g. the offline reduction's counted edge expansion) appends with no
+// reallocation.
+func (g *Graph) Grow(n int) {
+	g.pend = slices.Grow(g.pend, n)
+}
+
+// Finalize compiles pending edges into the CSR adjacency. It is called
+// implicitly by every adjacency query; call it explicitly before sharing
+// the graph across goroutines so concurrent reads race-free.
+//
+// Edges are bucketed per endpoint with one counting pass and one scatter
+// pass, then each vertex's bucket is sorted and deduplicated in place. On
+// the window-bounded scheduling graphs adjacency lists are short, so the
+// per-bucket sorts are cheap insertion sorts and the whole compile touches
+// the edge buffer twice — cheaper than sorting it globally.
+func (g *Graph) Finalize() {
+	if !g.dirty && g.off != nil {
 		return
 	}
-	g.seen[key] = struct{}{}
-	g.adj[u] = append(g.adj[u], int32(v))
-	g.adj[v] = append(g.adj[v], int32(u))
-	g.edges++
+	n := len(g.weights)
+	if cap(g.off) >= n+1 {
+		g.off = g.off[:n+1]
+		for i := range g.off {
+			g.off[i] = 0
+		}
+	} else {
+		g.off = make([]int32, n+1)
+	}
+	// Counting pass: degree of each endpoint (duplicates included; they are
+	// squeezed out below), accumulated at off[v+1].
+	for _, e := range g.pend {
+		u, v := int32(e>>32), int32(uint32(e))
+		g.off[u+1]++
+		g.off[v+1]++
+	}
+	for i := 1; i <= n; i++ {
+		g.off[i] += g.off[i-1]
+	}
+	if cap(g.nbr) >= 2*len(g.pend) {
+		g.nbr = g.nbr[:2*len(g.pend)]
+	} else {
+		g.nbr = make([]int32, 2*len(g.pend))
+	}
+	cursor := make([]int32, n)
+	copy(cursor, g.off[:n])
+	for _, e := range g.pend {
+		u, v := int32(e>>32), int32(uint32(e))
+		g.nbr[cursor[u]] = v
+		cursor[u]++
+		g.nbr[cursor[v]] = u
+		cursor[v]++
+	}
+	// Sort and deduplicate each bucket, compacting nbr in place. The write
+	// cursor w never passes the read window, so overwrites only touch
+	// already-consumed entries.
+	var w int32
+	start := int32(0)
+	var scratch []int32
+	for v := 0; v < n; v++ {
+		end := g.off[v+1]
+		scratch = sortBucket(g.nbr[start:end], scratch)
+		seg := g.nbr[start:end]
+		g.off[v] = w
+		last := int32(-1)
+		for _, x := range seg {
+			if x != last {
+				g.nbr[w] = x
+				w++
+				last = x
+			}
+		}
+		start = end
+	}
+	g.off[n] = w
+	g.nbr = g.nbr[:w]
+	g.edges = int(w) / 2
+	g.dirty = false
+}
+
+// sortBucket sorts one adjacency bucket, returning the (possibly grown)
+// scratch buffer for reuse. Buckets filled from an ordered edge stream —
+// the offline reduction emits each request range's pairs in ascending
+// order, giving every vertex at most two sorted runs — are recognized in
+// one scan and fixed with a linear two-run merge; arbitrary insertion
+// orders fall back to a comparison sort.
+func sortBucket(a []int32, scratch []int32) []int32 {
+	k := -1
+	for i := 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			k = i
+			break
+		}
+	}
+	if k < 0 {
+		return scratch // already sorted
+	}
+	twoRuns := true
+	for i := k + 1; i < len(a); i++ {
+		if a[i] < a[i-1] {
+			twoRuns = false
+			break
+		}
+	}
+	if !twoRuns {
+		slices.Sort(a)
+		return scratch
+	}
+	// Merge the runs a[:k] and a[k:]; only the first run needs staging.
+	scratch = append(scratch[:0], a[:k]...)
+	i, j, w := 0, k, 0
+	for i < len(scratch) && j < len(a) {
+		if scratch[i] <= a[j] {
+			a[w] = scratch[i]
+			i++
+		} else {
+			a[w] = a[j]
+			j++
+		}
+		w++
+	}
+	for i < len(scratch) {
+		a[w] = scratch[i]
+		i++
+		w++
+	}
+	return scratch
 }
 
 // HasEdge reports whether {u,v} is an edge.
 func (g *Graph) HasEdge(u, v int) bool {
-	if u > v {
-		u, v = v, u
-	}
-	_, ok := g.seen[uint64(u)<<32|uint64(uint32(v))]
+	g.Finalize()
+	adj := g.nbr[g.off[u]:g.off[u+1]]
+	_, ok := slices.BinarySearch(adj, int32(v))
 	return ok
 }
 
@@ -90,7 +229,7 @@ func (g *Graph) IsIndependentSet(vs []int) bool {
 		in[v] = struct{}{}
 	}
 	for _, v := range vs {
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if _, ok := in[int(u)]; ok {
 				return false
 			}
@@ -118,51 +257,109 @@ type ratioItem struct {
 	stamp int64 // value of the vertex's version counter when keyed
 }
 
+// ratioHeap is a concrete binary max-heap ordered by (ratio desc, v asc).
+// The comparison is a strict total order over live entries, so the pop
+// sequence — and therefore every greedy selection — is independent of the
+// heap's internal layout. Hand-rolled rather than container/heap to avoid
+// interface dispatch on the greedy's hottest loop.
 type ratioHeap []ratioItem
 
-func (h ratioHeap) Len() int { return len(h) }
-func (h ratioHeap) Less(i, j int) bool {
+func (h ratioHeap) less(i, j int) bool {
 	if h[i].ratio != h[j].ratio {
 		return h[i].ratio > h[j].ratio // max-heap
 	}
 	return h[i].v < h[j].v
 }
-func (h ratioHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i] }
-func (h *ratioHeap) Push(x any)        { *h = append(*h, x.(ratioItem)) }
-func (h *ratioHeap) Pop() any          { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
-func (h *ratioHeap) pop() ratioItem    { return heap.Pop(h).(ratioItem) }
-func (h *ratioHeap) push(it ratioItem) { heap.Push(h, it) }
+
+func (h ratioHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		h.down(i)
+	}
+}
+
+func (h ratioHeap) down(i int) {
+	for {
+		l := 2*i + 1
+		if l >= len(h) {
+			return
+		}
+		m := l
+		if r := l + 1; r < len(h) && h.less(r, l) {
+			m = r
+		}
+		if !h.less(m, i) {
+			return
+		}
+		h[i], h[m] = h[m], h[i]
+		i = m
+	}
+}
+
+func (h ratioHeap) up(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !h.less(i, p) {
+			return
+		}
+		h[i], h[p] = h[p], h[i]
+		i = p
+	}
+}
+
+func (h *ratioHeap) pop() ratioItem {
+	old := *h
+	it := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	*h = old[:n]
+	(*h).down(0)
+	return it
+}
+
+func (h *ratioHeap) push(it ratioItem) {
+	*h = append(*h, it)
+	h.up(len(*h) - 1)
+}
 
 // GWMIN is the greedy of Sakai, Togasaki and Yamazaki [22] used by the
 // paper's offline scheduler: repeatedly select the vertex maximizing
 // W(u)/(deg(u)+1) in the remaining graph. It guarantees an independent set
 // of weight at least Sum_v W(v)/(deg(v)+1).
+//
+// Residual degrees need no bookkeeping of their own: the greedy's version
+// counter increments exactly once per alive neighbor lost, so the residual
+// degree is the initial degree minus the vertex's version. Re-keying a
+// stale heap entry is therefore O(1), and the computed ratios — hence the
+// selected set — are bit-identical to a recomputing implementation
+// (integer arithmetic feeding the same division).
 func GWMIN(g *Graph) ([]int, float64) {
-	alive := make([]bool, g.N())
-	for i := range alive {
-		alive[i] = true
+	g.Finalize()
+	n := g.N()
+	alive := make([]bool, n)
+	for v := 0; v < n; v++ {
+		alive[v] = true
 	}
-	return greedyWithAlive(g, alive, func(v int) float64 {
-		deg := 0
-		for _, u := range g.adj[v] {
-			if alive[u] {
-				deg++
-			}
-		}
+	version := make([]int64, n)
+	return greedyWithAlive(g, alive, version, func(v int) float64 {
+		deg := int64(g.off[v+1]-g.off[v]) - version[v]
 		return g.weights[v] / float64(deg+1)
 	})
 }
 
 // GWMIN2 is the second greedy from [22]: select the vertex maximizing
 // W(u) / Sum_{x in N[u]} W(x). It often beats GWMIN on weight-skewed graphs.
+//
+// The closed-neighborhood weight sum is recomputed per query (not maintained
+// by subtraction) so the floating-point ratios match a from-scratch
+// evaluation exactly, keeping results reproducible across refactors.
 func GWMIN2(g *Graph) ([]int, float64) {
 	alive := make([]bool, g.N())
 	for i := range alive {
 		alive[i] = true
 	}
-	return greedyWithAlive(g, alive, func(v int) float64 {
+	return greedyWithAlive(g, alive, make([]int64, g.N()), func(v int) float64 {
 		sum := g.weights[v]
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if alive[u] {
 				sum += g.weights[u]
 			}
@@ -179,19 +376,21 @@ func GWMIN2(g *Graph) ([]int, float64) {
 // with its closed neighborhood. ratio must be non-decreasing under vertex
 // deletions (true for GWMIN and GWMIN2), which keeps the lazy max-heap
 // exact: a stale pop is re-keyed and reinserted with a ratio at least as
-// large. The aliveness slice is shared with the caller's ratio callback.
-func greedyWithAlive(g *Graph, alive []bool, ratio func(v int) float64) ([]int, float64) {
+// large. version, caller-allocated with one counter per vertex, increments
+// each time an alive vertex loses an alive neighbor; the ratio closure may
+// read it to derive incremental state (GWMIN's residual degrees).
+func greedyWithAlive(g *Graph, alive []bool, version []int64, ratio func(v int) float64) ([]int, float64) {
+	g.Finalize()
 	n := g.N()
-	version := make([]int64, n)
 	h := make(ratioHeap, 0, n)
 	for v := 0; v < n; v++ {
 		h = append(h, ratioItem{v: v, ratio: ratio(v)})
 	}
-	heap.Init(&h)
+	h.init()
 
 	deleteVertex := func(v int) {
 		alive[v] = false
-		for _, u := range g.adj[v] {
+		for _, u := range g.Neighbors(v) {
 			if alive[u] {
 				version[u]++
 			}
@@ -200,7 +399,7 @@ func greedyWithAlive(g *Graph, alive []bool, ratio func(v int) float64) ([]int, 
 
 	var is []int
 	total := 0.0
-	for h.Len() > 0 {
+	for len(h) > 0 {
 		it := h.pop()
 		if !alive[it.v] {
 			continue
@@ -211,7 +410,7 @@ func greedyWithAlive(g *Graph, alive []bool, ratio func(v int) float64) ([]int, 
 		}
 		is = append(is, it.v)
 		total += g.weights[it.v]
-		neighbors := g.adj[it.v]
+		neighbors := g.Neighbors(it.v)
 		deleteVertex(it.v)
 		for _, u := range neighbors {
 			if alive[u] {
@@ -227,6 +426,7 @@ func greedyWithAlive(g *Graph, alive []bool, ratio func(v int) float64) ([]int, 
 // bound. Exponential in the worst case; intended for instances with up to a
 // few dozen vertices (tests and optimality-gap measurements).
 func ExactMWIS(g *Graph) ([]int, float64) {
+	g.Finalize()
 	n := g.N()
 	alive := make([]bool, n)
 	for i := range alive {
@@ -249,7 +449,7 @@ func ExactMWIS(g *Graph) ([]int, float64) {
 				continue
 			}
 			deg := 0
-			for _, u := range g.adj[v] {
+			for _, u := range g.Neighbors(v) {
 				if alive[u] {
 					deg++
 				}
@@ -278,7 +478,7 @@ func ExactMWIS(g *Graph) ([]int, float64) {
 		removed := []int{pick}
 		removedW := g.weights[pick]
 		alive[pick] = false
-		for _, u := range g.adj[pick] {
+		for _, u := range g.Neighbors(pick) {
 			if alive[u] {
 				alive[u] = false
 				removed = append(removed, int(u))

@@ -2,6 +2,7 @@ package offline
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"time"
 
@@ -59,27 +60,52 @@ func Improve(reqs []core.Request, sched core.Schedule, cfg power.Config, locatio
 }
 
 // timelines maintains per-disk request timelines sorted by (time, id) with
-// incremental energy-delta queries.
+// incremental energy-delta queries. Disks index a slice directly (disk IDs
+// are dense), avoiding per-query map lookups on the local-search hot path.
 type timelines struct {
 	cfg  power.Config
 	tail float64
-	byD  map[core.DiskID][]core.Request
+	byD  [][]core.Request
 }
 
 func newTimelines(reqs []core.Request, sched core.Schedule, cfg power.Config) *timelines {
 	tl := &timelines{
 		cfg:  cfg,
 		tail: cfg.Breakeven().Seconds()*cfg.IdlePower + cfg.SpinDownEnergy,
-		byD:  make(map[core.DiskID][]core.Request),
+	}
+	numDisks := 0
+	for _, d := range sched {
+		if int(d)+1 > numDisks {
+			numDisks = int(d) + 1
+		}
+	}
+	tl.byD = make([][]core.Request, numDisks)
+	counts := make([]int, numDisks)
+	for _, r := range reqs {
+		counts[sched[r.ID]]++
+	}
+	for d, c := range counts {
+		if c > 0 {
+			tl.byD[d] = make([]core.Request, 0, c)
+		}
 	}
 	for _, r := range reqs {
-		tl.byD[sched[r.ID]] = append(tl.byD[sched[r.ID]], r)
+		d := sched[r.ID]
+		tl.byD[d] = append(tl.byD[d], r)
 	}
 	for d := range tl.byD {
-		rs := tl.byD[d]
-		sort.Slice(rs, func(i, j int) bool { return lessReq(rs[i], rs[j]) })
+		slices.SortFunc(tl.byD[d], cmpReq)
 	}
 	return tl
+}
+
+// disk returns disk d's timeline, growing the table when a local-search
+// move targets a previously unused replica disk.
+func (tl *timelines) disk(d core.DiskID) []core.Request {
+	if int(d) >= len(tl.byD) {
+		return nil
+	}
+	return tl.byD[d]
 }
 
 func lessReq(a, b core.Request) bool {
@@ -89,9 +115,19 @@ func lessReq(a, b core.Request) bool {
 	return a.ID < b.ID
 }
 
+func cmpReq(a, b core.Request) int {
+	if a.Arrival != b.Arrival {
+		if a.Arrival < b.Arrival {
+			return -1
+		}
+		return 1
+	}
+	return int(a.ID) - int(b.ID)
+}
+
 // pos locates r in disk d's timeline.
 func (tl *timelines) pos(d core.DiskID, r core.Request) int {
-	rs := tl.byD[d]
+	rs := tl.disk(d)
 	i := sort.Search(len(rs), func(k int) bool { return !lessReq(rs[k], r) })
 	if i >= len(rs) || rs[i].ID != r.ID {
 		panic(fmt.Sprintf("offline: request %d not on disk %d", r.ID, d))
@@ -103,7 +139,7 @@ func (tl *timelines) gap(a, b time.Duration) float64 { return GapCost(tl.cfg, b-
 
 // removalDelta returns the energy change from removing r from disk d.
 func (tl *timelines) removalDelta(d core.DiskID, r core.Request) float64 {
-	rs := tl.byD[d]
+	rs := tl.disk(d)
 	i := tl.pos(d, r)
 	switch {
 	case len(rs) == 1:
@@ -121,7 +157,7 @@ func (tl *timelines) removalDelta(d core.DiskID, r core.Request) float64 {
 
 // insertionDelta returns the energy change from adding r to disk d.
 func (tl *timelines) insertionDelta(d core.DiskID, r core.Request) float64 {
-	rs := tl.byD[d]
+	rs := tl.disk(d)
 	if len(rs) == 0 {
 		return tl.cfg.SpinUpEnergy + tl.tail
 	}
@@ -145,6 +181,9 @@ func (tl *timelines) remove(d core.DiskID, r core.Request) {
 }
 
 func (tl *timelines) insert(d core.DiskID, r core.Request) {
+	for int(d) >= len(tl.byD) {
+		tl.byD = append(tl.byD, nil)
+	}
 	rs := tl.byD[d]
 	i := sort.Search(len(rs), func(k int) bool { return !lessReq(rs[k], r) })
 	rs = append(rs, core.Request{})

@@ -2,7 +2,9 @@ package offline
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -43,47 +45,129 @@ type BuildOptions struct {
 	// into many small components, so modest limits recover most of the
 	// optimum at near-greedy cost.
 	HybridExactLimit int
+	// Workers bounds the goroutines used for graph construction (the
+	// per-disk successor scans are independent) and for the
+	// component-parallel MWIS solve. 0 or 1 means serial. Results are
+	// bit-identical for every worker count.
+	Workers int
+}
+
+// workerCount normalizes the Workers knob.
+func (o BuildOptions) workerCount() int {
+	if o.Workers < 1 {
+		return 1
+	}
+	return o.Workers
 }
 
 // Build constructs the MWIS reduction of Section 3.1.2 for a request
 // stream: Step 1 adds a vertex for every non-zero X(i,j,k) (Eqs. 3-4),
 // Step 2 adds an edge for every energy-constraint violation (same i) and
 // schedule-constraint violation (shared request, different disk).
+//
+// Construction is allocation-lean and sharded: replica membership is
+// gathered into one sorted (disk, request) run instead of a map of slices,
+// each disk's successor scan runs independently (concurrently when
+// opts.Workers > 1) into a pre-counted node slice, and the conflict-edge
+// expansion walks sorted (request, vertex) index ranges rather than a
+// map keyed by request. The produced instance is bit-identical to the
+// serial construction for every worker count.
 func Build(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg power.Config, opts BuildOptions) (*Instance, error) {
 	window := cfg.ReplacementWindow()
 
-	// Requests that can be served by each disk, in time order.
-	perDisk := make(map[core.DiskID][]core.Request)
-	for _, r := range reqs {
+	// Step 0: one sorted run of (disk, request index) pairs replaces the
+	// per-disk map of request copies. Packing both into a uint64 keyed by
+	// disk groups the run by disk after a single sort.
+	var pairs []uint64
+	for i, r := range reqs {
 		locs := locations(r.Block)
 		if len(locs) == 0 {
 			return nil, fmt.Errorf("offline: request %d block %d has no locations", r.ID, r.Block)
 		}
 		for _, d := range locs {
-			perDisk[d] = append(perDisk[d], r)
+			if d < 0 {
+				return nil, fmt.Errorf("offline: request %d block %d on negative disk %d", r.ID, r.Block, d)
+			}
+			pairs = append(pairs, uint64(d)<<32|uint64(uint32(i)))
 		}
 	}
-	var nodes []Node
-	for d, rs := range perDisk {
-		sort.Slice(rs, func(i, j int) bool {
-			if rs[i].Arrival != rs[j].Arrival {
-				return rs[i].Arrival < rs[j].Arrival
+	graph.RadixSortUint64(pairs)
+
+	// Disk shards: contiguous ranges of the sorted run.
+	type shard struct{ lo, hi int }
+	var shards []shard
+	for lo := 0; lo < len(pairs); {
+		hi := lo + 1
+		for hi < len(pairs) && pairs[hi]>>32 == pairs[lo]>>32 {
+			hi++
+		}
+		shards = append(shards, shard{lo, hi})
+		lo = hi
+	}
+
+	// Step 1 per disk: sort the disk's requests by (arrival, id), then scan
+	// successors inside the replacement window. A cheap counting pass
+	// (window arithmetic only) pre-sizes the node slice exactly once.
+	nodesByShard := make([][]Node, len(shards))
+	var built atomic.Int64 // nodes completed by finished shards
+	var exceeded atomic.Bool
+	buildShard := func(si int) {
+		sh := shards[si]
+		d := core.DiskID(pairs[sh.lo] >> 32)
+		run := pairs[sh.lo:sh.hi]
+		// Order the disk's requests by (arrival, id). The run arrives in
+		// request-index order, which for arrival-sorted traces is already
+		// correct, so this sort is near-free in the common case.
+		slices.SortFunc(run, func(a, b uint64) int {
+			ra, rb := reqs[uint32(a)], reqs[uint32(b)]
+			if ra.Arrival != rb.Arrival {
+				if ra.Arrival < rb.Arrival {
+					return -1
+				}
+				return 1
 			}
-			return rs[i].ID < rs[j].ID
+			switch {
+			case ra.ID < rb.ID:
+				return -1
+			case ra.ID > rb.ID:
+				return 1
+			}
+			return 0
 		})
-		for i := 0; i < len(rs); i++ {
-			succ := 0
-			for j := i + 1; j < len(rs); j++ {
-				if rs[j].Arrival-rs[i].Arrival >= window {
+		// Counting pass: pairs inside the window, capped per request at
+		// MaxSuccessors — an upper bound on accepted nodes.
+		upper := 0
+		for i := 0; i < len(run); i++ {
+			ti := reqs[uint32(run[i])].Arrival
+			c := 0
+			for j := i + 1; j < len(run); j++ {
+				if reqs[uint32(run[j])].Arrival-ti >= window {
 					break
 				}
-				w := Saving(cfg, rs[i].Arrival, rs[j].Arrival)
+				c++
+				if opts.MaxSuccessors > 0 && c >= opts.MaxSuccessors {
+					break
+				}
+			}
+			upper += c
+		}
+		nodes := make([]Node, 0, upper)
+		for i := 0; i < len(run); i++ {
+			ri := reqs[uint32(run[i])]
+			succ := 0
+			for j := i + 1; j < len(run); j++ {
+				rj := reqs[uint32(run[j])]
+				if rj.Arrival-ri.Arrival >= window {
+					break
+				}
+				w := Saving(cfg, ri.Arrival, rj.Arrival)
 				if w <= 0 {
 					continue
 				}
-				nodes = append(nodes, Node{I: rs[i].ID, J: rs[j].ID, Disk: d, Weight: w})
-				if opts.MaxNodes > 0 && len(nodes) > opts.MaxNodes {
-					return nil, fmt.Errorf("offline: MWIS graph exceeds %d nodes", opts.MaxNodes)
+				nodes = append(nodes, Node{I: ri.ID, J: rj.ID, Disk: d, Weight: w})
+				if opts.MaxNodes > 0 && built.Load()+int64(len(nodes)) > int64(opts.MaxNodes) {
+					exceeded.Store(true)
+					return
 				}
 				succ++
 				if opts.MaxSuccessors > 0 && succ >= opts.MaxSuccessors {
@@ -91,40 +175,110 @@ func Build(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg 
 				}
 			}
 		}
+		built.Add(int64(len(nodes)))
+		nodesByShard[si] = nodes
 	}
-	// Deterministic vertex order regardless of map iteration.
-	sort.Slice(nodes, func(a, b int) bool {
-		na, nb := nodes[a], nodes[b]
-		if na.I != nb.I {
-			return na.I < nb.I
-		}
-		if na.J != nb.J {
-			return na.J < nb.J
-		}
-		return na.Disk < nb.Disk
-	})
-
-	g := graph.NewGraph(len(nodes))
-	// Nodes mentioning each request, in either role.
-	byRequest := make(map[core.RequestID][]int)
-	for v, n := range nodes {
-		g.SetWeight(v, n.Weight)
-		byRequest[n.I] = append(byRequest[n.I], v)
-		byRequest[n.J] = append(byRequest[n.J], v)
-	}
-	for _, vs := range byRequest {
-		for a := 0; a < len(vs); a++ {
-			for b := a + 1; b < len(vs); b++ {
-				u, v := vs[a], vs[b]
-				nu, nv := nodes[u], nodes[v]
-				// Energy constraint: at most one node per predecessor i.
-				// Schedule constraint: shared request forces same disk.
-				if nu.I == nv.I || nu.Disk != nv.Disk {
-					g.AddEdge(u, v)
-				}
+	if workers := min(opts.workerCount(), len(shards)); workers <= 1 {
+		for si := range shards {
+			buildShard(si)
+			if exceeded.Load() {
+				break
 			}
 		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for !exceeded.Load() {
+					si := int(next.Add(1)) - 1
+					if si >= len(shards) {
+						return
+					}
+					buildShard(si)
+				}
+			}()
+		}
+		wg.Wait()
 	}
+	if exceeded.Load() {
+		return nil, fmt.Errorf("offline: MWIS graph exceeds %d nodes", opts.MaxNodes)
+	}
+	total := 0
+	for _, ns := range nodesByShard {
+		total += len(ns)
+	}
+	if opts.MaxNodes > 0 && total > opts.MaxNodes {
+		return nil, fmt.Errorf("offline: MWIS graph exceeds %d nodes", opts.MaxNodes)
+	}
+	nodes := make([]Node, 0, total)
+	for _, ns := range nodesByShard {
+		nodes = append(nodes, ns...)
+	}
+	// Deterministic vertex order regardless of shard or worker schedule:
+	// (I, J, Disk) is unique per node, so this order is total.
+	slices.SortFunc(nodes, func(na, nb Node) int {
+		if na.I != nb.I {
+			return int(na.I) - int(nb.I)
+		}
+		if na.J != nb.J {
+			return int(na.J) - int(nb.J)
+		}
+		return int(na.Disk) - int(nb.Disk)
+	})
+
+	// Step 2: conflict edges. Every vertex is indexed under both requests
+	// it mentions via one sorted (request, vertex) run; vertices sharing a
+	// request form a contiguous range, replacing the map of slices.
+	g := graph.NewGraph(len(nodes))
+	mentions := make([]uint64, 0, 2*len(nodes))
+	for v, n := range nodes {
+		g.SetWeight(v, n.Weight)
+		mentions = append(mentions,
+			uint64(n.I)<<32|uint64(uint32(v)),
+			uint64(n.J)<<32|uint64(uint32(v)))
+	}
+	graph.RadixSortUint64(mentions)
+	// forEachEdge yields every conflict edge exactly once: within the
+	// sorted range of one request, every vertex pair violating the energy
+	// constraint (same predecessor i) or the schedule constraint (shared
+	// request, different disk) is an edge. A pair sharing both requests
+	// (same (i,j) on two disks) appears in two ranges; it is emitted only
+	// from the predecessor's range so the edge buffer stays duplicate-free.
+	forEachEdge := func(yield func(u, v int)) {
+		for lo := 0; lo < len(mentions); {
+			r := core.RequestID(mentions[lo] >> 32)
+			hi := lo + 1
+			for hi < len(mentions) && core.RequestID(mentions[hi]>>32) == r {
+				hi++
+			}
+			for a := lo; a < hi; a++ {
+				u := int(uint32(mentions[a]))
+				nu := nodes[u]
+				for b := a + 1; b < hi; b++ {
+					v := int(uint32(mentions[b]))
+					nv := nodes[v]
+					if nu.I == nv.I {
+						if nu.J == nv.J && r != nu.I {
+							continue // counted in the predecessor's range
+						}
+						yield(u, v)
+					} else if nu.Disk != nv.Disk {
+						yield(u, v)
+					}
+				}
+			}
+			lo = hi
+		}
+	}
+	// One expansion pass; the edge buffer starts at a mentions-proportional
+	// estimate and the rare geometric regrowth is far cheaper than walking
+	// the ranges twice for an exact count.
+	g.Grow(2 * len(mentions))
+	forEachEdge(g.AddEdge)
+	g.Finalize()
 	return &Instance{Graph: g, Nodes: nodes}, nil
 }
 
@@ -185,6 +339,9 @@ func (in *Instance) DeriveSchedule(reqs []core.Request, locations func(core.Bloc
 
 // Solve runs the full offline pipeline with the GWMIN greedy the paper uses
 // (Section 4.3): build the reduction, solve MWIS, derive the schedule.
+// With opts.Workers > 1 both graph construction and the component-parallel
+// solve run concurrently; the schedule and stats are bit-identical for
+// every worker count.
 func Solve(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg power.Config, opts BuildOptions) (core.Schedule, Stats, error) {
 	in, err := Build(reqs, locations, cfg, opts)
 	if err != nil {
@@ -192,9 +349,9 @@ func Solve(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg 
 	}
 	var selected []int
 	if opts.HybridExactLimit > 0 {
-		selected, _ = graph.HybridMWIS(in.Graph, opts.HybridExactLimit)
+		selected, _ = graph.ParallelHybridMWIS(in.Graph, opts.HybridExactLimit, opts.workerCount())
 	} else {
-		selected, _ = graph.GWMIN(in.Graph)
+		selected, _ = graph.ParallelGWMIN(in.Graph, opts.workerCount())
 	}
 	sched, err := in.DeriveSchedule(reqs, locations, selected)
 	if err != nil {

@@ -20,7 +20,7 @@ package offline
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"repro/internal/core"
@@ -69,15 +69,38 @@ func Evaluate(reqs []core.Request, sched core.Schedule, cfg power.Config, locati
 	if locations != nil && !sched.Valid(reqs, locations) {
 		return Stats{}, fmt.Errorf("offline: schedule assigns a request off its replica locations")
 	}
-	perDisk := make(map[core.DiskID][]time.Duration)
+	numDisks := 0
+	for _, d := range sched {
+		if d < 0 {
+			return Stats{}, fmt.Errorf("offline: schedule assigns negative disk %d", d)
+		}
+		if int(d)+1 > numDisks {
+			numDisks = int(d) + 1
+		}
+	}
+	perDisk := make([][]time.Duration, numDisks)
+	counts := make([]int, numDisks)
+	for _, r := range reqs {
+		counts[sched[r.ID]]++
+	}
+	for d, c := range counts {
+		if c > 0 {
+			perDisk[d] = make([]time.Duration, 0, c)
+		}
+	}
 	for _, r := range reqs {
 		d := sched[r.ID]
 		perDisk[d] = append(perDisk[d], r.Arrival)
 	}
 	var st Stats
 	tail := cfg.Breakeven().Seconds()*cfg.IdlePower + cfg.SpinDownEnergy
+	// Disks are visited in id order so the floating-point energy sum is the
+	// same on every run (map iteration would reorder the additions).
 	for _, times := range perDisk {
-		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+		if len(times) == 0 {
+			continue
+		}
+		slices.Sort(times)
 		st.DisksUsed++
 		st.SpinUps++
 		st.SpinDowns++

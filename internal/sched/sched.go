@@ -176,42 +176,80 @@ func (h Heuristic) Schedule(req core.Request, v View) core.DiskID {
 type WSC struct {
 	Locations Locator
 	Cost      CostConfig
+	// Scratch, when set, is reused across batch ticks so steady-state
+	// scheduling does not allocate per batch. A pointer so it survives the
+	// value-receiver copies Batch implementations make.
+	Scratch *CoverScratch
 }
 
 // Name implements Batch.
 func (WSC) Name() string { return "energy-aware WSC" }
 
+// CoverScratch holds the reusable buffers of the per-tick cover
+// construction: disk-indexed element lists, the first-seen disk order, the
+// universe index and the set list. A batch scheduler carrying one (see
+// WSC.Scratch) builds every tick's Theorem 2 instance with zero steady-state
+// allocations instead of a fresh map of slices per batch. The zero value is
+// ready to use; a CoverScratch must not be shared by concurrent runs.
+type CoverScratch struct {
+	perDisk [][]int // element lists indexed by disk, truncated between ticks
+	disks   []core.DiskID
+	covIdx  []int
+	sets    []graph.Set
+}
+
+func (s *CoverScratch) reset() {
+	for _, d := range s.disks {
+		s.perDisk[d] = s.perDisk[d][:0]
+	}
+	s.disks = s.disks[:0]
+	s.covIdx = s.covIdx[:0]
+	s.sets = s.sets[:0]
+}
+
 // buildCover constructs the Theorem 2 reduction for a batch: the universe
-// is the subset of requests that have locations at all (covIdx maps
-// universe elements back to batch positions), each candidate disk is a set
-// weighted by the composite cost, and out is pre-marked with InvalidDisk
-// for unplaced requests.
-func buildCover(loc Locator, cost CostConfig, reqs []core.Request, v View) (in graph.CoverInstance, disks []core.DiskID, covIdx []int, out []core.DiskID) {
+// is the subset of requests that have (non-negative) locations at all
+// (covIdx maps universe elements back to batch positions), each candidate
+// disk is a set weighted by the composite cost, and out is pre-marked with
+// InvalidDisk for unplaced requests. scratch may be nil (per-call buffers);
+// the returned slices alias it and are valid until its next use.
+func buildCover(loc Locator, cost CostConfig, reqs []core.Request, v View, scratch *CoverScratch) (in graph.CoverInstance, disks []core.DiskID, covIdx []int, out []core.DiskID) {
+	if scratch == nil {
+		scratch = &CoverScratch{}
+	}
+	scratch.reset()
 	out = make([]core.DiskID, len(reqs))
-	elements := make(map[core.DiskID][]int)
 	for i, r := range reqs {
-		locs := loc(r.Block)
-		if len(locs) == 0 {
-			out[i] = core.InvalidDisk
-			continue
-		}
-		e := len(covIdx)
-		covIdx = append(covIdx, i)
-		for _, d := range locs {
-			if _, seen := elements[d]; !seen {
-				disks = append(disks, d)
+		e := -1
+		for _, d := range loc(r.Block) {
+			if d < 0 {
+				continue
 			}
-			elements[d] = append(elements[d], e)
+			if e < 0 {
+				e = len(scratch.covIdx)
+				scratch.covIdx = append(scratch.covIdx, i)
+			}
+			for int(d) >= len(scratch.perDisk) {
+				scratch.perDisk = append(scratch.perDisk, nil)
+			}
+			if len(scratch.perDisk[d]) == 0 {
+				scratch.disks = append(scratch.disks, d)
+			}
+			scratch.perDisk[d] = append(scratch.perDisk[d], e)
+		}
+		if e < 0 {
+			out[i] = core.InvalidDisk
 		}
 	}
-	in = graph.CoverInstance{NumElements: len(covIdx)}
-	for _, d := range disks {
-		in.Sets = append(in.Sets, graph.Set{
+	in = graph.CoverInstance{NumElements: len(scratch.covIdx)}
+	for _, d := range scratch.disks {
+		scratch.sets = append(scratch.sets, graph.Set{
 			Weight:   cost.Cost(v, d),
-			Elements: elements[d],
+			Elements: scratch.perDisk[d],
 		})
 	}
-	return in, disks, covIdx, out
+	in.Sets = scratch.sets
+	return in, scratch.disks, scratch.covIdx, out
 }
 
 // applyCover assigns each covered request to its covering disk.
@@ -233,7 +271,7 @@ func (w WSC) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 	if len(reqs) == 0 {
 		return nil
 	}
-	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v)
+	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v, w.Scratch)
 	// Every universe element appears in at least one set by construction,
 	// so the greedy cover cannot fail.
 	chosen, _, err := graph.GreedyCover(in)
@@ -255,6 +293,8 @@ type WSCExact struct {
 	// MaxExpansions caps the branch-and-bound search per batch
 	// (0 = a conservative default).
 	MaxExpansions int
+	// Scratch is reused across batch ticks when set, as in WSC.
+	Scratch *CoverScratch
 }
 
 // Name implements Batch.
@@ -265,7 +305,7 @@ func (w WSCExact) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 	if len(reqs) == 0 {
 		return nil
 	}
-	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v)
+	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v, w.Scratch)
 	limit := w.MaxExpansions
 	if limit == 0 {
 		limit = 200000

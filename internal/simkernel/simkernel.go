@@ -10,7 +10,10 @@ import (
 	"container/heap"
 	"errors"
 	"fmt"
+	"slices"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Event is a callback executed at a virtual time.
@@ -66,13 +69,35 @@ func (h *eventHeap) Pop() any {
 	return it
 }
 
+// preloadEvent is one entry of a preloaded arrival run: a request delivery
+// at a fixed time, carrying the sequence number it would have received from
+// an equivalent At call.
+type preloadEvent struct {
+	at  time.Duration
+	seq uint64
+	req core.Request
+}
+
+// preloadRun is a sorted batch of request deliveries installed by Preload.
+// Runs live outside the heap and are merged lazily: the dispatcher compares
+// each run's head against the heap's top, so a run of n arrivals costs one
+// slice and zero heap operations instead of n eventItem allocations and
+// n pushes.
+type preloadRun struct {
+	events []preloadEvent
+	fn     func(core.Request, time.Duration)
+	next   int
+}
+
 // Engine is a discrete-event simulator. The zero value is ready to use.
 type Engine struct {
-	now    time.Duration
-	seq    uint64
-	queue  eventHeap
-	fired  uint64
-	halted bool
+	now       time.Duration
+	seq       uint64
+	queue     eventHeap
+	runs      []preloadRun
+	fired     uint64
+	cancelled int
+	halted    bool
 }
 
 // ErrPast is returned when an event is scheduled before the current virtual
@@ -82,9 +107,22 @@ var ErrPast = errors.New("simkernel: event scheduled in the past")
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
 
-// Pending returns the number of events still queued (including cancelled
-// events not yet reaped).
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of events still queued, counting preloaded
+// arrivals not yet delivered and cancelled events not yet reaped. Cancelled
+// events stay in the heap until the dispatcher reaches them (Cancel is O(1)
+// because it runs on the disk submit hot path); use Live for the count that
+// excludes them.
+func (e *Engine) Pending() int {
+	n := len(e.queue)
+	for i := range e.runs {
+		n += len(e.runs[i].events) - e.runs[i].next
+	}
+	return n
+}
+
+// Live returns the number of events that will still fire: Pending minus
+// cancelled-but-unreaped events.
+func (e *Engine) Live() int { return e.Pending() - e.cancelled }
 
 // Fired returns the number of events executed so far.
 func (e *Engine) Fired() uint64 { return e.fired }
@@ -106,32 +144,125 @@ func (e *Engine) After(d time.Duration, fn Event) Handle {
 	return e.At(e.now+d, fn)
 }
 
+// Preload schedules delivery of every request at its arrival time, calling
+// fn(request, now) as each fires. It is equivalent to an At call per
+// request — preloaded deliveries interleave with heap events in exactly the
+// (time, scheduling-order) sequence those At calls would produce — but
+// stores the batch as one sorted run merged lazily with the heap, costing
+// one allocation instead of a heap push per request. Arrivals before the
+// current virtual time panic like At; preloaded deliveries cannot be
+// cancelled.
+func (e *Engine) Preload(reqs []core.Request, fn func(core.Request, time.Duration)) {
+	if fn == nil {
+		panic("simkernel: Preload with nil fn")
+	}
+	if len(reqs) == 0 {
+		return
+	}
+	events := make([]preloadEvent, len(reqs))
+	for i, r := range reqs {
+		if r.Arrival < e.now {
+			panic(fmt.Errorf("%w: at=%s now=%s", ErrPast, r.Arrival, e.now))
+		}
+		events[i] = preloadEvent{at: r.Arrival, seq: e.seq + uint64(i), req: r}
+	}
+	e.seq += uint64(len(reqs))
+	// Traces are normally arrival-ordered already; the sort (by the same
+	// (time, seq) order the dispatcher uses, a strict total order since seq
+	// is unique) only pays when they are not.
+	if !slices.IsSortedFunc(events, cmpPreload) {
+		slices.SortFunc(events, cmpPreload)
+	}
+	e.runs = append(e.runs, preloadRun{events: events, fn: fn})
+}
+
+func cmpPreload(a, b preloadEvent) int {
+	if a.at != b.at {
+		if a.at < b.at {
+			return -1
+		}
+		return 1
+	}
+	switch {
+	case a.seq < b.seq:
+		return -1
+	case a.seq > b.seq:
+		return 1
+	}
+	return 0
+}
+
 // Cancel prevents the handled event from firing. Cancelling an already-fired
 // or zero handle is a no-op.
 func (e *Engine) Cancel(h Handle) {
-	if h.item == nil || h.item.index == fired {
+	if h.item == nil || h.item.index == fired || h.item.cancelled {
 		return
 	}
 	h.item.cancelled = true
+	e.cancelled++
 }
 
 // Halt stops the run loop after the currently executing event returns.
 func (e *Engine) Halt() { e.halted = true }
 
+// reapCancelled pops cancelled events off the heap top so e.queue[0], when
+// present, is live.
+func (e *Engine) reapCancelled() {
+	for len(e.queue) > 0 && e.queue[0].cancelled {
+		heap.Pop(&e.queue)
+		e.cancelled--
+	}
+}
+
+// nextSource locates the earliest live event in (time, seq) order: the
+// index of the preload run holding it, or srcHeap for the heap top. The
+// run list stays tiny (one entry per Preload batch), so the scan is a few
+// comparisons, far cheaper than keeping arrivals heapified.
+const srcHeap = -1
+
+func (e *Engine) nextSource() (int, bool) {
+	e.reapCancelled()
+	src, have := srcHeap, false
+	var at time.Duration
+	var seq uint64
+	if len(e.queue) > 0 {
+		at, seq, have = e.queue[0].at, e.queue[0].seq, true
+	}
+	for i := range e.runs {
+		r := &e.runs[i]
+		ev := r.events[r.next]
+		if !have || ev.at < at || (ev.at == at && ev.seq < seq) {
+			src, at, seq, have = i, ev.at, ev.seq, true
+		}
+	}
+	return src, have
+}
+
 // Step executes the next non-cancelled event, advancing the clock. It
 // returns false when the queue is empty.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		it := heap.Pop(&e.queue).(*eventItem)
-		if it.cancelled {
-			continue
+	src, ok := e.nextSource()
+	if !ok {
+		return false
+	}
+	if src >= 0 {
+		r := &e.runs[src]
+		ev := r.events[r.next]
+		r.next++
+		fn := r.fn
+		if r.next == len(r.events) {
+			e.runs = slices.Delete(e.runs, src, src+1)
 		}
-		e.now = it.at
+		e.now = ev.at
 		e.fired++
-		it.fn(e.now)
+		fn(ev.req, e.now)
 		return true
 	}
-	return false
+	it := heap.Pop(&e.queue).(*eventItem)
+	e.now = it.at
+	e.fired++
+	it.fn(e.now)
+	return true
 }
 
 // Run executes events until the queue is empty or Halt is called, and
@@ -162,12 +293,13 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 
 // peek returns the timestamp of the next live event.
 func (e *Engine) peek() (time.Duration, bool) {
-	for len(e.queue) > 0 {
-		if e.queue[0].cancelled {
-			heap.Pop(&e.queue)
-			continue
-		}
-		return e.queue[0].at, true
+	src, ok := e.nextSource()
+	if !ok {
+		return 0, false
 	}
-	return 0, false
+	if src >= 0 {
+		r := &e.runs[src]
+		return r.events[r.next].at, true
+	}
+	return e.queue[0].at, true
 }

@@ -325,15 +325,14 @@ func RunOnline(cfg Config, loc sched.Locator, scheduler sched.Online, reqs []cor
 			return nil, err
 		}
 	}
-	for _, r := range reqs {
-		r := r
-		s.eng.At(r.Arrival, func(time.Duration) {
-			if s.lookupCache(o, r) {
-				return
-			}
-			deliver(r)
-		})
-	}
+	// One preloaded run replaces a heap push per request; delivery order is
+	// identical to per-request At scheduling.
+	s.eng.Preload(reqs, func(r core.Request, _ time.Duration) {
+		if s.lookupCache(o, r) {
+			return
+		}
+		deliver(r)
+	})
 	return s.finish(scheduler.Name(), reqs)
 }
 
@@ -394,20 +393,17 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 			return nil, err
 		}
 	}
-	for _, r := range reqs {
-		r := r
-		s.eng.At(r.Arrival, func(now time.Duration) {
-			if s.lookupCache(o, r) {
-				return
-			}
-			pending = append(pending, r)
-			if !tickScheduled {
-				tickScheduled = true
-				boundary := (now/interval + 1) * interval
-				s.eng.At(boundary, tick)
-			}
-		})
-	}
+	s.eng.Preload(reqs, func(r core.Request, now time.Duration) {
+		if s.lookupCache(o, r) {
+			return
+		}
+		pending = append(pending, r)
+		if !tickScheduled {
+			tickScheduled = true
+			boundary := (now/interval + 1) * interval
+			s.eng.At(boundary, tick)
+		}
+	})
 	return s.finish(scheduler.Name(), reqs)
 }
 

@@ -1,0 +1,50 @@
+#!/bin/sh
+# bench.sh — benchmark-regression harness.
+#
+# Runs the tier-1 figure benchmarks (BenchmarkFigure*) plus the offline
+# pipeline benchmark with -benchmem and records the result as
+# BENCH_<date>.json in the repo root: a small JSON envelope with machine
+# metadata and the raw `go test -bench` text embedded verbatim, so
+#
+#   benchstat <(jq -r .raw BENCH_old.json) <(jq -r .raw BENCH_new.json)
+#
+# (or any benchfmt consumer) can diff two recordings directly.
+#
+# Usage: scripts/bench.sh [output.json]
+#   BENCH_PATTERN  regex of benchmarks to run
+#                  (default 'Figure|OfflineMWISPipeline')
+#   BENCH_TIME     per-benchmark time (default 1s)
+#   BENCH_COUNT    repetitions for benchstat confidence (default 1)
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline}"
+benchtime="${BENCH_TIME:-1s}"
+count="${BENCH_COUNT:-1}"
+out="${1:-BENCH_$(date +%Y%m%d).json}"
+
+tmp="$(mktemp)"
+trap 'rm -f "$tmp"' EXIT
+
+echo "running benchmarks matching '$pattern' (benchtime=$benchtime count=$count)..." >&2
+go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp" >&2
+
+# JSON-escape the raw benchfmt text (backslashes, quotes, tabs, newlines).
+raw="$(sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' "$tmp" | awk '{printf "%s\\n", $0}')"
+
+{
+	printf '{\n'
+	printf '  "date": "%s",\n' "$(date -u +%Y-%m-%dT%H:%M:%SZ)"
+	printf '  "go": "%s",\n' "$(go version | sed -e 's/"/\\"/g')"
+	printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+	printf '  "cpus": %s,\n' "$(getconf _NPROCESSORS_ONLN 2>/dev/null || echo 0)"
+	printf '  "pattern": "%s",\n' "$pattern"
+	printf '  "benchtime": "%s",\n' "$benchtime"
+	printf '  "count": %s,\n' "$count"
+	printf '  "raw": "%s"\n' "$raw"
+	printf '}\n'
+} >"$out"
+
+echo "wrote $out" >&2
