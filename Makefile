@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check bench bench-all fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check ci bench bench-check bench-all fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -20,6 +20,14 @@ test:
 # plumbing all run under -race here.
 check: vet
 	$(GO) test -race ./...
+
+# CI gate: build, vet, race-detected tests, then the benchmark-regression
+# check against the newest BENCH_*.json snapshot (wall time within
+# tolerance, allocs/op not increased).
+ci: build check bench-check
+
+bench-check:
+	scripts/bench.sh -check
 
 # Benchmark-regression harness: runs the tier-1 figure benchmarks plus the
 # offline pipeline benchmark and records a BENCH_<date>.json snapshot that

@@ -7,6 +7,13 @@
 //
 //	esched -disks 180 -requests 70000 -rf 3 -scheduler wsc
 //	esched -trace Financial1.spc -format spc -scheduler heuristic
+//
+// Observability (see docs/OBSERVABILITY.md): -events FILE streams the
+// structured event log (JSONL, or the binary format when FILE ends in
+// .bin), -metrics FILE dumps a Prometheus text snapshot at exit ("-" for
+// stdout), and the standard profiling flags -cpuprofile, -memprofile,
+// -tracefile and -pprof are available. On error, whatever events and
+// metrics were collected are still flushed before exiting non-zero.
 package main
 
 import (
@@ -46,8 +53,22 @@ func run() error {
 		format    = flag.String("format", "spc", "trace format: spc | cellotext")
 		compare   = flag.Bool("compare", false, "run every scheduler and print a comparison table")
 		stateLog  = flag.String("statelog", "", "write per-disk state transitions as CSV to this file")
+		events    = flag.String("events", "", "stream the structured event log to this file (JSONL; .bin = binary)")
+		metrics   = flag.String("metrics", "", `write a Prometheus text metrics snapshot at exit ("-" = stdout)`)
 	)
+	var prof repro.Profiles
+	prof.RegisterFlagsTraceName(flag.CommandLine, "tracefile")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "esched: profiles:", err)
+		}
+	}()
 
 	reqs, err := loadRequests(*traceFile, *format, *workload, *requests, *blocks, *seed)
 	if err != nil {
@@ -85,61 +106,131 @@ func run() error {
 		runOpts = append(runOpts, repro.WithStateLog(bw))
 	}
 
+	// Observability: stream events while the run executes, snapshot metrics
+	// at exit. Both survive a failed run — see the flush below.
+	var tracer *repro.Tracer
+	var collector *repro.Collector
+	var eventsBuf *bufio.Writer
+	var eventsOut *os.File
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		eventsOut = f
+		eventsBuf = bufio.NewWriterSize(f, 1<<20)
+		tracer = repro.NewTracer(0)
+		tracer.SetSink(eventsBuf, strings.HasSuffix(*events, ".bin"))
+		runOpts = append(runOpts, repro.WithTracer(tracer))
+	}
+	if *metrics != "" {
+		collector = repro.NewCollector()
+		runOpts = append(runOpts, repro.WithCollector(collector))
+	}
+
 	ws := repro.AnalyzeWorkload(reqs)
 	fmt.Printf("workload: %d requests, %d unique blocks, %s span, inter-arrival CoV %.1f\n",
 		ws.Count, ws.UniqueBlocks, ws.Duration.Round(time.Second), ws.CoV)
 
-	if *compare {
-		return runComparison(cfg, plc, cost, reqs, *interval, *seed)
-	}
-
-	switch *schedName {
-	case "mwis":
-		_, st, err := repro.SolveOffline(reqs, plc.Locations, cfg.Power, repro.OfflineOptions{
-			MaxSuccessors: 4, MaxNodes: 5_000_000,
-		})
-		if err != nil {
-			return err
+	runErr := func() error {
+		if *compare {
+			return runComparison(cfg, plc, cost, reqs, *interval, *seed)
 		}
-		fmt.Printf("scheduler: energy-aware MWIS (offline analytic model)\n")
-		fmt.Printf("energy: %.0f J using %d disks, %d spin-ups / %d spin-downs\n",
-			st.Energy, st.DisksUsed, st.SpinUps, st.SpinDowns)
-		fmt.Printf("energy saving vs per-request worst case: %.0f J\n", st.Saving)
-		return nil
-	case "always-on":
-		cfg.Policy = repro.AlwaysOnPolicy()
-		cfg.InitialState = repro.StateIdle
-		res, err := repro.RunOnline(cfg, plc.Locations, repro.NewStaticScheduler(plc.Locations), reqs, runOpts...)
+
+		switch *schedName {
+		case "mwis":
+			_, st, err := repro.SolveOffline(reqs, plc.Locations, cfg.Power, repro.OfflineOptions{
+				MaxSuccessors: 4, MaxNodes: 5_000_000,
+			})
+			if err != nil {
+				return err
+			}
+			fmt.Printf("scheduler: energy-aware MWIS (offline analytic model)\n")
+			fmt.Printf("energy: %.0f J using %d disks, %d spin-ups / %d spin-downs\n",
+				st.Energy, st.DisksUsed, st.SpinUps, st.SpinDowns)
+			fmt.Printf("energy saving vs per-request worst case: %.0f J\n", st.Saving)
+			return nil
+		case "always-on":
+			cfg.Policy = repro.AlwaysOnPolicy()
+			cfg.InitialState = repro.StateIdle
+			res, err := repro.RunOnline(cfg, plc.Locations, repro.NewStaticScheduler(plc.Locations), reqs, runOpts...)
+			if err != nil {
+				return err
+			}
+			report(res)
+			return nil
+		case "wsc":
+			res, err := repro.RunBatch(cfg, plc.Locations,
+				repro.NewTracedWSCScheduler(plc.Locations, cost, tracer), reqs, *interval, runOpts...)
+			if err != nil {
+				return err
+			}
+			report(res)
+			return nil
+		}
+
+		var s repro.OnlineScheduler
+		switch *schedName {
+		case "random":
+			s = repro.NewRandomScheduler(plc.Locations, *seed+1)
+		case "static":
+			s = repro.NewStaticScheduler(plc.Locations)
+		case "heuristic":
+			s = repro.NewTracedHeuristicScheduler(plc.Locations, cost, tracer)
+		default:
+			return fmt.Errorf("unknown scheduler %q", *schedName)
+		}
+		res, err := repro.RunOnline(cfg, plc.Locations, s, reqs, runOpts...)
 		if err != nil {
 			return err
 		}
 		report(res)
 		return nil
-	case "wsc":
-		res, err := repro.RunBatch(cfg, plc.Locations, repro.NewWSCScheduler(plc.Locations, cost), reqs, *interval, runOpts...)
-		if err != nil {
-			return err
-		}
-		report(res)
-		return nil
-	}
+	}()
 
-	var s repro.OnlineScheduler
-	switch *schedName {
-	case "random":
-		s = repro.NewRandomScheduler(plc.Locations, *seed+1)
-	case "static":
-		s = repro.NewStaticScheduler(plc.Locations)
-	case "heuristic":
-		s = repro.NewHeuristicScheduler(plc.Locations, cost)
-	default:
-		return fmt.Errorf("unknown scheduler %q", *schedName)
+	// Flush whatever observability data was collected — also on the error
+	// path, so a failed run never discards its partial telemetry — and log
+	// where each artifact went.
+	if tracer != nil {
+		ferr := tracer.Flush()
+		if err := eventsBuf.Flush(); ferr == nil {
+			ferr = err
+		}
+		if err := eventsOut.Close(); ferr == nil {
+			ferr = err
+		}
+		if ferr != nil && runErr == nil {
+			runErr = fmt.Errorf("event log %s: %w", *events, ferr)
+		}
+		fmt.Fprintf(os.Stderr, "esched: event log flushed to %s\n", *events)
 	}
-	res, err := repro.RunOnline(cfg, plc.Locations, s, reqs, runOpts...)
+	if collector != nil {
+		if err := writeMetrics(collector, *metrics); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	return runErr
+}
+
+// writeMetrics dumps a Prometheus text snapshot to path ("-" = stdout) and
+// logs the destination.
+func writeMetrics(c *repro.Collector, path string) error {
+	if path == "-" {
+		_, err := c.WriteTo(os.Stdout)
+		return err
+	}
+	f, err := os.Create(path)
 	if err != nil {
 		return err
 	}
-	report(res)
+	_, werr := c.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("metrics %s: %w", path, werr)
+	}
+	fmt.Fprintf(os.Stderr, "esched: metrics snapshot written to %s\n", path)
 	return nil
 }
 

@@ -5,6 +5,11 @@
 //	figures -scale full         # the paper's 180-disk / 70k-request setup
 //	figures -fig 6,7,8          # a subset
 //	figures -tsv -out results/  # write TSV files instead of stdout tables
+//
+// The standard profiling flags -cpuprofile, -memprofile, -trace and -pprof
+// are available for profiling full-scale regenerations (see
+// docs/OBSERVABILITY.md). A failing run still writes the partial -summary
+// accumulated before the error and logs where it went.
 package main
 
 import (
@@ -16,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/report"
 )
 
@@ -35,7 +41,19 @@ func run() error {
 		summary   = flag.String("summary", "", "write a Markdown summary report to this file (runs both trace sweeps)")
 		outDir    = flag.String("out", "", "write each figure to DIR/figNN.{txt,tsv} instead of stdout")
 	)
+	var prof obs.Profiles
+	prof.RegisterFlags(flag.CommandLine)
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "figures: profiles:", err)
+		}
+	}()
 
 	var scale experiments.Scale
 	switch *scaleName {
@@ -189,6 +207,13 @@ func run() error {
 			Generated:  time.Now().UTC(),
 		})
 		if err != nil {
+			// Flush the partial report before exiting non-zero so completed
+			// sweeps are not discarded with the failure.
+			if md != "" {
+				if werr := os.WriteFile(*summary, []byte(md), 0o644); werr == nil {
+					fmt.Fprintf(os.Stderr, "figures: partial summary flushed to %s\n", *summary)
+				}
+			}
 			return err
 		}
 		if err := os.WriteFile(*summary, []byte(md), 0o644); err != nil {

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/power"
 	"repro/internal/simkernel"
 )
@@ -25,7 +26,8 @@ type Disk struct {
 	onDone DoneFunc
 
 	state      core.DiskState
-	onTrans    func(d core.DiskID, now time.Duration, from, to core.DiskState)
+	onTrans    func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta)
+	tr         *obs.Tracer
 	queue      []core.Request
 	inFlight   bool
 	inFlightRq core.Request
@@ -50,9 +52,15 @@ type Options struct {
 	InitialState core.DiskState
 	// Discipline selects the queue service order; defaults to FIFO.
 	Discipline Discipline
-	// OnTransition, when non-nil, observes every power-state change
-	// (for state-timeline logging and visualization).
-	OnTransition func(d core.DiskID, now time.Duration, from, to core.DiskState)
+	// OnTransition, when non-nil, observes every power-state change with
+	// the energy it settles (for state-timeline logging, visualization and
+	// live metric export).
+	OnTransition func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta)
+	// Tracer, when non-nil and enabled, receives the disk's structured
+	// events: request queueing, service starts, completions and power
+	// transitions. A nil Tracer costs one branch per instrumentation
+	// point.
+	Tracer *obs.Tracer
 }
 
 // New creates a disk attached to the simulation engine. onDone may be nil.
@@ -90,6 +98,7 @@ func New(id core.DiskID, mech MechConfig, pcfg power.Config, policy power.Policy
 		ascending: true,
 		disc:      disc,
 		onTrans:   opts.OnTransition,
+		tr:        opts.Tracer,
 	}
 	if initial == core.StateIdle {
 		d.armIdleTimer()
@@ -126,10 +135,11 @@ func (d *Disk) Served() int { return d.served }
 func (d *Disk) Meter() *power.Meter { return d.meter }
 
 func (d *Disk) setState(now time.Duration, s core.DiskState) {
-	d.meter.Transition(now, s)
+	stateJ, impulseJ := d.meter.Transition(now, s)
 	if d.onTrans != nil {
-		d.onTrans(d.id, now, d.state, s)
+		d.onTrans(d.id, now, d.state, s, obs.EnergyDelta{StateJ: stateJ, ImpulseJ: impulseJ})
 	}
+	d.tr.Power(now, d.id, d.state, s, stateJ+impulseJ)
 	d.state = s
 }
 
@@ -147,6 +157,7 @@ func (d *Disk) Submit(req core.Request) {
 	d.lastReq = now
 	d.everReq = true
 	d.queue = append(d.queue, req)
+	d.tr.Queue(now, req.ID, d.id, d.Load())
 	switch d.state {
 	case core.StateStandby:
 		d.beginSpinUp(now)
@@ -195,6 +206,7 @@ func (d *Disk) startNext(now time.Duration) {
 	if d.state != core.StateActive {
 		d.setState(now, core.StateActive)
 	}
+	d.tr.Serve(now, req.ID, d.id)
 	svc := d.mech.ServiceTime(d.headLBA, req.LBA, req.Size)
 	size := req.Size
 	if size <= 0 {
@@ -204,6 +216,7 @@ func (d *Disk) startNext(now time.Duration) {
 	d.serviceEv = d.eng.After(svc, func(done time.Duration) {
 		d.inFlight = false
 		d.served++
+		d.tr.Complete(done, req.ID, d.id, done-req.Arrival)
 		if d.onDone != nil {
 			d.onDone(req, done)
 		}
@@ -308,6 +321,7 @@ func (d *Disk) Stats() Stats {
 	}
 	for st := core.StateStandby; st <= core.StateSpinDown; st++ {
 		s.TimeIn[st] = d.meter.TimeIn(st)
+		s.EnergyIn[st] = d.meter.EnergyIn(st)
 	}
 	return s
 }
@@ -320,6 +334,9 @@ type Stats struct {
 	SpinDowns int
 	Served    int
 	TimeIn    [core.StateSpinDown + 1]time.Duration
+	// EnergyIn breaks Energy down by power state (zero-duration transition
+	// impulses count toward the transition state entered).
+	EnergyIn [core.StateSpinDown + 1]float64
 }
 
 // Total returns the total accounted wall time.

@@ -1,0 +1,104 @@
+package obs
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// Binary event log: an 8-byte magic header followed by fixed-width 64-byte
+// little-endian records. About 3x denser than JSONL and trivially seekable
+// (record i lives at offset 8 + 64*i), for long traced runs where the
+// JSONL form gets bulky.
+//
+// Record layout (offsets in bytes):
+//
+//	0  kind (u8)    1  from (u8)   2  to (u8)   3  reserved
+//	4  depth (i32)  8  t ns (i64)  16 seq (u64)
+//	24 disk (i32)   28 req (i32)   32 block (i64)
+//	40 latency ns (i64)            48 energy J (f64)   56 cost (f64)
+
+// BinaryMagic opens every binary event log.
+const BinaryMagic = "ESCHOBS1"
+
+// binaryRecordSize is the fixed encoded size of one event.
+const binaryRecordSize = 64
+
+// AppendBinary appends the fixed-width binary encoding of ev to dst. The
+// stream it builds must be prefixed once with BinaryMagic (WriteBinary and
+// streaming sinks handle this via BinaryWriter).
+func AppendBinary(dst []byte, ev Event) []byte {
+	var rec [binaryRecordSize]byte
+	rec[0] = byte(ev.Kind)
+	rec[1] = byte(ev.From)
+	rec[2] = byte(ev.To)
+	binary.LittleEndian.PutUint32(rec[4:], uint32(int32(ev.Depth)))
+	binary.LittleEndian.PutUint64(rec[8:], uint64(ev.At))
+	binary.LittleEndian.PutUint64(rec[16:], ev.Seq)
+	binary.LittleEndian.PutUint32(rec[24:], uint32(int32(ev.Disk)))
+	binary.LittleEndian.PutUint32(rec[28:], uint32(int32(ev.Req)))
+	binary.LittleEndian.PutUint64(rec[32:], uint64(ev.Block))
+	binary.LittleEndian.PutUint64(rec[40:], uint64(ev.Latency))
+	binary.LittleEndian.PutUint64(rec[48:], math.Float64bits(ev.EnergyJ))
+	binary.LittleEndian.PutUint64(rec[56:], math.Float64bits(ev.Cost))
+	return append(dst, rec[:]...)
+}
+
+// BinaryWriter wraps w so the magic header is written exactly once, before
+// the first record. Pass it to Tracer.SetSink for streaming binary logs.
+type BinaryWriter struct {
+	W      io.Writer
+	headed bool
+}
+
+// Write implements io.Writer.
+func (bw *BinaryWriter) Write(p []byte) (int, error) {
+	if !bw.headed {
+		bw.headed = true
+		if _, err := io.WriteString(bw.W, BinaryMagic); err != nil {
+			return 0, err
+		}
+	}
+	return bw.W.Write(p)
+}
+
+// ReadBinary parses a binary event log (magic header plus records) back
+// into events.
+func ReadBinary(r io.Reader) ([]Event, error) {
+	var magic [len(BinaryMagic)]byte
+	if _, err := io.ReadFull(r, magic[:]); err != nil {
+		return nil, fmt.Errorf("obs: reading binary log header: %w", err)
+	}
+	if string(magic[:]) != BinaryMagic {
+		return nil, fmt.Errorf("obs: bad binary log magic %q", magic)
+	}
+	var out []Event
+	var rec [binaryRecordSize]byte
+	for i := 0; ; i++ {
+		_, err := io.ReadFull(r, rec[:])
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, fmt.Errorf("obs: record %d: %w", i, err)
+		}
+		out = append(out, Event{
+			Kind:    Kind(rec[0]),
+			From:    core.DiskState(rec[1]),
+			To:      core.DiskState(rec[2]),
+			Depth:   int(int32(binary.LittleEndian.Uint32(rec[4:]))),
+			At:      time.Duration(binary.LittleEndian.Uint64(rec[8:])),
+			Seq:     binary.LittleEndian.Uint64(rec[16:]),
+			Disk:    core.DiskID(int32(binary.LittleEndian.Uint32(rec[24:]))),
+			Req:     core.RequestID(int32(binary.LittleEndian.Uint32(rec[28:]))),
+			Block:   core.BlockID(binary.LittleEndian.Uint64(rec[32:])),
+			Latency: time.Duration(binary.LittleEndian.Uint64(rec[40:])),
+			EnergyJ: math.Float64frombits(binary.LittleEndian.Uint64(rec[48:])),
+			Cost:    math.Float64frombits(binary.LittleEndian.Uint64(rec[56:])),
+		})
+	}
+}

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"time"
+
+	"repro/internal/core"
+)
+
+// EnergyDelta is the energy settled by one power-state transition, split
+// for exact per-state attribution: StateJ accrued in the state being left,
+// ImpulseJ charged instantaneously against the transition state being
+// entered (nonzero only for zero-duration spin transitions, as in the
+// paper's toy model).
+type EnergyDelta struct {
+	StateJ   float64
+	ImpulseJ float64
+}
+
+// Total returns the full energy delta in joules.
+func (e EnergyDelta) Total() float64 { return e.StateJ + e.ImpulseJ }
+
+// ResponseBuckets are the default response-time histogram bounds in
+// seconds: sub-millisecond cache hits up to multi-spin-up queueing delays.
+func ResponseBuckets() []float64 {
+	return []float64{0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+		0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+}
+
+// DepthBuckets are the default queue-depth histogram bounds.
+func DepthBuckets() []float64 {
+	return []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 1024}
+}
+
+// RunMetrics is the simulator's metric catalog, pre-registered on a
+// Collector so the hot path updates handles rather than looking up names.
+// See docs/OBSERVABILITY.md for the full catalog with units.
+type RunMetrics struct {
+	// SpinUps / SpinDowns count spin operations across all disks.
+	SpinUps   *Counter // esched_spin_ups_total
+	SpinDowns *Counter // esched_spin_downs_total
+	// Energy accumulates joules by power state, indexed by core.DiskState.
+	// Live values settle at each transition; Reconcile overwrites them with
+	// the exact end-of-run meter totals.
+	Energy [core.StateSpinDown + 1]*Counter // esched_energy_joules_total{state=...}
+	// Request outcomes.
+	Served       *Counter // esched_requests_total{outcome="served"}
+	Dropped      *Counter // esched_requests_total{outcome="dropped"}
+	Redispatched *Counter // esched_requests_total{outcome="redispatched"}
+	CacheHits    *Counter // esched_requests_total{outcome="cache_hit"}
+	// Decisions counts scheduler decisions (online picks plus batch
+	// assignments).
+	Decisions *Counter // esched_scheduler_decisions_total
+	// Response is the response-time distribution in seconds.
+	Response *Histogram // esched_response_time_seconds
+	// QueueDepth is the disk queue depth observed at each enqueue.
+	QueueDepth *Histogram // esched_queue_depth
+	// SimTime is the current virtual time in seconds.
+	SimTime *Gauge // esched_sim_time_seconds
+	// EventsFired is the kernel's executed-event count.
+	EventsFired *Gauge // esched_sim_events_fired
+}
+
+// NewRunMetrics registers the simulator catalog on c and returns the
+// update handles. Registering twice on the same collector returns handles
+// to the same series, so parallel cells can share one registry.
+func NewRunMetrics(c *Collector) *RunMetrics {
+	m := &RunMetrics{
+		SpinUps:   c.Counter("esched_spin_ups_total", "Disk spin-up operations."),
+		SpinDowns: c.Counter("esched_spin_downs_total", "Disk spin-down operations."),
+		Decisions: c.Counter("esched_scheduler_decisions_total", "Scheduler placement decisions."),
+		Response: c.Histogram("esched_response_time_seconds",
+			"Request response time in seconds.", ResponseBuckets()),
+		QueueDepth: c.Histogram("esched_queue_depth",
+			"Disk queue depth observed at each enqueue.", DepthBuckets()),
+		SimTime:     c.Gauge("esched_sim_time_seconds", "Current virtual time in seconds."),
+		EventsFired: c.Gauge("esched_sim_events_fired", "Simulation kernel events executed."),
+	}
+	const reqName = "esched_requests_total"
+	const reqHelp = "Requests by outcome."
+	m.Served = c.Counter(reqName, reqHelp, Label{"outcome", "served"})
+	m.Dropped = c.Counter(reqName, reqHelp, Label{"outcome", "dropped"})
+	m.Redispatched = c.Counter(reqName, reqHelp, Label{"outcome", "redispatched"})
+	m.CacheHits = c.Counter(reqName, reqHelp, Label{"outcome", "cache_hit"})
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		m.Energy[s] = c.Counter("esched_energy_joules_total",
+			"Energy consumed by all disks, by power state, in joules.",
+			Label{"state", s.String()})
+	}
+	return m
+}
+
+// Transition applies one power-state transition's live updates: the
+// per-state energy deltas and the spin operation counters.
+func (m *RunMetrics) Transition(from, to core.DiskState, e EnergyDelta) {
+	if e.StateJ > 0 {
+		m.Energy[from].Add(e.StateJ)
+	}
+	if e.ImpulseJ > 0 {
+		m.Energy[to].Add(e.ImpulseJ)
+	}
+	switch to {
+	case core.StateSpinUp:
+		m.SpinUps.Inc()
+	case core.StateSpinDown:
+		m.SpinDowns.Inc()
+	}
+}
+
+// ObserveResponse records one completed request's response time.
+func (m *RunMetrics) ObserveResponse(latency time.Duration) {
+	m.Response.Observe(latency.Seconds())
+}
+
+// ReconcileEnergy overwrites the per-state energy counters with the exact
+// end-of-run totals (joules by state, summed over disks in disk order),
+// making exporter output match internal/report's aggregates exactly.
+func (m *RunMetrics) ReconcileEnergy(byState [core.StateSpinDown + 1]float64) {
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		m.Energy[s].Reconcile(byState[s])
+	}
+}

@@ -1,0 +1,46 @@
+package obs_test
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// ExampleTracer traces a two-event request lifecycle and drains it as
+// JSONL. Real runs attach the tracer with storage.WithTracer; the encoding
+// is canonical, so seeded runs produce byte-identical logs.
+func ExampleTracer() {
+	tr := obs.NewTracer(16)
+	tr.Dispatch(250*time.Millisecond, 0, 42, 3)
+	tr.Power(250*time.Millisecond, 3, core.StateStandby, core.StateSpinUp, 0)
+	tr.Complete(10*time.Second+250*time.Millisecond, 0, 3, 10*time.Second)
+	tr.WriteJSONL(os.Stdout)
+	// Output:
+	// {"t":250000000,"seq":0,"kind":"dispatch","disk":3,"req":0,"block":42}
+	// {"t":250000000,"seq":1,"kind":"power","disk":3,"from":"standby","to":"spin-up","j":0}
+	// {"t":10250000000,"seq":2,"kind":"complete","disk":3,"req":0,"lat":10000000000}
+}
+
+// ExampleCollector exports a counter and a gauge in the Prometheus text
+// format. storage.WithCollector populates the full catalog of
+// obs.NewRunMetrics during a run.
+func ExampleCollector() {
+	c := obs.NewCollector()
+	c.Counter("esched_spin_ups_total", "Disk spin-up operations.").Add(17)
+	c.Counter("esched_energy_joules_total", "Energy by power state.",
+		obs.Label{Key: "state", Value: "idle"}).Add(5230.5)
+	c.Gauge("esched_sim_time_seconds", "Current virtual time in seconds.").Set(86400)
+	c.WriteTo(os.Stdout)
+	// Output:
+	// # HELP esched_energy_joules_total Energy by power state.
+	// # TYPE esched_energy_joules_total counter
+	// esched_energy_joules_total{state="idle"} 5230.5
+	// # HELP esched_sim_time_seconds Current virtual time in seconds.
+	// # TYPE esched_sim_time_seconds gauge
+	// esched_sim_time_seconds 86400
+	// # HELP esched_spin_ups_total Disk spin-up operations.
+	// # TYPE esched_spin_ups_total counter
+	// esched_spin_ups_total 17
+}

@@ -1,0 +1,183 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"time"
+
+	"repro/internal/core"
+)
+
+// JSONL event encoding. One JSON object per line, keys in a fixed order,
+// integers for times (nanoseconds) and shortest-round-trip formatting for
+// floats, so encoding is canonical: equal event sequences produce
+// byte-identical logs. Only the fields meaningful for the event's kind are
+// written (see docs/OBSERVABILITY.md for the schema reference).
+
+// AppendJSONL appends the canonical JSONL encoding of ev (including the
+// trailing newline) to dst and returns the extended slice.
+func AppendJSONL(dst []byte, ev Event) []byte {
+	dst = append(dst, `{"t":`...)
+	dst = strconv.AppendInt(dst, int64(ev.At), 10)
+	dst = append(dst, `,"seq":`...)
+	dst = strconv.AppendUint(dst, ev.Seq, 10)
+	dst = append(dst, `,"kind":"`...)
+	dst = append(dst, ev.Kind.String()...)
+	dst = append(dst, '"')
+	if ev.Disk != core.InvalidDisk {
+		dst = append(dst, `,"disk":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Disk), 10)
+	}
+	if ev.Req >= 0 {
+		dst = append(dst, `,"req":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Req), 10)
+	}
+	if ev.Block >= 0 {
+		dst = append(dst, `,"block":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Block), 10)
+	}
+	switch ev.Kind {
+	case KindPower:
+		dst = append(dst, `,"from":"`...)
+		dst = append(dst, ev.From.String()...)
+		dst = append(dst, `","to":"`...)
+		dst = append(dst, ev.To.String()...)
+		dst = append(dst, `","j":`...)
+		dst = appendFloat(dst, ev.EnergyJ)
+	case KindDecision:
+		dst = append(dst, `,"cost":`...)
+		dst = appendFloat(dst, ev.Cost)
+		dst = append(dst, `,"ej":`...)
+		dst = appendFloat(dst, ev.EnergyJ)
+		dst = append(dst, `,"load":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Depth), 10)
+	case KindQueue:
+		dst = append(dst, `,"depth":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Depth), 10)
+	case KindComplete:
+		dst = append(dst, `,"lat":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Latency), 10)
+	}
+	return append(dst, '}', '\n')
+}
+
+// appendFloat formats a float with the shortest representation that
+// round-trips, the same canonical form for every encoder in this package.
+func appendFloat(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', -1, 64)
+}
+
+// ReadJSONL parses a JSONL event log produced by WriteJSONL or a streaming
+// JSONL sink back into events. It accepts exactly the canonical encoding
+// (it is a log-analysis convenience, not a general JSON parser).
+func ReadJSONL(r io.Reader) ([]Event, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	var out []Event
+	line := 0
+	for sc.Scan() {
+		line++
+		b := bytes.TrimSpace(sc.Bytes())
+		if len(b) == 0 {
+			continue
+		}
+		ev, err := parseJSONLEvent(b)
+		if err != nil {
+			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func parseJSONLEvent(b []byte) (Event, error) {
+	ev := Event{Disk: core.InvalidDisk, Req: -1, Block: -1}
+	if len(b) < 2 || b[0] != '{' || b[len(b)-1] != '}' {
+		return ev, fmt.Errorf("not an object: %q", b)
+	}
+	for _, field := range bytes.Split(b[1:len(b)-1], []byte{','}) {
+		key, val, ok := bytes.Cut(field, []byte{':'})
+		if !ok {
+			return ev, fmt.Errorf("bad field %q", field)
+		}
+		k := string(bytes.Trim(key, `"`))
+		v := string(val)
+		var err error
+		switch k {
+		case "t":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			ev.At = time.Duration(n)
+		case "seq":
+			ev.Seq, err = strconv.ParseUint(v, 10, 64)
+		case "kind":
+			ev.Kind, err = kindFromString(trimQuotes(v))
+		case "disk":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			ev.Disk = core.DiskID(n)
+		case "req":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			ev.Req = core.RequestID(n)
+		case "block":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			ev.Block = core.BlockID(n)
+		case "from":
+			ev.From, err = stateFromString(trimQuotes(v))
+		case "to":
+			ev.To, err = stateFromString(trimQuotes(v))
+		case "j", "ej":
+			ev.EnergyJ, err = strconv.ParseFloat(v, 64)
+		case "cost":
+			ev.Cost, err = strconv.ParseFloat(v, 64)
+		case "load", "depth":
+			ev.Depth, err = strconv.Atoi(v)
+		case "lat":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			ev.Latency = time.Duration(n)
+		default:
+			return ev, fmt.Errorf("unknown key %q", k)
+		}
+		if err != nil {
+			return ev, fmt.Errorf("field %q: %w", k, err)
+		}
+	}
+	if ev.Kind == 0 {
+		return ev, fmt.Errorf("missing kind in %q", b)
+	}
+	return ev, nil
+}
+
+func trimQuotes(s string) string {
+	if len(s) >= 2 && s[0] == '"' && s[len(s)-1] == '"' {
+		return s[1 : len(s)-1]
+	}
+	return s
+}
+
+func kindFromString(s string) (Kind, error) {
+	for k := KindArrive; k <= KindCacheHit; k++ {
+		if kindNames[k] == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown kind %q", s)
+}
+
+func stateFromString(s string) (core.DiskState, error) {
+	for st := core.StateStandby; st <= core.StateSpinDown; st++ {
+		if st.String() == s {
+			return st, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown state %q", s)
+}

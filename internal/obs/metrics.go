@@ -1,0 +1,354 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// Collector is a small metrics registry rendering the Prometheus text
+// exposition format (the idiom of exporters like cloud-carbon-exporter,
+// without the client_golang dependency).
+//
+// Metrics are created once at wiring time — Counter/Gauge/Histogram return
+// handles — and updated through the handles on the hot path with a single
+// mutex acquisition and no allocation. A Collector is safe for concurrent
+// use, so one registry can aggregate across parallel experiment cells, and
+// WriteTo can snapshot it mid-run from another goroutine (e.g. the pprof
+// HTTP endpoint).
+//
+// Output is deterministic: families render sorted by name, series sorted
+// by label signature, values in shortest-round-trip form — so exporter
+// output is golden-testable.
+type Collector struct {
+	mu     sync.Mutex
+	byName map[string]*family
+}
+
+type metricType uint8
+
+const (
+	typeCounter metricType = iota + 1
+	typeGauge
+	typeHistogram
+)
+
+func (t metricType) String() string {
+	switch t {
+	case typeCounter:
+		return "counter"
+	case typeGauge:
+		return "gauge"
+	case typeHistogram:
+		return "histogram"
+	}
+	return "untyped"
+}
+
+type family struct {
+	name    string
+	help    string
+	typ     metricType
+	buckets []float64 // histogram families only
+	series  map[string]*series
+}
+
+type series struct {
+	labels string // rendered {k="v",...} signature, "" for none
+	val    float64
+	counts []uint64 // histogram bucket counts (non-cumulative)
+	sum    float64
+	n      uint64
+}
+
+// Label is one metric label pair.
+type Label struct{ Key, Value string }
+
+// NewCollector returns an empty registry.
+func NewCollector() *Collector {
+	return &Collector{byName: make(map[string]*family)}
+}
+
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := make([]Label, len(labels))
+	copy(ls, labels)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(l.Value)
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func (c *Collector) family(name, help string, typ metricType, buckets []float64) *family {
+	f, ok := c.byName[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, buckets: buckets,
+			series: make(map[string]*series)}
+		c.byName[name] = f
+		return f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q re-registered as %s (was %s)", name, typ, f.typ))
+	}
+	return f
+}
+
+func (f *family) get(labels []Label) *series {
+	sig := renderLabels(labels)
+	s, ok := f.series[sig]
+	if !ok {
+		s = &series{labels: sig}
+		if f.typ == typeHistogram {
+			s.counts = make([]uint64, len(f.buckets))
+		}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// Counter registers (or looks up) a monotonically increasing metric and
+// returns its update handle.
+func (c *Collector) Counter(name, help string, labels ...Label) *Counter {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Counter{mu: &c.mu, s: c.family(name, help, typeCounter, nil).get(labels)}
+}
+
+// Gauge registers (or looks up) a point-in-time metric and returns its
+// update handle.
+func (c *Collector) Gauge(name, help string, labels ...Label) *Gauge {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return &Gauge{mu: &c.mu, s: c.family(name, help, typeGauge, nil).get(labels)}
+}
+
+// Histogram registers (or looks up) a bucketed distribution with the given
+// upper bounds (ascending; an implicit +Inf bucket is always present) and
+// returns its update handle. Bounds must match any prior registration of
+// the same name.
+func (c *Collector) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if !sort.Float64sAreSorted(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q buckets not ascending: %v", name, buckets))
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	f := c.family(name, help, typeHistogram, buckets)
+	return &Histogram{mu: &c.mu, f: f, s: f.get(labels)}
+}
+
+// Counter is a handle to one counter series.
+type Counter struct {
+	mu *sync.Mutex
+	s  *series
+}
+
+// Add increases the counter; negative deltas panic.
+func (x *Counter) Add(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		panic(fmt.Sprintf("obs: counter add %v", v))
+	}
+	x.mu.Lock()
+	x.s.val += v
+	x.mu.Unlock()
+}
+
+// Inc adds one.
+func (x *Counter) Inc() { x.Add(1) }
+
+// Reconcile overwrites the counter with an authoritative total — the
+// end-of-run exact value from the energy meters, replacing the live
+// incremental approximation so exported totals match internal/report's
+// aggregates bit for bit.
+func (x *Counter) Reconcile(v float64) {
+	x.mu.Lock()
+	x.s.val = v
+	x.mu.Unlock()
+}
+
+// Value returns the current value.
+func (x *Counter) Value() float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.s.val
+}
+
+// Gauge is a handle to one gauge series.
+type Gauge struct {
+	mu *sync.Mutex
+	s  *series
+}
+
+// Set overwrites the gauge.
+func (x *Gauge) Set(v float64) {
+	x.mu.Lock()
+	x.s.val = v
+	x.mu.Unlock()
+}
+
+// Add adjusts the gauge by a (possibly negative) delta.
+func (x *Gauge) Add(v float64) {
+	x.mu.Lock()
+	x.s.val += v
+	x.mu.Unlock()
+}
+
+// Value returns the current value.
+func (x *Gauge) Value() float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.s.val
+}
+
+// Histogram is a handle to one histogram series.
+type Histogram struct {
+	mu *sync.Mutex
+	f  *family
+	s  *series
+}
+
+// Observe records one sample.
+func (x *Histogram) Observe(v float64) {
+	x.mu.Lock()
+	// First bucket whose upper bound contains v; sample may exceed every
+	// bound (counted only by +Inf via n).
+	for i, ub := range x.f.buckets {
+		if v <= ub {
+			x.s.counts[i]++
+			break
+		}
+	}
+	x.s.sum += v
+	x.s.n++
+	x.mu.Unlock()
+}
+
+// Count returns the number of samples observed.
+func (x *Histogram) Count() uint64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.s.n
+}
+
+// Sum returns the sum of all observed samples.
+func (x *Histogram) Sum() float64 {
+	x.mu.Lock()
+	defer x.mu.Unlock()
+	return x.s.sum
+}
+
+// WriteTo renders the registry in the Prometheus text exposition format.
+// It implements io.WriterTo and may be called at any time, including
+// mid-run.
+func (c *Collector) WriteTo(w io.Writer) (int64, error) {
+	c.mu.Lock()
+	names := make([]string, 0, len(c.byName))
+	for name := range c.byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	var b []byte
+	for _, name := range names {
+		f := c.byName[name]
+		b = append(b, "# HELP "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.help...)
+		b = append(b, "\n# TYPE "...)
+		b = append(b, f.name...)
+		b = append(b, ' ')
+		b = append(b, f.typ.String()...)
+		b = append(b, '\n')
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			if f.typ == typeHistogram {
+				b = appendHistogram(b, f, s)
+				continue
+			}
+			b = append(b, f.name...)
+			b = append(b, s.labels...)
+			b = append(b, ' ')
+			b = appendMetricValue(b, s.val)
+			b = append(b, '\n')
+		}
+	}
+	c.mu.Unlock()
+	n, err := w.Write(b)
+	return int64(n), err
+}
+
+// appendHistogram renders the cumulative _bucket series plus _sum/_count.
+func appendHistogram(b []byte, f *family, s *series) []byte {
+	cum := uint64(0)
+	for i, ub := range f.buckets {
+		cum += s.counts[i]
+		b = appendBucket(b, f.name, s.labels, strconv.FormatFloat(ub, 'g', -1, 64), cum)
+	}
+	b = appendBucket(b, f.name, s.labels, "+Inf", s.n)
+	b = append(b, f.name...)
+	b = append(b, "_sum"...)
+	b = append(b, s.labels...)
+	b = append(b, ' ')
+	b = appendMetricValue(b, s.sum)
+	b = append(b, '\n')
+	b = append(b, f.name...)
+	b = append(b, "_count"...)
+	b = append(b, s.labels...)
+	b = append(b, ' ')
+	b = strconv.AppendUint(b, s.n, 10)
+	return append(b, '\n')
+}
+
+func appendBucket(b []byte, name, labels, le string, n uint64) []byte {
+	b = append(b, name...)
+	b = append(b, "_bucket"...)
+	if labels == "" {
+		b = append(b, `{le="`...)
+	} else {
+		b = append(b, labels[:len(labels)-1]...)
+		b = append(b, `,le="`...)
+	}
+	b = append(b, le...)
+	b = append(b, `"} `...)
+	b = strconv.AppendUint(b, n, 10)
+	return append(b, '\n')
+}
+
+func appendMetricValue(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	}
+	return strconv.AppendFloat(b, v, 'g', -1, 64)
+}
+
+// String renders the registry as a string (for tests and logs).
+func (c *Collector) String() string {
+	var b strings.Builder
+	if _, err := c.WriteTo(&b); err != nil {
+		return "obs: " + err.Error()
+	}
+	return b.String()
+}

@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// TestCollectorGolden pins the exact exporter output for a small registry:
+// the Prometheus text format with families sorted by name, series sorted
+// by label signature, and shortest-round-trip float formatting.
+func TestCollectorGolden(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	c.Counter("sim_spin_ups_total", "Spin-up operations.").Add(42)
+	c.Counter("sim_energy_joules_total", "Energy by state.", Label{"state", "idle"}).Add(1234.5)
+	c.Counter("sim_energy_joules_total", "Energy by state.", Label{"state", "standby"}).Add(0.125)
+	c.Gauge("sim_time_seconds", "Virtual time.").Set(3600)
+	h := c.Histogram("sim_response_seconds", "Response time.", []float64{0.01, 0.1, 1})
+	h.Observe(0.005)
+	h.Observe(0.05)
+	h.Observe(0.05)
+	h.Observe(5) // beyond every bound: only +Inf
+	const want = `# HELP sim_energy_joules_total Energy by state.
+# TYPE sim_energy_joules_total counter
+sim_energy_joules_total{state="idle"} 1234.5
+sim_energy_joules_total{state="standby"} 0.125
+# HELP sim_response_seconds Response time.
+# TYPE sim_response_seconds histogram
+sim_response_seconds_bucket{le="0.01"} 1
+sim_response_seconds_bucket{le="0.1"} 3
+sim_response_seconds_bucket{le="1"} 3
+sim_response_seconds_bucket{le="+Inf"} 4
+sim_response_seconds_sum 5.105
+sim_response_seconds_count 4
+# HELP sim_spin_ups_total Spin-up operations.
+# TYPE sim_spin_ups_total counter
+sim_spin_ups_total 42
+# HELP sim_time_seconds Virtual time.
+# TYPE sim_time_seconds gauge
+sim_time_seconds 3600
+`
+	if got := c.String(); got != want {
+		t.Fatalf("exporter output mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestCollectorHandlesShareSeries(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	a := c.Counter("x_total", "X.")
+	b := c.Counter("x_total", "X.")
+	a.Add(1)
+	b.Add(2)
+	if got := a.Value(); got != 3 {
+		t.Fatalf("shared series value = %v, want 3", got)
+	}
+}
+
+func TestCounterRejectsNegative(t *testing.T) {
+	t.Parallel()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative Add did not panic")
+		}
+	}()
+	NewCollector().Counter("x_total", "X.").Add(-1)
+}
+
+func TestCollectorTypeConflictPanics(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	c.Counter("x_total", "X.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	c.Gauge("x_total", "X.")
+}
+
+func TestGaugeAddAndSet(t *testing.T) {
+	t.Parallel()
+	g := NewCollector().Gauge("g", "G.")
+	g.Set(10)
+	g.Add(-3)
+	if got := g.Value(); got != 7 {
+		t.Fatalf("gauge = %v, want 7", got)
+	}
+}
+
+func TestCounterReconcileOverwrites(t *testing.T) {
+	t.Parallel()
+	x := NewCollector().Counter("e_total", "E.")
+	x.Add(5)
+	x.Reconcile(4.75)
+	if got := x.Value(); got != 4.75 {
+		t.Fatalf("reconciled value = %v, want 4.75", got)
+	}
+}
+
+func TestRunMetricsTransitionAttribution(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	m := NewRunMetrics(c)
+	// Leave idle (12.5 J accrued) entering spin-down with a 13 J impulse.
+	m.Transition(core.StateIdle, core.StateSpinDown, EnergyDelta{StateJ: 12.5, ImpulseJ: 13})
+	if got := m.Energy[core.StateIdle].Value(); got != 12.5 {
+		t.Fatalf("idle energy = %v, want 12.5", got)
+	}
+	if got := m.Energy[core.StateSpinDown].Value(); got != 13.0 {
+		t.Fatalf("spin-down energy = %v, want 13", got)
+	}
+	if got := m.SpinDowns.Value(); got != 1 {
+		t.Fatalf("spin-downs = %v, want 1", got)
+	}
+	if got := m.SpinUps.Value(); got != 0 {
+		t.Fatalf("spin-ups = %v, want 0", got)
+	}
+	// Reconciliation replaces live values with authoritative totals.
+	var exact [core.StateSpinDown + 1]float64
+	exact[core.StateIdle] = 100
+	m.ReconcileEnergy(exact)
+	if got := m.Energy[core.StateIdle].Value(); got != 100 {
+		t.Fatalf("reconciled idle energy = %v, want 100", got)
+	}
+	if got := m.Energy[core.StateSpinDown].Value(); got != 0 {
+		t.Fatalf("reconciled spin-down energy = %v, want 0", got)
+	}
+}
+
+func TestRunMetricsSharedRegistry(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	a, b := NewRunMetrics(c), NewRunMetrics(c)
+	a.SpinUps.Inc()
+	b.SpinUps.Inc()
+	if got := a.SpinUps.Value(); got != 2 {
+		t.Fatalf("shared spin-ups = %v, want 2", got)
+	}
+}
+
+func TestHistogramUpdateDoesNotAllocate(t *testing.T) {
+	c := NewCollector()
+	m := NewRunMetrics(c)
+	allocs := testing.AllocsPerRun(1000, func() {
+		m.Response.Observe(0.042)
+		m.SpinUps.Inc()
+	})
+	if allocs != 0 {
+		t.Errorf("hot-path metric updates: %.0f allocs/op, want 0", allocs)
+	}
+}
+
+func TestWriteToIsSnapshotable(t *testing.T) {
+	t.Parallel()
+	c := NewCollector()
+	x := c.Counter("x_total", "X.")
+	x.Add(1)
+	first := c.String()
+	x.Add(1)
+	second := c.String()
+	if first == second {
+		t.Fatal("snapshot did not change after update")
+	}
+	if !strings.Contains(second, "x_total 2") {
+		t.Fatalf("second snapshot missing updated value:\n%s", second)
+	}
+}

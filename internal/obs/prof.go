@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"os"
+	"runtime"
+	runpprof "runtime/pprof"
+	"runtime/trace"
+	"time"
+)
+
+// Profiles bundles the standard Go profiling hooks so every command
+// exposes the same surface: CPU and heap profiles, a runtime execution
+// trace, and an optional live net/http/pprof endpoint.
+//
+// Usage:
+//
+//	var p obs.Profiles
+//	p.RegisterFlags(flag.CommandLine)
+//	flag.Parse()
+//	stop, err := p.Start()
+//	if err != nil { ... }
+//	defer stop()
+//
+// Stop is idempotent and safe to call on both the error and success paths,
+// so profiles are flushed even when a run fails.
+type Profiles struct {
+	CPUFile   string // write a pprof CPU profile here
+	MemFile   string // write a pprof heap profile here at exit
+	TraceFile string // write a runtime/trace execution trace here
+	PprofAddr string // serve net/http/pprof on this address (e.g. localhost:6060)
+
+	cpuOut, traceOut *os.File
+	listener         net.Listener
+	started          bool
+}
+
+// RegisterFlags installs the -cpuprofile, -memprofile, -trace and -pprof
+// flags on fs.
+func (p *Profiles) RegisterFlags(fs *flag.FlagSet) {
+	p.RegisterFlagsTraceName(fs, "trace")
+}
+
+// RegisterFlagsTraceName is RegisterFlags with the execution-trace flag
+// under a different name, for commands (cmd/esched) where -trace already
+// means an input I/O trace.
+func (p *Profiles) RegisterFlagsTraceName(fs *flag.FlagSet, traceName string) {
+	fs.StringVar(&p.CPUFile, "cpuprofile", "", "write a CPU profile to this file")
+	fs.StringVar(&p.MemFile, "memprofile", "", "write a heap profile to this file at exit")
+	fs.StringVar(&p.TraceFile, traceName, "", "write a runtime execution trace to this file")
+	fs.StringVar(&p.PprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+}
+
+// Active reports whether any profiling output is configured.
+func (p *Profiles) Active() bool {
+	return p.CPUFile != "" || p.MemFile != "" || p.TraceFile != "" || p.PprofAddr != ""
+}
+
+// Start begins every configured profile and returns the stop function,
+// which flushes and closes them (reporting the first error). The pprof
+// HTTP endpoint, when configured, is bound synchronously so address errors
+// surface here, then served in the background until stop.
+func (p *Profiles) Start() (stop func() error, err error) {
+	if p.started {
+		return nil, fmt.Errorf("obs: profiles already started")
+	}
+	p.started = true
+	cleanup := func() {
+		if p.cpuOut != nil {
+			runpprof.StopCPUProfile()
+			p.cpuOut.Close()
+		}
+		if p.traceOut != nil {
+			trace.Stop()
+			p.traceOut.Close()
+		}
+		if p.listener != nil {
+			p.listener.Close()
+		}
+	}
+	if p.CPUFile != "" {
+		if p.cpuOut, err = os.Create(p.CPUFile); err != nil {
+			return nil, err
+		}
+		if err = runpprof.StartCPUProfile(p.cpuOut); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	if p.TraceFile != "" {
+		if p.traceOut, err = os.Create(p.TraceFile); err != nil {
+			cleanup()
+			return nil, err
+		}
+		if err = trace.Start(p.traceOut); err != nil {
+			cleanup()
+			return nil, err
+		}
+	}
+	if p.PprofAddr != "" {
+		if p.listener, err = net.Listen("tcp", p.PprofAddr); err != nil {
+			cleanup()
+			return nil, err
+		}
+		mux := http.NewServeMux()
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		srv := &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(p.listener) //nolint:errcheck // closed by stop
+	}
+	stopped := false
+	return func() error {
+		if stopped {
+			return nil
+		}
+		stopped = true
+		var first error
+		if p.cpuOut != nil {
+			runpprof.StopCPUProfile()
+			if err := p.cpuOut.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if p.traceOut != nil {
+			trace.Stop()
+			if err := p.traceOut.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		if p.MemFile != "" {
+			f, err := os.Create(p.MemFile)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+			} else {
+				runtime.GC() // settle allocations so the heap profile is sharp
+				if err := runpprof.WriteHeapProfile(f); err != nil && first == nil {
+					first = err
+				}
+				if err := f.Close(); err != nil && first == nil {
+					first = err
+				}
+			}
+		}
+		if p.listener != nil {
+			p.listener.Close()
+		}
+		return first
+	}, nil
+}

@@ -45,28 +45,33 @@ func Breakdown(reqs []core.Request, sched core.Schedule, cfg power.Config, numDi
 		if len(times) == 0 {
 			st.TimeIn[core.StateStandby] = horizon
 			st.Energy = cfg.StandbyPower * horizon.Seconds()
+			st.EnergyIn[core.StateStandby] = st.Energy
 			continue
 		}
 		sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
 		st.Served = len(times)
 
+		addEnergy := func(s core.DiskState, j float64) {
+			st.Energy += j
+			st.EnergyIn[s] += j
+		}
 		addSpinUp := func() {
 			st.SpinUps++
 			st.TimeIn[core.StateSpinUp] += cfg.SpinUpTime
-			st.Energy += cfg.SpinUpEnergy
+			addEnergy(core.StateSpinUp, cfg.SpinUpEnergy)
 		}
 		addSpinDown := func() {
 			st.SpinDowns++
 			st.TimeIn[core.StateSpinDown] += cfg.SpinDownTime
-			st.Energy += cfg.SpinDownEnergy
+			addEnergy(core.StateSpinDown, cfg.SpinDownEnergy)
 		}
 		addIdle := func(d time.Duration) {
 			st.TimeIn[core.StateIdle] += d
-			st.Energy += cfg.IdlePower * d.Seconds()
+			addEnergy(core.StateIdle, cfg.IdlePower*d.Seconds())
 		}
 		addStandby := func(d time.Duration) {
 			st.TimeIn[core.StateStandby] += d
-			st.Energy += cfg.StandbyPower * d.Seconds()
+			addEnergy(core.StateStandby, cfg.StandbyPower*d.Seconds())
 		}
 
 		// Lead-in: standby until the prescient spin-up that completes at
@@ -80,9 +85,9 @@ func Breakdown(reqs []core.Request, sched core.Schedule, cfg power.Config, numDi
 			st.SpinUps++
 			st.TimeIn[core.StateSpinUp] += lead
 			if cfg.SpinUpTime > 0 {
-				st.Energy += cfg.SpinUpEnergy * lead.Seconds() / cfg.SpinUpTime.Seconds()
+				addEnergy(core.StateSpinUp, cfg.SpinUpEnergy*lead.Seconds()/cfg.SpinUpTime.Seconds())
 			} else {
-				st.Energy += cfg.SpinUpEnergy
+				addEnergy(core.StateSpinUp, cfg.SpinUpEnergy)
 			}
 		}
 		for i := 0; i+1 < len(times); i++ {

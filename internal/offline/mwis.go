@@ -77,8 +77,9 @@ func Build(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg 
 
 	// Step 0: one sorted run of (disk, request index) pairs replaces the
 	// per-disk map of request copies. Packing both into a uint64 keyed by
-	// disk groups the run by disk after a single sort.
-	var pairs []uint64
+	// disk groups the run by disk after a single sort. Capacity assumes the
+	// common 3-way replication; higher factors regrow geometrically.
+	pairs := make([]uint64, 0, 3*len(reqs))
 	for i, r := range reqs {
 		locs := locations(r.Block)
 		if len(locs) == 0 {
@@ -93,9 +94,16 @@ func Build(reqs []core.Request, locations func(core.BlockID) []core.DiskID, cfg 
 	}
 	graph.RadixSortUint64(pairs)
 
-	// Disk shards: contiguous ranges of the sorted run.
+	// Disk shards: contiguous ranges of the sorted run, counted first so the
+	// shard slice is allocated exactly once.
 	type shard struct{ lo, hi int }
-	var shards []shard
+	nshards := 0
+	for i := range pairs {
+		if i == 0 || pairs[i]>>32 != pairs[i-1]>>32 {
+			nshards++
+		}
+	}
+	shards := make([]shard, 0, nshards)
 	for lo := 0; lo < len(pairs); {
 		hi := lo + 1
 		for hi < len(pairs) && pairs[hi]>>32 == pairs[lo]>>32 {
@@ -310,10 +318,20 @@ func (in *Instance) DeriveSchedule(reqs []core.Request, locations func(core.Bloc
 			return nil, err
 		}
 	}
-	used := make(map[core.DiskID]struct{})
+	// Flat membership set over disk IDs: one allocation instead of a map,
+	// grown on the rare disk ID past the initial span.
+	used := make([]bool, 256)
+	mark := func(d core.DiskID) {
+		if int(d) >= len(used) {
+			grown := make([]bool, max(2*len(used), int(d)+1))
+			copy(grown, used)
+			used = grown
+		}
+		used[d] = true
+	}
 	for _, d := range sched {
 		if d != core.InvalidDisk {
-			used[d] = struct{}{}
+			mark(d)
 		}
 	}
 	for _, r := range reqs {
@@ -326,13 +344,13 @@ func (in *Instance) DeriveSchedule(reqs []core.Request, locations func(core.Bloc
 		}
 		choice := locs[0]
 		for _, d := range locs {
-			if _, ok := used[d]; ok {
+			if int(d) < len(used) && used[d] {
 				choice = d
 				break
 			}
 		}
 		sched[r.ID] = choice
-		used[choice] = struct{}{}
+		mark(choice)
 	}
 	return sched, nil
 }

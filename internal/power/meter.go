@@ -11,14 +11,15 @@ import (
 // counts spin operations. Drive it by calling Transition at every state
 // change and Close once at the end of the run.
 type Meter struct {
-	cfg     Config
-	state   core.DiskState
-	since   time.Duration
-	closed  bool
-	elapsed [core.StateSpinDown + 1]time.Duration
-	energy  float64
-	spinUps int
-	spinDn  int
+	cfg      Config
+	state    core.DiskState
+	since    time.Duration
+	closed   bool
+	elapsed  [core.StateSpinDown + 1]time.Duration
+	energy   float64
+	energyBy [core.StateSpinDown + 1]float64
+	spinUps  int
+	spinDn   int
 }
 
 // NewMeter returns a meter for a disk that is in the initial state at
@@ -37,7 +38,13 @@ func (m *Meter) State() core.DiskState { return m.state }
 // Transitioning into spin-up or spin-down with a zero-duration configuration
 // still charges the full transition energy as an impulse (the paper's toy
 // model has instantaneous transitions but still defines E_up/down).
-func (m *Meter) Transition(now time.Duration, next core.DiskState) {
+//
+// It returns the energy the transition settles, split for per-state
+// attribution: stateJ accrued in the state being left, impulseJ charged
+// instantaneously against the transition state being entered (nonzero only
+// for zero-duration spin transitions). Observability layers forward the
+// pair to event logs and exporters; other callers may ignore it.
+func (m *Meter) Transition(now time.Duration, next core.DiskState) (stateJ, impulseJ float64) {
 	if m.closed {
 		panic("power: Transition on closed Meter")
 	}
@@ -47,21 +54,26 @@ func (m *Meter) Transition(now time.Duration, next core.DiskState) {
 	if now < m.since {
 		panic(fmt.Sprintf("power: time went backwards: %s < %s", now, m.since))
 	}
-	m.accrue(now)
+	stateJ = m.accrue(now)
 	switch next {
 	case core.StateSpinUp:
 		m.spinUps++
 		if m.cfg.SpinUpTime == 0 {
-			m.energy += m.cfg.SpinUpEnergy
+			impulseJ = m.cfg.SpinUpEnergy
 		}
 	case core.StateSpinDown:
 		m.spinDn++
 		if m.cfg.SpinDownTime == 0 {
-			m.energy += m.cfg.SpinDownEnergy
+			impulseJ = m.cfg.SpinDownEnergy
 		}
+	}
+	if impulseJ != 0 {
+		m.energy += impulseJ
+		m.energyBy[next] += impulseJ
 	}
 	m.state = next
 	m.since = now
+	return stateJ, impulseJ
 }
 
 // Close accrues energy up to the end-of-run time. Further transitions
@@ -75,14 +87,29 @@ func (m *Meter) Close(now time.Duration) {
 	m.closed = true
 }
 
-func (m *Meter) accrue(now time.Duration) {
+func (m *Meter) accrue(now time.Duration) float64 {
 	dt := now - m.since
 	m.elapsed[m.state] += dt
-	m.energy += m.cfg.StatePower(m.state) * dt.Seconds()
+	j := m.cfg.StatePower(m.state) * dt.Seconds()
+	m.energy += j
+	m.energyBy[m.state] += j
+	return j
 }
 
 // Energy returns the accumulated energy in joules.
 func (m *Meter) Energy() float64 { return m.energy }
+
+// EnergyIn returns the energy accumulated while in the given state, in
+// joules. Zero-duration transition impulses count toward the transition
+// state they enter. The per-state values are accumulated with the same
+// additions as Energy, so summing them over disks gives exporter totals
+// that match the report aggregates exactly.
+func (m *Meter) EnergyIn(s core.DiskState) float64 {
+	if !s.Valid() {
+		panic(fmt.Sprintf("power: invalid state %v", s))
+	}
+	return m.energyBy[s]
+}
 
 // SpinUps returns the number of spin-up operations so far.
 func (m *Meter) SpinUps() int { return m.spinUps }

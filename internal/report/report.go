@@ -21,7 +21,10 @@ type Options struct {
 	Generated time.Time
 }
 
-// Generate runs the sweeps and renders the Markdown report.
+// Generate runs the sweeps and renders the Markdown report. On error the
+// markdown accumulated before the failure is returned alongside it (with a
+// truncation note), so callers can flush partial results instead of
+// discarding completed sweeps.
 func Generate(opts Options) (string, error) {
 	var b strings.Builder
 	b.WriteString("# Energy-aware scheduling — experiment summary\n\n")
@@ -34,7 +37,7 @@ func Generate(opts Options) (string, error) {
 	for _, tr := range []experiments.Trace{experiments.Cello, experiments.Financial} {
 		sweep, err := experiments.SweepReplication(opts.Scale, tr)
 		if err != nil {
-			return "", err
+			return truncated(&b, err), err
 		}
 		fmt.Fprintf(&b, "## %s trace\n\n", tr)
 		writeHeadline(&b, sweep)
@@ -48,7 +51,7 @@ func Generate(opts Options) (string, error) {
 	if opts.Extensions {
 		tables, err := experiments.Extensions(opts.Scale, experiments.Cello)
 		if err != nil {
-			return "", err
+			return truncated(&b, err), err
 		}
 		b.WriteString("## Extensions\n\n")
 		for _, tbl := range tables {
@@ -56,6 +59,12 @@ func Generate(opts Options) (string, error) {
 		}
 	}
 	return b.String(), nil
+}
+
+// truncated stamps a partial report with the failure that cut it short.
+func truncated(b *strings.Builder, err error) string {
+	fmt.Fprintf(b, "> **Report truncated**: %v\n", err)
+	return b.String()
 }
 
 // writeHeadline summarizes the sweep against the paper's three claims.

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/graph"
+	"repro/internal/obs"
 	"repro/internal/power"
 )
 
@@ -146,6 +147,11 @@ func (s Static) Schedule(req core.Request, _ View) core.DiskID {
 type Heuristic struct {
 	Locations Locator
 	Cost      CostConfig
+	// Tracer, when non-nil and enabled, receives a decision event per
+	// scheduled request carrying the winning composite cost C(d), its energy
+	// term E(d) and the chosen disk's load P(d). Pass the same tracer to
+	// storage.WithTracer so decisions interleave with the request lifecycle.
+	Tracer *obs.Tracer
 }
 
 // Name implements Online.
@@ -166,6 +172,10 @@ func (h Heuristic) Schedule(req core.Request, v View) core.DiskID {
 			best, bestCost = d, c
 		}
 	}
+	if h.Tracer.Enabled() {
+		h.Tracer.Decision(v.Now(), req.ID, best, bestCost,
+			h.Cost.EnergyCost(v, best), v.Load(best))
+	}
 	return best
 }
 
@@ -180,6 +190,9 @@ type WSC struct {
 	// scheduling does not allocate per batch. A pointer so it survives the
 	// value-receiver copies Batch implementations make.
 	Scratch *CoverScratch
+	// Tracer, when non-nil and enabled, receives a decision event per placed
+	// request (see Heuristic.Tracer).
+	Tracer *obs.Tracer
 }
 
 // Name implements Batch.
@@ -279,7 +292,23 @@ func (w WSC) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 		panic(fmt.Sprintf("sched: greedy cover on coverable instance failed: %v", err))
 	}
 	applyCover(in, chosen, disks, covIdx, out)
+	traceBatchDecisions(w.Tracer, w.Cost, reqs, out, v)
 	return out
+}
+
+// traceBatchDecisions emits one decision event per placed request of a
+// batch assignment; a nil or disabled tracer costs one branch per tick.
+func traceBatchDecisions(tr *obs.Tracer, cost CostConfig, reqs []core.Request, out []core.DiskID, v View) {
+	if !tr.Enabled() {
+		return
+	}
+	for i, r := range reqs {
+		d := out[i]
+		if d == core.InvalidDisk {
+			continue
+		}
+		tr.Decision(v.Now(), r.ID, d, cost.Cost(v, d), cost.EnergyCost(v, d), v.Load(d))
+	}
 }
 
 // WSCExact is the batch scheduler with an optimal set-cover solver: each
@@ -295,6 +324,8 @@ type WSCExact struct {
 	MaxExpansions int
 	// Scratch is reused across batch ticks when set, as in WSC.
 	Scratch *CoverScratch
+	// Tracer receives per-request decision events, as in WSC.
+	Tracer *obs.Tracer
 }
 
 // Name implements Batch.
@@ -320,6 +351,7 @@ func (w WSCExact) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 		}
 	}
 	applyCover(in, chosen, disks, covIdx, out)
+	traceBatchDecisions(w.Tracer, w.Cost, reqs, out, v)
 	return out
 }
 

@@ -2,6 +2,8 @@ package simkernel
 
 import (
 	"math/rand"
+
+	"repro/internal/core"
 	"sort"
 	"testing"
 	"testing/quick"
@@ -210,4 +212,64 @@ func BenchmarkEngineScheduleAndRun(b *testing.B) {
 		}
 		e.Run()
 	}
+}
+
+// TestProbeSeesEveryExecutedEvent pins the SetProbe contract: the probe
+// fires after every executed event — heap-scheduled and preloaded alike —
+// with the post-execution clock and a fired count that increments by one
+// each call.
+func TestProbeSeesEveryExecutedEvent(t *testing.T) {
+	var e Engine
+	type obs struct {
+		now   time.Duration
+		fired uint64
+	}
+	var seen []obs
+	e.SetProbe(func(now time.Duration, fired uint64) {
+		seen = append(seen, obs{now, fired})
+	})
+	e.At(3*time.Second, func(time.Duration) {})
+	e.At(1*time.Second, func(time.Duration) {})
+	e.Preload(requestsAt(2*time.Second, 4*time.Second), func(core.Request, time.Duration) {})
+	e.Run()
+	want := []obs{
+		{1 * time.Second, 1},
+		{2 * time.Second, 2},
+		{3 * time.Second, 3},
+		{4 * time.Second, 4},
+	}
+	if len(seen) != len(want) {
+		t.Fatalf("probe called %d times, want %d", len(seen), len(want))
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Errorf("probe call %d = %+v, want %+v", i, seen[i], want[i])
+		}
+	}
+	if e.Fired() != uint64(len(want)) {
+		t.Errorf("Fired() = %d, want %d", e.Fired(), len(want))
+	}
+}
+
+// TestProbeFiresBeforeEventBody documents the ordering the storage layer
+// relies on: gauge updates installed via SetProbe observe the new clock
+// before the event's own callback runs.
+func TestProbeFiresBeforeEventBody(t *testing.T) {
+	var e Engine
+	var order []string
+	e.SetProbe(func(time.Duration, uint64) { order = append(order, "probe") })
+	e.At(time.Second, func(time.Duration) { order = append(order, "event") })
+	e.Run()
+	if len(order) != 2 || order[0] != "probe" || order[1] != "event" {
+		t.Fatalf("order = %v, want [probe event]", order)
+	}
+}
+
+// requestsAt builds a minimal arrival run for Preload-based probe tests.
+func requestsAt(times ...time.Duration) []core.Request {
+	reqs := make([]core.Request, len(times))
+	for i, at := range times {
+		reqs[i] = core.Request{ID: core.RequestID(i), Arrival: at}
+	}
+	return reqs
 }

@@ -81,7 +81,7 @@ func (s *system) dispatchWithFailover(req core.Request, d core.DiskID, loc func(
 		return
 	}
 	if d == core.InvalidDisk {
-		s.dropped++
+		s.drop(req)
 		return
 	}
 	// Chosen disk is down: fail over.
@@ -99,9 +99,9 @@ func (s *system) dispatchWithFailover(req core.Request, d core.DiskID, loc func(
 		}
 	}
 	if fallback == core.InvalidDisk {
-		s.dropped++
+		s.drop(req)
 		s.unavailable++
 		return
 	}
-	s.disks[fallback].Submit(req)
+	s.submit(req, fallback)
 }

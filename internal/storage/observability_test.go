@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/offline"
+	"repro/internal/sched"
+)
+
+// traceRun executes one seeded heuristic run with a streaming JSONL tracer
+// and returns the drained log bytes.
+func traceRun(t *testing.T, schedule core.Schedule) []byte {
+	t.Helper()
+	reqs, p := smallWorkload(t, 10, 80, 600, 3, 5)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(512) // smaller than the event count: exercises mid-run flushes
+	tr.SetSink(&buf, false)
+	_, err := RunOnline(smallConfig(10), p.Locations,
+		sched.Precomputed{Label: "mwis", Assignments: schedule}, reqs, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestEventLogByteIdenticalAcrossWorkers is the PR's determinism
+// guarantee: building the MWIS schedule with 1 or 8 pipeline workers and
+// tracing the resulting run produces byte-identical JSONL event logs.
+func TestEventLogByteIdenticalAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 10, 80, 600, 3, 5)
+	cfg := smallConfig(10)
+	solve := func(workers int) core.Schedule {
+		s, _, err := offline.SolveRefined(reqs, p.Locations, cfg.Power, offline.BuildOptions{
+			MaxSuccessors: 4, MaxNodes: 1_000_000, Workers: workers,
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+	log1 := traceRun(t, solve(1))
+	log8 := traceRun(t, solve(8))
+	if len(log1) == 0 {
+		t.Fatal("empty event log")
+	}
+	if !bytes.Equal(log1, log8) {
+		t.Fatalf("event logs differ across worker counts: %d vs %d bytes", len(log1), len(log8))
+	}
+	// The canonical encoding round-trips.
+	evs, err := obs.ReadJSONL(bytes.NewReader(log1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		buf.Write(obs.AppendJSONL(nil, ev))
+	}
+	if !bytes.Equal(buf.Bytes(), log1) {
+		t.Fatal("JSONL round-trip is not byte-identical")
+	}
+}
+
+// TestCollectorMatchesResultExactly pins the acceptance criterion that the
+// exporter's end-of-run values equal the report aggregates: per-state
+// energy matches Result.EnergyByState bit-for-bit, and the counters match
+// the Result counts.
+func TestCollectorMatchesResultExactly(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 10, 80, 600, 2, 7)
+	c := obs.NewCollector()
+	res, err := RunOnline(smallConfig(10), p.Locations,
+		sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(smallConfig(10).Power)},
+		reqs, WithCollector(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := obs.NewRunMetrics(c) // same registry: handles to the run's series
+	var sum float64
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		if got, want := m.Energy[s].Value(), res.EnergyByState[s]; got != want {
+			t.Errorf("exported %v energy = %v, want exactly %v", s, got, want)
+		}
+		sum += res.EnergyByState[s]
+	}
+	if math.Abs(sum-res.Energy) > 1e-6*res.Energy {
+		t.Errorf("per-state energy sum %v far from total %v", sum, res.Energy)
+	}
+	if got := m.SpinUps.Value(); got != float64(res.SpinUps) {
+		t.Errorf("exported spin-ups = %v, want %d", got, res.SpinUps)
+	}
+	if got := m.SpinDowns.Value(); got != float64(res.SpinDowns) {
+		t.Errorf("exported spin-downs = %v, want %d", got, res.SpinDowns)
+	}
+	if got := m.Served.Value(); got != float64(res.Served) {
+		t.Errorf("exported served = %v, want %d", got, res.Served)
+	}
+	if got := m.Decisions.Value(); got != float64(len(reqs)) {
+		t.Errorf("exported decisions = %v, want %d", got, len(reqs))
+	}
+	if got := m.Response.Count(); got != uint64(res.Response.Count()) {
+		t.Errorf("exported response count = %v, want %d", got, res.Response.Count())
+	}
+	if got := m.SimTime.Value(); got != res.Horizon.Seconds() {
+		t.Errorf("exported sim time = %v, want %v", got, res.Horizon.Seconds())
+	}
+	if m.EventsFired.Value() <= 0 {
+		t.Error("no kernel events exported")
+	}
+}
+
+// TestTracerLifecycleEventsConsistent checks the traced lifecycle against
+// the run result: one arrive per request, completes matching served, and
+// power transitions alternating legally per disk.
+func TestTracerLifecycleEventsConsistent(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 8, 60, 400, 2, 3)
+	tr := obs.NewTracer(1 << 16)
+	res, err := RunOnline(smallConfig(8), p.Locations,
+		sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(smallConfig(8).Power), Tracer: tr},
+		reqs, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[obs.Kind]int{}
+	var last time.Duration
+	var lastSeq uint64
+	for i, ev := range tr.Events() {
+		counts[ev.Kind]++
+		if i > 0 && (ev.At < last || (ev.At == last && ev.Seq <= lastSeq)) {
+			t.Fatalf("events out of (time, seq) order at %d", i)
+		}
+		last, lastSeq = ev.At, ev.Seq
+	}
+	if counts[obs.KindArrive] != len(reqs) {
+		t.Errorf("arrive events = %d, want %d", counts[obs.KindArrive], len(reqs))
+	}
+	if counts[obs.KindComplete] != res.Served {
+		t.Errorf("complete events = %d, want %d", counts[obs.KindComplete], res.Served)
+	}
+	if counts[obs.KindDecision] != len(reqs) {
+		t.Errorf("decision events = %d, want %d", counts[obs.KindDecision], len(reqs))
+	}
+	if counts[obs.KindDispatch] != len(reqs)-res.Dropped {
+		t.Errorf("dispatch events = %d, want %d", counts[obs.KindDispatch], len(reqs)-res.Dropped)
+	}
+	if counts[obs.KindPower] == 0 {
+		t.Error("no power transition events")
+	}
+	// Power events' energy deltas sum to the run's total energy: every
+	// joule is attributed to some transition or the final Close accrual.
+	var powerJ float64
+	for _, ev := range tr.Events() {
+		if ev.Kind == obs.KindPower {
+			powerJ += ev.EnergyJ
+		}
+	}
+	if powerJ <= 0 || powerJ > res.Energy {
+		t.Errorf("power-event energy %v outside (0, %v]", powerJ, res.Energy)
+	}
+}

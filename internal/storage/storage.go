@@ -15,6 +15,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/offline"
 	"repro/internal/power"
 	"repro/internal/sched"
@@ -75,9 +76,16 @@ type Result struct {
 	Unavailable int
 	// Redispatched counts requests drained from failing disks and resent.
 	Redispatched int
-	Horizon      time.Duration
-	Response     metrics.ResponseTimes
-	PerDisk      []diskmodel.Stats
+	// CacheHits counts reads absorbed by the block cache (a subset of
+	// Served).
+	CacheHits int
+	Horizon   time.Duration
+	Response  metrics.ResponseTimes
+	PerDisk   []diskmodel.Stats
+	// EnergyByState breaks Energy down by power state: the sum over PerDisk
+	// of Stats.EnergyIn, accumulated in disk order so exporters reconciled
+	// from it match report aggregates exactly.
+	EnergyByState [core.StateSpinDown + 1]float64
 }
 
 // NormalizedEnergy returns Energy / AlwaysOnEnergy (Figure 6's y-axis).
@@ -90,11 +98,14 @@ type system struct {
 	eng          simkernel.Engine
 	disks        []*diskmodel.Disk
 	resp         metrics.ResponseTimes
+	tr           *obs.Tracer
+	rm           *obs.RunMetrics
 	err          error
 	served       int
 	dropped      int
 	unavailable  int
 	redispatched int
+	cacheHits    int
 }
 
 var _ sched.View = (*system)(nil)
@@ -107,23 +118,42 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 	if policy == nil {
 		policy = power.TwoCompetitive{Config: cfg.Power}
 	}
-	var onTrans func(core.DiskID, time.Duration, core.DiskState, core.DiskState)
-	if o.stateLog != nil {
-		onTrans = func(d core.DiskID, now time.Duration, from, to core.DiskState) {
-			fmt.Fprintf(o.stateLog, "%.6f,%d,%s,%s\n", now.Seconds(), d, from, to)
+	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer}
+	if o.collector != nil {
+		s.rm = obs.NewRunMetrics(o.collector)
+		rm := s.rm
+		s.eng.SetProbe(func(now time.Duration, fired uint64) {
+			rm.SimTime.Set(now.Seconds())
+			rm.EventsFired.Set(float64(fired))
+		})
+	}
+	var onTrans func(core.DiskID, time.Duration, core.DiskState, core.DiskState, obs.EnergyDelta)
+	if o.stateLog != nil || s.rm != nil {
+		onTrans = func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta) {
+			if o.stateLog != nil {
+				fmt.Fprintf(o.stateLog, "%.6f,%d,%s,%s\n", now.Seconds(), d, from, to)
+			}
+			if s.rm != nil {
+				s.rm.Transition(from, to, e)
+			}
 		}
 	}
-	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks)}
 	for i := range s.disks {
 		d, err := diskmodel.New(core.DiskID(i), cfg.Mech, cfg.Power, policy, &s.eng,
 			func(req core.Request, done time.Duration) {
-				s.resp.Add(done - req.Arrival)
+				lat := done - req.Arrival
+				s.resp.Add(lat)
 				s.served++
+				if s.rm != nil {
+					s.rm.ObserveResponse(lat)
+					s.rm.Served.Inc()
+				}
 			},
 			diskmodel.Options{
 				InitialState: cfg.InitialState,
 				Discipline:   cfg.Discipline,
 				OnTransition: onTrans,
+				Tracer:       o.tracer,
 			})
 		if err != nil {
 			return nil, err
@@ -155,10 +185,29 @@ func (s *system) fail(err error) {
 	}
 }
 
+// drop records a request that could not be served.
+func (s *system) drop(req core.Request) {
+	s.dropped++
+	s.tr.Drop(s.eng.Now(), req.ID, req.Block)
+	if s.rm != nil {
+		s.rm.Dropped.Inc()
+	}
+}
+
+// submit hands the request to its chosen disk, emitting the dispatch event
+// and the queue-depth observation.
+func (s *system) submit(req core.Request, d core.DiskID) {
+	s.tr.Dispatch(s.eng.Now(), req.ID, req.Block, d)
+	s.disks[d].Submit(req)
+	if s.rm != nil {
+		s.rm.QueueDepth.Observe(float64(s.disks[d].Load()))
+	}
+}
+
 // dispatch validates the scheduling decision and submits the request.
 func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator) {
 	if d == core.InvalidDisk {
-		s.dropped++
+		s.drop(req)
 		return
 	}
 	if d < 0 || int(d) >= len(s.disks) {
@@ -176,7 +225,7 @@ func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator) {
 		s.fail(fmt.Errorf("storage: scheduler chose off-replica disk %d for %v", d, req))
 		return
 	}
-	s.disks[d].Submit(req)
+	s.submit(req, d)
 }
 
 // finish drains the engine up to the workload horizon (not beyond it for
@@ -217,6 +266,7 @@ func (s *system) finish(name string, reqs []core.Request) (*Result, error) {
 		Dropped:      s.dropped,
 		Unavailable:  s.unavailable,
 		Redispatched: s.redispatched,
+		CacheHits:    s.cacheHits,
 		Horizon:      end,
 		Response:     s.resp,
 		PerDisk:      make([]diskmodel.Stats, len(s.disks)),
@@ -227,8 +277,29 @@ func (s *system) finish(name string, reqs []core.Request) (*Result, error) {
 		res.Energy += st.Energy
 		res.SpinUps += st.SpinUps
 		res.SpinDowns += st.SpinDowns
+		for ps := core.StateStandby; ps <= core.StateSpinDown; ps++ {
+			res.EnergyByState[ps] += st.EnergyIn[ps]
+		}
 	}
 	res.AlwaysOnEnergy = offline.AlwaysOnEnergy(s.cfg.Power, s.cfg.NumDisks, end)
+	if s.rm != nil {
+		// Overwrite the live approximations with the authoritative end-of-run
+		// values so exporter output matches the report aggregates exactly.
+		s.rm.ReconcileEnergy(res.EnergyByState)
+		s.rm.SpinUps.Reconcile(float64(res.SpinUps))
+		s.rm.SpinDowns.Reconcile(float64(res.SpinDowns))
+		s.rm.Served.Reconcile(float64(res.Served))
+		s.rm.Dropped.Reconcile(float64(res.Dropped))
+		s.rm.Redispatched.Reconcile(float64(res.Redispatched))
+		s.rm.CacheHits.Reconcile(float64(res.CacheHits))
+		s.rm.SimTime.Set(end.Seconds())
+		s.rm.EventsFired.Set(float64(s.eng.Fired()))
+	}
+	if s.tr != nil {
+		if err := s.tr.Flush(); err != nil {
+			return nil, fmt.Errorf("storage: event sink: %w", err)
+		}
+	}
 	if want := len(reqs) - s.dropped; s.served != want {
 		return nil, fmt.Errorf("storage: served %d of %d requests", s.served, want)
 	}
@@ -253,9 +324,11 @@ type WriteInvalidator interface {
 type RunOption func(*runOptions)
 
 type runOptions struct {
-	cache    ReadCache
-	failures []FailureEvent
-	stateLog io.Writer
+	cache     ReadCache
+	failures  []FailureEvent
+	stateLog  io.Writer
+	tracer    *obs.Tracer
+	collector *obs.Collector
 }
 
 // WithCache places a block cache in front of the scheduler: read hits are
@@ -263,6 +336,25 @@ type runOptions struct {
 // and writes invalidate cached copies.
 func WithCache(c ReadCache) RunOption {
 	return func(o *runOptions) { o.cache = c }
+}
+
+// WithTracer attaches a structured event tracer to the run: every request
+// lifecycle step, power transition and drop is emitted into tr. A nil or
+// disabled tracer costs one branch per instrumentation point. When the
+// scheduler also traces decisions, pass the same tracer to it (see
+// sched.Heuristic.Tracer) so the event streams interleave in one log.
+func WithTracer(tr *obs.Tracer) RunOption {
+	return func(o *runOptions) { o.tracer = tr }
+}
+
+// WithCollector registers the obs.RunMetrics catalog on c and keeps it
+// updated during the run: spin operations, per-state energy, request
+// outcomes, response-time and queue-depth histograms, and kernel gauges.
+// The collector can be snapshotted mid-run; at the end of the run the
+// energy and outcome counters are reconciled to the exact report
+// aggregates.
+func WithCollector(c *obs.Collector) RunOption {
+	return func(o *runOptions) { o.collector = c }
 }
 
 func applyOptions(opts []RunOption) runOptions {
@@ -293,6 +385,13 @@ func (s *system) lookupCache(o runOptions, r core.Request) bool {
 	if o.cache.Access(r.Block, s) {
 		s.resp.Add(cacheHitLatency)
 		s.served++
+		s.cacheHits++
+		s.tr.CacheHit(s.eng.Now(), r.ID, r.Block)
+		if s.rm != nil {
+			s.rm.ObserveResponse(cacheHitLatency)
+			s.rm.Served.Inc()
+			s.rm.CacheHits.Inc()
+		}
 		return true
 	}
 	return false
@@ -311,6 +410,9 @@ func RunOnline(cfg Config, loc sched.Locator, scheduler sched.Online, reqs []cor
 	}
 	deliver := func(r core.Request) {
 		d := scheduler.Schedule(r, s)
+		if s.rm != nil {
+			s.rm.Decisions.Inc()
+		}
 		if len(o.failures) > 0 {
 			s.dispatchWithFailover(r, d, loc)
 			return
@@ -327,7 +429,8 @@ func RunOnline(cfg Config, loc sched.Locator, scheduler sched.Online, reqs []cor
 	}
 	// One preloaded run replaces a heap push per request; delivery order is
 	// identical to per-request At scheduling.
-	s.eng.Preload(reqs, func(r core.Request, _ time.Duration) {
+	s.eng.Preload(reqs, func(r core.Request, now time.Duration) {
+		s.tr.Arrive(now, r.ID, r.Block)
 		if s.lookupCache(o, r) {
 			return
 		}
@@ -375,6 +478,9 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 				len(assignment), len(batch)))
 			return
 		}
+		if s.rm != nil {
+			s.rm.Decisions.Add(float64(len(batch)))
+		}
 		for i, r := range batch {
 			deliver(r, assignment[i])
 		}
@@ -394,6 +500,7 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 		}
 	}
 	s.eng.Preload(reqs, func(r core.Request, now time.Duration) {
+		s.tr.Arrive(now, r.ID, r.Block)
 		if s.lookupCache(o, r) {
 			return
 		}

@@ -11,10 +11,19 @@
 # (or any benchfmt consumer) can diff two recordings directly.
 #
 # Usage: scripts/bench.sh [output.json]
+#        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
 #                  (default 'Figure|OfflineMWISPipeline')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
+#   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
+#   BENCH_ALLOC_TOL  -check allocs/op tolerance as a fraction (default 0.001)
+#
+# -check runs the same benchmarks but, instead of recording a snapshot,
+# compares them against the newest BENCH_*.json (or the given baseline)
+# with scripts/benchcheck: wall time must stay within BENCH_TOL and
+# allocs/op within BENCH_ALLOC_TOL (tight enough that micro-benchmarks
+# must match exactly). Non-zero exit on regression — the `make ci` gate.
 
 set -eu
 
@@ -23,13 +32,31 @@ cd "$(dirname "$0")/.."
 pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
-out="${1:-BENCH_$(date +%Y%m%d).json}"
+
+check=0
+if [ "${1:-}" = "-check" ]; then
+	check=1
+	shift
+fi
 
 tmp="$(mktemp)"
 trap 'rm -f "$tmp"' EXIT
 
 echo "running benchmarks matching '$pattern' (benchtime=$benchtime count=$count)..." >&2
 go test -run '^$' -bench "$pattern" -benchmem -benchtime "$benchtime" -count "$count" . | tee "$tmp" >&2
+
+if [ "$check" = 1 ]; then
+	baseline="${1:-$(ls BENCH_*.json 2>/dev/null | sort | tail -1)}"
+	if [ -z "$baseline" ]; then
+		echo "bench.sh: no BENCH_*.json baseline to check against" >&2
+		exit 2
+	fi
+	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001})..." >&2
+	exec go run ./scripts/benchcheck -baseline "$baseline" -new "$tmp" \
+		-tol "${BENCH_TOL:-0.25}" -alloctol "${BENCH_ALLOC_TOL:-0.001}"
+fi
+
+out="${1:-BENCH_$(date +%Y%m%d).json}"
 
 # JSON-escape the raw benchfmt text (backslashes, quotes, tabs, newlines).
 raw="$(sed -e 's/\\/\\\\/g' -e 's/"/\\"/g' -e 's/\t/\\t/g' "$tmp" | awk '{printf "%s\\n", $0}')"

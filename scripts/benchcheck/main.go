@@ -1,0 +1,132 @@
+// Command benchcheck compares a fresh `go test -bench` run against a
+// recorded BENCH_<date>.json envelope (see scripts/bench.sh) and exits
+// non-zero when a benchmark regressed: wall time beyond the tolerance, or
+// an increase in allocs/op beyond the allocation tolerance. It is the
+// regression gate behind `scripts/bench.sh -check` and `make ci`.
+//
+//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001]
+//
+// Both inputs may be raw benchfmt text or a bench.sh JSON envelope (the
+// envelope's "raw" field holds the text). Only benchmarks present in both
+// inputs are compared; single-run wall times are noisy, so the default
+// time tolerance is deliberately loose — tighten with -tol for quiet
+// machines. Allocation counts are near-deterministic, so -alloctol is
+// tight: 0.1% keeps micro-benchmarks exact (on a 130 allocs/op benchmark
+// even +1 fails) while absorbing the handful of GC-timing-dependent
+// runtime allocations that macro benchmarks (hundreds of thousands of
+// allocs/op) pick up when unrelated code shifts heap trigger points.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+type result struct {
+	nsPerOp  float64
+	allocsOp float64
+	hasAlloc bool
+}
+
+func main() {
+	baseline := flag.String("baseline", "", "recorded BENCH_*.json (or raw benchfmt text) to compare against")
+	newRun := flag.String("new", "", "fresh benchmark output (raw text or envelope)")
+	tol := flag.Float64("tol", 0.25, "allowed fractional wall-time increase per benchmark")
+	allocTol := flag.Float64("alloctol", 0.001, "allowed fractional allocs/op increase per benchmark")
+	flag.Parse()
+	if *baseline == "" || *newRun == "" {
+		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
+		os.Exit(2)
+	}
+	base, err := load(*baseline)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	fresh, err := load(*newRun)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchcheck:", err)
+		os.Exit(2)
+	}
+	failed := false
+	compared := 0
+	for name, nb := range fresh {
+		ob, ok := base[name]
+		if !ok {
+			continue
+		}
+		compared++
+		ratio := nb.nsPerOp / ob.nsPerOp
+		status := "ok"
+		switch {
+		case ratio > 1+*tol:
+			status = fmt.Sprintf("FAIL time +%.1f%% (tol %.0f%%)", 100*(ratio-1), 100**tol)
+			failed = true
+		case nb.hasAlloc && ob.hasAlloc && nb.allocsOp > ob.allocsOp*(1+*allocTol):
+			status = fmt.Sprintf("FAIL allocs %v -> %v", ob.allocsOp, nb.allocsOp)
+			failed = true
+		}
+		fmt.Printf("%-60s %12.0f -> %12.0f ns/op (x%.3f)  %s\n",
+			name, ob.nsPerOp, nb.nsPerOp, ratio, status)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: no common benchmarks between inputs")
+		os.Exit(2)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("benchcheck: %d benchmarks within tolerance\n", compared)
+}
+
+// load reads benchfmt results from a raw text file or a bench.sh JSON
+// envelope, keyed by full benchmark name (including the -N suffix).
+func load(path string) (map[string]result, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '{' {
+		var env struct {
+			Raw string `json:"raw"`
+		}
+		if err := json.Unmarshal(trimmed, &env); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		data = []byte(env.Raw)
+	}
+	out := map[string]result{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		var r result
+		ok := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			switch fields[i+1] {
+			case "ns/op":
+				r.nsPerOp = v
+				ok = true
+			case "allocs/op":
+				r.allocsOp = v
+				r.hasAlloc = true
+			}
+		}
+		if ok {
+			out[fields[0]] = r
+		}
+	}
+	return out, sc.Err()
+}
