@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check ci bench bench-check bench-all fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check ci bench bench-check bench-all replay-gate fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -21,13 +21,22 @@ test:
 check: vet
 	$(GO) test -race ./...
 
-# CI gate: build, vet, race-detected tests, then the benchmark-regression
+# CI gate: build, vet, race-detected tests, the benchmark-regression
 # check against the newest BENCH_*.json snapshot (wall time within
-# tolerance, allocs/op not increased).
-ci: build check bench-check
+# tolerance, allocs/op not increased), and the log-replay consistency
+# gate (a seeded cell's event log must replay to a byte-identical
+# metrics export and a bit-exact energy attribution).
+ci: build check bench-check replay-gate
 
 bench-check:
 	scripts/bench.sh -check
+
+# Log-replay consistency gate: record a seeded cell with esched
+# -events/-metrics in both encodings, then `tracelens verify` and
+# `tracelens attribute` must reproduce the export exactly (see
+# scripts/replaygate.sh and docs/OBSERVABILITY.md).
+replay-gate:
+	scripts/replaygate.sh
 
 # Benchmark-regression harness: runs the tier-1 figure benchmarks plus the
 # offline pipeline benchmark and records a BENCH_<date>.json snapshot that

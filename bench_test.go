@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"bytes"
 	"fmt"
 	"runtime"
 	"testing"
@@ -9,6 +10,8 @@ import (
 	"repro/internal/diskmodel"
 	"repro/internal/experiments"
 	"repro/internal/graph"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
 	"repro/internal/offline"
 	"repro/internal/placement"
 	"repro/internal/sched"
@@ -349,5 +352,51 @@ func BenchmarkAblationGreedyMWISVariant(b *testing.B) {
 			}
 			b.ReportMetric(weight, "saving-joules")
 		})
+	}
+}
+
+// --- Trace analytics --------------------------------------------------
+
+// BenchmarkAnalyzeReplay measures the tracelens replay engine: decode a
+// recorded binary event log, reconstruct the run (lifecycles, power-state
+// timelines, decision index) and replay it into a fresh metrics collector.
+// Throughput is reported as events/sec — the analyzer-side number the
+// regression harness records alongside the simulator benchmarks.
+func BenchmarkAnalyzeReplay(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	var log bytes.Buffer
+	tr := obs.NewTracer(1024)
+	tr.SetSink(&log, true)
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+	if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs,
+		storage.WithTracer(tr)); err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	raw := log.Bytes()
+	events, err := analyze.Read(bytes.NewReader(raw))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		evs, err := analyze.Read(bytes.NewReader(raw))
+		if err != nil {
+			b.Fatal(err)
+		}
+		run, err := analyze.New(evs)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, _, err := run.Replay(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(events))*float64(b.N)/secs, "events/sec")
 	}
 }

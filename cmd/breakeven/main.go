@@ -2,12 +2,22 @@
 // Figure 5) and the quantities derived from it: the breakeven idleness
 // threshold T_B, the replacement window, and the per-request worst-case
 // energy. Flags override individual parameters for what-if analysis.
+//
+// With -events/-metrics the command also simulates a one-disk
+// demonstration of the configured model — requests spaced around the
+// break-even threshold so the 2CPM policy's spin cycles are visible — and
+// records it through the standard observability layer (analyze the log
+// with tracelens; see docs/OBSERVABILITY.md). The shared profiling flags
+// -cpuprofile, -memprofile, -tracefile and -pprof are available for
+// parity with esched and figures.
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
@@ -15,6 +25,13 @@ import (
 )
 
 func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "breakeven:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
 	cfg := repro.DefaultPowerConfig()
 	var (
 		idle    = flag.Float64("idle", cfg.IdlePower, "idle power P_I (W)")
@@ -24,8 +41,22 @@ func main() {
 		edown   = flag.Float64("edown", cfg.SpinDownEnergy, "spin-down energy (J)")
 		tup     = flag.Duration("tup", cfg.SpinUpTime, "spin-up time")
 		tdown   = flag.Duration("tdown", cfg.SpinDownTime, "spin-down time")
+		events  = flag.String("events", "", "record the demonstration run's event log to this file (JSONL; .bin = binary)")
+		metrics = flag.String("metrics", "", `write the demonstration run's metrics snapshot ("-" = stdout)`)
 	)
+	var prof repro.Profiles
+	prof.RegisterFlagsTraceName(flag.CommandLine, "tracefile")
 	flag.Parse()
+
+	stopProf, err := prof.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, "breakeven: profiles:", err)
+		}
+	}()
 
 	cfg.IdlePower = *idle
 	cfg.ActivePower = *active
@@ -35,8 +66,7 @@ func main() {
 	cfg.SpinUpTime = *tup
 	cfg.SpinDownTime = *tdown
 	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "breakeven:", err)
-		os.Exit(1)
+		return err
 	}
 
 	if cfg == repro.DefaultPowerConfig() {
@@ -51,4 +81,102 @@ func main() {
 	fmt.Printf("  replacement window T_B+T_up+T_down  %s\n", cfg.ReplacementWindow().Round(time.Millisecond))
 	fmt.Printf("  max per-request energy       %.1f J\n", cfg.MaxRequestEnergy())
 	fmt.Printf("  idle:standby power ratio     %.1fx\n", cfg.IdlePower/cfg.StandbyPower)
+
+	if *events == "" && *metrics == "" {
+		return nil
+	}
+	return demoRun(cfg, *events, *metrics)
+}
+
+// demoRun simulates one disk under the configured model with arrivals
+// spaced to straddle the break-even threshold — gap 1 inside T_B (the
+// 2CPM policy keeps spinning), gap 2 past the replacement window (it spins
+// down and pays the cycle on the next arrival) — and records the run.
+func demoRun(pc repro.PowerConfig, events, metrics string) error {
+	sys := repro.DefaultSystemConfig()
+	sys.NumDisks = 1
+	sys.Power = pc
+	sys.Policy = repro.TwoCompetitivePolicy(pc)
+	loc := func(repro.BlockID) []repro.DiskID { return []repro.DiskID{0} }
+
+	short := pc.Breakeven() / 2
+	long := 2 * cfgWindow(pc)
+	var reqs []repro.Request
+	at := time.Duration(0)
+	for i, gap := range []time.Duration{0, short, short, long, short, long, short} {
+		at += gap
+		reqs = append(reqs, repro.Request{ID: repro.RequestID(i), Block: 0, Arrival: at})
+	}
+
+	var opts []repro.RunOption
+	var tracer *repro.Tracer
+	var collector *repro.Collector
+	var eventsBuf *bufio.Writer
+	var eventsOut *os.File
+	if events != "" {
+		f, err := os.Create(events)
+		if err != nil {
+			return err
+		}
+		eventsOut = f
+		eventsBuf = bufio.NewWriterSize(f, 1<<20)
+		tracer = repro.NewTracer(0)
+		tracer.SetSink(eventsBuf, strings.HasSuffix(events, ".bin"))
+		opts = append(opts, repro.WithTracer(tracer))
+	}
+	if metrics != "" {
+		collector = repro.NewCollector()
+		opts = append(opts, repro.WithCollector(collector))
+	}
+
+	res, runErr := repro.RunOnline(sys, loc, repro.NewStaticScheduler(loc), reqs, opts...)
+	if runErr == nil {
+		fmt.Printf("\ndemonstration run (1 disk, %d requests straddling T_B):\n", len(reqs))
+		fmt.Printf("  energy %.1f J, %d spin-ups, %d spin-downs\n", res.Energy, res.SpinUps, res.SpinDowns)
+	}
+
+	// Flush telemetry even when the run failed, matching esched.
+	if tracer != nil {
+		ferr := tracer.Flush()
+		if err := eventsBuf.Flush(); ferr == nil {
+			ferr = err
+		}
+		if err := eventsOut.Close(); ferr == nil {
+			ferr = err
+		}
+		if ferr != nil && runErr == nil {
+			runErr = fmt.Errorf("event log %s: %w", events, ferr)
+		}
+		fmt.Fprintf(os.Stderr, "breakeven: event log flushed to %s\n", events)
+	}
+	if collector != nil {
+		if metrics == "-" {
+			if _, err := collector.WriteTo(os.Stdout); err != nil && runErr == nil {
+				runErr = err
+			}
+		} else {
+			f, err := os.Create(metrics)
+			if err == nil {
+				_, err = collector.WriteTo(f)
+				if cerr := f.Close(); err == nil {
+					err = cerr
+				}
+			}
+			if err != nil && runErr == nil {
+				runErr = fmt.Errorf("metrics %s: %w", metrics, err)
+			} else if err == nil {
+				fmt.Fprintf(os.Stderr, "breakeven: metrics snapshot written to %s\n", metrics)
+			}
+		}
+	}
+	return runErr
+}
+
+// cfgWindow is the replacement window, floored at one second so degenerate
+// what-if configurations still produce a finite demonstration.
+func cfgWindow(pc repro.PowerConfig) time.Duration {
+	if w := pc.ReplacementWindow(); w > time.Second {
+		return w
+	}
+	return time.Second
 }

@@ -7,9 +7,10 @@
 //	figures -tsv -out results/  # write TSV files instead of stdout tables
 //
 // The standard profiling flags -cpuprofile, -memprofile, -trace and -pprof
-// are available for profiling full-scale regenerations (see
-// docs/OBSERVABILITY.md). A failing run still writes the partial -summary
-// accumulated before the error and logs where it went.
+// are available for profiling full-scale regenerations, and -telemetry
+// ADDR serves live per-cell sweep progress over HTTP while a regeneration
+// runs (see docs/OBSERVABILITY.md). A failing run still writes the partial
+// -summary accumulated before the error and logs where it went.
 package main
 
 import (
@@ -40,6 +41,7 @@ func run() error {
 		tsv       = flag.Bool("tsv", false, "emit tab-separated values instead of aligned tables")
 		summary   = flag.String("summary", "", "write a Markdown summary report to this file (runs both trace sweeps)")
 		outDir    = flag.String("out", "", "write each figure to DIR/figNN.{txt,tsv} instead of stdout")
+		telemetry = flag.String("telemetry", "", `serve live sweep telemetry on this address (e.g. "localhost:8090": /healthz, /metrics, /progress)`)
 	)
 	var prof obs.Profiles
 	prof.RegisterFlags(flag.CommandLine)
@@ -63,6 +65,17 @@ func run() error {
 		scale = experiments.FullScale()
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+
+	if *telemetry != "" {
+		mon := experiments.NewMonitor()
+		addr, shutdown, err := mon.Serve(*telemetry)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer shutdown()
+		scale.Monitor = mon
+		fmt.Fprintf(os.Stderr, "figures: telemetry on http://%s (/healthz /metrics /progress)\n", addr)
 	}
 
 	want := map[string]bool{}

@@ -1,0 +1,317 @@
+// Command tracelens is the analysis CLI over the simulator's canonical
+// event logs (see docs/OBSERVABILITY.md): it reconstructs request
+// lifecycles and per-disk power-state timelines from a recorded run and
+// answers the causal questions the live metrics cannot — which scheduler
+// decision woke which disk, and what it cost.
+//
+// Logs are produced by esched -events FILE (JSONL, or binary when FILE
+// ends in .bin); both encodings are auto-detected. Subcommands:
+//
+//	tracelens summary RUN.events
+//	    Aggregate view: outcomes, spin activity, energy by state,
+//	    latency percentiles.
+//	tracelens timeline RUN.events [-disk N] [-max N]
+//	    Per-disk power-state segments with per-segment energy and the
+//	    causing decision, plus the queue-depth heatmap.
+//	tracelens attribute RUN.events [-top N] [-metrics FILE]
+//	    The energy waterfall: every joule bucketed into baseline /
+//	    idle / service / spin-up / spin-down, spin cycles pinned to the
+//	    scheduler decisions that induced them. With -metrics, the
+//	    replayed by-state totals are checked bit-exactly against the
+//	    run's exported snapshot.
+//	tracelens diff A.events B.events
+//	    Policy-regression report between two runs.
+//	tracelens verify RUN.events -metrics FILE
+//	    Replays the log through a fresh collector and byte-compares the
+//	    render against the exported snapshot: a passing verify proves
+//	    the log alone reproduces the run's metrics exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs/analyze"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tracelens:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() error {
+	return fmt.Errorf("usage: tracelens <summary|timeline|attribute|diff|verify> [flags] LOG...\nrun 'tracelens <subcommand> -h' for flags")
+}
+
+func run(args []string) error {
+	if len(args) == 0 {
+		return usage()
+	}
+	switch cmd, rest := args[0], args[1:]; cmd {
+	case "summary":
+		return cmdSummary(rest)
+	case "timeline":
+		return cmdTimeline(rest)
+	case "attribute":
+		return cmdAttribute(rest)
+	case "diff":
+		return cmdDiff(rest)
+	case "verify":
+		return cmdVerify(rest)
+	case "-h", "-help", "--help", "help":
+		return usage()
+	default:
+		return fmt.Errorf("unknown subcommand %q\n%v", cmd, usage())
+	}
+}
+
+// load reads and reconstructs one run log.
+func load(path string) (*analyze.Run, error) {
+	evs, err := analyze.Load(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(evs) == 0 {
+		return nil, fmt.Errorf("%s: empty event log", path)
+	}
+	r, err := analyze.New(evs)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+func cmdSummary(args []string) error {
+	fs := flag.NewFlagSet("tracelens summary", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracelens summary LOG")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	s := r.Summarize()
+	fmt.Printf("events        %d\n", s.Events)
+	fmt.Printf("complete      %v\n", r.Complete())
+	fmt.Printf("horizon       %v\n", s.Horizon)
+	fmt.Printf("kernel events %d\n", s.Fired)
+	fmt.Printf("disks         %d\n", s.Disks)
+	fmt.Printf("requests      %d\n", s.Requests)
+	fmt.Printf("decisions     %d\n", s.Decisions)
+	fmt.Printf("served        %d (cache hits %d)\n", s.Served, s.CacheHits)
+	fmt.Printf("dropped       %d\n", s.Dropped)
+	fmt.Printf("redispatched  %d\n", s.Redispatched)
+	fmt.Printf("spin-ups      %d\n", s.SpinUps)
+	fmt.Printf("spin-downs    %d\n", s.SpinDowns)
+	fmt.Printf("energy        %.6g J\n", s.Energy)
+	for st := core.StateStandby; st <= core.StateSpinDown; st++ {
+		fmt.Printf("  %-11s %.6g J\n", st.String(), s.EnergyByState[st])
+	}
+	lat := r.Latencies()
+	if lat.Count() > 0 {
+		fmt.Printf("latency       mean %v  p50 %v  p95 %v  p99 %v  max %v\n",
+			lat.Mean(), lat.Percentile(50), lat.Percentile(95), lat.Percentile(99), lat.Max())
+	}
+	return nil
+}
+
+func cmdTimeline(args []string) error {
+	fs := flag.NewFlagSet("tracelens timeline", flag.ContinueOnError)
+	disk := fs.Int("disk", -1, "show only this disk (-1 = all)")
+	max := fs.Int("max", 0, "show at most this many segments per disk (0 = all)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracelens timeline [-disk N] [-max N] LOG")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	for _, d := range r.DiskOrder {
+		if *disk >= 0 && d != core.DiskID(*disk) {
+			continue
+		}
+		t := r.Disks[d]
+		fmt.Printf("disk %d: %d segments, %d spin-ups, %d spin-downs, %.6g J, served %d\n",
+			d, len(t.Segments), t.SpinUps, t.SpinDowns, t.Energy, t.Served)
+		if t.Served > 0 {
+			fmt.Printf("  latency mean %v  p95 %v\n", t.Response.Mean(), t.Response.Percentile(95))
+		}
+		n := len(t.Segments)
+		if *max > 0 && n > *max {
+			n = *max
+		}
+		fmt.Printf("  %-14s %-14s %-10s %-14s %14s %10s\n", "start", "end", "state", "duration", "energy J", "cause")
+		for _, seg := range t.Segments[:n] {
+			end, dur := "open", time.Duration(0)
+			if !seg.Open {
+				end, dur = seg.End.String(), seg.Duration()
+			}
+			cause := "-"
+			if seg.Cause != 0 {
+				cause = fmt.Sprintf("dec %d", seg.Cause)
+			}
+			fmt.Printf("  %-14v %-14s %-10s %-14v %14.6g %10s\n",
+				seg.Start, end, seg.State, dur, seg.EnergyJ(), cause)
+		}
+		if n < len(t.Segments) {
+			fmt.Printf("  ... %d more segments\n", len(t.Segments)-n)
+		}
+	}
+	bounds, rows := r.DepthHeatmap()
+	fmt.Printf("\nqueue-depth heatmap (observations per enqueue):\n%-6s", "disk")
+	for _, b := range bounds {
+		fmt.Printf(" %6.0f", b)
+	}
+	fmt.Printf(" %6s\n", "+inf")
+	for i, d := range r.DiskOrder {
+		if *disk >= 0 && d != core.DiskID(*disk) {
+			continue
+		}
+		fmt.Printf("%-6d", d)
+		for _, n := range rows[i] {
+			fmt.Printf(" %6d", n)
+		}
+		fmt.Println()
+	}
+	return nil
+}
+
+func cmdAttribute(args []string) error {
+	fs := flag.NewFlagSet("tracelens attribute", flag.ContinueOnError)
+	top := fs.Int("top", 10, "show this many causes (0 = all)")
+	metricsFile := fs.String("metrics", "", "check by-state totals bit-exactly against this exported snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracelens attribute [-top N] [-metrics FILE] LOG")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if !r.Complete() {
+		return fmt.Errorf("%s: not a complete run capture; attribution needs the full log", fs.Arg(0))
+	}
+	a := r.Attribute()
+	total := a.Total()
+	pct := func(j float64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return j / total * 100
+	}
+	fmt.Printf("energy waterfall (%.6g J total):\n", total)
+	fmt.Printf("  %-22s %14s %8s\n", "bucket", "joules", "share")
+	fmt.Printf("  %-22s %14.6g %7.2f%%\n", "baseline (standby)", a.BaselineJ, pct(a.BaselineJ))
+	fmt.Printf("  %-22s %14.6g %7.2f%%\n", "idle (spinning)", a.IdleJ, pct(a.IdleJ))
+	fmt.Printf("  %-22s %14.6g %7.2f%%\n", "service (active)", a.ServiceJ, pct(a.ServiceJ))
+	fmt.Printf("  %-22s %14.6g %7.2f%%\n", "spin-up cycles", a.SpinUpJ, pct(a.SpinUpJ))
+	fmt.Printf("  %-22s %14.6g %7.2f%%\n", "spin-down cycles", a.SpinDownJ, pct(a.SpinDownJ))
+	fmt.Printf("spin-ups: %d decision-caused, %d policy/untraced; spin-downs: %d\n",
+		a.DecisionSpinUps, a.PolicySpinUps, a.SpinDowns)
+
+	n := len(a.Causes)
+	if *top > 0 && n > *top {
+		n = *top
+	}
+	if n > 0 {
+		fmt.Printf("\ntop spin-cycle causes by energy:\n")
+		fmt.Printf("  %-12s %-22s %8s %10s %14s\n", "cause", "decision", "spin-ups", "spin-downs", "joules")
+		for _, c := range a.Causes[:n] {
+			who, what := "policy", "idle-threshold expiry"
+			if c.Dec != 0 {
+				who = fmt.Sprintf("dec %d", c.Dec)
+				what = "(untraced decision)"
+				if c.HasInfo {
+					what = fmt.Sprintf("req %d -> disk %d @ %v", c.Req, c.Disk, c.At)
+				}
+			}
+			fmt.Printf("  %-12s %-22s %8d %10d %14.6g\n", who, what, c.SpinUps, c.SpinDowns, c.Joules)
+		}
+		if n < len(a.Causes) {
+			fmt.Printf("  ... %d more causes\n", len(a.Causes)-n)
+		}
+	}
+
+	if *metricsFile != "" {
+		data, err := os.ReadFile(*metricsFile)
+		if err != nil {
+			return err
+		}
+		vals, err := analyze.ParseMetricValues(data)
+		if err != nil {
+			return err
+		}
+		for st := core.StateStandby; st <= core.StateSpinDown; st++ {
+			key := `esched_energy_joules_total{state="` + st.String() + `"}`
+			want, ok := vals[key]
+			if !ok {
+				return fmt.Errorf("%s lacks %s", *metricsFile, key)
+			}
+			if got := a.ByState[st]; got != want {
+				return fmt.Errorf("attribution diverges from export: %s replayed %v, exported %v", key, got, want)
+			}
+		}
+		fmt.Printf("\nattribution matches %s bit-exactly (5/5 states)\n", *metricsFile)
+	}
+	return nil
+}
+
+func cmdDiff(args []string) error {
+	fs := flag.NewFlagSet("tracelens diff", flag.ContinueOnError)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		return fmt.Errorf("usage: tracelens diff A.LOG B.LOG")
+	}
+	a, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	b, err := load(fs.Arg(1))
+	if err != nil {
+		return err
+	}
+	fmt.Printf("A = %s\nB = %s\n\n", fs.Arg(0), fs.Arg(1))
+	_, err = analyze.Diff(a, b).WriteTo(os.Stdout)
+	return err
+}
+
+func cmdVerify(args []string) error {
+	fs := flag.NewFlagSet("tracelens verify", flag.ContinueOnError)
+	metricsFile := fs.String("metrics", "", "exported metrics snapshot to verify against (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 || *metricsFile == "" {
+		return fmt.Errorf("usage: tracelens verify -metrics FILE LOG")
+	}
+	r, err := load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	exported, err := os.ReadFile(*metricsFile)
+	if err != nil {
+		return err
+	}
+	if err := r.VerifyMetrics(exported); err != nil {
+		return err
+	}
+	s := r.Summarize()
+	fmt.Printf("verify OK: %d events replay to a byte-identical metrics export (%d requests, %.6g J)\n",
+		s.Events, s.Requests, s.Energy)
+	return nil
+}

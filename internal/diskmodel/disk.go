@@ -43,6 +43,15 @@ type Disk struct {
 	failed     bool
 	failures   int
 	closed     bool
+
+	// spinCause is the scheduler decision whose request initiated the
+	// in-progress spin-up cycle; it stamps the transitions into and out of
+	// spin-up so logs carry explicit causality. wakeCause remembers the
+	// first decision to arrive mid-spin-down (2CPM cannot abort the
+	// transition, so that decision pays for the spin-up that follows).
+	// Both are zero when the transition was a policy action.
+	spinCause obs.DecisionID
+	wakeCause obs.DecisionID
 }
 
 // Options configures optional Disk behavior.
@@ -135,18 +144,27 @@ func (d *Disk) Served() int { return d.served }
 func (d *Disk) Meter() *power.Meter { return d.meter }
 
 func (d *Disk) setState(now time.Duration, s core.DiskState) {
+	d.setStateCause(now, s, 0)
+}
+
+func (d *Disk) setStateCause(now time.Duration, s core.DiskState, cause obs.DecisionID) {
 	stateJ, impulseJ := d.meter.Transition(now, s)
 	if d.onTrans != nil {
 		d.onTrans(d.id, now, d.state, s, obs.EnergyDelta{StateJ: stateJ, ImpulseJ: impulseJ})
 	}
-	d.tr.Power(now, d.id, d.state, s, stateJ+impulseJ)
+	d.tr.Power(now, d.id, d.state, s, stateJ, impulseJ, cause)
 	d.state = s
 }
 
 // Submit enqueues a request at the current virtual time and wakes the disk
 // if necessary. Requests arriving while the disk is spun down or spinning
 // down incur the spin-up penalty (Section 1, problem (a)).
-func (d *Disk) Submit(req core.Request) {
+func (d *Disk) Submit(req core.Request) { d.SubmitCaused(req, 0) }
+
+// SubmitCaused is Submit carrying the scheduler decision that routed the
+// request here; the decision ID is stamped on the queue event and on any
+// spin-up the arrival triggers, making wake causality explicit in the log.
+func (d *Disk) SubmitCaused(req core.Request, cause obs.DecisionID) {
 	if d.closed {
 		panic(fmt.Sprintf("diskmodel: Submit on closed disk %d", d.id))
 	}
@@ -157,30 +175,38 @@ func (d *Disk) Submit(req core.Request) {
 	d.lastReq = now
 	d.everReq = true
 	d.queue = append(d.queue, req)
-	d.tr.Queue(now, req.ID, d.id, d.Load())
+	d.tr.Queue(now, req.ID, d.id, d.Load(), cause)
 	switch d.state {
 	case core.StateStandby:
-		d.beginSpinUp(now)
+		d.beginSpinUp(now, cause)
 	case core.StateIdle:
 		d.eng.Cancel(d.idleTimer)
 		d.startNext(now)
 	case core.StateSpinDown:
 		// The spin-down completion handler notices the non-empty queue
-		// and immediately spins back up.
+		// and immediately spins back up; the first arrival of the cycle
+		// is the one that forces it.
+		if d.wakeCause == 0 {
+			d.wakeCause = cause
+		}
 	case core.StateSpinUp, core.StateActive:
 		// Queued; drained on spin-up completion or service completion.
 	}
 }
 
-func (d *Disk) beginSpinUp(now time.Duration) {
-	d.setState(now, core.StateSpinUp)
+func (d *Disk) beginSpinUp(now time.Duration, cause obs.DecisionID) {
+	d.spinCause = cause
+	d.setStateCause(now, core.StateSpinUp, cause)
 	d.transition = d.eng.After(d.pcfg.SpinUpTime, d.onSpunUp)
 }
 
 func (d *Disk) onSpunUp(now time.Duration) {
 	// Enter idle for accounting symmetry, then immediately start service
-	// if work is queued.
-	d.setState(now, core.StateIdle)
+	// if work is queued. The transition out of spin-up settles the spin-up
+	// energy, so it carries the decision that initiated the cycle.
+	cause := d.spinCause
+	d.spinCause = 0
+	d.setStateCause(now, core.StateIdle, cause)
 	if len(d.queue) > 0 {
 		d.startNext(now)
 	} else {
@@ -244,10 +270,14 @@ func (d *Disk) onIdleTimeout(now time.Duration) {
 func (d *Disk) onSpunDown(now time.Duration) {
 	if len(d.queue) > 0 {
 		// A request arrived mid-spin-down: complete the cycle and go
-		// straight back up (2CPM disks cannot abort a transition).
-		d.beginSpinUp(now)
+		// straight back up (2CPM disks cannot abort a transition). The
+		// first mid-spin-down arrival is charged with the spin-up.
+		cause := d.wakeCause
+		d.wakeCause = 0
+		d.beginSpinUp(now, cause)
 		return
 	}
+	d.wakeCause = 0
 	d.setState(now, core.StateStandby)
 }
 
@@ -282,6 +312,7 @@ func (d *Disk) Fail() []core.Request {
 	drained = append(drained, d.queue...)
 	d.queue = nil
 	d.headLBA = -1 // head position lost with the power
+	d.spinCause, d.wakeCause = 0, 0
 	if d.state != core.StateStandby {
 		d.setState(d.eng.Now(), core.StateStandby)
 	}
@@ -297,14 +328,18 @@ func (d *Disk) Repair() {
 	d.failed = false
 }
 
-// Close finalizes energy accounting at the current virtual time. The disk
-// must be drained (no queued or in-flight requests).
+// Close finalizes energy accounting at the current virtual time, emitting
+// a terminal "end" event carrying the final state's energy accrual so a
+// replayed log reproduces the meter totals exactly. The disk must be
+// drained (no queued or in-flight requests).
 func (d *Disk) Close() Stats {
 	if !d.closed {
 		if d.Load() > 0 {
 			panic(fmt.Sprintf("diskmodel: Close with %d requests outstanding on disk %d", d.Load(), d.id))
 		}
-		d.meter.Close(d.eng.Now())
+		now := d.eng.Now()
+		j := d.meter.Close(now)
+		d.tr.End(now, d.id, d.state, j)
 		d.closed = true
 	}
 	return d.Stats()

@@ -47,6 +47,10 @@ type Scale struct {
 	// concurrently running cells by SolverWorkers. 0 or 1 means serial;
 	// results are bit-identical for every value.
 	Workers int
+	// Monitor, when non-nil, receives live per-cell progress from the
+	// parallel sweeps (see Monitor.Serve for the HTTP endpoint). Telemetry
+	// never influences results; a nil monitor costs one branch per cell.
+	Monitor *Monitor
 }
 
 // FullScale reproduces the paper's experimental scale.
@@ -296,7 +300,8 @@ func SweepReplication(s Scale, tr Trace) (*ReplicationSweep, error) {
 	for i := range results {
 		results[i] = make([]Run, len(algos))
 	}
-	err := runParallel(len(rfs)*len(algos), s.Parallelism, func(i int) error {
+	err := runParallel(len(rfs)*len(algos), s.Parallelism,
+		s.Monitor.Track("replication:"+tr.String(), len(rfs)*len(algos)), func(i int) error {
 		rfIdx, algoIdx := i/len(algos), i%len(algos)
 		run, err := cell(s, reqs, placements[rfIdx], algos[algoIdx], cost)
 		if err != nil {

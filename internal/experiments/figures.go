@@ -213,7 +213,8 @@ func Figure10(s Scale, tr Trace) (*Table, error) {
 		}
 	}
 	energies := make([][]float64, len(points))
-	err := runParallel(len(points), s.Parallelism, func(i int) error {
+	err := runParallel(len(points), s.Parallelism,
+		s.Monitor.Track("figure10:"+tr.String(), len(points)), func(i int) error {
 		p := points[i]
 		plc, err := makePlacement(s, p.rf, p.z)
 		if err != nil {

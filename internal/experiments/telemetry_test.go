@@ -1,0 +1,178 @@
+package experiments
+
+import (
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func get(t *testing.T, srv *httptest.Server, path string) []byte {
+	t.Helper()
+	resp, err := http.Get(srv.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return body
+}
+
+type progressDoc struct {
+	Sweeps []struct {
+		Name    string `json:"name"`
+		Total   int    `json:"total"`
+		Running int    `json:"running"`
+		Done    int    `json:"done"`
+		Failed  int    `json:"failed"`
+		Ended   bool   `json:"ended"`
+		Cells   []struct {
+			Cell  int    `json:"cell"`
+			State string `json:"state"`
+		} `json:"cells"`
+	} `json:"sweeps"`
+}
+
+// TestMonitorEndpoints drives a tracked runParallel sweep (with one
+// failing cell) and checks the three HTTP views agree with the outcome.
+func TestMonitorEndpoints(t *testing.T) {
+	t.Parallel()
+	m := NewMonitor()
+	srv := httptest.NewServer(m.Handler())
+	defer srv.Close()
+
+	if body := string(get(t, srv, "/healthz")); !strings.HasPrefix(body, "ok sweeps=0") {
+		t.Fatalf("healthz before sweeps: %q", body)
+	}
+
+	boom := errors.New("boom")
+	err := runParallel(8, 1, m.Track("unit", 8), func(i int) error {
+		if i == 5 {
+			return boom
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, boom) {
+		t.Fatalf("sweep error = %v, want wrapped boom", err)
+	}
+
+	var doc progressDoc
+	if err := json.Unmarshal(get(t, srv, "/progress"), &doc); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc.Sweeps) != 1 {
+		t.Fatalf("sweeps = %d, want 1", len(doc.Sweeps))
+	}
+	sw := doc.Sweeps[0]
+	if sw.Name != "unit" || sw.Total != 8 || !sw.Ended {
+		t.Fatalf("sweep header = %+v", sw)
+	}
+	// Serial pool fails fast: cells 0-4 done, 5 failed, 6-7 never started.
+	if sw.Done != 5 || sw.Failed != 1 || sw.Running != 0 {
+		t.Fatalf("done/failed/running = %d/%d/%d, want 5/1/0", sw.Done, sw.Failed, sw.Running)
+	}
+	if got := sw.Cells[5].State; got != "failed" {
+		t.Errorf("cell 5 state = %q", got)
+	}
+	if got := sw.Cells[7].State; got != "pending" {
+		t.Errorf("cell 7 state = %q", got)
+	}
+
+	metrics := string(get(t, srv, "/metrics"))
+	for _, want := range []string{
+		`esched_sweep_cells{stage="total",sweep="unit"} 8`,
+		`esched_sweep_cells{stage="done",sweep="unit"} 5`,
+		`esched_sweep_cells{stage="failed",sweep="unit"} 1`,
+		`esched_sweep_cells{stage="running",sweep="unit"} 0`,
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics lacks %q:\n%s", want, metrics)
+		}
+	}
+	if body := string(get(t, srv, "/healthz")); !strings.HasPrefix(body, "ok sweeps=1") {
+		t.Errorf("healthz after sweep: %q", body)
+	}
+}
+
+// TestMonitorConcurrentSweep checks the tracker under a real worker pool.
+func TestMonitorConcurrentSweep(t *testing.T) {
+	t.Parallel()
+	m := NewMonitor()
+	tk := m.Track("pool", 64)
+	var mu sync.Mutex
+	seen := map[int]bool{}
+	if err := runParallel(64, 8, tk, func(i int) error {
+		mu.Lock()
+		seen[i] = true
+		mu.Unlock()
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 64 {
+		t.Fatalf("ran %d of 64 cells", len(seen))
+	}
+	p := tk.snapshot()
+	if p.Done != 64 || p.Failed != 0 || p.Running != 0 || !p.Ended {
+		t.Fatalf("snapshot = %+v", p)
+	}
+}
+
+// TestNilMonitorIsNoOp pins the off switch: a nil monitor yields a nil
+// tracker and sweeps run unchanged.
+func TestNilMonitorIsNoOp(t *testing.T) {
+	t.Parallel()
+	var m *Monitor
+	tk := m.Track("ignored", 3)
+	if tk != nil {
+		t.Fatal("nil monitor returned a tracker")
+	}
+	ran := 0
+	if err := runParallel(3, 1, tk, func(int) error { ran++; return nil }); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 3 {
+		t.Fatalf("ran %d of 3", ran)
+	}
+}
+
+// TestMonitorDuplicateSweepNames checks repeat names get distinct series.
+func TestMonitorDuplicateSweepNames(t *testing.T) {
+	t.Parallel()
+	m := NewMonitor()
+	a := m.Track("same", 1)
+	b := m.Track("same", 1)
+	if a.name == b.name {
+		t.Fatalf("duplicate sweeps share the name %q", a.name)
+	}
+}
+
+// TestSweepReplicationReportsTelemetry wires a real (tiny) sweep through
+// the monitor and checks every cell completes.
+func TestSweepReplicationReportsTelemetry(t *testing.T) {
+	t.Parallel()
+	s := tinyScale()
+	s.Monitor = NewMonitor()
+	if _, err := SweepReplication(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	s.Monitor.mu.Lock()
+	defer s.Monitor.mu.Unlock()
+	if len(s.Monitor.sweeps) != 1 {
+		t.Fatalf("tracked sweeps = %d, want 1", len(s.Monitor.sweeps))
+	}
+	p := s.Monitor.sweeps[0].snapshot()
+	if p.Done != p.Total || p.Failed != 0 || !p.Ended {
+		t.Fatalf("sweep progress = %+v", p)
+	}
+}

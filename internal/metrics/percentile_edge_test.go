@@ -1,0 +1,79 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+)
+
+// TestPercentileSingleSample pins the nearest-rank method's degenerate
+// case: with one sample, every percentile is that sample.
+func TestPercentileSingleSample(t *testing.T) {
+	t.Parallel()
+	var r ResponseTimes
+	r.Add(7 * time.Millisecond)
+	for _, p := range []float64{0.001, 1, 50, 99, 99.999, 100} {
+		if got := r.Percentile(p); got != 7*time.Millisecond {
+			t.Errorf("Percentile(%v) = %v, want 7ms", p, got)
+		}
+	}
+	if got := r.Mean(); got != 7*time.Millisecond {
+		t.Errorf("Mean = %v, want 7ms", got)
+	}
+	if got := r.Max(); got != 7*time.Millisecond {
+		t.Errorf("Max = %v, want 7ms", got)
+	}
+}
+
+// TestPercentileAllEqualSamples: identical samples collapse the whole
+// distribution to one value at every percentile.
+func TestPercentileAllEqualSamples(t *testing.T) {
+	t.Parallel()
+	var r ResponseTimes
+	for i := 0; i < 1000; i++ {
+		r.Add(42 * time.Microsecond)
+	}
+	for _, p := range []float64{0.1, 25, 50, 75, 95, 99, 100} {
+		if got := r.Percentile(p); got != 42*time.Microsecond {
+			t.Errorf("Percentile(%v) = %v, want 42µs", p, got)
+		}
+	}
+	if got := r.Mean(); got != 42*time.Microsecond {
+		t.Errorf("Mean = %v, want 42µs", got)
+	}
+}
+
+// TestPercentileRankFloor: tiny percentiles floor the nearest rank at the
+// smallest sample rather than indexing below the population.
+func TestPercentileRankFloor(t *testing.T) {
+	t.Parallel()
+	var r ResponseTimes
+	r.Add(5 * time.Millisecond)
+	r.Add(1 * time.Millisecond)
+	r.Add(3 * time.Millisecond)
+	if got := r.Percentile(0.0001); got != time.Millisecond {
+		t.Errorf("Percentile(0.0001) = %v, want the minimum 1ms", got)
+	}
+	if got := r.Percentile(100); got != 5*time.Millisecond {
+		t.Errorf("Percentile(100) = %v, want the maximum 5ms", got)
+	}
+	// Nearest rank with n=3: p=34 → rank ceil(1.02)=2 → 3ms.
+	if got := r.Percentile(34); got != 3*time.Millisecond {
+		t.Errorf("Percentile(34) = %v, want the median 3ms", got)
+	}
+}
+
+// TestPercentileZeroDurationSamples: zero is a legal latency (instant
+// completion) and must survive percentile queries.
+func TestPercentileZeroDurationSamples(t *testing.T) {
+	t.Parallel()
+	var r ResponseTimes
+	r.Add(0)
+	r.Add(0)
+	r.Add(time.Second)
+	if got := r.Percentile(50); got != 0 {
+		t.Errorf("Percentile(50) = %v, want 0", got)
+	}
+	if got := r.Percentile(100); got != time.Second {
+		t.Errorf("Percentile(100) = %v, want 1s", got)
+	}
+}

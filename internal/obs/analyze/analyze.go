@@ -1,0 +1,279 @@
+// Package analyze is the consumer side of the observability layer: a
+// replay/query engine over the canonical event logs the simulator emits
+// (internal/obs JSONL and binary formats).
+//
+// Where internal/obs only records, analyze reconstructs: per-request
+// lifecycles (arrive → dispatch → queue → serve → complete, with drops,
+// cache hits and failure-driven redispatches), per-disk power-state
+// timelines, and — because every event carries the scheduler decision that
+// caused it — an exact energy attribution: which decision woke which disk
+// and what it cost, the causal question behind the paper's break-even
+// accounting (PAPER.md §3–4).
+//
+// The replay is exact, not approximate. Power events carry the meter's
+// state accrual and transition impulse separately, the per-disk "end"
+// events carry the final accrual the last transition never sees, and the
+// replay performs the same floating-point additions in the same order as
+// power.Meter and storage.Result — so a replayed run reproduces
+// Result.EnergyByState and the reconciled RunMetrics export bit for bit
+// (Replay / VerifyMetrics), at any pipeline worker count. cmd/tracelens
+// is the CLI over this package.
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Load reads an event log from path, auto-detecting the encoding: logs
+// opening with a binary magic header are decoded as binary (with CRC and
+// structure validation), anything else is parsed as canonical JSONL.
+func Load(path string) ([]obs.Event, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// Read is Load over an io.Reader.
+func Read(r io.Reader) ([]obs.Event, error) {
+	head := make([]byte, len(obs.BinaryMagic))
+	n, err := io.ReadFull(r, head)
+	if err == io.EOF {
+		return nil, nil
+	}
+	rest := io.MultiReader(bytes.NewReader(head[:n]), r)
+	if err == nil && head[0] == 'E' && head[1] == 'S' && head[2] == 'C' && head[3] == 'H' {
+		return obs.ReadBinary(rest)
+	}
+	return obs.ReadJSONL(rest)
+}
+
+// Dispatch is one delivery of a request to a disk.
+type Dispatch struct {
+	At   time.Duration
+	Disk core.DiskID
+	// Dec is the scheduler decision that chose the disk (0 if untraced).
+	Dec obs.DecisionID
+}
+
+// Outcome classifies how a request's lifecycle ended.
+type Outcome int
+
+// Request outcomes, in log vocabulary.
+const (
+	// OutcomeOpen marks a lifecycle with no terminal event (a truncated
+	// flight-recorder log, or a request still in flight).
+	OutcomeOpen Outcome = iota
+	// OutcomeServed is a completion by a disk.
+	OutcomeServed
+	// OutcomeCacheHit is absorption by the block cache.
+	OutcomeCacheHit
+	// OutcomeDropped means no replica could serve the request.
+	OutcomeDropped
+)
+
+// String implements fmt.Stringer.
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeServed:
+		return "served"
+	case OutcomeCacheHit:
+		return "cache-hit"
+	case OutcomeDropped:
+		return "dropped"
+	default:
+		return "open"
+	}
+}
+
+// Lifecycle is the reconstructed history of one request.
+type Lifecycle struct {
+	Req   core.RequestID
+	Block core.BlockID
+	// Arrive is the arrival time (valid when HasArrive; a truncated log may
+	// open mid-lifecycle).
+	Arrive    time.Duration
+	HasArrive bool
+	// Dispatches lists every delivery, in order; more than one means the
+	// request was redispatched off a failed disk.
+	Dispatches []Dispatch
+	// ServeAt is when service began (last serve event seen).
+	ServeAt  time.Duration
+	HasServe bool
+	// CompleteAt and Latency are set for served and cache-hit outcomes.
+	CompleteAt time.Duration
+	Latency    time.Duration
+	// Disk is the disk that completed the request (served outcome only).
+	Disk    core.DiskID
+	Outcome Outcome
+}
+
+// Redispatches returns how many times the request was delivered beyond the
+// first.
+func (l *Lifecycle) Redispatches() int {
+	if len(l.Dispatches) <= 1 {
+		return 0
+	}
+	return len(l.Dispatches) - 1
+}
+
+// Run is the reconstructed view of one simulation run's event log: the raw
+// events plus lifecycle, timeline and decision indexes.
+type Run struct {
+	Events []obs.Event
+	// Requests indexes lifecycles by request ID; ReqOrder preserves first
+	// appearance order.
+	Requests map[core.RequestID]*Lifecycle
+	ReqOrder []core.RequestID
+	// Disks indexes power-state timelines by disk; DiskOrder is ascending.
+	Disks     map[core.DiskID]*DiskTimeline
+	DiskOrder []core.DiskID
+	// Decisions indexes decision events by their monotonic ID.
+	Decisions map[obs.DecisionID]*obs.Event
+	// Horizon and Fired come from the run-end marker (HasRunEnd); without
+	// it the log is partial and exact replay is refused.
+	Horizon   time.Duration
+	Fired     uint64
+	HasRunEnd bool
+}
+
+// New reconstructs a run from its events. Events must be in emission order
+// (as read back from any canonical log).
+func New(events []obs.Event) (*Run, error) {
+	r := &Run{
+		Events:    events,
+		Requests:  make(map[core.RequestID]*Lifecycle),
+		Disks:     make(map[core.DiskID]*DiskTimeline),
+		Decisions: make(map[obs.DecisionID]*obs.Event),
+	}
+	var lastSeq uint64
+	for i := range events {
+		ev := &events[i]
+		if i > 0 && ev.Seq <= lastSeq {
+			return nil, fmt.Errorf("analyze: event %d out of order (seq %d after %d)", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		switch ev.Kind {
+		case obs.KindArrive:
+			l := r.lifecycle(ev.Req, ev.Block)
+			l.Arrive, l.HasArrive = ev.At, true
+		case obs.KindDecision:
+			if ev.Dec == 0 {
+				return nil, fmt.Errorf("analyze: decision event seq %d has no decision ID (pre-decision-ID log?)", ev.Seq)
+			}
+			if _, dup := r.Decisions[ev.Dec]; dup {
+				return nil, fmt.Errorf("analyze: duplicate decision ID %d at seq %d", ev.Dec, ev.Seq)
+			}
+			r.Decisions[ev.Dec] = ev
+		case obs.KindDispatch:
+			l := r.lifecycle(ev.Req, ev.Block)
+			l.Dispatches = append(l.Dispatches, Dispatch{At: ev.At, Disk: ev.Disk, Dec: ev.Dec})
+		case obs.KindServe:
+			l := r.lifecycle(ev.Req, -1)
+			l.ServeAt, l.HasServe = ev.At, true
+		case obs.KindComplete:
+			l := r.lifecycle(ev.Req, -1)
+			l.CompleteAt, l.Latency, l.Disk, l.Outcome = ev.At, ev.Latency, ev.Disk, OutcomeServed
+		case obs.KindDrop:
+			l := r.lifecycle(ev.Req, ev.Block)
+			l.Outcome = OutcomeDropped
+		case obs.KindCacheHit:
+			l := r.lifecycle(ev.Req, ev.Block)
+			l.CompleteAt, l.Latency, l.Outcome = ev.At, ev.Latency, OutcomeCacheHit
+		case obs.KindQueue, obs.KindPower, obs.KindEnd:
+			// Disk-side events are folded into timelines below.
+		case obs.KindRunEnd:
+			if r.HasRunEnd {
+				return nil, fmt.Errorf("analyze: second run-end marker at seq %d", ev.Seq)
+			}
+			r.Horizon, r.Fired, r.HasRunEnd = ev.At, uint64(ev.Block), true
+		default:
+			return nil, fmt.Errorf("analyze: unknown event kind %d at seq %d", ev.Kind, ev.Seq)
+		}
+		if ev.Disk != core.InvalidDisk {
+			switch ev.Kind {
+			case obs.KindPower, obs.KindEnd, obs.KindQueue, obs.KindServe, obs.KindComplete:
+				if err := r.timeline(ev.Disk).apply(ev); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	r.DiskOrder = make([]core.DiskID, 0, len(r.Disks))
+	for d := range r.Disks {
+		r.DiskOrder = append(r.DiskOrder, d)
+	}
+	sort.Slice(r.DiskOrder, func(i, j int) bool { return r.DiskOrder[i] < r.DiskOrder[j] })
+	return r, nil
+}
+
+func (r *Run) lifecycle(id core.RequestID, block core.BlockID) *Lifecycle {
+	if l, ok := r.Requests[id]; ok {
+		if block >= 0 {
+			l.Block = block
+		}
+		return l
+	}
+	l := &Lifecycle{Req: id, Block: block, Disk: core.InvalidDisk}
+	r.Requests[id] = l
+	r.ReqOrder = append(r.ReqOrder, id)
+	return l
+}
+
+func (r *Run) timeline(d core.DiskID) *DiskTimeline {
+	if t, ok := r.Disks[d]; ok {
+		return t
+	}
+	t := &DiskTimeline{Disk: d}
+	r.Disks[d] = t
+	return t
+}
+
+// Complete reports whether the log captures the whole run: a run-end
+// marker plus a closed timeline for every disk seen. Flight-recorder rings
+// that overflowed fail this; exact replay and attribution require it.
+func (r *Run) Complete() bool {
+	if !r.HasRunEnd {
+		return false
+	}
+	for _, d := range r.DiskOrder {
+		if !r.Disks[d].Closed {
+			return false
+		}
+	}
+	return true
+}
+
+// EnergyByState sums the replayed per-disk, per-state energy over disks in
+// ascending disk order — the same addition order storage.Result uses — so
+// on a complete log the result equals Result.EnergyByState bit for bit.
+func (r *Run) EnergyByState() [core.StateSpinDown + 1]float64 {
+	var by [core.StateSpinDown + 1]float64
+	for _, d := range r.DiskOrder {
+		t := r.Disks[d]
+		for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+			by[s] += t.EnergyBy[s]
+		}
+	}
+	return by
+}
+
+// Energy sums the replayed per-disk totals in ascending disk order,
+// mirroring storage.Result.Energy's accumulation exactly.
+func (r *Run) Energy() float64 {
+	var total float64
+	for _, d := range r.DiskOrder {
+		total += r.Disks[d].Energy
+	}
+	return total
+}

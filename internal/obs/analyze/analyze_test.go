@@ -1,0 +1,497 @@
+package analyze_test
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/cache"
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/analyze"
+	"repro/internal/offline"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+
+	"repro/internal/diskmodel"
+)
+
+func smallConfig(numDisks int) storage.Config {
+	p := power.DefaultConfig()
+	return storage.Config{
+		NumDisks: numDisks,
+		Power:    p,
+		Mech:     diskmodel.Cheetah15K5(),
+		Policy:   power.TwoCompetitive{Config: p},
+	}
+}
+
+func smallWorkload(t testing.TB, numDisks, numBlocks, numReqs, rf int, seed int64) ([]core.Request, *placement.Placement) {
+	t.Helper()
+	p, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: numDisks, NumBlocks: numBlocks,
+		ReplicationFactor: rf, ZipfExponent: 1, Seed: seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(numReqs, numBlocks, seed)
+	return reqs, p
+}
+
+// capture is one fully instrumented run: the streamed event log, the
+// rendered end-of-run metrics export, and the live result to compare
+// against.
+type capture struct {
+	log     []byte
+	metrics []byte
+	res     *storage.Result
+}
+
+// tracedRun executes a seeded heuristic run with a streaming sink (ring
+// smaller than the event count, forcing mid-run flushes) and a live
+// collector, mirroring how esched -events/-metrics records runs.
+func tracedRun(t testing.TB, binary bool, opts ...storage.RunOption) capture {
+	t.Helper()
+	reqs, p := smallWorkload(t, 10, 80, 600, 3, 5)
+	cfg := smallConfig(10)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(512)
+	tr.SetSink(&buf, binary)
+	c := obs.NewCollector()
+	opts = append([]storage.RunOption{storage.WithTracer(tr), storage.WithCollector(c)}, opts...)
+	res, err := storage.RunOnline(cfg, p.Locations,
+		sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr},
+		reqs, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m bytes.Buffer
+	if _, err := c.WriteTo(&m); err != nil {
+		t.Fatal(err)
+	}
+	return capture{log: buf.Bytes(), metrics: m.Bytes(), res: res}
+}
+
+func reconstruct(t testing.TB, log []byte) *analyze.Run {
+	t.Helper()
+	evs, err := analyze.Read(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := analyze.New(evs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// TestReplayReproducesMetricsExport is the PR's verify criterion: from the
+// event log alone, the replayed collector renders byte-identically to the
+// metrics snapshot the live run exported.
+func TestReplayReproducesMetricsExport(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	if !r.Complete() {
+		t.Fatal("streamed log should be a complete capture")
+	}
+	if err := r.VerifyMetrics(cap.metrics); err != nil {
+		t.Fatalf("replay does not reproduce the export: %v", err)
+	}
+}
+
+// TestReplayEnergyBitExact pins the energy replay against the live result:
+// per-state and total joules match storage.Result bit for bit.
+func TestReplayEnergyBitExact(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	by := r.EnergyByState()
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		if by[s] != cap.res.EnergyByState[s] {
+			t.Errorf("replayed %v energy = %v, want exactly %v", s, by[s], cap.res.EnergyByState[s])
+		}
+	}
+	if got := r.Energy(); got != cap.res.Energy {
+		t.Errorf("replayed total energy = %v, want exactly %v", got, cap.res.Energy)
+	}
+	// Per-disk totals match the per-disk stats too.
+	for _, st := range cap.res.PerDisk {
+		tl := r.Disks[st.Disk]
+		if tl == nil {
+			t.Fatalf("no timeline for disk %d", st.Disk)
+		}
+		if tl.Energy != st.Energy {
+			t.Errorf("disk %d replayed energy = %v, want exactly %v", st.Disk, tl.Energy, st.Energy)
+		}
+		if !tl.Closed {
+			t.Errorf("disk %d timeline not closed", st.Disk)
+		}
+	}
+}
+
+// TestBinaryLogReplaysLikeJSONL records the same seeded run through both
+// encodings and checks they decode to the same events and the binary
+// capture passes the same metrics verification.
+func TestBinaryLogReplaysLikeJSONL(t *testing.T) {
+	t.Parallel()
+	jcap := tracedRun(t, false)
+	bcap := tracedRun(t, true)
+	jr := reconstruct(t, jcap.log)
+	br := reconstruct(t, bcap.log)
+	if len(jr.Events) != len(br.Events) {
+		t.Fatalf("event counts differ: jsonl %d, binary %d", len(jr.Events), len(br.Events))
+	}
+	for i := range jr.Events {
+		if jr.Events[i] != br.Events[i] {
+			t.Fatalf("event %d differs across encodings:\n  jsonl:  %+v\n  binary: %+v",
+				i, jr.Events[i], br.Events[i])
+		}
+	}
+	if err := br.VerifyMetrics(bcap.metrics); err != nil {
+		t.Fatalf("binary replay does not reproduce the export: %v", err)
+	}
+}
+
+// TestReplayByteIdenticalAcrossWorkers extends the determinism guarantee
+// to the analyzer: MWIS schedules built with 1 and 8 pipeline workers
+// produce runs whose logs replay to byte-identical metric exports.
+func TestReplayByteIdenticalAcrossWorkers(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 10, 80, 600, 3, 5)
+	cfg := smallConfig(10)
+	run := func(workers int) (log, metrics []byte) {
+		s, _, err := offline.SolveRefined(reqs, p.Locations, cfg.Power, offline.BuildOptions{
+			MaxSuccessors: 4, MaxNodes: 1_000_000, Workers: workers,
+		}, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		tr := obs.NewTracer(512)
+		tr.SetSink(&buf, false)
+		c := obs.NewCollector()
+		if _, err := storage.RunOnline(cfg, p.Locations,
+			sched.Precomputed{Label: "mwis", Assignments: s}, reqs,
+			storage.WithTracer(tr), storage.WithCollector(c)); err != nil {
+			t.Fatal(err)
+		}
+		var m bytes.Buffer
+		if _, err := c.WriteTo(&m); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes(), m.Bytes()
+	}
+	log1, met1 := run(1)
+	log8, met8 := run(8)
+	if !bytes.Equal(log1, log8) {
+		t.Fatal("event logs differ across worker counts")
+	}
+	if !bytes.Equal(met1, met8) {
+		t.Fatal("metric exports differ across worker counts")
+	}
+	if err := reconstruct(t, log1).VerifyMetrics(met8); err != nil {
+		t.Fatalf("cross-worker verify failed: %v", err)
+	}
+}
+
+// TestAttributeAccountsAllEnergy is the acceptance criterion for the
+// waterfall: the five buckets regroup the replayed by-state totals term by
+// term, bit-exactly against the live meter values.
+func TestAttributeAccountsAllEnergy(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	a := r.Attribute()
+	want := cap.res.EnergyByState
+	if a.BaselineJ != want[core.StateStandby] {
+		t.Errorf("baseline = %v, want exactly %v", a.BaselineJ, want[core.StateStandby])
+	}
+	if a.IdleJ != want[core.StateIdle] {
+		t.Errorf("idle = %v, want exactly %v", a.IdleJ, want[core.StateIdle])
+	}
+	if a.ServiceJ != want[core.StateActive] {
+		t.Errorf("service = %v, want exactly %v", a.ServiceJ, want[core.StateActive])
+	}
+	if a.SpinUpJ != want[core.StateSpinUp] {
+		t.Errorf("spin-up = %v, want exactly %v", a.SpinUpJ, want[core.StateSpinUp])
+	}
+	if a.SpinDownJ != want[core.StateSpinDown] {
+		t.Errorf("spin-down = %v, want exactly %v", a.SpinDownJ, want[core.StateSpinDown])
+	}
+	var sum float64
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		sum += want[s]
+	}
+	if a.Total() != sum {
+		t.Errorf("waterfall total = %v, want exactly %v", a.Total(), sum)
+	}
+	if a.DecisionSpinUps+a.PolicySpinUps != cap.res.SpinUps {
+		t.Errorf("spin-up attribution %d+%d != %d spin-ups",
+			a.DecisionSpinUps, a.PolicySpinUps, cap.res.SpinUps)
+	}
+	if a.DecisionSpinUps == 0 {
+		t.Error("traced heuristic run attributed no spin-ups to decisions")
+	}
+	if a.SpinDowns != cap.res.SpinDowns {
+		t.Errorf("attributed spin-downs = %d, want %d", a.SpinDowns, cap.res.SpinDowns)
+	}
+	for _, c := range a.Causes {
+		if c.Dec != 0 && !c.HasInfo {
+			t.Errorf("cause %d has no decision event in the log", c.Dec)
+		}
+		if c.Dec != 0 {
+			ev := r.Decisions[c.Dec]
+			if ev == nil || ev.Kind != obs.KindDecision {
+				t.Fatalf("cause %d does not resolve to a decision event", c.Dec)
+			}
+		}
+	}
+}
+
+// TestDispatchDecisionLinkage checks the causal thread: every dispatch in
+// a traced online run carries the ID of a decision event for the same
+// request and disk.
+func TestDispatchDecisionLinkage(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	dispatches := 0
+	for _, id := range r.ReqOrder {
+		for _, d := range r.Requests[id].Dispatches {
+			dispatches++
+			if d.Dec == 0 {
+				t.Fatalf("request %d dispatched without a decision ID", id)
+			}
+			ev := r.Decisions[d.Dec]
+			if ev == nil {
+				t.Fatalf("request %d dispatch references unknown decision %d", id, d.Dec)
+			}
+			if ev.Req != id || ev.Disk != d.Disk {
+				t.Fatalf("decision %d is (req %d, disk %d), dispatch is (req %d, disk %d)",
+					d.Dec, ev.Req, ev.Disk, id, d.Disk)
+			}
+		}
+	}
+	if dispatches == 0 {
+		t.Fatal("no dispatches reconstructed")
+	}
+}
+
+// TestBatchDecisionLinkage repeats the linkage check for the WSC batch
+// scheduler, whose decision IDs are assigned per batch tick.
+func TestBatchDecisionLinkage(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 10, 80, 600, 3, 5)
+	cfg := smallConfig(10)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(512)
+	tr.SetSink(&buf, false)
+	c := obs.NewCollector()
+	res, err := storage.RunBatch(cfg, p.Locations,
+		sched.WSC{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr},
+		reqs, 200*time.Millisecond,
+		storage.WithTracer(tr), storage.WithCollector(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var m bytes.Buffer
+	if _, err := c.WriteTo(&m); err != nil {
+		t.Fatal(err)
+	}
+	r := reconstruct(t, buf.Bytes())
+	if err := r.VerifyMetrics(m.Bytes()); err != nil {
+		t.Fatalf("batch replay does not reproduce the export: %v", err)
+	}
+	for _, id := range r.ReqOrder {
+		for _, d := range r.Requests[id].Dispatches {
+			if d.Dec == 0 {
+				t.Fatalf("batch request %d dispatched without a decision ID", id)
+			}
+			ev := r.Decisions[d.Dec]
+			if ev == nil || ev.Req != id || ev.Disk != d.Disk {
+				t.Fatalf("batch decision %d does not match dispatch (req %d, disk %d)", d.Dec, id, d.Disk)
+			}
+		}
+	}
+	s := r.Summarize()
+	if s.Served != res.Served || s.Dropped != res.Dropped {
+		t.Errorf("summary served/dropped = %d/%d, want %d/%d", s.Served, s.Dropped, res.Served, res.Dropped)
+	}
+}
+
+// TestSummarizeMatchesResult checks every aggregate the summary derives
+// from the log against the live run report.
+func TestSummarizeMatchesResult(t *testing.T) {
+	t.Parallel()
+	reqs, p := smallWorkload(t, 10, 80, 600, 3, 5)
+	cfg := smallConfig(10)
+	bc, err := cache.New(16, cache.LRU, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	tr := obs.NewTracer(512)
+	tr.SetSink(&buf, false)
+	res, err := storage.RunOnline(cfg, p.Locations,
+		sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr},
+		reqs, storage.WithTracer(tr), storage.WithCache(bc),
+		// Fail three disks at t=10s, mid-burst for this seed: whatever is
+		// queued on them drains to surviving replicas (rf=3).
+		storage.WithFailures(
+			storage.FailureEvent{Disk: 0, At: 10 * time.Second, Duration: time.Hour},
+			storage.FailureEvent{Disk: 1, At: 10 * time.Second, Duration: time.Hour},
+			storage.FailureEvent{Disk: 2, At: 10 * time.Second, Duration: time.Hour}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := reconstruct(t, buf.Bytes())
+	s := r.Summarize()
+	if s.Served != res.Served {
+		t.Errorf("served = %d, want %d", s.Served, res.Served)
+	}
+	if s.Dropped != res.Dropped {
+		t.Errorf("dropped = %d, want %d", s.Dropped, res.Dropped)
+	}
+	if s.CacheHits != res.CacheHits {
+		t.Errorf("cache hits = %d, want %d", s.CacheHits, res.CacheHits)
+	}
+	if res.CacheHits == 0 {
+		t.Error("workload produced no cache hits; strengthen the scenario")
+	}
+	if s.Redispatched != res.Redispatched {
+		t.Errorf("redispatched = %d, want %d", s.Redispatched, res.Redispatched)
+	}
+	if res.Redispatched == 0 {
+		t.Error("failure produced no redispatches; strengthen the scenario")
+	}
+	if s.SpinUps != res.SpinUps || s.SpinDowns != res.SpinDowns {
+		t.Errorf("spin ups/downs = %d/%d, want %d/%d", s.SpinUps, s.SpinDowns, res.SpinUps, res.SpinDowns)
+	}
+	if s.Requests != len(reqs) {
+		t.Errorf("requests = %d, want %d", s.Requests, len(reqs))
+	}
+	if s.Horizon != res.Horizon {
+		t.Errorf("horizon = %v, want %v", s.Horizon, res.Horizon)
+	}
+	if s.Fired == 0 {
+		t.Error("no kernel events recorded in run-end marker")
+	}
+}
+
+// TestDepthHeatmap sanity-checks the heatmap: every queue observation
+// lands in exactly one bucket.
+func TestDepthHeatmap(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	bounds, rows := r.DepthHeatmap()
+	if len(bounds) == 0 || len(rows) != len(r.DiskOrder) {
+		t.Fatalf("heatmap shape: %d bounds, %d rows for %d disks", len(bounds), len(rows), len(r.DiskOrder))
+	}
+	total := 0
+	for i, row := range rows {
+		if len(row) != len(bounds)+1 {
+			t.Fatalf("row %d has %d cells, want %d", i, len(row), len(bounds)+1)
+		}
+		for _, n := range row {
+			total += n
+		}
+	}
+	want := 0
+	for _, d := range r.DiskOrder {
+		want += len(r.Disks[d].Depths)
+	}
+	if total != want || want == 0 {
+		t.Fatalf("heatmap covers %d of %d observations", total, want)
+	}
+}
+
+// TestDiffSelfIsZero diffs a run against itself: every row must be
+// exactly zero delta.
+func TestDiffSelfIsZero(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	rep := analyze.Diff(r, r)
+	if len(rep.Rows) == 0 {
+		t.Fatal("empty diff report")
+	}
+	for _, row := range rep.Rows {
+		if row.Delta != 0 || row.Pct != 0 {
+			t.Errorf("self-diff row %s: delta %v pct %v", row.Name, row.Delta, row.Pct)
+		}
+	}
+	var buf bytes.Buffer
+	if _, err := rep.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() == 0 {
+		t.Fatal("empty rendered report")
+	}
+}
+
+// TestVerifyMetricsDetectsTamper flips one byte of the export and checks
+// the verifier reports the diverging line.
+func TestVerifyMetricsDetectsTamper(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	r := reconstruct(t, cap.log)
+	tampered := bytes.Replace(cap.metrics, []byte("esched_spin_ups_total"), []byte("esched_spin_upx_total"), 1)
+	if bytes.Equal(tampered, cap.metrics) {
+		t.Fatal("tamper target not found in export")
+	}
+	err := r.VerifyMetrics(tampered)
+	if err == nil {
+		t.Fatal("verify accepted a tampered export")
+	}
+}
+
+// TestReplayRefusesPartialLog drops the run-end marker and checks exact
+// replay is refused rather than silently wrong.
+func TestReplayRefusesPartialLog(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	evs, err := analyze.Read(bytes.NewReader(cap.log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if evs[len(evs)-1].Kind != obs.KindRunEnd {
+		t.Fatal("last event is not the run-end marker")
+	}
+	r, err := analyze.New(evs[:len(evs)-1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Complete() {
+		t.Fatal("truncated log reported complete")
+	}
+	if _, _, err := r.Replay(); err == nil {
+		t.Fatal("replay accepted a partial log")
+	}
+}
+
+// TestParseMetricValuesRoundTrip parses the rendered export and checks the
+// energy series recover the result's float64 values bit for bit.
+func TestParseMetricValuesRoundTrip(t *testing.T) {
+	t.Parallel()
+	cap := tracedRun(t, false)
+	vals, err := analyze.ParseMetricValues(cap.metrics)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		key := `esched_energy_joules_total{state="` + s.String() + `"}`
+		v, ok := vals[key]
+		if !ok {
+			t.Fatalf("export lacks %s", key)
+		}
+		if v != cap.res.EnergyByState[s] {
+			t.Errorf("parsed %s = %v, want exactly %v", key, v, cap.res.EnergyByState[s])
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package analyze
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Attribution explains where every joule of a run went, causally: the
+// baseline cost of disks sitting in standby, the warm cost of idling, the
+// service cost of actual work, and the spin cycles — each spin-up pinned
+// to the scheduler decision that induced it (or to the idle-threshold
+// expiry when no decision did). The per-state totals are the replayed
+// meter values, so the waterfall accounts for 100% of the measured energy
+// bit-exactly: Baseline+Idle+Service+SpinUp+SpinDown reproduces the run's
+// by-state meter totals term by term.
+type Attribution struct {
+	// ByState is the exact replayed energy per power state (= the run's
+	// power.Meter totals on a complete log).
+	ByState [core.StateSpinDown + 1]float64
+	// The waterfall: every ByState entry appears in exactly one bucket.
+	BaselineJ float64 // standby accrual: the floor of having disks at all
+	IdleJ     float64 // warm idling: spinning, waiting for work
+	ServiceJ  float64 // active: actually serving requests
+	SpinUpJ   float64 // induced spin-ups (accrual + impulses)
+	SpinDownJ float64 // induced spin-downs
+	// Causes breaks the spin cycles down by causing decision, sorted by
+	// energy descending. The Dec==0 entry aggregates policy actions
+	// (idle-threshold expiries) and untraced schedulers.
+	Causes []Cause
+	// DecisionSpinUps counts spin-ups caused by scheduler decisions;
+	// PolicySpinUps the remainder (redundant wake-ups after spin-down, by
+	// a decision the log did not carry — 0 only for fully traced runs).
+	DecisionSpinUps int
+	PolicySpinUps   int
+	// SpinDowns counts spin-down transitions (2CPM idle-threshold
+	// expiries; never decision-caused).
+	SpinDowns int
+}
+
+// Cause is the energy and spin activity attributed to one scheduler
+// decision (or, for Dec 0, to power-management policy actions).
+type Cause struct {
+	Dec obs.DecisionID
+	// Req and Disk echo the decision event when the log carries it.
+	Req     core.RequestID
+	Disk    core.DiskID
+	At      time.Duration
+	HasInfo bool
+	// SpinUps and SpinDowns this cause induced; Joules is the energy of
+	// those cycles (spin-state accruals plus impulses).
+	SpinUps   int
+	SpinDowns int
+	Joules    float64
+}
+
+// Attribute builds the energy waterfall. Atoms (per-transition accruals
+// and impulses, per the meter's own split) are partitioned over the
+// buckets by the state they were metered against, so the bucket sums
+// regroup — and exactly reproduce — the replayed by-state totals.
+func (r *Run) Attribute() *Attribution {
+	a := &Attribution{ByState: r.EnergyByState()}
+	a.BaselineJ = a.ByState[core.StateStandby]
+	a.IdleJ = a.ByState[core.StateIdle]
+	a.ServiceJ = a.ByState[core.StateActive]
+	a.SpinUpJ = a.ByState[core.StateSpinUp]
+	a.SpinDownJ = a.ByState[core.StateSpinDown]
+
+	causes := map[obs.DecisionID]*Cause{}
+	cause := func(dec obs.DecisionID) *Cause {
+		c, ok := causes[dec]
+		if !ok {
+			c = &Cause{Dec: dec, Req: -1, Disk: core.InvalidDisk}
+			if ev := r.Decisions[dec]; ev != nil {
+				c.Req, c.Disk, c.At, c.HasInfo = ev.Req, ev.Disk, ev.At, true
+			}
+			causes[dec] = c
+		}
+		return c
+	}
+	for _, d := range r.DiskOrder {
+		for _, seg := range r.Disks[d].Segments {
+			switch seg.State {
+			case core.StateSpinUp:
+				c := cause(seg.Cause)
+				c.SpinUps++
+				c.Joules += seg.EnergyJ()
+				if seg.Cause != 0 {
+					a.DecisionSpinUps++
+				} else {
+					a.PolicySpinUps++
+				}
+			case core.StateSpinDown:
+				c := cause(seg.Cause)
+				c.SpinDowns++
+				c.Joules += seg.EnergyJ()
+				a.SpinDowns++
+			}
+		}
+	}
+	a.Causes = make([]Cause, 0, len(causes))
+	for _, c := range causes {
+		a.Causes = append(a.Causes, *c)
+	}
+	sort.Slice(a.Causes, func(i, j int) bool {
+		if a.Causes[i].Joules != a.Causes[j].Joules {
+			return a.Causes[i].Joules > a.Causes[j].Joules
+		}
+		return a.Causes[i].Dec < a.Causes[j].Dec
+	})
+	return a
+}
+
+// Total returns the waterfall total, summing the by-state entries in state
+// order — the same order report code sums Result.EnergyByState — so the
+// accounted total is bit-identical to the run's, not merely close. (The
+// five named buckets are those same entries regrouped; summing them in
+// presentation order would round differently.)
+func (a *Attribution) Total() float64 {
+	var total float64
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		total += a.ByState[s]
+	}
+	return total
+}

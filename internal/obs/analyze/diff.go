@@ -1,0 +1,119 @@
+package analyze
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// DiffRow is one compared quantity in a policy-regression report.
+type DiffRow struct {
+	Name string
+	A, B float64
+	// Delta = B − A; Pct is the relative change (NaN-free: zero A with
+	// nonzero B reports +Inf semantics as Pct=0 and the row still shows the
+	// absolute delta).
+	Delta float64
+	Pct   float64
+}
+
+// Report compares two runs (e.g. two scheduling policies over the same
+// workload) into a regression report: energy, spin activity, request
+// outcomes and latency percentiles.
+type Report struct {
+	Rows []DiffRow
+}
+
+// Diff builds the policy-regression report comparing run a to run b.
+func Diff(a, b *Run) *Report {
+	sa, sb := a.Summarize(), b.Summarize()
+	aa, ab := a.Attribute(), b.Attribute()
+	rep := &Report{}
+	add := func(name string, va, vb float64) {
+		row := DiffRow{Name: name, A: va, B: vb, Delta: vb - va}
+		if va != 0 {
+			row.Pct = (vb - va) / va * 100
+		}
+		rep.Rows = append(rep.Rows, row)
+	}
+	add("energy_total_j", sa.Energy, sb.Energy)
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		add("energy_"+s.String()+"_j", sa.EnergyByState[s], sb.EnergyByState[s])
+	}
+	add("spin_ups", float64(sa.SpinUps), float64(sb.SpinUps))
+	add("spin_ups_decision_caused", float64(aa.DecisionSpinUps), float64(ab.DecisionSpinUps))
+	add("spin_downs", float64(sa.SpinDowns), float64(sb.SpinDowns))
+	add("served", float64(sa.Served), float64(sb.Served))
+	add("dropped", float64(sa.Dropped), float64(sb.Dropped))
+	add("redispatched", float64(sa.Redispatched), float64(sb.Redispatched))
+	add("cache_hits", float64(sa.CacheHits), float64(sb.CacheHits))
+	add("decisions", float64(sa.Decisions), float64(sb.Decisions))
+	la, lb := a.Latencies(), b.Latencies()
+	for _, p := range []float64{50, 95, 99} {
+		add(fmt.Sprintf("latency_p%.0f_s", p),
+			la.Percentile(p).Seconds(), lb.Percentile(p).Seconds())
+	}
+	add("latency_mean_s", la.Mean().Seconds(), lb.Mean().Seconds())
+	add("horizon_s", sa.Horizon.Seconds(), sb.Horizon.Seconds())
+	return rep
+}
+
+// Latencies pools every response-time sample in the run (completions and
+// cache hits), matching the live Response histogram's population.
+func (r *Run) Latencies() *metrics.ResponseTimes {
+	var rs metrics.ResponseTimes
+	for _, id := range r.ReqOrder {
+		l := r.Requests[id]
+		if l.Outcome == OutcomeServed || l.Outcome == OutcomeCacheHit {
+			rs.Add(l.Latency)
+		}
+	}
+	return &rs
+}
+
+// WriteTo renders the report as an aligned text table.
+func (rep *Report) WriteTo(w io.Writer) (int64, error) {
+	var buf bytes.Buffer
+	fmt.Fprintf(&buf, "%-28s %16s %16s %16s %9s\n", "metric", "run A", "run B", "delta", "pct")
+	for _, row := range rep.Rows {
+		fmt.Fprintf(&buf, "%-28s %16.6g %16.6g %+16.6g %+8.2f%%\n",
+			row.Name, row.A, row.B, row.Delta, row.Pct)
+	}
+	n, err := w.Write(buf.Bytes())
+	return int64(n), err
+}
+
+// ParseMetricValues extracts the plain (non-histogram) series from a
+// Prometheus text snapshot, keyed exactly as rendered ("name" or
+// name{label="v"}). The collector renders shortest-round-trip floats, so
+// parsing recovers the exported float64 values bit for bit — which is what
+// lets tracelens compare replayed energy against a run's metrics file
+// exactly rather than within a tolerance.
+func ParseMetricValues(data []byte) (map[string]float64, error) {
+	out := map[string]float64{}
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("analyze: unparseable metric line %q", line)
+		}
+		key, val := line[:i], line[i+1:]
+		v, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("analyze: metric %q: %w", key, err)
+		}
+		out[key] = v
+	}
+	return out, sc.Err()
+}

@@ -1,0 +1,139 @@
+package analyze
+
+import (
+	"bytes"
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// Summary aggregates a run from its log alone, mirroring the live
+// storage.Result / RunMetrics accounting.
+type Summary struct {
+	Served       int
+	Dropped      int
+	Redispatched int
+	CacheHits    int
+	Decisions    int
+	SpinUps      int
+	SpinDowns    int
+	// Energy and EnergyByState replay the meters exactly (see Run).
+	Energy        float64
+	EnergyByState [core.StateSpinDown + 1]float64
+	Horizon       time.Duration
+	Fired         uint64
+	Disks         int
+	Requests      int
+	Events        int
+}
+
+// Summarize computes the run's aggregate view. Counts follow the live
+// pipeline's invariants: every delivery emits exactly one dispatch or drop
+// event, so decisions = dispatches + drops and redispatches are the
+// deliveries beyond each request's first.
+func (r *Run) Summarize() *Summary {
+	s := &Summary{}
+	s.Events = len(r.Events)
+	s.Requests = len(r.ReqOrder)
+	s.Disks = len(r.DiskOrder)
+	s.Horizon, s.Fired = r.Horizon, r.Fired
+	delivered := 0
+	deliveredReqs := 0
+	for _, id := range r.ReqOrder {
+		l := r.Requests[id]
+		switch l.Outcome {
+		case OutcomeServed:
+			s.Served++
+		case OutcomeCacheHit:
+			s.Served++
+			s.CacheHits++
+		case OutcomeDropped:
+			s.Dropped++
+		}
+		if n := len(l.Dispatches); n > 0 || l.Outcome == OutcomeDropped {
+			// Drops are deliveries too (the scheduler returned no disk);
+			// a dropped request may also have earlier real dispatches
+			// (failure redispatch that found no survivor).
+			delivered += n
+			if l.Outcome == OutcomeDropped {
+				delivered++
+			}
+			deliveredReqs++
+		}
+	}
+	s.Decisions = delivered
+	s.Redispatched = delivered - deliveredReqs
+	for _, d := range r.DiskOrder {
+		t := r.Disks[d]
+		s.SpinUps += t.SpinUps
+		s.SpinDowns += t.SpinDowns
+	}
+	s.EnergyByState = r.EnergyByState()
+	s.Energy = r.Energy()
+	return s
+}
+
+// Replay drives a fresh Collector through the run exactly the way the live
+// pipeline does — histograms observed in event order, counters reconciled
+// to the replayed end-of-run values — so on a complete log its rendered
+// output is byte-identical to the metrics snapshot the run exported.
+func (r *Run) Replay() (*obs.Collector, *Summary, error) {
+	if !r.Complete() {
+		return nil, nil, fmt.Errorf("analyze: log is not a complete run capture (missing run-end marker or disk end events); was it recorded with a streaming sink?")
+	}
+	c := obs.NewCollector()
+	rm := obs.NewRunMetrics(c)
+	for i := range r.Events {
+		ev := &r.Events[i]
+		switch ev.Kind {
+		case obs.KindDispatch, obs.KindDrop:
+			// One delivery each — the live run increments the decision
+			// counter per delivery (batch mode adds per batch, but integer
+			// counter sums are order-insensitive below 2^53).
+			rm.Decisions.Inc()
+		case obs.KindQueue:
+			rm.QueueDepth.Observe(float64(ev.Depth))
+		case obs.KindComplete, obs.KindCacheHit:
+			rm.ObserveResponse(ev.Latency)
+		}
+	}
+	s := r.Summarize()
+	rm.ReconcileEnergy(s.EnergyByState)
+	rm.SpinUps.Reconcile(float64(s.SpinUps))
+	rm.SpinDowns.Reconcile(float64(s.SpinDowns))
+	rm.Served.Reconcile(float64(s.Served))
+	rm.Dropped.Reconcile(float64(s.Dropped))
+	rm.Redispatched.Reconcile(float64(s.Redispatched))
+	rm.CacheHits.Reconcile(float64(s.CacheHits))
+	rm.SimTime.Set(s.Horizon.Seconds())
+	rm.EventsFired.Set(float64(s.Fired))
+	return c, s, nil
+}
+
+// VerifyMetrics replays the run and byte-compares the rendered collector
+// against a metrics snapshot the live run exported (esched -metrics). A
+// nil error means the log alone reproduces the export byte-identically.
+func (r *Run) VerifyMetrics(exported []byte) error {
+	c, _, err := r.Replay()
+	if err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		return err
+	}
+	if bytes.Equal(buf.Bytes(), exported) {
+		return nil
+	}
+	// Name the first diverging line for the diagnostic.
+	got := bytes.Split(buf.Bytes(), []byte{'\n'})
+	want := bytes.Split(exported, []byte{'\n'})
+	for i := 0; i < len(got) && i < len(want); i++ {
+		if !bytes.Equal(got[i], want[i]) {
+			return fmt.Errorf("analyze: replay diverges from export at line %d:\n  replayed: %s\n  exported: %s", i+1, got[i], want[i])
+		}
+	}
+	return fmt.Errorf("analyze: replay diverges from export: %d vs %d lines", len(got), len(want))
+}

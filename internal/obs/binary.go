@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"time"
@@ -10,27 +11,42 @@ import (
 	"repro/internal/core"
 )
 
-// Binary event log: an 8-byte magic header followed by fixed-width 64-byte
-// little-endian records. About 3x denser than JSONL and trivially seekable
-// (record i lives at offset 8 + 64*i), for long traced runs where the
-// JSONL form gets bulky.
+// Binary event log: an 8-byte versioned magic header followed by
+// fixed-width little-endian records, each closed by a CRC-32 (IEEE) of the
+// record's payload bytes. Denser than JSONL and trivially seekable (record
+// i lives at offset 8 + 84*i), for long traced runs where the JSONL form
+// gets bulky — and self-checking, so a truncated or bit-flipped log is
+// rejected with a diagnostic instead of being decoded into garbage.
 //
 // Record layout (offsets in bytes):
 //
-//	0  kind (u8)    1  from (u8)   2  to (u8)   3  reserved
+//	0  kind (u8)    1  from (u8)   2  to (u8)   3  reserved (must be 0)
 //	4  depth (i32)  8  t ns (i64)  16 seq (u64)
 //	24 disk (i32)   28 req (i32)   32 block (i64)
-//	40 latency ns (i64)            48 energy J (f64)   56 cost (f64)
+//	40 latency ns (i64)            48 state energy J (f64)
+//	56 cost (f64)   64 impulse J (f64)          72 decision id (i64)
+//	80 crc32 (u32, IEEE, over bytes 0..79)
+//
+// Version history: ESCHOBS1 was the 64-byte uncrc'd form (bytes 0..63
+// above, with the impulse folded into the energy field); readers reject it
+// with an explicit "unsupported version" error rather than misparsing.
 
 // BinaryMagic opens every binary event log.
-const BinaryMagic = "ESCHOBS1"
+const BinaryMagic = "ESCHOBS2"
 
-// binaryRecordSize is the fixed encoded size of one event.
-const binaryRecordSize = 64
+// binaryMagicV1 is the superseded v1 header, recognised only to produce a
+// precise diagnostic.
+const binaryMagicV1 = "ESCHOBS1"
 
-// AppendBinary appends the fixed-width binary encoding of ev to dst. The
-// stream it builds must be prefixed once with BinaryMagic (WriteBinary and
-// streaming sinks handle this via BinaryWriter).
+// binaryRecordSize is the fixed encoded size of one event, CRC included.
+const binaryRecordSize = 84
+
+// binaryPayloadSize is the CRC-protected prefix of a record.
+const binaryPayloadSize = binaryRecordSize - 4
+
+// AppendBinary appends the fixed-width binary encoding of ev (payload plus
+// CRC) to dst. The stream it builds must be prefixed once with BinaryMagic
+// (WriteBinary and streaming sinks handle this via BinaryWriter).
 func AppendBinary(dst []byte, ev Event) []byte {
 	var rec [binaryRecordSize]byte
 	rec[0] = byte(ev.Kind)
@@ -45,6 +61,9 @@ func AppendBinary(dst []byte, ev Event) []byte {
 	binary.LittleEndian.PutUint64(rec[40:], uint64(ev.Latency))
 	binary.LittleEndian.PutUint64(rec[48:], math.Float64bits(ev.EnergyJ))
 	binary.LittleEndian.PutUint64(rec[56:], math.Float64bits(ev.Cost))
+	binary.LittleEndian.PutUint64(rec[64:], math.Float64bits(ev.ImpulseJ))
+	binary.LittleEndian.PutUint64(rec[72:], uint64(ev.Dec))
+	binary.LittleEndian.PutUint32(rec[80:], crc32.ChecksumIEEE(rec[:binaryPayloadSize]))
 	return append(dst, rec[:]...)
 }
 
@@ -67,38 +86,74 @@ func (bw *BinaryWriter) Write(p []byte) (int, error) {
 }
 
 // ReadBinary parses a binary event log (magic header plus records) back
-// into events.
+// into events. It rejects, with a diagnostic naming the failing record:
+// unknown or superseded headers, truncated records, CRC mismatches, and
+// payloads with out-of-range enum fields — so a corrupt log never decodes
+// into plausible-looking garbage.
 func ReadBinary(r io.Reader) ([]Event, error) {
 	var magic [len(BinaryMagic)]byte
 	if _, err := io.ReadFull(r, magic[:]); err != nil {
 		return nil, fmt.Errorf("obs: reading binary log header: %w", err)
 	}
 	if string(magic[:]) != BinaryMagic {
-		return nil, fmt.Errorf("obs: bad binary log magic %q", magic)
+		if string(magic[:]) == binaryMagicV1 {
+			return nil, fmt.Errorf("obs: binary log is the superseded %s format (64-byte records, no CRC); re-record it with this build", binaryMagicV1)
+		}
+		return nil, fmt.Errorf("obs: bad binary log magic %q (want %q)", magic, BinaryMagic)
 	}
 	var out []Event
 	var rec [binaryRecordSize]byte
 	for i := 0; ; i++ {
-		_, err := io.ReadFull(r, rec[:])
+		n, err := io.ReadFull(r, rec[:])
 		if err == io.EOF {
 			return out, nil
+		}
+		if err == io.ErrUnexpectedEOF {
+			return nil, fmt.Errorf("obs: record %d: truncated (%d of %d bytes)", i, n, binaryRecordSize)
 		}
 		if err != nil {
 			return nil, fmt.Errorf("obs: record %d: %w", i, err)
 		}
-		out = append(out, Event{
-			Kind:    Kind(rec[0]),
-			From:    core.DiskState(rec[1]),
-			To:      core.DiskState(rec[2]),
-			Depth:   int(int32(binary.LittleEndian.Uint32(rec[4:]))),
-			At:      time.Duration(binary.LittleEndian.Uint64(rec[8:])),
-			Seq:     binary.LittleEndian.Uint64(rec[16:]),
-			Disk:    core.DiskID(int32(binary.LittleEndian.Uint32(rec[24:]))),
-			Req:     core.RequestID(int32(binary.LittleEndian.Uint32(rec[28:]))),
-			Block:   core.BlockID(binary.LittleEndian.Uint64(rec[32:])),
-			Latency: time.Duration(binary.LittleEndian.Uint64(rec[40:])),
-			EnergyJ: math.Float64frombits(binary.LittleEndian.Uint64(rec[48:])),
-			Cost:    math.Float64frombits(binary.LittleEndian.Uint64(rec[56:])),
-		})
+		if got, want := binary.LittleEndian.Uint32(rec[80:]), crc32.ChecksumIEEE(rec[:binaryPayloadSize]); got != want {
+			return nil, fmt.Errorf("obs: record %d: crc mismatch (got %08x want %08x)", i, got, want)
+		}
+		ev, err := decodeBinaryPayload(rec[:binaryPayloadSize])
+		if err != nil {
+			return nil, fmt.Errorf("obs: record %d: %w", i, err)
+		}
+		out = append(out, ev)
 	}
+}
+
+// decodeBinaryPayload decodes and validates one record payload. Validation
+// keeps the accepted set exactly the encodable set (reserved byte zero,
+// enums in range), so encode(decode(rec)) == rec for every accepted record.
+func decodeBinaryPayload(rec []byte) (Event, error) {
+	if k := Kind(rec[0]); k < KindArrive || k > KindRunEnd {
+		return Event{}, fmt.Errorf("invalid kind %d", rec[0])
+	}
+	for _, b := range []byte{rec[1], rec[2]} {
+		if s := core.DiskState(b); b != 0 && (s < core.StateStandby || s > core.StateSpinDown) {
+			return Event{}, fmt.Errorf("invalid power state %d", b)
+		}
+	}
+	if rec[3] != 0 {
+		return Event{}, fmt.Errorf("nonzero reserved byte %d", rec[3])
+	}
+	return Event{
+		Kind:     Kind(rec[0]),
+		From:     core.DiskState(rec[1]),
+		To:       core.DiskState(rec[2]),
+		Depth:    int(int32(binary.LittleEndian.Uint32(rec[4:]))),
+		At:       time.Duration(binary.LittleEndian.Uint64(rec[8:])),
+		Seq:      binary.LittleEndian.Uint64(rec[16:]),
+		Disk:     core.DiskID(int32(binary.LittleEndian.Uint32(rec[24:]))),
+		Req:      core.RequestID(int32(binary.LittleEndian.Uint32(rec[28:]))),
+		Block:    core.BlockID(binary.LittleEndian.Uint64(rec[32:])),
+		Latency:  time.Duration(binary.LittleEndian.Uint64(rec[40:])),
+		EnergyJ:  math.Float64frombits(binary.LittleEndian.Uint64(rec[48:])),
+		Cost:     math.Float64frombits(binary.LittleEndian.Uint64(rec[56:])),
+		ImpulseJ: math.Float64frombits(binary.LittleEndian.Uint64(rec[64:])),
+		Dec:      DecisionID(binary.LittleEndian.Uint64(rec[72:])),
+	}, nil
 }

@@ -27,6 +27,12 @@ func AppendJSONL(dst []byte, ev Event) []byte {
 	dst = append(dst, `,"kind":"`...)
 	dst = append(dst, ev.Kind.String()...)
 	dst = append(dst, '"')
+	if ev.Kind == KindRunEnd {
+		// Block carries the kernel's executed-event count, not a block ID.
+		dst = append(dst, `,"fired":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Block), 10)
+		return append(dst, '}', '\n')
+	}
 	if ev.Disk != core.InvalidDisk {
 		dst = append(dst, `,"disk":`...)
 		dst = strconv.AppendInt(dst, int64(ev.Disk), 10)
@@ -39,12 +45,25 @@ func AppendJSONL(dst []byte, ev Event) []byte {
 		dst = append(dst, `,"block":`...)
 		dst = strconv.AppendInt(dst, int64(ev.Block), 10)
 	}
+	if ev.Dec != 0 {
+		dst = append(dst, `,"dec":`...)
+		dst = strconv.AppendInt(dst, int64(ev.Dec), 10)
+	}
 	switch ev.Kind {
 	case KindPower:
 		dst = append(dst, `,"from":"`...)
 		dst = append(dst, ev.From.String()...)
 		dst = append(dst, `","to":"`...)
 		dst = append(dst, ev.To.String()...)
+		dst = append(dst, `","j":`...)
+		dst = appendFloat(dst, ev.EnergyJ)
+		if ev.ImpulseJ != 0 {
+			dst = append(dst, `,"imp":`...)
+			dst = appendFloat(dst, ev.ImpulseJ)
+		}
+	case KindEnd:
+		dst = append(dst, `,"state":"`...)
+		dst = append(dst, ev.From.String()...)
 		dst = append(dst, `","j":`...)
 		dst = appendFloat(dst, ev.EnergyJ)
 	case KindDecision:
@@ -57,7 +76,7 @@ func AppendJSONL(dst []byte, ev Event) []byte {
 	case KindQueue:
 		dst = append(dst, `,"depth":`...)
 		dst = strconv.AppendInt(dst, int64(ev.Depth), 10)
-	case KindComplete:
+	case KindComplete, KindCacheHit:
 		dst = append(dst, `,"lat":`...)
 		dst = strconv.AppendInt(dst, int64(ev.Latency), 10)
 	}
@@ -126,16 +145,25 @@ func parseJSONLEvent(b []byte) (Event, error) {
 			var n int64
 			n, err = strconv.ParseInt(v, 10, 64)
 			ev.Req = core.RequestID(n)
-		case "block":
+		case "block", "fired":
 			var n int64
 			n, err = strconv.ParseInt(v, 10, 64)
 			ev.Block = core.BlockID(n)
+		case "dec":
+			var n int64
+			n, err = strconv.ParseInt(v, 10, 64)
+			ev.Dec = DecisionID(n)
 		case "from":
 			ev.From, err = stateFromString(trimQuotes(v))
 		case "to":
 			ev.To, err = stateFromString(trimQuotes(v))
+		case "state":
+			ev.From, err = stateFromString(trimQuotes(v))
+			ev.To = ev.From
 		case "j", "ej":
 			ev.EnergyJ, err = strconv.ParseFloat(v, 64)
+		case "imp":
+			ev.ImpulseJ, err = strconv.ParseFloat(v, 64)
 		case "cost":
 			ev.Cost, err = strconv.ParseFloat(v, 64)
 		case "load", "depth":
@@ -165,7 +193,7 @@ func trimQuotes(s string) string {
 }
 
 func kindFromString(s string) (Kind, error) {
-	for k := KindArrive; k <= KindCacheHit; k++ {
+	for k := KindArrive; k <= KindRunEnd; k++ {
 		if kindNames[k] == s {
 			return k, nil
 		}

@@ -58,25 +58,41 @@ const (
 	// KindArrive marks a request entering the system.
 	KindArrive Kind = iota + 1
 	// KindDecision is a scheduler decision: the chosen disk together with
-	// the composite cost C(d) and energy term E(d) that selected it.
+	// the composite cost C(d) and energy term E(d) that selected it. Dec is
+	// the decision's run-monotonic identifier.
 	KindDecision
-	// KindDispatch marks a request being sent to its serving disk.
+	// KindDispatch marks a request being sent to its serving disk; Dec
+	// links it to the scheduler decision that chose the disk.
 	KindDispatch
 	// KindQueue marks a request enqueued on a disk that cannot serve it
-	// immediately (busy, spinning up or down, or spun down).
+	// immediately (busy, spinning up or down, or spun down); Dec links it to
+	// the decision that routed the request there.
 	KindQueue
 	// KindServe marks service beginning on a disk.
 	KindServe
 	// KindComplete marks a request completion; Latency is the response time.
 	KindComplete
 	// KindPower is a disk power-state transition; EnergyJ is the energy
-	// accrued in the state being left plus any transition impulse.
+	// accrued in the state being left and ImpulseJ any instantaneous
+	// transition impulse charged to the state entered. Dec names the
+	// scheduler decision that caused the transition (0 = no decision: the
+	// idle-threshold expiry or another policy action).
 	KindPower
 	// KindDrop marks a request that could not be served (no replica
 	// locations, or every replica failed).
 	KindDrop
-	// KindCacheHit marks a read absorbed by the block cache.
+	// KindCacheHit marks a read absorbed by the block cache; Latency is the
+	// response time charged to the hit.
 	KindCacheHit
+	// KindEnd closes one disk's accounting at the end of the run: From (and
+	// To) hold the final power state, EnergyJ the final accrual settled by
+	// the meter's Close. One per disk, so replaying a log reproduces the
+	// meters' by-state totals exactly.
+	KindEnd
+	// KindRunEnd is the run's final event: At is the horizon the exporter
+	// reports as sim time and Block holds the kernel's executed-event count
+	// (the only i64 payload field free on this kind).
+	KindRunEnd
 )
 
 var kindNames = [...]string{
@@ -89,7 +105,16 @@ var kindNames = [...]string{
 	KindPower:    "power",
 	KindDrop:     "drop",
 	KindCacheHit: "cachehit",
+	KindEnd:      "end",
+	KindRunEnd:   "runend",
 }
+
+// DecisionID identifies one scheduler decision within a run. IDs are
+// assigned by the tracer in emission order starting at 1; 0 means "no
+// decision" (a policy action such as the idle-threshold expiry, or an
+// untraced scheduler). The simulator is deterministic, so a seeded run
+// assigns the same IDs at any pipeline worker count.
+type DecisionID int64
 
 // String implements fmt.Stringer.
 func (k Kind) String() string {
@@ -121,13 +146,23 @@ type Event struct {
 	// Depth is the disk queue depth after a KindQueue event, or the chosen
 	// disk's load P(d) for a KindDecision.
 	Depth int
-	// Latency is the response time of a KindComplete.
+	// Latency is the response time of a KindComplete or KindCacheHit.
 	Latency time.Duration
-	// EnergyJ is the energy delta of a KindPower transition, or the energy
-	// cost term E(d) of a KindDecision, in joules.
+	// EnergyJ is the state-accrual energy of a KindPower transition (joules
+	// spent in the state being left), the final accrual of a KindEnd, or the
+	// energy cost term E(d) of a KindDecision.
 	EnergyJ float64
 	// Cost is the composite cost C(d) of a KindDecision.
 	Cost float64
+	// ImpulseJ is the instantaneous transition impulse of a KindPower event
+	// (charged to the state entered; non-zero only when the corresponding
+	// transition time is zero).
+	ImpulseJ float64
+	// Dec is the scheduler decision that caused this event, when causality
+	// is known: the decision's own ID on KindDecision, the routing decision
+	// on KindDispatch/KindQueue, and the waking decision on a KindPower
+	// transition it induced. 0 = no causing decision.
+	Dec DecisionID
 }
 
 // Tracer is a ring-buffered structured event recorder.
@@ -144,16 +179,17 @@ type Event struct {
 // is a single cheap load. All emit methods are safe to call on a nil
 // *Tracer, which is the zero-cost disabled form.
 type Tracer struct {
-	enabled atomic.Bool
-	seq     uint64
-	ring    []Event
-	head    int // index of the oldest buffered event
-	n       int // number of buffered events
-	dropped uint64
-	sink    io.Writer
-	binary  bool
-	encBuf  []byte
-	err     error
+	enabled   atomic.Bool
+	seq       uint64
+	decisions uint64 // decision IDs handed out so far; next ID is decisions+1
+	ring      []Event
+	head      int // index of the oldest buffered event
+	n         int // number of buffered events
+	dropped   uint64
+	sink      io.Writer
+	binary    bool
+	encBuf    []byte
+	err       error
 }
 
 // DefaultCapacity is the ring size used when NewTracer is given a
@@ -330,29 +366,45 @@ func (t *Tracer) Arrive(now time.Duration, req core.RequestID, block core.BlockI
 	t.Emit(Event{At: now, Kind: KindArrive, Disk: core.InvalidDisk, Req: req, Block: block})
 }
 
-// Decision records a scheduler decision with its cost-function terms.
-func (t *Tracer) Decision(now time.Duration, req core.RequestID, d core.DiskID, cost, energyJ float64, load int) {
+// Decision records a scheduler decision with its cost-function terms and
+// returns the decision's assigned ID (0 on a nil or disabled tracer, where
+// nothing is recorded).
+func (t *Tracer) Decision(now time.Duration, req core.RequestID, d core.DiskID, cost, energyJ float64, load int) DecisionID {
 	if t == nil || !t.enabled.Load() {
-		return
+		return 0
 	}
+	t.decisions++
+	id := DecisionID(t.decisions)
 	t.Emit(Event{At: now, Kind: KindDecision, Disk: d, Req: req, Block: -1,
-		Cost: cost, EnergyJ: energyJ, Depth: load})
+		Cost: cost, EnergyJ: energyJ, Depth: load, Dec: id})
+	return id
 }
 
-// Dispatch records a request being sent to its serving disk.
-func (t *Tracer) Dispatch(now time.Duration, req core.RequestID, block core.BlockID, d core.DiskID) {
+// DecisionCount returns the number of decision IDs assigned so far; the
+// next Decision call (on an enabled tracer) gets DecisionCount()+1. Nil-safe.
+func (t *Tracer) DecisionCount() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.decisions
+}
+
+// Dispatch records a request being sent to its serving disk; dec is the
+// scheduler decision that chose it (0 if untraced).
+func (t *Tracer) Dispatch(now time.Duration, req core.RequestID, block core.BlockID, d core.DiskID, dec DecisionID) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	t.Emit(Event{At: now, Kind: KindDispatch, Disk: d, Req: req, Block: block})
+	t.Emit(Event{At: now, Kind: KindDispatch, Disk: d, Req: req, Block: block, Dec: dec})
 }
 
-// Queue records a request enqueued behind depth-1 others on a disk.
-func (t *Tracer) Queue(now time.Duration, req core.RequestID, d core.DiskID, depth int) {
+// Queue records a request enqueued behind depth-1 others on a disk; dec is
+// the decision that routed it there (0 if untraced).
+func (t *Tracer) Queue(now time.Duration, req core.RequestID, d core.DiskID, depth int, dec DecisionID) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	t.Emit(Event{At: now, Kind: KindQueue, Disk: d, Req: req, Block: -1, Depth: depth})
+	t.Emit(Event{At: now, Kind: KindQueue, Disk: d, Req: req, Block: -1, Depth: depth, Dec: dec})
 }
 
 // Serve records service beginning for a request.
@@ -371,15 +423,17 @@ func (t *Tracer) Complete(now time.Duration, req core.RequestID, d core.DiskID, 
 	t.Emit(Event{At: now, Kind: KindComplete, Disk: d, Req: req, Block: -1, Latency: latency})
 }
 
-// Power records a disk power-state transition and the energy delta that
-// the transition settles: the joules accrued in the state being left plus
-// any instantaneous transition impulse.
-func (t *Tracer) Power(now time.Duration, d core.DiskID, from, to core.DiskState, energyJ float64) {
+// Power records a disk power-state transition and the energy it settles:
+// stateJ is the accrual in the state being left, impulseJ any instantaneous
+// transition impulse charged to the state entered. dec names the scheduler
+// decision that caused the transition (0 for policy actions such as the
+// idle-threshold expiry).
+func (t *Tracer) Power(now time.Duration, d core.DiskID, from, to core.DiskState, stateJ, impulseJ float64, dec DecisionID) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
 	t.Emit(Event{At: now, Kind: KindPower, Disk: d, Req: -1, Block: -1,
-		From: from, To: to, EnergyJ: energyJ})
+		From: from, To: to, EnergyJ: stateJ, ImpulseJ: impulseJ, Dec: dec})
 }
 
 // Drop records a request that could not be served.
@@ -390,10 +444,32 @@ func (t *Tracer) Drop(now time.Duration, req core.RequestID, block core.BlockID)
 	t.Emit(Event{At: now, Kind: KindDrop, Disk: core.InvalidDisk, Req: req, Block: block})
 }
 
-// CacheHit records a read absorbed by the block cache.
-func (t *Tracer) CacheHit(now time.Duration, req core.RequestID, block core.BlockID) {
+// CacheHit records a read absorbed by the block cache; lat is the response
+// time charged to the hit.
+func (t *Tracer) CacheHit(now time.Duration, req core.RequestID, block core.BlockID, lat time.Duration) {
 	if t == nil || !t.enabled.Load() {
 		return
 	}
-	t.Emit(Event{At: now, Kind: KindCacheHit, Disk: core.InvalidDisk, Req: req, Block: block})
+	t.Emit(Event{At: now, Kind: KindCacheHit, Disk: core.InvalidDisk, Req: req, Block: block, Latency: lat})
+}
+
+// End closes one disk's energy accounting: state is the power state the
+// disk finished the run in and j the final accrual settled by the meter's
+// Close. Emitted once per disk, in disk order, before RunEnd.
+func (t *Tracer) End(now time.Duration, d core.DiskID, state core.DiskState, j float64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.Emit(Event{At: now, Kind: KindEnd, Disk: d, Req: -1, Block: -1,
+		From: state, To: state, EnergyJ: j})
+}
+
+// RunEnd records the end of the run: now is the horizon reported as sim
+// time and fired the kernel's executed-event count.
+func (t *Tracer) RunEnd(now time.Duration, fired uint64) {
+	if t == nil || !t.enabled.Load() {
+		return
+	}
+	t.Emit(Event{At: now, Kind: KindRunEnd, Disk: core.InvalidDisk, Req: -1,
+		Block: core.BlockID(fired)})
 }

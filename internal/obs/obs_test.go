@@ -12,15 +12,20 @@ import (
 // emitOneOfEach drives every emit helper once and returns the tracer.
 func emitOneOfEach(t *Tracer) {
 	t.Arrive(1*time.Second, 7, 42)
-	t.Decision(1*time.Second, 7, 3, 1.25, 148.5, 2)
-	t.Dispatch(1*time.Second, 7, 42, 3)
-	t.Queue(1*time.Second, 7, 3, 4)
+	dec := t.Decision(1*time.Second, 7, 3, 1.25, 148.5, 2)
+	t.Dispatch(1*time.Second, 7, 42, 3, dec)
+	t.Queue(1*time.Second, 7, 3, 4, dec)
 	t.Serve(2*time.Second, 7, 3)
 	t.Complete(2*time.Second+5*time.Millisecond, 7, 3, 1*time.Second+5*time.Millisecond)
-	t.Power(3*time.Second, 3, core.StateIdle, core.StateSpinDown, 27.9)
+	t.Power(3*time.Second, 3, core.StateIdle, core.StateSpinDown, 27.9, 0.5, dec)
 	t.Drop(4*time.Second, 8, 43)
-	t.CacheHit(5*time.Second, 9, 44)
+	t.CacheHit(5*time.Second, 9, 44, 100*time.Microsecond)
+	t.End(6*time.Second, 3, core.StateStandby, 3.75)
+	t.RunEnd(6*time.Second, 12345)
 }
+
+// emitOneOfEachCount is the number of events emitOneOfEach produces.
+const emitOneOfEachCount = 11
 
 func TestTracerJSONLRoundTrip(t *testing.T) {
 	t.Parallel()
@@ -122,8 +127,8 @@ func TestTracerStreamingBinarySink(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(got) != 9 {
-		t.Fatalf("streamed %d events, want 9", len(got))
+	if len(got) != emitOneOfEachCount {
+		t.Fatalf("streamed %d events, want %d", len(got), emitOneOfEachCount)
 	}
 }
 
@@ -134,7 +139,7 @@ func TestTracerDisabledAndNilAllocateNothing(t *testing.T) {
 	for name, target := range map[string]*Tracer{"disabled": tr, "nil": nilTr} {
 		allocs := testing.AllocsPerRun(100, func() {
 			target.Arrive(time.Second, 1, 2)
-			target.Power(time.Second, 0, core.StateIdle, core.StateActive, 1.0)
+			target.Power(time.Second, 0, core.StateIdle, core.StateActive, 1.0, 0, 0)
 			target.Complete(time.Second, 1, 0, time.Millisecond)
 		})
 		if allocs != 0 {

@@ -76,15 +76,19 @@ func (m *Meter) Transition(now time.Duration, next core.DiskState) (stateJ, impu
 	return stateJ, impulseJ
 }
 
-// Close accrues energy up to the end-of-run time. Further transitions
-// panic; Close is idempotent for the same timestamp.
-func (m *Meter) Close(now time.Duration) {
+// Close accrues energy up to the end-of-run time and returns that final
+// accrual (joules settled into the state the disk finished in), so event
+// logs can record the tail the last Transition never sees. Further
+// transitions panic; Close is idempotent (a second Close accrues and
+// returns zero).
+func (m *Meter) Close(now time.Duration) float64 {
 	if m.closed {
-		return
+		return 0
 	}
-	m.accrue(now)
+	j := m.accrue(now)
 	m.since = now
 	m.closed = true
+	return j
 }
 
 func (m *Meter) accrue(now time.Duration) float64 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/obs"
 )
 
 // FailureEvent takes a disk offline abruptly at At for Duration: pending
@@ -71,13 +72,13 @@ func (s *system) armFailures(events []FailureEvent, redispatch func(core.Request
 // over to a surviving replica (preferring a spinning one) when the choice
 // is down. Requests whose every replica is down are dropped as
 // unavailable.
-func (s *system) dispatchWithFailover(req core.Request, d core.DiskID, loc func(core.BlockID) []core.DiskID) {
+func (s *system) dispatchWithFailover(req core.Request, d core.DiskID, loc func(core.BlockID) []core.DiskID, dec obs.DecisionID) {
 	if d != core.InvalidDisk && (d < 0 || int(d) >= len(s.disks)) {
 		s.fail(fmt.Errorf("storage: scheduler chose nonexistent disk %d for %v", d, req))
 		return
 	}
 	if d != core.InvalidDisk && !s.disks[d].Failed() {
-		s.dispatch(req, d, loc)
+		s.dispatch(req, d, loc, dec)
 		return
 	}
 	if d == core.InvalidDisk {
@@ -103,5 +104,5 @@ func (s *system) dispatchWithFailover(req core.Request, d core.DiskID, loc func(
 		s.unavailable++
 		return
 	}
-	s.submit(req, fallback)
+	s.submit(req, fallback, dec)
 }

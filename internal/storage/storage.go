@@ -195,17 +195,19 @@ func (s *system) drop(req core.Request) {
 }
 
 // submit hands the request to its chosen disk, emitting the dispatch event
-// and the queue-depth observation.
-func (s *system) submit(req core.Request, d core.DiskID) {
-	s.tr.Dispatch(s.eng.Now(), req.ID, req.Block, d)
-	s.disks[d].Submit(req)
+// and the queue-depth observation. dec is the scheduler decision being
+// executed (0 when the scheduler is untraced), threaded down so any
+// spin-up the arrival triggers is attributed to it in the log.
+func (s *system) submit(req core.Request, d core.DiskID, dec obs.DecisionID) {
+	s.tr.Dispatch(s.eng.Now(), req.ID, req.Block, d, dec)
+	s.disks[d].SubmitCaused(req, dec)
 	if s.rm != nil {
 		s.rm.QueueDepth.Observe(float64(s.disks[d].Load()))
 	}
 }
 
 // dispatch validates the scheduling decision and submits the request.
-func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator) {
+func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator, dec obs.DecisionID) {
 	if d == core.InvalidDisk {
 		s.drop(req)
 		return
@@ -225,7 +227,19 @@ func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator) {
 		s.fail(fmt.Errorf("storage: scheduler chose off-replica disk %d for %v", d, req))
 		return
 	}
-	s.submit(req, d)
+	s.submit(req, d, dec)
+}
+
+// lastDecision derives the ID of the decision a traced scheduler just
+// emitted: the tracer's decision counter was base before the Schedule
+// call, so if it advanced, the (deterministic, single-threaded) run's
+// newest decision caused this dispatch. Untraced schedulers leave the
+// counter unchanged and the dispatch carries no decision ID.
+func (s *system) lastDecision(base uint64) obs.DecisionID {
+	if n := s.tr.DecisionCount(); n > base {
+		return obs.DecisionID(n)
+	}
+	return 0
 }
 
 // finish drains the engine up to the workload horizon (not beyond it for
@@ -282,6 +296,10 @@ func (s *system) finish(name string, reqs []core.Request) (*Result, error) {
 		}
 	}
 	res.AlwaysOnEnergy = offline.AlwaysOnEnergy(s.cfg.Power, s.cfg.NumDisks, end)
+	// The disks' "end" events (emitted by Close above, in disk order) plus
+	// this run-end marker make the log self-contained: a replay recovers the
+	// horizon, the kernel event count and the exact meter totals.
+	s.tr.RunEnd(end, s.eng.Fired())
 	if s.rm != nil {
 		// Overwrite the live approximations with the authoritative end-of-run
 		// values so exporter output matches the report aggregates exactly.
@@ -386,7 +404,7 @@ func (s *system) lookupCache(o runOptions, r core.Request) bool {
 		s.resp.Add(cacheHitLatency)
 		s.served++
 		s.cacheHits++
-		s.tr.CacheHit(s.eng.Now(), r.ID, r.Block)
+		s.tr.CacheHit(s.eng.Now(), r.ID, r.Block, cacheHitLatency)
 		if s.rm != nil {
 			s.rm.ObserveResponse(cacheHitLatency)
 			s.rm.Served.Inc()
@@ -409,15 +427,17 @@ func RunOnline(cfg Config, loc sched.Locator, scheduler sched.Online, reqs []cor
 		return nil, err
 	}
 	deliver := func(r core.Request) {
+		base := s.tr.DecisionCount()
 		d := scheduler.Schedule(r, s)
+		dec := s.lastDecision(base)
 		if s.rm != nil {
 			s.rm.Decisions.Inc()
 		}
 		if len(o.failures) > 0 {
-			s.dispatchWithFailover(r, d, loc)
+			s.dispatchWithFailover(r, d, loc, dec)
 			return
 		}
-		s.dispatch(r, d, loc)
+		s.dispatch(r, d, loc, dec)
 	}
 	if len(o.failures) > 0 {
 		if err := s.armFailures(o.failures, func(r core.Request) {
@@ -454,12 +474,12 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 	if err != nil {
 		return nil, err
 	}
-	deliver := func(r core.Request, d core.DiskID) {
+	deliver := func(r core.Request, d core.DiskID, dec obs.DecisionID) {
 		if len(o.failures) > 0 {
-			s.dispatchWithFailover(r, d, loc)
+			s.dispatchWithFailover(r, d, loc, dec)
 			return
 		}
-		s.dispatch(r, d, loc)
+		s.dispatch(r, d, loc, dec)
 	}
 	var pending []core.Request
 	tickScheduled := false
@@ -472,6 +492,7 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 		}
 		batch := pending
 		pending = nil
+		base := s.tr.DecisionCount()
 		assignment := scheduler.ScheduleBatch(batch, s)
 		if len(assignment) != len(batch) {
 			s.fail(fmt.Errorf("storage: batch scheduler returned %d assignments for %d requests",
@@ -481,8 +502,25 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 		if s.rm != nil {
 			s.rm.Decisions.Add(float64(len(batch)))
 		}
+		// A traced batch scheduler emits one decision per placed request, in
+		// batch order (sched.traceBatchDecisions); when the counter advanced
+		// by exactly that many, re-walk the batch in the same order to pair
+		// each placed request with its decision ID.
+		placed := 0
+		for _, d := range assignment {
+			if d != core.InvalidDisk {
+				placed++
+			}
+		}
+		traced := placed > 0 && s.tr.DecisionCount() == base+uint64(placed)
+		k := base
 		for i, r := range batch {
-			deliver(r, assignment[i])
+			var dec obs.DecisionID
+			if traced && assignment[i] != core.InvalidDisk {
+				k++
+				dec = obs.DecisionID(k)
+			}
+			deliver(r, assignment[i], dec)
 		}
 	}
 	if len(o.failures) > 0 {

@@ -2,7 +2,8 @@
 # bench.sh — benchmark-regression harness.
 #
 # Runs the tier-1 figure benchmarks (BenchmarkFigure*) plus the offline
-# pipeline benchmark with -benchmem and records the result as
+# pipeline and trace-analyzer benchmarks with -benchmem and records the
+# result as
 # BENCH_<date>.json in the repo root: a small JSON envelope with machine
 # metadata and the raw `go test -bench` text embedded verbatim, so
 #
@@ -13,7 +14,7 @@
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
-#                  (default 'Figure|OfflineMWISPipeline')
+#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
 #   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
@@ -29,7 +30,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline}"
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
 
