@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check ci bench bench-check bench-all replay-gate fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check ci bench bench-check bench-all replay-gate doctor-gate fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -23,10 +23,12 @@ check: vet
 
 # CI gate: build, vet, race-detected tests, the benchmark-regression
 # check against the newest BENCH_*.json snapshot (wall time within
-# tolerance, allocs/op not increased), and the log-replay consistency
+# tolerance, allocs/op not increased), the log-replay consistency
 # gate (a seeded cell's event log must replay to a byte-identical
-# metrics export and a bit-exact energy attribution).
-ci: build check bench-check replay-gate
+# metrics export and a bit-exact energy attribution), and the doctor
+# gate (runtime invariants over both log encodings plus the
+# paper-fidelity scorecard).
+ci: build check bench-check replay-gate doctor-gate
 
 bench-check:
 	scripts/bench.sh -check
@@ -38,6 +40,14 @@ bench-check:
 replay-gate:
 	scripts/replaygate.sh
 
+# Runtime-invariant + paper-fidelity gate: `tracelens doctor` must find
+# zero invariant violations in a seeded cell's log in both encodings, and
+# `tracelens doctor fidelity` must score the regenerated seeded sweep
+# inside the committed golden envelope (see scripts/doctorgate.sh and
+# docs/OBSERVABILITY.md).
+doctor-gate:
+	scripts/doctorgate.sh
+
 # Benchmark-regression harness: runs the tier-1 figure benchmarks plus the
 # offline pipeline benchmark and records a BENCH_<date>.json snapshot that
 # benchstat can diff against a previous recording (see scripts/bench.sh).
@@ -48,10 +58,12 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz pass over the trace parsers.
+# Short fuzz pass over the trace parsers and the event-log reader.
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadSPC -fuzztime 10s
 	$(GO) test ./internal/trace -fuzz FuzzReadCelloText -fuzztime 10s
+	$(GO) test ./internal/obs -fuzz FuzzReadJSONL -fuzztime 10s
+	$(GO) test ./internal/obs -fuzz FuzzReadBinary -fuzztime 10s
 
 # Fast (small-scale) regeneration of every paper figure.
 figures:

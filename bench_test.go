@@ -12,6 +12,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/monitor"
 	"repro/internal/offline"
 	"repro/internal/placement"
 	"repro/internal/sched"
@@ -352,6 +353,38 @@ func BenchmarkAblationGreedyMWISVariant(b *testing.B) {
 			}
 			b.ReportMetric(weight, "saving-joules")
 		})
+	}
+}
+
+// BenchmarkDoctorLive measures the live runtime-verification overhead: the
+// same online cell as BenchmarkSimulateOnline with the full invariant
+// monitor suite (power machine, energy, requests, replicas, threshold,
+// latency) teed into the event stream. Compare against
+// BenchmarkSimulateOnline for the cost of -doctor; the alloc gate on the
+// un-monitored benchmarks proves a disabled doctor costs nothing.
+func BenchmarkDoctorLive(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	b.ResetTimer()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		suite := monitor.NewSuite(monitor.Config{
+			Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: plc.Locations,
+		})
+		tr := obs.NewTracer(1)
+		h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+		if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs,
+			storage.WithTracer(tr), storage.WithMonitor(suite)); err != nil {
+			b.Fatal(err)
+		}
+		if !suite.Passed() {
+			b.Fatalf("doctor reported %d violations in the benchmark cell", suite.Total())
+		}
+		events = suite.Events()
+	}
+	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(events)*float64(b.N)/secs, "events/sec")
 	}
 }
 

@@ -7,7 +7,9 @@
 // demonstration of the configured model — requests spaced around the
 // break-even threshold so the 2CPM policy's spin cycles are visible — and
 // records it through the standard observability layer (analyze the log
-// with tracelens; see docs/OBSERVABILITY.md). The shared profiling flags
+// with tracelens; see docs/OBSERVABILITY.md). -doctor runs the same
+// demonstration under live invariant monitoring and exits non-zero on any
+// violation. The shared profiling flags
 // -cpuprofile, -memprofile, -tracefile and -pprof are available for
 // parity with esched and figures.
 package main
@@ -43,6 +45,7 @@ func run() error {
 		tdown   = flag.Duration("tdown", cfg.SpinDownTime, "spin-down time")
 		events  = flag.String("events", "", "record the demonstration run's event log to this file (JSONL; .bin = binary)")
 		metrics = flag.String("metrics", "", `write the demonstration run's metrics snapshot ("-" = stdout)`)
+		doctor  = flag.Bool("doctor", false, "run live invariant monitors over the demonstration run; non-zero exit on any violation")
 	)
 	var prof repro.Profiles
 	prof.RegisterFlagsTraceName(flag.CommandLine, "tracefile")
@@ -82,17 +85,17 @@ func run() error {
 	fmt.Printf("  max per-request energy       %.1f J\n", cfg.MaxRequestEnergy())
 	fmt.Printf("  idle:standby power ratio     %.1fx\n", cfg.IdlePower/cfg.StandbyPower)
 
-	if *events == "" && *metrics == "" {
+	if *events == "" && *metrics == "" && !*doctor {
 		return nil
 	}
-	return demoRun(cfg, *events, *metrics)
+	return demoRun(cfg, *events, *metrics, *doctor)
 }
 
 // demoRun simulates one disk under the configured model with arrivals
 // spaced to straddle the break-even threshold — gap 1 inside T_B (the
 // 2CPM policy keeps spinning), gap 2 past the replacement window (it spins
 // down and pays the cycle on the next arrival) — and records the run.
-func demoRun(pc repro.PowerConfig, events, metrics string) error {
+func demoRun(pc repro.PowerConfig, events, metrics string, doctor bool) error {
 	sys := repro.DefaultSystemConfig()
 	sys.NumDisks = 1
 	sys.Power = pc
@@ -127,6 +130,13 @@ func demoRun(pc repro.PowerConfig, events, metrics string) error {
 	if metrics != "" {
 		collector = repro.NewCollector()
 		opts = append(opts, repro.WithCollector(collector))
+	}
+	var suite *repro.Doctor
+	if doctor {
+		suite = repro.NewDoctor(repro.DoctorConfig{
+			Power: sys.Power, Mech: sys.Mech, Policy: sys.Policy, Locations: loc,
+		})
+		opts = append(opts, repro.WithDoctor(suite))
 	}
 
 	res, runErr := repro.RunOnline(sys, loc, repro.NewStaticScheduler(loc), reqs, opts...)
@@ -167,6 +177,14 @@ func demoRun(pc repro.PowerConfig, events, metrics string) error {
 			} else if err == nil {
 				fmt.Fprintf(os.Stderr, "breakeven: metrics snapshot written to %s\n", metrics)
 			}
+		}
+	}
+	if suite != nil && runErr == nil {
+		if _, err := suite.WriteReport(os.Stderr); err != nil {
+			return err
+		}
+		if !suite.Passed() {
+			runErr = fmt.Errorf("doctor: %d invariant violations", suite.Total())
 		}
 	}
 	return runErr

@@ -55,6 +55,7 @@ func run() error {
 		stateLog  = flag.String("statelog", "", "write per-disk state transitions as CSV to this file")
 		events    = flag.String("events", "", "stream the structured event log to this file (JSONL; .bin = binary)")
 		metrics   = flag.String("metrics", "", `write a Prometheus text metrics snapshot at exit ("-" = stdout)`)
+		doctor    = flag.Bool("doctor", false, "run live invariant monitors over the run; non-zero exit on any violation")
 	)
 	var prof repro.Profiles
 	prof.RegisterFlagsTraceName(flag.CommandLine, "tracefile")
@@ -128,6 +129,32 @@ func run() error {
 		runOpts = append(runOpts, repro.WithCollector(collector))
 	}
 
+	// The always-on baseline swaps the power policy; decide it before the
+	// doctor snapshots the policy for its threshold monitor.
+	if *schedName == "always-on" && !*compare {
+		cfg.Policy = repro.AlwaysOnPolicy()
+		cfg.InitialState = repro.StateIdle
+	}
+	var suite *repro.Doctor
+	if *doctor {
+		switch {
+		case *compare:
+			return fmt.Errorf("-doctor does not apply to -compare (run one scheduler at a time)")
+		case *schedName == "mwis":
+			return fmt.Errorf("-doctor does not apply to the offline analytic MWIS model (no event stream)")
+		}
+		if tracer == nil {
+			// No -events log requested: still trace so scheduler decisions
+			// reach the monitors (the ring itself stays minimal).
+			tracer = repro.NewTracer(1)
+			runOpts = append(runOpts, repro.WithTracer(tracer))
+		}
+		suite = repro.NewDoctor(repro.DoctorConfig{
+			Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: plc.Locations,
+		})
+		runOpts = append(runOpts, repro.WithDoctor(suite))
+	}
+
 	ws := repro.AnalyzeWorkload(reqs)
 	fmt.Printf("workload: %d requests, %d unique blocks, %s span, inter-arrival CoV %.1f\n",
 		ws.Count, ws.UniqueBlocks, ws.Duration.Round(time.Second), ws.CoV)
@@ -151,8 +178,6 @@ func run() error {
 			fmt.Printf("energy saving vs per-request worst case: %.0f J\n", st.Saving)
 			return nil
 		case "always-on":
-			cfg.Policy = repro.AlwaysOnPolicy()
-			cfg.InitialState = repro.StateIdle
 			res, err := repro.RunOnline(cfg, plc.Locations, repro.NewStaticScheduler(plc.Locations), reqs, runOpts...)
 			if err != nil {
 				return err
@@ -191,7 +216,7 @@ func run() error {
 	// Flush whatever observability data was collected — also on the error
 	// path, so a failed run never discards its partial telemetry — and log
 	// where each artifact went.
-	if tracer != nil {
+	if eventsBuf != nil {
 		ferr := tracer.Flush()
 		if err := eventsBuf.Flush(); ferr == nil {
 			ferr = err
@@ -207,6 +232,14 @@ func run() error {
 	if collector != nil {
 		if err := writeMetrics(collector, *metrics); err != nil && runErr == nil {
 			runErr = err
+		}
+	}
+	if suite != nil && runErr == nil {
+		if _, err := suite.WriteReport(os.Stderr); err != nil {
+			return err
+		}
+		if !suite.Passed() {
+			runErr = fmt.Errorf("doctor: %d invariant violations", suite.Total())
 		}
 	}
 	return runErr

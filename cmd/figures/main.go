@@ -9,8 +9,10 @@
 // The standard profiling flags -cpuprofile, -memprofile, -trace and -pprof
 // are available for profiling full-scale regenerations, and -telemetry
 // ADDR serves live per-cell sweep progress over HTTP while a regeneration
-// runs (see docs/OBSERVABILITY.md). A failing run still writes the partial
-// -summary accumulated before the error and logs where it went.
+// runs (see docs/OBSERVABILITY.md), and -doctor runs every simulated cell
+// under live invariant monitoring, failing the regeneration on any
+// violation. A failing run still writes the partial -summary accumulated
+// before the error and logs where it went.
 package main
 
 import (
@@ -42,6 +44,7 @@ func run() error {
 		summary   = flag.String("summary", "", "write a Markdown summary report to this file (runs both trace sweeps)")
 		outDir    = flag.String("out", "", "write each figure to DIR/figNN.{txt,tsv} instead of stdout")
 		telemetry = flag.String("telemetry", "", `serve live sweep telemetry on this address (e.g. "localhost:8090": /healthz, /metrics, /progress)`)
+		doctor    = flag.Bool("doctor", false, "run live invariant monitors over every simulated cell; non-zero exit on any violation")
 	)
 	var prof obs.Profiles
 	prof.RegisterFlags(flag.CommandLine)
@@ -66,6 +69,7 @@ func run() error {
 	default:
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
+	scale.Doctor = *doctor
 
 	if *telemetry != "" {
 		mon := experiments.NewMonitor()

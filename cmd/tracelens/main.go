@@ -25,6 +25,17 @@
 //	    Replays the log through a fresh collector and byte-compares the
 //	    render against the exported snapshot: a passing verify proves
 //	    the log alone reproduces the run's metrics exactly.
+//	tracelens doctor RUN.events [-disks N -blocks N -rf N -z Z -seed N] [-policy P]
+//	    Runs every runtime invariant monitor over the log (power-state
+//	    machine legality, bit-exact energy conservation, request
+//	    conservation, 2CPM threshold compliance, latency sanity — plus
+//	    replica validity when the placement parameters are given) and
+//	    exits non-zero on any violation.
+//	tracelens doctor fidelity [-envelopes FILE] [-write FILE]
+//	    Paper-fidelity scorecard: regenerates the seeded small-scale
+//	    replication sweep under live invariant monitoring and scores
+//	    every cell against the committed golden envelope. -write
+//	    regenerates the envelope after an intentional change.
 package main
 
 import (
@@ -34,7 +45,12 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/experiments"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/monitor"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -45,7 +61,7 @@ func main() {
 }
 
 func usage() error {
-	return fmt.Errorf("usage: tracelens <summary|timeline|attribute|diff|verify> [flags] LOG...\nrun 'tracelens <subcommand> -h' for flags")
+	return fmt.Errorf("usage: tracelens <summary|timeline|attribute|diff|verify|doctor> [flags] LOG...\nrun 'tracelens <subcommand> -h' for flags")
 }
 
 func run(args []string) error {
@@ -63,6 +79,11 @@ func run(args []string) error {
 		return cmdDiff(rest)
 	case "verify":
 		return cmdVerify(rest)
+	case "doctor":
+		if len(rest) > 0 && rest[0] == "fidelity" {
+			return cmdDoctorFidelity(rest[1:])
+		}
+		return cmdDoctor(rest)
 	case "-h", "-help", "--help", "help":
 		return usage()
 	default:
@@ -313,5 +334,128 @@ func cmdVerify(args []string) error {
 	s := r.Summarize()
 	fmt.Printf("verify OK: %d events replay to a byte-identical metrics export (%d requests, %.6g J)\n",
 		s.Events, s.Requests, s.Energy)
+	return nil
+}
+
+// cmdDoctor runs the offline runtime-verification suite over a recorded
+// event log. The monitors assume the repo's default Barracuda-class power
+// model and Cheetah mechanics (the configuration every simulator entry
+// point uses); replica validity additionally needs the placement, which is
+// deterministic from its generation parameters — pass the same
+// -disks/-blocks/-rf/-z/-seed the run used to enable it.
+func cmdDoctor(args []string) error {
+	fs := flag.NewFlagSet("tracelens doctor", flag.ContinueOnError)
+	var (
+		disks   = fs.Int("disks", 0, "placement: number of disks (0 = skip the replica-validity monitor)")
+		blocks  = fs.Int("blocks", 0, "placement: number of blocks")
+		rf      = fs.Int("rf", 3, "placement: replication factor")
+		zipf    = fs.Float64("z", 1, "placement: Zipf exponent")
+		seed    = fs.Int64("seed", 1, "placement: random seed")
+		policy  = fs.String("policy", "2cpm", "power policy the run used: 2cpm | always-on")
+		nonFIFO = fs.Bool("nonfifo", false, "the run used a non-FIFO queue discipline (skip FIFO-order checks)")
+		max     = fs.Int("max", 8, "violations kept verbatim per monitor (all are counted)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return fmt.Errorf("usage: tracelens doctor [flags] LOG  (or: tracelens doctor fidelity [flags])")
+	}
+
+	cfg := storage.DefaultConfig()
+	mcfg := monitor.Config{
+		Power:         cfg.Power,
+		Mech:          cfg.Mech,
+		NonFIFO:       *nonFIFO,
+		MaxViolations: *max,
+	}
+	switch *policy {
+	case "2cpm":
+		mcfg.Policy = power.TwoCompetitive{Config: cfg.Power}
+	case "always-on":
+		mcfg.Policy = power.AlwaysOn{}
+	default:
+		return fmt.Errorf("unknown policy %q (want 2cpm or always-on)", *policy)
+	}
+	if *disks > 0 {
+		plc, err := placement.Generate(placement.GenerateConfig{
+			NumDisks: *disks, NumBlocks: *blocks,
+			ReplicationFactor: *rf, ZipfExponent: *zipf, Seed: *seed,
+		})
+		if err != nil {
+			return err
+		}
+		mcfg.Locations = plc.Locations
+	}
+
+	evs, err := analyze.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: empty event log", fs.Arg(0))
+	}
+	suite := monitor.NewSuite(mcfg)
+	suite.ObserveAll(evs)
+	// Cross-check the monitor's independently integrated energy against the
+	// analyzer's replay of the same log — two implementations, one stream,
+	// bit-exact agreement required. Only meaningful on a complete capture.
+	if r, err := analyze.New(evs); err == nil && r.Complete() {
+		suite.VerifyResult(r.EnergyByState())
+	}
+	suite.Finish()
+	if _, err := suite.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if !suite.Passed() {
+		return fmt.Errorf("%s: %d invariant violations", fs.Arg(0), suite.Total())
+	}
+	return nil
+}
+
+// cmdDoctorFidelity scores the regenerated seeded sweep against the
+// committed golden envelope (or writes a fresh envelope with -write). Every
+// simulated cell also runs under live invariant monitoring, so a pass
+// certifies both the numbers and the invariants.
+func cmdDoctorFidelity(args []string) error {
+	fs := flag.NewFlagSet("tracelens doctor fidelity", flag.ContinueOnError)
+	var (
+		envPath = fs.String("envelopes", "", "score against this envelope file instead of the embedded golden one")
+		write   = fs.String("write", "", "regenerate the envelope and write it to this file instead of scoring")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("usage: tracelens doctor fidelity [-envelopes FILE] [-write FILE]")
+	}
+	scale := experiments.FidelityScale()
+	scale.Doctor = true
+	if *write != "" {
+		env, err := experiments.GenerateEnvelopes(scale)
+		if err != nil {
+			return err
+		}
+		if err := env.Write(*write); err != nil {
+			return err
+		}
+		fmt.Printf("fidelity: envelope written to %s (%d figures, %s/%d disks/%d reqs/seed %d)\n",
+			*write, len(env.Figures), env.Trace, env.Disks, env.Requests, env.Seed)
+		return nil
+	}
+	env, err := experiments.LoadEnvelopes(*envPath)
+	if err != nil {
+		return err
+	}
+	sc, err := experiments.ScoreFidelity(scale, env)
+	if err != nil {
+		return err
+	}
+	if _, err := sc.WriteReport(os.Stdout); err != nil {
+		return err
+	}
+	if !sc.Passed() {
+		return fmt.Errorf("fidelity scorecard failed")
+	}
 	return nil
 }

@@ -59,6 +59,15 @@ func (c MechConfig) rotation() time.Duration {
 	return time.Duration(60 / c.RPM * float64(time.Second))
 }
 
+// MinServiceTime returns the mechanical lower bound on any request's
+// service time: the mean rotational latency (half a revolution), which
+// every request pays regardless of seek distance or transfer size. Runtime
+// verifiers use it as the floor below which a completion latency is
+// physically impossible.
+func (c MechConfig) MinServiceTime() time.Duration {
+	return c.rotation() / 2
+}
+
 // SeekTime models seek duration between two LBAs with the standard
 // square-root profile: short moves near MinSeek, full-stroke moves at
 // MaxSeek.

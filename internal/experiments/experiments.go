@@ -7,11 +7,14 @@ package experiments
 import (
 	"fmt"
 	"runtime"
+	"strings"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/metrics"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/offline"
 	"repro/internal/placement"
 	"repro/internal/sched"
@@ -51,6 +54,13 @@ type Scale struct {
 	// parallel sweeps (see Monitor.Serve for the HTTP endpoint). Telemetry
 	// never influences results; a nil monitor costs one branch per cell.
 	Monitor *Monitor
+	// Doctor attaches a runtime-verification suite (internal/obs/monitor)
+	// to every simulated cell: power-machine legality, energy and request
+	// conservation, replica validity, threshold compliance and latency
+	// sanity are checked live, and any violation fails the cell. The
+	// offline MWIS cells are analytic (no event stream) and are not
+	// doctored. Verification never influences results.
+	Doctor bool
 }
 
 // FullScale reproduces the paper's experimental scale.
@@ -218,24 +228,44 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 		}, nil
 	}
 
+	var suite *monitor.Suite
+	var tr *obs.Tracer
+	var opts []storage.RunOption
+	if s.Doctor {
+		suite = monitor.NewSuite(monitor.Config{
+			Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: plc.Locations,
+		})
+		// A one-slot tracer feeds the live tee; traced schedulers below share
+		// it so decisions are replica-checked too.
+		tr = obs.NewTracer(1)
+		opts = append(opts, storage.WithTracer(tr), storage.WithMonitor(suite))
+	}
+
 	var res *storage.Result
 	var err error
 	switch algo {
 	case AlgoRandom:
-		res, err = storage.RunOnline(cfg, plc.Locations, sched.NewRandom(plc.Locations, s.Seed+1), reqs)
+		res, err = storage.RunOnline(cfg, plc.Locations, sched.NewRandom(plc.Locations, s.Seed+1), reqs, opts...)
 	case AlgoStatic:
-		res, err = storage.RunOnline(cfg, plc.Locations, sched.Static{Locations: plc.Locations}, reqs)
+		res, err = storage.RunOnline(cfg, plc.Locations, sched.Static{Locations: plc.Locations}, reqs, opts...)
 	case AlgoHeuristic:
-		res, err = storage.RunOnline(cfg, plc.Locations, sched.Heuristic{Locations: plc.Locations, Cost: cost}, reqs)
+		res, err = storage.RunOnline(cfg, plc.Locations,
+			sched.Heuristic{Locations: plc.Locations, Cost: cost, Tracer: tr}, reqs, opts...)
 	case AlgoWSC:
 		res, err = storage.RunBatch(cfg, plc.Locations,
-			sched.WSC{Locations: plc.Locations, Cost: cost, Scratch: &sched.CoverScratch{}},
-			reqs, s.BatchInterval)
+			sched.WSC{Locations: plc.Locations, Cost: cost, Scratch: &sched.CoverScratch{}, Tracer: tr},
+			reqs, s.BatchInterval, opts...)
 	default:
 		return Run{}, fmt.Errorf("experiments: unknown algorithm %q", algo)
 	}
 	if err != nil {
 		return Run{}, err
+	}
+	if suite != nil && !suite.Passed() {
+		var sb strings.Builder
+		suite.WriteReport(&sb)
+		return Run{}, fmt.Errorf("experiments: doctor: %s violated %d invariants:\n%s",
+			algo, suite.Total(), sb.String())
 	}
 	return Run{
 		Algo:       algo,

@@ -13,13 +13,13 @@ import (
 // is canonical, so seeded runs produce byte-identical logs.
 func ExampleTracer() {
 	tr := obs.NewTracer(16)
-	dec := tr.Decision(250*time.Millisecond, 0, 3, 1.5, 148.5, 0)
+	dec := tr.Decision(250*time.Millisecond, 0, 42, 3, 1.5, 148.5, 0)
 	tr.Dispatch(250*time.Millisecond, 0, 42, 3, dec)
 	tr.Power(250*time.Millisecond, 3, core.StateStandby, core.StateSpinUp, 0, 0, dec)
 	tr.Complete(10*time.Second+250*time.Millisecond, 0, 3, 10*time.Second)
 	tr.WriteJSONL(os.Stdout)
 	// Output:
-	// {"t":250000000,"seq":0,"kind":"decision","disk":3,"req":0,"dec":1,"cost":1.5,"ej":148.5,"load":0}
+	// {"t":250000000,"seq":0,"kind":"decision","disk":3,"req":0,"block":42,"dec":1,"cost":1.5,"ej":148.5,"load":0}
 	// {"t":250000000,"seq":1,"kind":"dispatch","disk":3,"req":0,"block":42,"dec":1}
 	// {"t":250000000,"seq":2,"kind":"power","disk":3,"dec":1,"from":"standby","to":"spin-up","j":0}
 	// {"t":10250000000,"seq":3,"kind":"complete","disk":3,"req":0,"lat":10000000000}

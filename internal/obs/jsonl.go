@@ -90,12 +90,16 @@ func appendFloat(dst []byte, v float64) []byte {
 }
 
 // ReadJSONL parses a JSONL event log produced by WriteJSONL or a streaming
-// JSONL sink back into events. It accepts exactly the canonical encoding
-// (it is a log-analysis convenience, not a general JSON parser).
+// JSONL sink back into events. It accepts exactly the canonical encoding:
+// every parsed line must re-encode to the same bytes, so permuted keys,
+// redundant fields and non-canonical number forms are rejected rather than
+// silently normalized (it is a log-analysis tool, not a general JSON
+// parser, and downstream verification relies on logs being canonical).
 func ReadJSONL(r io.Reader) ([]Event, error) {
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
 	var out []Event
+	var scratch []byte
 	line := 0
 	for sc.Scan() {
 		line++
@@ -106,6 +110,10 @@ func ReadJSONL(r io.Reader) ([]Event, error) {
 		ev, err := parseJSONLEvent(b)
 		if err != nil {
 			return nil, fmt.Errorf("obs: line %d: %w", line, err)
+		}
+		scratch = AppendJSONL(scratch[:0], ev)
+		if canon := scratch[:len(scratch)-1]; !bytes.Equal(canon, b) {
+			return nil, fmt.Errorf("obs: line %d: non-canonical encoding %q (canonical form %q)", line, b, canon)
 		}
 		out = append(out, ev)
 	}

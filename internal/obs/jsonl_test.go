@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// jsonlLog renders the one-of-each fixture as canonical JSONL bytes.
+func jsonlLog(tb testing.TB) []byte {
+	tb.Helper()
+	tr := NewTracer(64)
+	emitOneOfEach(tr)
+	var buf bytes.Buffer
+	if err := tr.WriteJSONL(&buf); err != nil {
+		tb.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestReadJSONLRejectsNonCanonical pins the strict-parser contract: the
+// accepted set is exactly the encodable set, so permuted keys, redundant
+// or missing fields and non-canonical number forms are errors, not
+// silently normalized events.
+func TestReadJSONLRejectsNonCanonical(t *testing.T) {
+	t.Parallel()
+	cases := []struct {
+		name string
+		line string
+	}{
+		{"permuted keys", `{"seq":0,"t":1000,"kind":"arrive","req":7,"block":42}`},
+		{"redundant default disk", `{"t":1000,"seq":0,"kind":"arrive","disk":-1,"req":7,"block":42}`},
+		{"duplicate key", `{"t":1000,"t":1000,"seq":0,"kind":"arrive","req":7,"block":42}`},
+		{"zero impulse spelled out", `{"t":1,"seq":0,"kind":"power","disk":3,"from":"idle","to":"active","j":1,"imp":0}`},
+		{"non-canonical float", `{"t":1,"seq":0,"kind":"power","disk":3,"from":"idle","to":"active","j":1.50}`},
+		{"plus-signed int", `{"t":+1,"seq":0,"kind":"arrive","req":7,"block":42}`},
+		{"whitespace inside object", `{"t":1000, "seq":0,"kind":"arrive","req":7,"block":42}`},
+		{"missing lat on complete", `{"t":1,"seq":0,"kind":"complete","disk":3,"req":7}`},
+		{"block on runend", `{"t":1,"seq":0,"kind":"runend","block":9}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			if _, err := ReadJSONL(strings.NewReader(tc.line + "\n")); err == nil {
+				t.Errorf("accepted non-canonical line %q", tc.line)
+			}
+		})
+	}
+}
+
+func TestReadJSONLAcceptsCanonical(t *testing.T) {
+	t.Parallel()
+	log := jsonlLog(t)
+	evs, err := ReadJSONL(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(evs) != emitOneOfEachCount {
+		t.Fatalf("parsed %d events, want %d", len(evs), emitOneOfEachCount)
+	}
+}
+
+// FuzzReadJSONL throws arbitrary text at the JSONL log reader: it must
+// never panic, and every log it accepts must re-encode to the identical
+// bytes modulo blank lines and surrounding whitespace (the strict-parser
+// guarantee ReadJSONL enforces per line).
+func FuzzReadJSONL(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("\n\n"))
+	f.Add(jsonlLog(f))
+	f.Add([]byte(`{"t":250000000,"seq":0,"kind":"decision","disk":3,"req":0,"block":42,"dec":1,"cost":1.5,"ej":148.5,"load":0}` + "\n"))
+	f.Add([]byte(`{"t":1,"seq":2,"kind":"power","disk":3,"dec":1,"from":"standby","to":"spin-up","j":0.25,"imp":135}` + "\n"))
+	f.Add([]byte(`{"t":6000000000,"seq":10,"kind":"runend","fired":12345}` + "\n"))
+	f.Add([]byte(`{"t":1,"seq":0,"kind":"end","disk":0,"state":"standby","j":3.75}`))
+	f.Add([]byte(`{"kind":"arrive"`))
+	f.Add([]byte(`{"t":9223372036854775807,"seq":18446744073709551615,"kind":"arrive","req":7,"block":42}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var re []byte
+		for _, ev := range evs {
+			re = AppendJSONL(re, ev)
+		}
+		// The reader tolerates blank lines and per-line surrounding space;
+		// compare the canonical re-encoding against the normalized input.
+		var norm []byte
+		for _, line := range bytes.Split(data, []byte{'\n'}) {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			norm = append(norm, line...)
+			norm = append(norm, '\n')
+		}
+		if !bytes.Equal(re, norm) {
+			t.Fatalf("accepted log does not round-trip:\nin:  %q\nout: %q", norm, re)
+		}
+	})
+}
+
+// TestReadJSONLRoundTripAfterMutation feeds the strict parser every
+// single-byte corruption of a canonical log line: none may panic, and any
+// accepted mutant must still round-trip (the fuzz property, exercised
+// deterministically in the regular test suite).
+func TestReadJSONLSingleByteCorruptions(t *testing.T) {
+	t.Parallel()
+	line := []byte(`{"t":250000000,"seq":3,"kind":"power","disk":3,"dec":1,"from":"standby","to":"spin-up","j":0.25}` + "\n")
+	for i := range line {
+		for _, delta := range []byte{1, 0x20, 0x80} {
+			mut := append([]byte(nil), line...)
+			mut[i] ^= delta
+			evs, err := ReadJSONL(bytes.NewReader(mut))
+			if err != nil {
+				continue
+			}
+			var re []byte
+			for _, ev := range evs {
+				re = AppendJSONL(re, ev)
+			}
+			norm := append(bytes.TrimSpace(mut), '\n')
+			if len(bytes.TrimSpace(mut)) == 0 {
+				norm = nil
+			}
+			if !bytes.Equal(re, norm) {
+				t.Fatalf("byte %d ^ %#x accepted but does not round-trip:\nin:  %q\nout: %q", i, delta, mut, re)
+			}
+		}
+	}
+}
+
+// TestJSONLKnownFieldsStayCanonical re-encodes a log after a parse and
+// requires byte identity, guarding the AppendJSONL/ReadJSONL pair against
+// drifting apart when fields are added.
+func TestJSONLKnownFieldsStayCanonical(t *testing.T) {
+	t.Parallel()
+	log := jsonlLog(t)
+	evs, err := ReadJSONL(bytes.NewReader(log))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var re []byte
+	for _, ev := range evs {
+		re = AppendJSONL(re, ev)
+	}
+	if !bytes.Equal(re, log) {
+		t.Fatal("canonical log does not re-encode to identical bytes")
+	}
+}

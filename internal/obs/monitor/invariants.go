@@ -1,0 +1,609 @@
+package monitor
+
+import (
+	"math"
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/power"
+)
+
+// diskTrack follows one disk's power state through the stream. The first
+// power or end event reveals the state the disk held since t=0 (the
+// engine's start), matching the analyzer's timeline reconstruction.
+type diskTrack struct {
+	state core.DiskState
+	since time.Duration
+	known bool
+	ended bool
+}
+
+// reveal folds a transition's From state into the track, returning false
+// if the tracked state disagrees with the event (a desync the power
+// monitor reports; other monitors resync silently).
+func (t *diskTrack) reveal(from core.DiskState) bool {
+	if !t.known {
+		t.state, t.known = from, true
+		return true
+	}
+	return t.state == from
+}
+
+// orderMonitor checks the stream's total order and decision-ID causality:
+// sequence numbers strictly increase, virtual time never regresses, no
+// event follows the run-end marker, decision IDs are assigned densely in
+// emission order, no event references a decision that has not happened,
+// and decision cost terms are finite.
+type orderMonitor struct {
+	seen     bool
+	lastSeq  uint64
+	lastAt   time.Duration
+	runEnded bool
+	maxDec   obs.DecisionID
+}
+
+func (*orderMonitor) name() string { return MonitorOrder }
+
+func (m *orderMonitor) observe(s *Suite, ev *obs.Event) {
+	i := s.monIdx(m)
+	if m.runEnded {
+		s.addEv(i, ev, "%v event after the run-end marker", ev.Kind)
+	}
+	if m.seen {
+		if ev.Seq <= m.lastSeq {
+			s.addEv(i, ev, "sequence number %d not above predecessor %d", ev.Seq, m.lastSeq)
+		}
+		if ev.At < m.lastAt {
+			s.addEv(i, ev, "virtual time went backwards: %v after %v", ev.At, m.lastAt)
+		}
+	}
+	m.seen, m.lastSeq = true, ev.Seq
+	if ev.At > m.lastAt {
+		m.lastAt = ev.At
+	}
+	switch ev.Kind {
+	case obs.KindDecision:
+		if ev.Dec != m.maxDec+1 {
+			s.addEv(i, ev, "decision ID %d out of order (want %d)", ev.Dec, m.maxDec+1)
+		}
+		if ev.Dec > m.maxDec {
+			m.maxDec = ev.Dec
+		}
+		if math.IsNaN(ev.Cost) || math.IsInf(ev.Cost, 0) || math.IsNaN(ev.EnergyJ) || math.IsInf(ev.EnergyJ, 0) {
+			s.addEv(i, ev, "non-finite cost terms C=%v E=%v", ev.Cost, ev.EnergyJ)
+		}
+	case obs.KindRunEnd:
+		m.runEnded = true
+	default:
+		if ev.Dec > m.maxDec {
+			s.addEv(i, ev, "references decision %d before it was made (max %d)", ev.Dec, m.maxDec)
+		}
+	}
+}
+
+func (*orderMonitor) finish(*Suite) {}
+
+// powerMonitor checks the five-state power machine: transitions follow the
+// paper's state graph (failures may drop any state to standby), spin-up
+// and spin-down take exactly their configured durations (failures may
+// truncate them), the From state of every transition matches the timeline,
+// and every disk's accounting is closed by an end event before run end.
+type powerMonitor struct {
+	cfg   power.Config
+	disks map[core.DiskID]*diskTrack
+}
+
+func newPowerMonitor(cfg power.Config) *powerMonitor {
+	return &powerMonitor{cfg: cfg, disks: map[core.DiskID]*diskTrack{}}
+}
+
+func (*powerMonitor) name() string { return MonitorPower }
+
+// legalTransition reports whether the power machine may move from one
+// state to the other. Transitions to standby are legal from any state
+// because an abrupt disk failure (diskmodel.Disk.Fail) drops the disk to
+// standby from wherever it was.
+func legalTransition(from, to core.DiskState) bool {
+	if to == core.StateStandby {
+		return from != core.StateStandby
+	}
+	switch from {
+	case core.StateStandby:
+		return to == core.StateSpinUp
+	case core.StateSpinUp:
+		return to == core.StateIdle
+	case core.StateIdle:
+		return to == core.StateActive || to == core.StateSpinDown
+	case core.StateActive:
+		return to == core.StateIdle
+	case core.StateSpinDown:
+		return to == core.StateSpinUp
+	default:
+		return false
+	}
+}
+
+func (m *powerMonitor) track(d core.DiskID) *diskTrack {
+	t := m.disks[d]
+	if t == nil {
+		t = &diskTrack{}
+		m.disks[d] = t
+	}
+	return t
+}
+
+func (m *powerMonitor) observe(s *Suite, ev *obs.Event) {
+	if ev.Kind != obs.KindPower && ev.Kind != obs.KindEnd {
+		return
+	}
+	i := s.monIdx(m)
+	if !ev.From.Valid() || !ev.To.Valid() {
+		s.addEv(i, ev, "invalid power state in transition %d->%d", ev.From, ev.To)
+		return
+	}
+	t := m.track(ev.Disk)
+	if t.ended {
+		s.addEv(i, ev, "%v event after the disk's end-of-run accounting", ev.Kind)
+		return
+	}
+	if ev.Kind == obs.KindEnd {
+		if t.known && t.state != ev.From {
+			s.addEv(i, ev, "end event closes in %v but the timeline is in %v", ev.From, t.state)
+		}
+		t.ended = true
+		return
+	}
+	if ev.From == ev.To {
+		s.addEv(i, ev, "self-transition %v->%v", ev.From, ev.To)
+	}
+	if !t.reveal(ev.From) {
+		s.addEv(i, ev, "transition leaves %v but the timeline is in %v", ev.From, t.state)
+	} else if legal := legalTransition(ev.From, ev.To); !legal {
+		s.addEv(i, ev, "illegal transition %v->%v", ev.From, ev.To)
+	} else if t.known {
+		// Spin transitions have exact durations; a failure (any-state ->
+		// standby) may only truncate them.
+		dur := ev.At - t.since
+		switch {
+		case ev.From == core.StateSpinUp && ev.To == core.StateIdle && dur != m.cfg.SpinUpTime:
+			s.addEv(i, ev, "spin-up lasted %v, configured T_up is %v", dur, m.cfg.SpinUpTime)
+		case ev.From == core.StateSpinUp && ev.To == core.StateStandby && dur > m.cfg.SpinUpTime:
+			s.addEv(i, ev, "failed spin-up lasted %v, beyond T_up %v", dur, m.cfg.SpinUpTime)
+		case ev.From == core.StateSpinDown && ev.To == core.StateSpinUp && dur != m.cfg.SpinDownTime:
+			s.addEv(i, ev, "spin-down lasted %v before re-spin, configured T_down is %v", dur, m.cfg.SpinDownTime)
+		case ev.From == core.StateSpinDown && ev.To == core.StateStandby && dur > m.cfg.SpinDownTime:
+			s.addEv(i, ev, "spin-down lasted %v, beyond T_down %v", dur, m.cfg.SpinDownTime)
+		}
+	}
+	t.state, t.since = ev.To, ev.At
+}
+
+func (m *powerMonitor) finish(s *Suite) {
+	if !s.hasEnd {
+		return // partial capture: disks legitimately still open
+	}
+	i := s.monIdx(m)
+	ids := make([]core.DiskID, 0, len(m.disks))
+	for d := range m.disks {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, d := range ids {
+		if !m.disks[d].ended {
+			s.add(i, s.lastSeq, s.lastAt, d, -1, 0, "no end-of-run accounting event for this disk")
+		}
+	}
+}
+
+// energyDisk mirrors one power.Meter: the state timeline plus the by-state
+// energy sums, accumulated with the meter's exact addition order.
+type energyDisk struct {
+	diskTrack
+	by [core.StateSpinDown + 1]float64
+}
+
+// energyMonitor checks energy conservation: every power event's accrual
+// must equal Config.Accrual over the segment it closes, bit for bit;
+// transition impulses appear exactly when the configured transition time
+// is zero and carry exactly the configured transition energy; and the
+// accumulated by-state totals reproduce the meters' (see
+// Suite.VerifyResult). When the timeline desyncs (an illegal From already
+// reported by the power monitor) the accrual check resyncs silently
+// instead of double-reporting.
+type energyMonitor struct {
+	cfg   power.Config
+	disks map[core.DiskID]*energyDisk
+}
+
+func newEnergyMonitor(cfg power.Config) *energyMonitor {
+	return &energyMonitor{cfg: cfg, disks: map[core.DiskID]*energyDisk{}}
+}
+
+func (*energyMonitor) name() string { return MonitorEnergy }
+
+func (m *energyMonitor) observe(s *Suite, ev *obs.Event) {
+	if ev.Kind != obs.KindPower && ev.Kind != obs.KindEnd {
+		return
+	}
+	if !ev.From.Valid() || !ev.To.Valid() {
+		return // the power monitor reports it; nothing to integrate
+	}
+	i := s.monIdx(m)
+	t := m.disks[ev.Disk]
+	if t == nil {
+		t = &energyDisk{}
+		m.disks[ev.Disk] = t
+	}
+	if t.ended {
+		return
+	}
+	inSync := t.reveal(ev.From)
+	if inSync {
+		want := m.cfg.Accrual(ev.From, ev.At-t.since)
+		if ev.EnergyJ != want {
+			s.addEv(i, ev, "%v accrual %v J over %v, meter arithmetic gives %v J (diff %g)",
+				ev.From, ev.EnergyJ, ev.At-t.since, want, ev.EnergyJ-want)
+		}
+	}
+	// Mirror the meter: the closing accrual lands on the state being left,
+	// any impulse on the transition state entered.
+	t.by[ev.From] += ev.EnergyJ
+	if ev.Kind == obs.KindEnd {
+		t.ended = true
+		return
+	}
+	var wantImpulse float64
+	switch ev.To {
+	case core.StateSpinUp:
+		if m.cfg.SpinUpTime == 0 {
+			wantImpulse = m.cfg.SpinUpEnergy
+		}
+	case core.StateSpinDown:
+		if m.cfg.SpinDownTime == 0 {
+			wantImpulse = m.cfg.SpinDownEnergy
+		}
+	}
+	if ev.ImpulseJ != wantImpulse {
+		s.addEv(i, ev, "transition into %v carries impulse %v J, configuration implies %v J",
+			ev.To, ev.ImpulseJ, wantImpulse)
+	}
+	if ev.ImpulseJ != 0 {
+		t.by[ev.To] += ev.ImpulseJ
+	}
+	t.state, t.since = ev.To, ev.At
+}
+
+func (*energyMonitor) finish(*Suite) {}
+
+// reqInfo follows one request through its lifecycle.
+type reqInfo struct {
+	arrived    bool
+	arriveAt   time.Duration
+	dispatches int
+	terminal   obs.Kind // 0 until complete, drop or cachehit
+	queuedOn   core.DiskID
+	queued     bool
+}
+
+// requestDisk models one disk's queue: the pending FIFO and the in-flight
+// request.
+type requestDisk struct {
+	fifo        []core.RequestID
+	inflight    core.RequestID
+	hasInflight bool
+}
+
+// requestMonitor checks request conservation: every request arrives
+// exactly once, is dispatched only while unowned (failure drains release
+// ownership implicitly — the storage layer emits no drain events), is
+// served in per-disk FIFO order, completes at most once from the disk
+// serving it, ends in exactly one terminal event (complete, drop or cache
+// hit), and every disk's queue is empty at its end-of-run accounting.
+type requestMonitor struct {
+	fifoOrder bool
+	reqs      map[core.RequestID]*reqInfo
+	disks     map[core.DiskID]*requestDisk
+}
+
+func newRequestMonitor(fifoOrder bool) *requestMonitor {
+	return &requestMonitor{
+		fifoOrder: fifoOrder,
+		reqs:      map[core.RequestID]*reqInfo{},
+		disks:     map[core.DiskID]*requestDisk{},
+	}
+}
+
+func (*requestMonitor) name() string { return MonitorRequests }
+
+func (m *requestMonitor) req(id core.RequestID) *reqInfo {
+	r := m.reqs[id]
+	if r == nil {
+		r = &reqInfo{queuedOn: core.InvalidDisk}
+		m.reqs[id] = r
+	}
+	return r
+}
+
+func (m *requestMonitor) disk(id core.DiskID) *requestDisk {
+	d := m.disks[id]
+	if d == nil {
+		d = &requestDisk{}
+		m.disks[id] = d
+	}
+	return d
+}
+
+// release clears ownership of every request the disk holds — the model of
+// a failure drain (diskmodel.Disk.Fail returns the queue for re-dispatch
+// without emitting events; the only log signature is the transition to
+// standby).
+func (m *requestMonitor) release(s *Suite, d *requestDisk) {
+	if d.hasInflight {
+		m.req(d.inflight).queued = false
+		d.hasInflight = false
+	}
+	for _, id := range d.fifo {
+		m.req(id).queued = false
+	}
+	d.fifo = d.fifo[:0]
+}
+
+func (m *requestMonitor) observe(s *Suite, ev *obs.Event) {
+	i := -1
+	report := func(format string, args ...any) {
+		if i < 0 {
+			i = s.monIdx(m)
+		}
+		s.addEv(i, ev, format, args...)
+	}
+	switch ev.Kind {
+	case obs.KindArrive:
+		r := m.req(ev.Req)
+		if r.arrived {
+			report("duplicate arrival")
+		}
+		r.arrived, r.arriveAt = true, ev.At
+	case obs.KindDecision:
+		if !m.req(ev.Req).arrived {
+			report("decision for a request that never arrived")
+		}
+	case obs.KindDispatch:
+		r := m.req(ev.Req)
+		switch {
+		case !r.arrived:
+			report("dispatch before arrival")
+		case r.terminal != 0:
+			report("dispatch after terminal %v event", r.terminal)
+		case r.queued:
+			report("dispatch while still owned by disk %d", r.queuedOn)
+		}
+		r.dispatches++
+	case obs.KindQueue:
+		r := m.req(ev.Req)
+		if r.queued {
+			report("queued on disk %d while still owned by disk %d", ev.Disk, r.queuedOn)
+			break
+		}
+		r.queued, r.queuedOn = true, ev.Disk
+		d := m.disk(ev.Disk)
+		d.fifo = append(d.fifo, ev.Req)
+	case obs.KindServe:
+		d := m.disk(ev.Disk)
+		if d.hasInflight {
+			report("service starts while request %d is still in flight", d.inflight)
+		}
+		pos := -1
+		for k, id := range d.fifo {
+			if id == ev.Req {
+				pos = k
+				break
+			}
+		}
+		if pos < 0 {
+			report("service for a request not queued on disk %d", ev.Disk)
+		} else {
+			if m.fifoOrder && pos != 0 {
+				report("out-of-FIFO service: queue head is request %d", d.fifo[0])
+			}
+			copy(d.fifo[pos:], d.fifo[pos+1:])
+			d.fifo = d.fifo[:len(d.fifo)-1]
+		}
+		d.inflight, d.hasInflight = ev.Req, true
+	case obs.KindComplete:
+		d := m.disk(ev.Disk)
+		r := m.req(ev.Req)
+		if !d.hasInflight || d.inflight != ev.Req {
+			report("completion without service in flight on disk %d", ev.Disk)
+		} else {
+			d.hasInflight = false
+		}
+		if r.terminal != 0 {
+			report("second terminal event (already %v)", r.terminal)
+		}
+		r.terminal, r.queued = obs.KindComplete, false
+	case obs.KindDrop:
+		r := m.req(ev.Req)
+		if r.terminal != 0 {
+			report("second terminal event (already %v)", r.terminal)
+		}
+		if !r.arrived {
+			report("drop before arrival")
+		}
+		r.terminal, r.queued = obs.KindDrop, false
+	case obs.KindCacheHit:
+		r := m.req(ev.Req)
+		if r.terminal != 0 {
+			report("second terminal event (already %v)", r.terminal)
+		}
+		if r.dispatches > 0 {
+			report("cache hit after %d dispatches", r.dispatches)
+		}
+		r.terminal, r.queued = obs.KindCacheHit, false
+	case obs.KindPower:
+		if ev.To == core.StateStandby {
+			// Normal spin-down completion reaches standby with an empty
+			// queue; a failure drains whatever the disk held. Either way
+			// the disk owns nothing once it is in standby.
+			m.release(s, m.disk(ev.Disk))
+		}
+	case obs.KindEnd:
+		d := m.disk(ev.Disk)
+		pending := len(d.fifo)
+		if d.hasInflight {
+			pending++
+		}
+		if pending > 0 {
+			report("disk ends the run with %d requests outstanding", pending)
+		}
+	}
+}
+
+func (m *requestMonitor) finish(s *Suite) {
+	if !s.hasEnd {
+		return // partial capture: lifecycles legitimately still open
+	}
+	i := s.monIdx(m)
+	ids := make([]core.RequestID, 0, len(m.reqs))
+	for id := range m.reqs {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(a, b int) bool { return ids[a] < ids[b] })
+	for _, id := range ids {
+		r := m.reqs[id]
+		if r.arrived && r.terminal == 0 {
+			s.add(i, s.lastSeq, r.arriveAt, core.InvalidDisk, id, 0,
+				"request arrived but never completed, dropped or hit cache")
+		}
+	}
+}
+
+// replicaMonitor checks that every scheduling decision and every dispatch
+// targets a disk actually holding a replica of the block.
+type replicaMonitor struct {
+	locations func(core.BlockID) []core.DiskID
+}
+
+func (*replicaMonitor) name() string { return MonitorReplicas }
+
+func (m *replicaMonitor) observe(s *Suite, ev *obs.Event) {
+	switch ev.Kind {
+	case obs.KindDecision, obs.KindDispatch:
+	default:
+		return
+	}
+	if ev.Block < 0 {
+		return // logs from before decisions carried blocks
+	}
+	for _, d := range m.locations(ev.Block) {
+		if d == ev.Disk {
+			return
+		}
+	}
+	s.addEv(s.monIdx(m), ev, "%v targets disk %d, which holds no replica of block %d",
+		ev.Kind, ev.Disk, ev.Block)
+}
+
+func (*replicaMonitor) finish(*Suite) {}
+
+// thresholdMonitor checks 2CPM compliance: under a spin-down policy every
+// idle->spin-down transition happens exactly the policy threshold after
+// the disk entered idle; under always-on no disk ever spins down.
+type thresholdMonitor struct {
+	threshold time.Duration
+	spinsDown bool
+	policy    string
+	disks     map[core.DiskID]*diskTrack
+}
+
+func newThresholdMonitor(p power.Policy) *thresholdMonitor {
+	idle, ok := p.SpinDownAfter()
+	return &thresholdMonitor{threshold: idle, spinsDown: ok, policy: p.Name(), disks: map[core.DiskID]*diskTrack{}}
+}
+
+func (*thresholdMonitor) name() string { return MonitorThreshold }
+
+func (m *thresholdMonitor) observe(s *Suite, ev *obs.Event) {
+	if ev.Kind != obs.KindPower || !ev.From.Valid() || !ev.To.Valid() {
+		return
+	}
+	t := m.disks[ev.Disk]
+	if t == nil {
+		t = &diskTrack{}
+		m.disks[ev.Disk] = t
+	}
+	inSync := t.reveal(ev.From)
+	if ev.From == core.StateIdle && ev.To == core.StateSpinDown {
+		i := s.monIdx(m)
+		switch {
+		case !m.spinsDown:
+			s.addEv(i, ev, "disk spun down under the %s policy, which never spins down", m.policy)
+		case inSync:
+			if dur := ev.At - t.since; dur != m.threshold {
+				s.addEv(i, ev, "spin-down after %v idle; the %s threshold is %v", dur, m.policy, m.threshold)
+			}
+		}
+	}
+	t.state, t.since = ev.To, ev.At
+}
+
+func (*thresholdMonitor) finish(*Suite) {}
+
+// latencyDisk tracks the in-flight service interval on one disk.
+type latencyDisk struct {
+	serveAt time.Duration
+	req     core.RequestID
+	serving bool
+}
+
+// latencyMonitor checks latency sanity: a completion's recorded latency is
+// exactly completion time minus arrival time, and both the latency and the
+// serve->complete interval respect the mechanical lower bound (mean
+// rotational latency) when mechanics are configured. Cache hits bypass the
+// mechanics and only need a non-negative latency.
+type latencyMonitor struct {
+	minService time.Duration // 0 disables the mechanical floor
+	disks      map[core.DiskID]*latencyDisk
+	arrivals   map[core.RequestID]time.Duration
+}
+
+func (*latencyMonitor) name() string { return MonitorLatency }
+
+func (m *latencyMonitor) observe(s *Suite, ev *obs.Event) {
+	switch ev.Kind {
+	case obs.KindArrive:
+		m.arrivals[ev.Req] = ev.At
+	case obs.KindServe:
+		d := m.disks[ev.Disk]
+		if d == nil {
+			d = &latencyDisk{}
+			m.disks[ev.Disk] = d
+		}
+		d.serveAt, d.req, d.serving = ev.At, ev.Req, true
+	case obs.KindComplete:
+		i := s.monIdx(m)
+		if at, ok := m.arrivals[ev.Req]; ok {
+			if want := ev.At - at; ev.Latency != want {
+				s.addEv(i, ev, "recorded latency %v, completion minus arrival is %v", ev.Latency, want)
+			}
+		}
+		if m.minService > 0 && ev.Latency < m.minService {
+			s.addEv(i, ev, "latency %v below the mechanical floor %v (half a revolution)",
+				ev.Latency, m.minService)
+		}
+		if d := m.disks[ev.Disk]; d != nil && d.serving && d.req == ev.Req {
+			d.serving = false
+			if m.minService > 0 && ev.At-d.serveAt < m.minService {
+				s.addEv(i, ev, "service took %v, below the mechanical floor %v",
+					ev.At-d.serveAt, m.minService)
+			}
+		}
+	case obs.KindCacheHit:
+		if ev.Latency < 0 {
+			s.addEv(s.monIdx(m), ev, "negative cache-hit latency %v", ev.Latency)
+		}
+	}
+}
+
+func (*latencyMonitor) finish(*Suite) {}

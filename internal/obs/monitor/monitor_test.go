@@ -1,0 +1,474 @@
+package monitor_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/placement"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// allMonitors lists every monitor name, for exactly-one-trip assertions.
+var allMonitors = []string{
+	monitor.MonitorOrder, monitor.MonitorPower, monitor.MonitorEnergy,
+	monitor.MonitorRequests, monitor.MonitorReplicas,
+	monitor.MonitorThreshold, monitor.MonitorLatency,
+}
+
+type recorded struct {
+	cfg    storage.Config
+	plc    *placement.Placement
+	events []obs.Event
+	res    *storage.Result
+}
+
+// record executes one small seeded run with a fully traced heuristic
+// scheduler and returns the event log plus the run result.
+func record(t *testing.T, opts ...storage.RunOption) recorded {
+	t.Helper()
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = 8
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: 8, NumBlocks: 60, ReplicationFactor: 2, ZipfExponent: 1, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(400, 60, 3)
+	tr := obs.NewTracer(1 << 16)
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+	res, err := storage.RunOnline(cfg, plc.Locations, h, reqs,
+		append([]storage.RunOption{storage.WithTracer(tr)}, opts...)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Dropped() != 0 {
+		t.Fatalf("tracer ring overflowed: %d events dropped", tr.Dropped())
+	}
+	return recorded{cfg: cfg, plc: plc, events: tr.Events(), res: res}
+}
+
+// suiteFor builds the full doctor configuration for a recorded run.
+func suiteFor(rec recorded) *monitor.Suite {
+	return monitor.NewSuite(monitor.Config{
+		Power:     rec.cfg.Power,
+		Mech:      rec.cfg.Mech,
+		Policy:    rec.cfg.Policy,
+		Locations: rec.plc.Locations,
+	})
+}
+
+func TestDoctorCleanRunPasses(t *testing.T) {
+	t.Parallel()
+	rec := record(t)
+	s := suiteFor(rec)
+	s.ObserveAll(rec.events)
+	s.VerifyResult(rec.res.EnergyByState)
+	s.Finish()
+	if !s.Passed() {
+		for _, v := range s.Violations() {
+			t.Error(v)
+		}
+		t.Fatalf("clean run reported %d violations", s.Total())
+	}
+	if !s.Complete() {
+		t.Error("run-end marker not observed")
+	}
+	if got := s.Events(); got != uint64(len(rec.events)) {
+		t.Errorf("observed %d events, fed %d", got, len(rec.events))
+	}
+	var sb strings.Builder
+	if _, err := s.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	rep := sb.String()
+	if strings.Contains(rep, "FAIL") {
+		t.Errorf("report contains FAIL:\n%s", rep)
+	}
+	for _, name := range []string{monitor.MonitorPower, monitor.MonitorEnergy, monitor.MonitorRequests} {
+		if !strings.Contains(rep, "PASS "+name) {
+			t.Errorf("report missing PASS line for %s:\n%s", name, rep)
+		}
+	}
+}
+
+// TestDoctorEnergyIntegralBitExact pins the tentpole's conservation claim:
+// the suite's stream integral reproduces the run's per-state meter totals
+// bit for bit, with no tolerance.
+func TestDoctorEnergyIntegralBitExact(t *testing.T) {
+	t.Parallel()
+	rec := record(t)
+	s := suiteFor(rec)
+	s.ObserveAll(rec.events)
+	got := s.EnergyByState()
+	for st := core.StateStandby; st <= core.StateSpinDown; st++ {
+		if got[st] != rec.res.EnergyByState[st] {
+			t.Errorf("%v: integral %v J != meter %v J (diff %g)",
+				st, got[st], rec.res.EnergyByState[st], got[st]-rec.res.EnergyByState[st])
+		}
+	}
+}
+
+// TestDoctorMutationsTripExactlyOneMonitor is the framework's soundness
+// check: four targeted log corruptions — an illegal power transition, a
+// dropped completion, a corrupted energy record and an off-replica
+// decision — each trip their own monitor and no other.
+func TestDoctorMutationsTripExactlyOneMonitor(t *testing.T) {
+	t.Parallel()
+	rec := record(t)
+
+	find := func(match func(obs.Event) bool) int {
+		for i, ev := range rec.events {
+			if match(ev) {
+				return i
+			}
+		}
+		t.Fatal("no event matches the mutation target")
+		return -1
+	}
+	clone := func() []obs.Event {
+		out := make([]obs.Event, len(rec.events))
+		copy(out, rec.events)
+		return out
+	}
+
+	cases := []struct {
+		name   string
+		trips  string
+		mutate func() []obs.Event
+	}{
+		{
+			name:  "illegal transition",
+			trips: monitor.MonitorPower,
+			mutate: func() []obs.Event {
+				evs := clone()
+				i := find(func(ev obs.Event) bool {
+					return ev.Kind == obs.KindPower &&
+						ev.From == core.StateStandby && ev.To == core.StateSpinUp
+				})
+				evs[i].To = core.StateActive // standby -> active skips spin-up
+				return evs
+			},
+		},
+		{
+			name:  "dropped completion",
+			trips: monitor.MonitorRequests,
+			mutate: func() []obs.Event {
+				evs := clone()
+				i := find(func(ev obs.Event) bool { return ev.Kind == obs.KindComplete })
+				return append(evs[:i:i], evs[i+1:]...)
+			},
+		},
+		{
+			name:  "corrupted energy record",
+			trips: monitor.MonitorEnergy,
+			mutate: func() []obs.Event {
+				evs := clone()
+				i := find(func(ev obs.Event) bool { return ev.Kind == obs.KindPower })
+				evs[i].EnergyJ += 0.5
+				return evs
+			},
+		},
+		{
+			name:  "off-replica decision",
+			trips: monitor.MonitorReplicas,
+			mutate: func() []obs.Event {
+				evs := clone()
+				i := find(func(ev obs.Event) bool { return ev.Kind == obs.KindDecision })
+				replicas := rec.plc.Locations(evs[i].Block)
+				for d := core.DiskID(0); int(d) < rec.cfg.NumDisks; d++ {
+					onReplica := false
+					for _, r := range replicas {
+						if r == d {
+							onReplica = true
+							break
+						}
+					}
+					if !onReplica {
+						evs[i].Disk = d
+						return evs
+					}
+				}
+				t.Fatal("every disk holds a replica; cannot craft an off-replica decision")
+				return nil
+			},
+		},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			t.Parallel()
+			s := suiteFor(rec)
+			s.ObserveAll(tc.mutate())
+			s.Finish()
+			if got := s.Count(tc.trips); got == 0 {
+				t.Errorf("%s monitor did not trip", tc.trips)
+			}
+			for _, name := range allMonitors {
+				if name == tc.trips {
+					continue
+				}
+				if got := s.Count(name); got != 0 {
+					t.Errorf("%s monitor tripped %d times; only %s should", name, got, tc.trips)
+					for _, v := range s.Violations() {
+						if v.Monitor == name {
+							t.Logf("  %s", v)
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDoctorVerifyResultCatchesMismatch: a tampered reported total is an
+// energy-conservation violation even when the stream itself is clean.
+func TestDoctorVerifyResultCatchesMismatch(t *testing.T) {
+	t.Parallel()
+	rec := record(t)
+	s := suiteFor(rec)
+	s.ObserveAll(rec.events)
+	tampered := rec.res.EnergyByState
+	tampered[core.StateIdle] += 1
+	s.VerifyResult(tampered)
+	if s.Count(monitor.MonitorEnergy) == 0 {
+		t.Error("tampered reported total not caught")
+	}
+}
+
+// TestDoctorLiveRunPasses exercises the live tee: storage.WithMonitor
+// observes the run as it executes and storage finalizes the suite
+// (VerifyResult + Finish) at end of run.
+func TestDoctorLiveRunPasses(t *testing.T) {
+	t.Parallel()
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = 8
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: 8, NumBlocks: 60, ReplicationFactor: 2, ZipfExponent: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(400, 60, 5)
+	s := monitor.NewSuite(monitor.Config{
+		Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: plc.Locations,
+	})
+	tr := obs.NewTracer(256) // deliberately tiny: the live tee must not depend on ring capacity
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+	if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs,
+		storage.WithTracer(tr), storage.WithMonitor(s)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Passed() {
+		for _, v := range s.Violations() {
+			t.Error(v)
+		}
+		t.Fatalf("live run reported %d violations", s.Total())
+	}
+	if !s.Complete() {
+		t.Error("live suite saw no run-end marker")
+	}
+	if s.Events() == 0 {
+		t.Error("live suite observed no events")
+	}
+}
+
+// TestDoctorLiveWithoutTracer: WithMonitor alone creates an internal feed;
+// the stream then lacks scheduler decisions but all physical invariants
+// still verify.
+func TestDoctorLiveWithoutTracer(t *testing.T) {
+	t.Parallel()
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = 8
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: 8, NumBlocks: 60, ReplicationFactor: 2, ZipfExponent: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(300, 60, 5)
+	s := monitor.NewSuite(monitor.Config{
+		Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: plc.Locations,
+	})
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+	if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs, storage.WithMonitor(s)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Passed() {
+		for _, v := range s.Violations() {
+			t.Error(v)
+		}
+		t.Fatal("monitor-only run reported violations")
+	}
+	if s.Events() == 0 {
+		t.Error("internal tracer fed no events")
+	}
+}
+
+// TestDoctorFailureInjectionConservation is the fault-tolerance acceptance
+// test: runs with abrupt disk failures, drains and re-dispatches still
+// satisfy every invariant — in particular request and energy conservation
+// — under the full suite, for both scheduling models.
+func TestDoctorFailureInjectionConservation(t *testing.T) {
+	t.Parallel()
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = 8
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: 8, NumBlocks: 60, ReplicationFactor: 3, ZipfExponent: 1, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(500, 60, 9)
+	failures := []storage.FailureEvent{
+		{Disk: 0, At: time.Second, Duration: 5 * time.Minute},
+		{Disk: 3, At: 30 * time.Second, Duration: 10 * time.Minute},
+		{Disk: 0, At: 20 * time.Minute, Duration: time.Minute},
+	}
+	newSuite := func() *monitor.Suite {
+		return monitor.NewSuite(monitor.Config{
+			Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: plc.Locations,
+		})
+	}
+	check := func(t *testing.T, s *monitor.Suite, res *storage.Result) {
+		t.Helper()
+		if res.Redispatched == 0 {
+			t.Log("note: no requests were drained by the injected failures")
+		}
+		for _, name := range []string{monitor.MonitorRequests, monitor.MonitorEnergy} {
+			if got := s.Count(name); got != 0 {
+				t.Errorf("%s: %d violations under failure injection", name, got)
+			}
+		}
+		if !s.Passed() {
+			for _, v := range s.Violations() {
+				t.Error(v)
+			}
+		}
+	}
+	t.Run("online", func(t *testing.T) {
+		t.Parallel()
+		s := newSuite()
+		tr := obs.NewTracer(1 << 10)
+		h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+		res, err := storage.RunOnline(cfg, plc.Locations, h, reqs,
+			storage.WithTracer(tr), storage.WithMonitor(s), storage.WithFailures(failures...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, s, res)
+	})
+	t.Run("batch", func(t *testing.T) {
+		t.Parallel()
+		s := newSuite()
+		tr := obs.NewTracer(1 << 10)
+		w := sched.WSC{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+		res, err := storage.RunBatch(cfg, plc.Locations, w, reqs, 100*time.Millisecond,
+			storage.WithTracer(tr), storage.WithMonitor(s), storage.WithFailures(failures...))
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(t, s, res)
+	})
+}
+
+// TestDoctorNonFIFODiscipline: an SSTF run passes with the FIFO check
+// relaxed (the other request-conservation checks remain in force).
+func TestDoctorNonFIFODiscipline(t *testing.T) {
+	t.Parallel()
+	cfg := storage.DefaultConfig()
+	cfg.NumDisks = 8
+	cfg.Discipline = diskmodel.SSTF
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: 8, NumBlocks: 60, ReplicationFactor: 2, ZipfExponent: 1, Seed: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reqs := workload.CelloLike(400, 60, 4)
+	s := monitor.NewSuite(monitor.Config{
+		Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy,
+		Locations: plc.Locations, NonFIFO: true,
+	})
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+	if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs, storage.WithMonitor(s)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Passed() {
+		for _, v := range s.Violations() {
+			t.Error(v)
+		}
+		t.Fatal("SSTF run reported violations with NonFIFO set")
+	}
+}
+
+// TestDoctorPartialLogNoFalsePositives: a truncated capture (no run-end
+// marker) must not report unterminated requests or unclosed disks — those
+// finish checks only make sense for complete logs.
+func TestDoctorPartialLogTolerated(t *testing.T) {
+	t.Parallel()
+	rec := record(t)
+	half := rec.events[:len(rec.events)/2]
+	s := suiteFor(rec)
+	s.ObserveAll(half)
+	s.Finish()
+	if s.Complete() {
+		t.Fatal("half a log should not contain the run-end marker")
+	}
+	if !s.Passed() {
+		for _, v := range s.Violations() {
+			t.Error(v)
+		}
+		t.Fatal("partial capture reported violations")
+	}
+}
+
+// TestDoctorViolationCapKeepsCounting: MaxViolations bounds kept details,
+// not the counts.
+func TestDoctorViolationCapKeepsCounting(t *testing.T) {
+	t.Parallel()
+	rec := record(t)
+	evs := make([]obs.Event, len(rec.events))
+	copy(evs, rec.events)
+	corrupted := 0
+	for i := range evs {
+		if evs[i].Kind == obs.KindPower {
+			evs[i].EnergyJ += 0.25
+			corrupted++
+		}
+	}
+	if corrupted < 5 {
+		t.Fatalf("only %d power events in the fixture", corrupted)
+	}
+	s := monitor.NewSuite(monitor.Config{
+		Power: rec.cfg.Power, Mech: rec.cfg.Mech, Policy: rec.cfg.Policy,
+		Locations: rec.plc.Locations, MaxViolations: 2,
+	})
+	s.ObserveAll(evs)
+	if got := s.Count(monitor.MonitorEnergy); got < uint64(corrupted) {
+		t.Errorf("counted %d energy violations, corrupted %d records", got, corrupted)
+	}
+	kept := 0
+	for _, v := range s.Violations() {
+		if v.Monitor == monitor.MonitorEnergy {
+			kept++
+		}
+	}
+	if kept != 2 {
+		t.Errorf("kept %d violations, cap is 2", kept)
+	}
+	var sb strings.Builder
+	if _, err := s.WriteReport(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "more") {
+		t.Errorf("report does not mention elided violations:\n%s", sb.String())
+	}
+}

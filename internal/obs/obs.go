@@ -190,6 +190,7 @@ type Tracer struct {
 	binary    bool
 	encBuf    []byte
 	err       error
+	observer  func(Event)
 }
 
 // DefaultCapacity is the ring size used when NewTracer is given a
@@ -219,6 +220,15 @@ func (t *Tracer) SetSink(w io.Writer, binary bool) {
 	t.sink = w
 	t.binary = binary
 }
+
+// SetObserver tees every emitted event (after its sequence number is
+// assigned) to fn, in emission order, in addition to the ring buffer. It is
+// how runtime verifiers (internal/obs/monitor) watch a live run without a
+// second log pass. A nil fn removes the tee; the disabled-tracer fast path
+// is unaffected either way, so observation follows the layer's rule:
+// nothing feeds back into the run, and a disabled tracer still costs one
+// branch and zero allocations.
+func (t *Tracer) SetObserver(fn func(Event)) { t.observer = fn }
 
 // Enabled reports whether the tracer is recording. A nil tracer is
 // disabled.
@@ -270,6 +280,9 @@ func (t *Tracer) Emit(ev Event) {
 	}
 	t.ring[i] = ev
 	t.n++
+	if t.observer != nil {
+		t.observer(ev)
+	}
 }
 
 // Events returns a copy of the buffered events, oldest first.
@@ -368,14 +381,16 @@ func (t *Tracer) Arrive(now time.Duration, req core.RequestID, block core.BlockI
 
 // Decision records a scheduler decision with its cost-function terms and
 // returns the decision's assigned ID (0 on a nil or disabled tracer, where
-// nothing is recorded).
-func (t *Tracer) Decision(now time.Duration, req core.RequestID, d core.DiskID, cost, energyJ float64, load int) DecisionID {
+// nothing is recorded). block is the block whose replica set the decision
+// chose from, so log consumers can check replica validity of the decision
+// itself (-1 when unknown).
+func (t *Tracer) Decision(now time.Duration, req core.RequestID, block core.BlockID, d core.DiskID, cost, energyJ float64, load int) DecisionID {
 	if t == nil || !t.enabled.Load() {
 		return 0
 	}
 	t.decisions++
 	id := DecisionID(t.decisions)
-	t.Emit(Event{At: now, Kind: KindDecision, Disk: d, Req: req, Block: -1,
+	t.Emit(Event{At: now, Kind: KindDecision, Disk: d, Req: req, Block: block,
 		Cost: cost, EnergyJ: energyJ, Depth: load, Dec: id})
 	return id
 }

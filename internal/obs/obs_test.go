@@ -12,7 +12,7 @@ import (
 // emitOneOfEach drives every emit helper once and returns the tracer.
 func emitOneOfEach(t *Tracer) {
 	t.Arrive(1*time.Second, 7, 42)
-	dec := t.Decision(1*time.Second, 7, 3, 1.25, 148.5, 2)
+	dec := t.Decision(1*time.Second, 7, 42, 3, 1.25, 148.5, 2)
 	t.Dispatch(1*time.Second, 7, 42, 3, dec)
 	t.Queue(1*time.Second, 7, 3, 4, dec)
 	t.Serve(2*time.Second, 7, 3)

@@ -94,7 +94,7 @@ func (m *Meter) Close(now time.Duration) float64 {
 func (m *Meter) accrue(now time.Duration) float64 {
 	dt := now - m.since
 	m.elapsed[m.state] += dt
-	j := m.cfg.StatePower(m.state) * dt.Seconds()
+	j := m.cfg.Accrual(m.state, dt)
 	m.energy += j
 	m.energyBy[m.state] += j
 	return j

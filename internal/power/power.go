@@ -121,6 +121,15 @@ func (c Config) StatePower(s core.DiskState) float64 {
 	}
 }
 
+// Accrual returns the energy, in joules, a disk accrues by spending dt in
+// state s: StatePower(s) * dt seconds. It is the Meter's integration step,
+// exported so runtime verifiers (internal/obs/monitor) can recompute every
+// accrual from the state timeline with bit-identical floating-point
+// operations.
+func (c Config) Accrual(s core.DiskState, dt time.Duration) float64 {
+	return c.StatePower(s) * dt.Seconds()
+}
+
 // Validate reports whether the configuration is physically sensible.
 func (c Config) Validate() error {
 	switch {

@@ -173,7 +173,7 @@ func (h Heuristic) Schedule(req core.Request, v View) core.DiskID {
 		}
 	}
 	if h.Tracer.Enabled() {
-		h.Tracer.Decision(v.Now(), req.ID, best, bestCost,
+		h.Tracer.Decision(v.Now(), req.ID, req.Block, best, bestCost,
 			h.Cost.EnergyCost(v, best), v.Load(best))
 	}
 	return best
@@ -307,7 +307,7 @@ func traceBatchDecisions(tr *obs.Tracer, cost CostConfig, reqs []core.Request, o
 		if d == core.InvalidDisk {
 			continue
 		}
-		tr.Decision(v.Now(), r.ID, d, cost.Cost(v, d), cost.EnergyCost(v, d), v.Load(d))
+		tr.Decision(v.Now(), r.ID, r.Block, d, cost.Cost(v, d), cost.EnergyCost(v, d), v.Load(d))
 	}
 }
 

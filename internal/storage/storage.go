@@ -16,6 +16,7 @@ import (
 	"repro/internal/diskmodel"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/offline"
 	"repro/internal/power"
 	"repro/internal/sched"
@@ -100,6 +101,7 @@ type system struct {
 	resp         metrics.ResponseTimes
 	tr           *obs.Tracer
 	rm           *obs.RunMetrics
+	mon          *monitor.Suite
 	err          error
 	served       int
 	dropped      int
@@ -118,7 +120,7 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 	if policy == nil {
 		policy = power.TwoCompetitive{Config: cfg.Power}
 	}
-	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer}
+	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer, mon: o.monitor}
 	if o.collector != nil {
 		s.rm = obs.NewRunMetrics(o.collector)
 		rm := s.rm
@@ -300,6 +302,12 @@ func (s *system) finish(name string, reqs []core.Request) (*Result, error) {
 	// this run-end marker make the log self-contained: a replay recovers the
 	// horizon, the kernel event count and the exact meter totals.
 	s.tr.RunEnd(end, s.eng.Fired())
+	if s.mon != nil {
+		// The stream is complete: cross-check the meters' totals against the
+		// live integral, then run the suite's end-of-stream checks.
+		s.mon.VerifyResult(res.EnergyByState)
+		s.mon.Finish()
+	}
 	if s.rm != nil {
 		// Overwrite the live approximations with the authoritative end-of-run
 		// values so exporter output matches the report aggregates exactly.
@@ -347,6 +355,7 @@ type runOptions struct {
 	stateLog  io.Writer
 	tracer    *obs.Tracer
 	collector *obs.Collector
+	monitor   *monitor.Suite
 }
 
 // WithCache places a block cache in front of the scheduler: read hits are
@@ -375,10 +384,30 @@ func WithCollector(c *obs.Collector) RunOption {
 	return func(o *runOptions) { o.collector = c }
 }
 
+// WithMonitor tees every traced event into a runtime-verification suite
+// (the "doctor"): power-machine legality, energy and request conservation,
+// replica validity, threshold compliance and latency sanity are checked
+// live as the run executes. When no WithTracer is given, a minimal
+// internal tracer is created to feed the suite (scheduler decisions are
+// then absent from the stream; pass a shared traced scheduler + WithTracer
+// for full coverage). At the end of the run the suite's end-of-stream
+// checks run and the reported energy totals are cross-checked against the
+// stream integral; inspect Suite.Passed / WriteReport afterwards. A
+// violation does not abort the run.
+func WithMonitor(m *monitor.Suite) RunOption {
+	return func(o *runOptions) { o.monitor = m }
+}
+
 func applyOptions(opts []RunOption) runOptions {
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
+	}
+	if o.monitor != nil {
+		if o.tracer == nil {
+			o.tracer = obs.NewTracer(1)
+		}
+		o.tracer.SetObserver(o.monitor.Observe)
 	}
 	return o
 }

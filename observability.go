@@ -2,6 +2,7 @@ package repro
 
 import (
 	"repro/internal/obs"
+	"repro/internal/obs/monitor"
 	"repro/internal/sched"
 	"repro/internal/storage"
 )
@@ -45,6 +46,33 @@ func WithTracer(tr *Tracer) RunOption { return storage.WithTracer(tr) }
 // c during a run; end-of-run values are reconciled to the exact report
 // aggregates.
 func WithCollector(c *Collector) RunOption { return storage.WithCollector(c) }
+
+// Runtime verification (internal/obs/monitor): streaming invariant
+// monitors over the event stream. See the "Runtime invariants & the
+// doctor" section of docs/OBSERVABILITY.md.
+type (
+	// Doctor is a runtime-verification suite: a set of streaming invariant
+	// monitors (power-state legality, bit-exact energy conservation,
+	// request conservation, replica validity, 2CPM threshold compliance,
+	// latency sanity) checked over a run's event stream.
+	Doctor = monitor.Suite
+	// DoctorConfig parameterizes a Doctor with the run's physical model.
+	DoctorConfig = monitor.Config
+	// DoctorViolation is one observed invariant violation, pinned to the
+	// event sequence number, disk, request and decision involved.
+	DoctorViolation = monitor.Violation
+)
+
+// NewDoctor returns a runtime-verification suite for the given system
+// model. Feed it events with Doctor.Observe (or attach it to a live run
+// with WithDoctor) and collect the verdict with Doctor.Passed.
+func NewDoctor(cfg DoctorConfig) *Doctor { return monitor.NewSuite(cfg) }
+
+// WithDoctor tees a live run's event stream into the suite and finalizes
+// it (including the bit-exact energy cross-check against the run's result)
+// when the run ends. Violations never alter the run; callers inspect
+// Doctor.Passed afterwards.
+func WithDoctor(d *Doctor) RunOption { return storage.WithMonitor(d) }
 
 // NewTracedHeuristicScheduler is NewHeuristicScheduler with decision
 // tracing: every placement emits a decision event carrying the winning

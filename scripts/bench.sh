@@ -2,8 +2,8 @@
 # bench.sh — benchmark-regression harness.
 #
 # Runs the tier-1 figure benchmarks (BenchmarkFigure*) plus the offline
-# pipeline and trace-analyzer benchmarks with -benchmem and records the
-# result as
+# pipeline, trace-analyzer and live-doctor benchmarks with -benchmem and
+# records the result as
 # BENCH_<date>.json in the repo root: a small JSON envelope with machine
 # metadata and the raw `go test -bench` text embedded verbatim, so
 #
@@ -14,7 +14,7 @@
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
-#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay')
+#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
 #   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
@@ -30,7 +30,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay}"
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
 
