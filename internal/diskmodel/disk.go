@@ -25,10 +25,15 @@ type Disk struct {
 	meter  *power.Meter
 	onDone DoneFunc
 
-	state      core.DiskState
-	onTrans    func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta)
-	tr         *obs.Tracer
+	state   core.DiskState
+	onTrans func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta)
+	tr      *obs.Tracer
+	// queue[qhead:] is the live FIFO window into a preallocated, reused
+	// buffer: the head pops by advancing qhead (no copy, no allocation) and
+	// the tail compacts the window down only when the buffer is full, so
+	// steady-state queueing costs zero heap traffic.
 	queue      []core.Request
+	qhead      int
 	inFlight   bool
 	inFlightRq core.Request
 	idleTimer  simkernel.Handle
@@ -43,6 +48,14 @@ type Disk struct {
 	failed     bool
 	failures   int
 	closed     bool
+
+	// Event callbacks bound once at construction: scheduling a service
+	// completion or power transition reuses these instead of allocating a
+	// closure (or method-value wrapper) per event.
+	svcFn      simkernel.Event
+	idleFn     simkernel.Event
+	spunUpFn   simkernel.Event
+	spunDownFn simkernel.Event
 
 	// spinCause is the scheduler decision whose request initiated the
 	// in-progress spin-up cycle; it stamps the transitions into and out of
@@ -108,11 +121,56 @@ func New(id core.DiskID, mech MechConfig, pcfg power.Config, policy power.Policy
 		disc:      disc,
 		onTrans:   opts.OnTransition,
 		tr:        opts.Tracer,
+		queue:     make([]core.Request, 0, initialQueueCap),
 	}
+	d.svcFn = d.onServiceDone
+	d.idleFn = d.onIdleTimeout
+	d.spunUpFn = d.onSpunUp
+	d.spunDownFn = d.onSpunDown
 	if initial == core.StateIdle {
 		d.armIdleTimer()
 	}
 	return d, nil
+}
+
+// initialQueueCap preallocates each disk's queue buffer; bursts deeper than
+// this grow it once and the grown buffer is reused for the rest of the run.
+const initialQueueCap = 16
+
+// queued returns the number of requests waiting (excluding in-flight).
+func (d *Disk) queued() int { return len(d.queue) - d.qhead }
+
+// enqueue appends to the FIFO window, compacting the buffer in place when
+// the dead prefix is all that stands between the tail and capacity.
+func (d *Disk) enqueue(req core.Request) {
+	if d.qhead > 0 && len(d.queue) == cap(d.queue) {
+		n := copy(d.queue, d.queue[d.qhead:])
+		d.queue = d.queue[:n]
+		d.qhead = 0
+	}
+	d.queue = append(d.queue, req)
+}
+
+// takeAt removes and returns the i-th waiting request (relative to the live
+// window). The head pops in O(1); interior removals (SSTF/SCAN picks) shift
+// the tail down, preserving arrival order exactly as the old copying queue
+// did — bit-identical service sequences, zero allocations.
+func (d *Disk) takeAt(i int) core.Request {
+	idx := d.qhead + i
+	req := d.queue[idx]
+	if i == 0 {
+		d.queue[idx] = core.Request{}
+		d.qhead++
+		if d.qhead == len(d.queue) {
+			d.queue = d.queue[:0]
+			d.qhead = 0
+		}
+		return req
+	}
+	copy(d.queue[idx:], d.queue[idx+1:])
+	d.queue[len(d.queue)-1] = core.Request{}
+	d.queue = d.queue[:len(d.queue)-1]
+	return req
 }
 
 // ID returns the disk's identifier.
@@ -124,7 +182,7 @@ func (d *Disk) State() core.DiskState { return d.state }
 // Load returns the current number of requests on the disk (queued plus in
 // service) — the paper's performance cost P(d_k), Eq. 7.
 func (d *Disk) Load() int {
-	n := len(d.queue)
+	n := d.queued()
 	if d.inFlight {
 		n++
 	}
@@ -174,7 +232,7 @@ func (d *Disk) SubmitCaused(req core.Request, cause obs.DecisionID) {
 	now := d.eng.Now()
 	d.lastReq = now
 	d.everReq = true
-	d.queue = append(d.queue, req)
+	d.enqueue(req)
 	d.tr.Queue(now, req.ID, d.id, d.Load(), cause)
 	switch d.state {
 	case core.StateStandby:
@@ -197,7 +255,7 @@ func (d *Disk) SubmitCaused(req core.Request, cause obs.DecisionID) {
 func (d *Disk) beginSpinUp(now time.Duration, cause obs.DecisionID) {
 	d.spinCause = cause
 	d.setStateCause(now, core.StateSpinUp, cause)
-	d.transition = d.eng.After(d.pcfg.SpinUpTime, d.onSpunUp)
+	d.transition = d.eng.After(d.pcfg.SpinUpTime, d.spunUpFn)
 }
 
 func (d *Disk) onSpunUp(now time.Duration) {
@@ -207,7 +265,7 @@ func (d *Disk) onSpunUp(now time.Duration) {
 	cause := d.spinCause
 	d.spinCause = 0
 	d.setStateCause(now, core.StateIdle, cause)
-	if len(d.queue) > 0 {
+	if d.queued() > 0 {
 		d.startNext(now)
 	} else {
 		d.armIdleTimer()
@@ -217,15 +275,15 @@ func (d *Disk) onSpunUp(now time.Duration) {
 // startNext begins servicing the queue head, or parks the disk idle when
 // the queue is empty.
 func (d *Disk) startNext(now time.Duration) {
-	if len(d.queue) == 0 {
+	if d.queued() == 0 {
 		if d.state != core.StateIdle {
 			d.setState(now, core.StateIdle)
 		}
 		d.armIdleTimer()
 		return
 	}
-	req, rest, ascending := pickNext(d.disc, d.queue, d.headLBA, d.ascending)
-	d.queue = rest
+	pick, ascending := pickIndex(d.disc, d.queue[d.qhead:], d.headLBA, d.ascending)
+	req := d.takeAt(pick)
 	d.ascending = ascending
 	d.inFlight = true
 	d.inFlightRq = req
@@ -239,15 +297,22 @@ func (d *Disk) startNext(now time.Duration) {
 		size = d.mech.DefaultIO
 	}
 	d.headLBA = req.LBA + size/d.mech.SectorSize
-	d.serviceEv = d.eng.After(svc, func(done time.Duration) {
-		d.inFlight = false
-		d.served++
-		d.tr.Complete(done, req.ID, d.id, done-req.Arrival)
-		if d.onDone != nil {
-			d.onDone(req, done)
-		}
-		d.startNext(done)
-	})
+	d.serviceEv = d.eng.After(svc, d.svcFn)
+}
+
+// onServiceDone completes the in-flight request and chains to the next one.
+// It is bound once as svcFn; the request travels in d.inFlightRq instead of
+// a per-service closure capture.
+func (d *Disk) onServiceDone(done time.Duration) {
+	req := d.inFlightRq
+	d.inFlight = false
+	d.inFlightRq = core.Request{}
+	d.served++
+	d.tr.Complete(done, req.ID, d.id, done-req.Arrival)
+	if d.onDone != nil {
+		d.onDone(req, done)
+	}
+	d.startNext(done)
 }
 
 func (d *Disk) armIdleTimer() {
@@ -255,7 +320,7 @@ func (d *Disk) armIdleTimer() {
 	if !ok {
 		return // always-on: never spin down
 	}
-	d.idleTimer = d.eng.After(idle, d.onIdleTimeout)
+	d.idleTimer = d.eng.After(idle, d.idleFn)
 }
 
 func (d *Disk) onIdleTimeout(now time.Duration) {
@@ -264,11 +329,11 @@ func (d *Disk) onIdleTimeout(now time.Duration) {
 		return
 	}
 	d.setState(now, core.StateSpinDown)
-	d.transition = d.eng.After(d.pcfg.SpinDownTime, d.onSpunDown)
+	d.transition = d.eng.After(d.pcfg.SpinDownTime, d.spunDownFn)
 }
 
 func (d *Disk) onSpunDown(now time.Duration) {
-	if len(d.queue) > 0 {
+	if d.queued() > 0 {
 		// A request arrived mid-spin-down: complete the cycle and go
 		// straight back up (2CPM disks cannot abort a transition). The
 		// first mid-spin-down arrival is charged with the spin-up.
@@ -308,9 +373,11 @@ func (d *Disk) Fail() []core.Request {
 	if d.inFlight {
 		drained = append(drained, d.inFlightRq)
 		d.inFlight = false
+		d.inFlightRq = core.Request{}
 	}
-	drained = append(drained, d.queue...)
-	d.queue = nil
+	drained = append(drained, d.queue[d.qhead:]...)
+	d.queue = d.queue[:0]
+	d.qhead = 0
 	d.headLBA = -1 // head position lost with the power
 	d.spinCause, d.wakeCause = 0, 0
 	if d.state != core.StateStandby {

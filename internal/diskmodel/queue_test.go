@@ -1,0 +1,87 @@
+package diskmodel
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func queueIDs(d *Disk) []core.RequestID {
+	ids := make([]core.RequestID, 0, d.queued())
+	for _, r := range d.queue[d.qhead:] {
+		ids = append(ids, r.ID)
+	}
+	return ids
+}
+
+func reqN(i int) core.Request { return core.Request{ID: core.RequestID(i), LBA: int64(i)} }
+
+// TestQueueWindowHeadPop exercises the deque-as-window FIFO: head pops
+// advance qhead in O(1), interior removals preserve relative order, and
+// draining resets the window to the slice start.
+func TestQueueWindowHeadPop(t *testing.T) {
+	d := &Disk{}
+	for i := 0; i < 5; i++ {
+		d.enqueue(reqN(i))
+	}
+	if d.queued() != 5 {
+		t.Fatalf("queued = %d, want 5", d.queued())
+	}
+	if got := d.takeAt(0); got.ID != 0 {
+		t.Fatalf("head pop returned %d, want 0", got.ID)
+	}
+	if d.qhead != 1 {
+		t.Fatalf("head pop did not advance the window (qhead=%d)", d.qhead)
+	}
+	// Interior removal: take index 1 of the live window {1,2,3,4} → 2.
+	if got := d.takeAt(1); got.ID != 2 {
+		t.Fatalf("takeAt(1) returned %d, want 2", got.ID)
+	}
+	want := []core.RequestID{1, 3, 4}
+	for i, id := range queueIDs(d) {
+		if id != want[i] {
+			t.Fatalf("after interior removal queue = %v, want %v", queueIDs(d), want)
+		}
+	}
+	// Drain via head pops; the window must reset so capacity is reusable.
+	for _, wantID := range want {
+		if got := d.takeAt(0); got.ID != wantID {
+			t.Fatalf("drain pop returned %d, want %d", got.ID, wantID)
+		}
+	}
+	if d.queued() != 0 || d.qhead != 0 || len(d.queue) != 0 {
+		t.Fatalf("drained queue did not reset: len=%d qhead=%d", len(d.queue), d.qhead)
+	}
+}
+
+// TestQueueWindowCompaction fills the backing array past its capacity with
+// a dead prefix present, forcing enqueue to compact instead of growing.
+func TestQueueWindowCompaction(t *testing.T) {
+	d := &Disk{queue: make([]core.Request, 0, initialQueueCap)}
+	for i := 0; i < initialQueueCap; i++ {
+		d.enqueue(reqN(i))
+	}
+	for i := 0; i < initialQueueCap/2; i++ {
+		d.takeAt(0)
+	}
+	// Half the backing array is dead prefix; these appends must reuse it.
+	capBefore := cap(d.queue)
+	for i := initialQueueCap; i < initialQueueCap+initialQueueCap/2; i++ {
+		d.enqueue(reqN(i))
+	}
+	if cap(d.queue) != capBefore {
+		t.Fatalf("enqueue grew the array (cap %d -> %d) instead of compacting", capBefore, cap(d.queue))
+	}
+	if d.qhead != 0 {
+		t.Fatalf("compaction left qhead=%d", d.qhead)
+	}
+	ids := queueIDs(d)
+	if len(ids) != initialQueueCap {
+		t.Fatalf("queued = %d, want %d", len(ids), initialQueueCap)
+	}
+	for i, id := range ids {
+		if want := core.RequestID(initialQueueCap/2 + i); id != want {
+			t.Fatalf("order broken after compaction: ids[%d] = %d, want %d", i, id, want)
+		}
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"runtime"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
@@ -279,9 +280,15 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 	}, nil
 }
 
+// placementBuilds counts placement.Generate calls, so tests can verify the
+// sharing discipline: one build per (rf, zipf) cell group, zero on a sweep
+// cache hit.
+var placementBuilds atomic.Int64
+
 // makePlacement builds the Section 4.2 layout for a replication factor and
 // locality exponent.
 func makePlacement(s Scale, rf int, z float64) (*placement.Placement, error) {
+	placementBuilds.Add(1)
 	return placement.Generate(placement.GenerateConfig{
 		NumDisks:          s.NumDisks,
 		NumBlocks:         s.NumBlocks,
@@ -305,10 +312,20 @@ type ReplicationSweep struct {
 	Runs map[int][]Run
 }
 
-// SweepReplication runs the shared replication-factor sweep. Cells (one
-// per replication factor and algorithm) execute on a bounded worker pool;
-// they share only read-only inputs.
+// SweepReplication returns the shared replication-factor sweep, consulting
+// the process-wide SweepCache: the first call for a given (Scale, Trace,
+// cost, system-config) key simulates the full sweep and later calls (the
+// other figures sharing it) reuse the stored, field-identical result.
+// Doctored scales always simulate fresh (see SweepCache).
 func SweepReplication(s Scale, tr Trace) (*ReplicationSweep, error) {
+	return DefaultSweepCache().Sweep(s, tr)
+}
+
+// sweepReplicationFresh runs the replication-factor sweep. Cells (one per
+// replication factor and algorithm) execute on a bounded worker pool; they
+// share only read-only inputs, and each replication factor's placement is
+// built once and shared across its five algorithm cells.
+func sweepReplicationFresh(s Scale, tr Trace) (*ReplicationSweep, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}

@@ -1,0 +1,368 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/storage"
+)
+
+// cacheScale is a deliberately tiny sweep so cache tests simulate in
+// milliseconds; distinct seeds keep tests' keys from colliding with each
+// other and with the process-wide default cache.
+func cacheScale(seed int64) Scale {
+	s := SmallScale()
+	s.NumDisks = 10
+	s.NumRequests = 600
+	s.NumBlocks = 300
+	s.Seed = seed
+	return s
+}
+
+// assertSweepEqual compares two sweeps field by field, bit-exact on every
+// float. Response sample sets are compared through their canonical JSON
+// encoding (nanosecond-exact, order included).
+func assertSweepEqual(t *testing.T, a, b *ReplicationSweep) {
+	t.Helper()
+	if a.Trace != b.Trace {
+		t.Fatalf("Trace %v != %v", a.Trace, b.Trace)
+	}
+	if !reflect.DeepEqual(a.RFs, b.RFs) {
+		t.Fatalf("RFs %v != %v", a.RFs, b.RFs)
+	}
+	for _, rf := range a.RFs {
+		ra, rb := a.Runs[rf], b.Runs[rf]
+		if len(ra) != len(rb) {
+			t.Fatalf("rf=%d: %d vs %d runs", rf, len(ra), len(rb))
+		}
+		for i := range ra {
+			x, y := ra[i], rb[i]
+			if x.Algo != y.Algo || x.NormEnergy != y.NormEnergy ||
+				x.SpinUps != y.SpinUps || x.SpinDowns != y.SpinDowns ||
+				x.Mean != y.Mean || x.P90 != y.P90 {
+				t.Fatalf("rf=%d %s: %+v != %+v", rf, x.Algo, x, y)
+			}
+			if (x.Response == nil) != (y.Response == nil) {
+				t.Fatalf("rf=%d %s: response presence differs", rf, x.Algo)
+			}
+			if x.Response != nil {
+				ja, err1 := json.Marshal(x.Response)
+				jb, err2 := json.Marshal(y.Response)
+				if err1 != nil || err2 != nil {
+					t.Fatal(err1, err2)
+				}
+				if string(ja) != string(jb) {
+					t.Fatalf("rf=%d %s: response samples differ", rf, x.Algo)
+				}
+			}
+			if !reflect.DeepEqual(x.PerDisk, y.PerDisk) {
+				t.Fatalf("rf=%d %s: per-disk stats differ", rf, x.Algo)
+			}
+		}
+	}
+}
+
+func TestSweepCacheHitIsFieldIdenticalToFresh(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9001)
+	fresh, err := sweepReplicationFresh(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewSweepCache()
+	first, err := c.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := c.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepEqual(t, fresh, first)
+	assertSweepEqual(t, fresh, second)
+	if st := c.Stats(); st.Misses != 1 || st.Hits != 1 || st.DiskHits != 0 || st.Bypasses != 0 {
+		t.Fatalf("stats = %+v, want 1 miss + 1 hit", st)
+	}
+}
+
+func TestSweepCacheKeySensitivity(t *testing.T) {
+	t.Parallel()
+	base := cacheScale(9002)
+	cost := sched.DefaultCost(storage.DefaultConfig().Power)
+	baseKey := sweepKey(base, Cello, cost)
+
+	mutations := map[string]func(*Scale){
+		"NumDisks":       func(s *Scale) { s.NumDisks++ },
+		"NumRequests":    func(s *Scale) { s.NumRequests++ },
+		"NumBlocks":      func(s *Scale) { s.NumBlocks++ },
+		"Seed":           func(s *Scale) { s.Seed++ },
+		"BatchInterval":  func(s *Scale) { s.BatchInterval += time.Millisecond },
+		"MWISSuccessors": func(s *Scale) { s.MWISSuccessors++ },
+		"MWISMaxNodes":   func(s *Scale) { s.MWISMaxNodes++ },
+		"MWISPasses":     func(s *Scale) { s.MWISPasses++ },
+		"ZipfSteps":      func(s *Scale) { s.ZipfSteps = append(s.ZipfSteps, 0.9) },
+		"Alphas":         func(s *Scale) { s.Alphas = append(s.Alphas, 0.3) },
+		"Betas":          func(s *Scale) { s.Betas = append(s.Betas, 42) },
+		"Parallelism":    func(s *Scale) { s.Parallelism++ },
+		"Workers":        func(s *Scale) { s.Workers++ },
+	}
+	for field, mutate := range mutations {
+		s := base
+		// Deep-copy the slices so appends do not alias base.
+		s.ZipfSteps = append([]float64(nil), base.ZipfSteps...)
+		s.Alphas = append([]float64(nil), base.Alphas...)
+		s.Betas = append([]float64(nil), base.Betas...)
+		mutate(&s)
+		if sweepKey(s, Cello, cost) == baseKey {
+			t.Errorf("changing Scale.%s did not change the key", field)
+		}
+	}
+
+	if sweepKey(base, Financial, cost) == baseKey {
+		t.Error("changing the trace did not change the key")
+	}
+
+	costMut := map[string]sched.CostConfig{
+		"Alpha":           {Alpha: cost.Alpha + 0.1, Beta: cost.Beta, Power: cost.Power},
+		"Beta":            {Alpha: cost.Alpha, Beta: cost.Beta + 1, Power: cost.Power},
+		"Power.IdlePower": {Alpha: cost.Alpha, Beta: cost.Beta, Power: func() power.Config { p := cost.Power; p.IdlePower += 0.5; return p }()},
+	}
+	for field, c := range costMut {
+		if sweepKey(base, Cello, c) == baseKey {
+			t.Errorf("changing CostConfig.%s did not change the key", field)
+		}
+	}
+
+	// Result-neutral knobs must NOT shift the key: telemetry and doctoring
+	// never influence the measurements (doctored sweeps bypass the cache
+	// before the key is even computed).
+	s := base
+	s.Monitor = NewMonitor()
+	s.Doctor = true
+	if sweepKey(s, Cello, cost) != baseKey {
+		t.Error("Monitor/Doctor changed the key; they are result-neutral")
+	}
+}
+
+func TestSweepCacheDiskTierRoundTripsBitExact(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9003)
+	dir := t.TempDir()
+
+	writer := NewSweepCache()
+	if err := writer.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := writer.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reader := NewSweepCache()
+	if err := reader.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := reader.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepEqual(t, fresh, loaded)
+	if st := reader.Stats(); st.DiskHits != 1 || st.Misses != 0 {
+		t.Fatalf("reader stats = %+v, want pure disk hit", st)
+	}
+	if loaded.Scale.NumDisks != s.NumDisks || loaded.Scale.Seed != s.Seed {
+		t.Fatalf("loaded sweep lost the caller's scale: %+v", loaded.Scale)
+	}
+}
+
+func TestSweepCacheDiskTierIgnoresCorruptEntries(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9004)
+	key := sweepKey(s, Cello, sched.DefaultCost(storage.DefaultConfig().Power))
+
+	cases := map[string][]byte{
+		"garbage":       []byte("{not json"),
+		"wrong-key":     mustJSON(t, diskSweep{Version: diskSweepVersion, Key: "deadbeef", RFs: []int{1}, Runs: map[int][]Run{1: {}}}),
+		"wrong-version": mustJSON(t, diskSweep{Version: diskSweepVersion + 1, Key: key, RFs: []int{1}, Runs: map[int][]Run{1: {}}}),
+		"empty":         nil,
+	}
+	for name, raw := range cases {
+		t.Run(name, func(t *testing.T) {
+			dir := t.TempDir()
+			if err := os.WriteFile(sweepPath(dir, key), raw, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			c := NewSweepCache()
+			if err := c.SetDir(dir); err != nil {
+				t.Fatal(err)
+			}
+			sw, err := c.Sweep(s, Cello)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st := c.Stats(); st.Misses != 1 || st.DiskHits != 0 {
+				t.Fatalf("stats = %+v, want recompute on corrupt entry", st)
+			}
+			if len(sw.Runs) != len(ReplicationFactors()) {
+				t.Fatalf("recomputed sweep has %d rf groups", len(sw.Runs))
+			}
+			// The corrupt file must have been replaced with a loadable one.
+			if _, ok := loadSweepFile(dir, key); !ok {
+				t.Fatal("corrupt entry was not rewritten")
+			}
+		})
+	}
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	raw, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func TestSweepCacheDoctorBypasses(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9005)
+	s.Doctor = true
+	c := NewSweepCache()
+	a, err := c.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Bypasses != 2 || st.Misses != 0 || st.Hits != 0 {
+		t.Fatalf("stats = %+v, want two bypasses and no cache traffic", st)
+	}
+	// Bypassed (verified) runs still agree with the cached path bit for bit.
+	s.Doctor = false
+	cached, err := c.Sweep(s, Cello)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSweepEqual(t, a, b)
+	assertSweepEqual(t, a, cached)
+}
+
+func TestSweepCacheSingleFlight(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9006)
+	c := NewSweepCache()
+	const callers = 8
+	sweeps := make([]*ReplicationSweep, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sw, err := c.Sweep(s, Cello)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			sweeps[i] = sw
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+	if st := c.Stats(); st.Misses != 1 || st.Hits != callers-1 {
+		t.Fatalf("stats = %+v, want exactly one simulation for %d concurrent callers", st, callers)
+	}
+	for i := 1; i < callers; i++ {
+		assertSweepEqual(t, sweeps[0], sweeps[i])
+	}
+}
+
+// TestSweepReplicationBuildsEachPlacementOnce pins the sharing discipline:
+// a cold sweep constructs exactly one placement per replication factor
+// (shared by its five algorithm cells), and a cache hit constructs none.
+// Not parallel: it reads the package-wide construction counter.
+func TestSweepReplicationBuildsEachPlacementOnce(t *testing.T) {
+	s := cacheScale(9007)
+	before := placementBuilds.Load()
+	if _, err := SweepReplication(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	cold := placementBuilds.Load() - before
+	if want := int64(len(ReplicationFactors())); cold != want {
+		t.Fatalf("cold sweep built %d placements, want %d (one per rf)", cold, want)
+	}
+	before = placementBuilds.Load()
+	if _, err := SweepReplication(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	if warm := placementBuilds.Load() - before; warm != 0 {
+		t.Fatalf("cached sweep built %d placements, want 0", warm)
+	}
+}
+
+// TestSweepCacheHitReportsTelemetry checks a hit is visible to a monitor:
+// the sweep appears with all cells instantly done, and the lookup counter
+// is exported.
+func TestSweepCacheHitReportsTelemetry(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9008)
+	c := NewSweepCache()
+	if _, err := c.Sweep(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	m := NewMonitor()
+	s.Monitor = m
+	if _, err := c.Sweep(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.sweeps) != 1 {
+		t.Fatalf("monitor tracked %d sweeps, want 1", len(m.sweeps))
+	}
+	p := m.sweeps[0].snapshot()
+	if p.Done != p.Total || p.Failed != 0 || !p.Ended {
+		t.Fatalf("hit progress = %+v, want all cells done", p)
+	}
+	if got := m.col.String(); !strings.Contains(got, `esched_sweepcache_lookups_total{outcome="hit"} 1`) {
+		t.Fatalf("metrics lack the hit counter:\n%s", got)
+	}
+}
+
+// TestSweepCacheKeyIgnoresCacheDir pins that the on-disk location is not
+// part of the content address: the same inputs hit regardless of tier
+// configuration.
+func TestSweepCacheKeyIgnoresCacheDir(t *testing.T) {
+	t.Parallel()
+	s := cacheScale(9009)
+	dir := t.TempDir()
+	c := NewSweepCache()
+	if _, err := c.Sweep(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.SetDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sweep(s, Cello); err != nil {
+		t.Fatal(err)
+	}
+	if st := c.Stats(); st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats = %+v, want the post-SetDir call to hit memory", st)
+	}
+	// Nothing was persisted for the pre-SetDir computation; that is fine —
+	// the tier only captures computations made while it is active.
+	if entries, err := filepath.Glob(filepath.Join(dir, "sweep-*.json")); err != nil || len(entries) != 0 {
+		t.Fatalf("unexpected disk entries %v (err %v)", entries, err)
+	}
+}

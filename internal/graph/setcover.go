@@ -86,12 +86,37 @@ func (in CoverInstance) Cost(chosen []int) float64 {
 // approximation (Section 6). Returns the chosen set indices in selection
 // order and their total weight.
 func GreedyCover(in CoverInstance) ([]int, float64, error) {
+	return GreedyCoverWith(in, nil)
+}
+
+// GreedyScratch holds the greedy cover's working buffers so a caller
+// solving one instance per scheduling tick (sched.WSC) reuses them instead
+// of allocating per call. The zero value is ready; not safe for concurrent
+// use.
+type GreedyScratch struct {
+	covered []bool
+	chosen  []int
+}
+
+// GreedyCoverWith is GreedyCover drawing its buffers from s (nil s
+// allocates fresh ones). The returned slice aliases s and is valid only
+// until s's next use.
+func GreedyCoverWith(in CoverInstance, s *GreedyScratch) ([]int, float64, error) {
 	if err := in.Validate(); err != nil {
 		return nil, 0, err
 	}
-	covered := make([]bool, in.NumElements)
+	if s == nil {
+		s = &GreedyScratch{}
+	}
+	if cap(s.covered) < in.NumElements {
+		s.covered = make([]bool, in.NumElements)
+	} else {
+		s.covered = s.covered[:in.NumElements]
+		clear(s.covered)
+	}
+	covered := s.covered
 	remaining := in.NumElements
-	var chosen []int
+	chosen := s.chosen[:0]
 	total := 0.0
 	for remaining > 0 {
 		best, bestRatio, bestGain := -1, math.Inf(1), 0
@@ -123,6 +148,7 @@ func GreedyCover(in CoverInstance) ([]int, float64, error) {
 			}
 		}
 	}
+	s.chosen = chosen
 	return chosen, total, nil
 }
 

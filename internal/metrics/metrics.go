@@ -5,6 +5,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -27,8 +28,33 @@ func (r *ResponseTimes) Add(d time.Duration) {
 	r.sorted = false
 }
 
+// Grow preallocates capacity for n additional samples, so a run that knows
+// its request count up front records every sample without growing the
+// buffer.
+func (r *ResponseTimes) Grow(n int) {
+	if free := cap(r.samples) - len(r.samples); free < n {
+		grown := make([]time.Duration, len(r.samples), len(r.samples)+n)
+		copy(grown, r.samples)
+		r.samples = grown
+	}
+}
+
 // Count returns the number of samples.
 func (r *ResponseTimes) Count() int { return len(r.samples) }
+
+// MarshalJSON encodes the samples (in insertion order, nanoseconds) so
+// cached results round-trip bit-exactly; the sorted flag is derived state
+// and is not persisted.
+func (r ResponseTimes) MarshalJSON() ([]byte, error) {
+	return json.Marshal(r.samples)
+}
+
+// UnmarshalJSON restores samples written by MarshalJSON.
+func (r *ResponseTimes) UnmarshalJSON(b []byte) error {
+	r.samples = nil
+	r.sorted = false
+	return json.Unmarshal(b, &r.samples)
+}
 
 // Mean returns the average sample, or zero when empty.
 func (r *ResponseTimes) Mean() time.Duration {

@@ -205,10 +205,13 @@ func (WSC) Name() string { return "energy-aware WSC" }
 // allocations instead of a fresh map of slices per batch. The zero value is
 // ready to use; a CoverScratch must not be shared by concurrent runs.
 type CoverScratch struct {
-	perDisk [][]int // element lists indexed by disk, truncated between ticks
-	disks   []core.DiskID
-	covIdx  []int
-	sets    []graph.Set
+	perDisk  [][]int // element lists indexed by disk, truncated between ticks
+	disks    []core.DiskID
+	covIdx   []int
+	sets     []graph.Set
+	out      []core.DiskID // assignment buffer returned by ScheduleBatch
+	assigned []bool
+	greedy   graph.GreedyScratch
 }
 
 func (s *CoverScratch) reset() {
@@ -218,6 +221,32 @@ func (s *CoverScratch) reset() {
 	s.disks = s.disks[:0]
 	s.covIdx = s.covIdx[:0]
 	s.sets = s.sets[:0]
+}
+
+// outFor returns the assignment buffer sized and zeroed for n requests.
+// buildCover overwrites every entry (InvalidDisk for unplaceable requests,
+// the covering disk otherwise), so the clear only guards against a stale
+// read if that invariant ever broke.
+func (s *CoverScratch) outFor(n int) []core.DiskID {
+	if cap(s.out) < n {
+		s.out = make([]core.DiskID, n)
+	} else {
+		s.out = s.out[:n]
+		clear(s.out)
+	}
+	return s.out
+}
+
+// assignedFor returns the per-element assignment mask sized and zeroed for
+// n universe elements.
+func (s *CoverScratch) assignedFor(n int) []bool {
+	if cap(s.assigned) < n {
+		s.assigned = make([]bool, n)
+	} else {
+		s.assigned = s.assigned[:n]
+		clear(s.assigned)
+	}
+	return s.assigned
 }
 
 // buildCover constructs the Theorem 2 reduction for a batch: the universe
@@ -231,7 +260,7 @@ func buildCover(loc Locator, cost CostConfig, reqs []core.Request, v View, scrat
 		scratch = &CoverScratch{}
 	}
 	scratch.reset()
-	out = make([]core.DiskID, len(reqs))
+	out = scratch.outFor(len(reqs))
 	for i, r := range reqs {
 		e := -1
 		for _, d := range loc(r.Block) {
@@ -265,9 +294,13 @@ func buildCover(loc Locator, cost CostConfig, reqs []core.Request, v View, scrat
 	return in, scratch.disks, scratch.covIdx, out
 }
 
-// applyCover assigns each covered request to its covering disk.
-func applyCover(in graph.CoverInstance, chosen []int, disks []core.DiskID, covIdx []int, out []core.DiskID) {
-	assigned := make([]bool, len(covIdx))
+// applyCover assigns each covered request to its covering disk. scratch may
+// be nil (per-call mask).
+func applyCover(in graph.CoverInstance, chosen []int, disks []core.DiskID, covIdx []int, out []core.DiskID, scratch *CoverScratch) {
+	if scratch == nil {
+		scratch = &CoverScratch{}
+	}
+	assigned := scratch.assignedFor(len(covIdx))
 	for _, si := range chosen {
 		d := disks[si]
 		for _, e := range in.Sets[si].Elements {
@@ -284,14 +317,18 @@ func (w WSC) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 	if len(reqs) == 0 {
 		return nil
 	}
-	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v, w.Scratch)
+	scratch := w.Scratch
+	if scratch == nil {
+		scratch = &CoverScratch{}
+	}
+	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v, scratch)
 	// Every universe element appears in at least one set by construction,
 	// so the greedy cover cannot fail.
-	chosen, _, err := graph.GreedyCover(in)
+	chosen, _, err := graph.GreedyCoverWith(in, &scratch.greedy)
 	if err != nil {
 		panic(fmt.Sprintf("sched: greedy cover on coverable instance failed: %v", err))
 	}
-	applyCover(in, chosen, disks, covIdx, out)
+	applyCover(in, chosen, disks, covIdx, out, scratch)
 	traceBatchDecisions(w.Tracer, w.Cost, reqs, out, v)
 	return out
 }
@@ -336,7 +373,11 @@ func (w WSCExact) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 	if len(reqs) == 0 {
 		return nil
 	}
-	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v, w.Scratch)
+	scratch := w.Scratch
+	if scratch == nil {
+		scratch = &CoverScratch{}
+	}
+	in, disks, covIdx, out := buildCover(w.Locations, w.Cost, reqs, v, scratch)
 	limit := w.MaxExpansions
 	if limit == 0 {
 		limit = 200000
@@ -345,12 +386,12 @@ func (w WSCExact) ScheduleBatch(reqs []core.Request, v View) []core.DiskID {
 	if err != nil {
 		// Search too large (or uncoverable, which cannot happen by
 		// construction): fall back to the greedy cover.
-		chosen, _, err = graph.GreedyCover(in)
+		chosen, _, err = graph.GreedyCoverWith(in, &scratch.greedy)
 		if err != nil {
 			panic(fmt.Sprintf("sched: greedy cover on coverable instance failed: %v", err))
 		}
 	}
-	applyCover(in, chosen, disks, covIdx, out)
+	applyCover(in, chosen, disks, covIdx, out, scratch)
 	traceBatchDecisions(w.Tracer, w.Cost, reqs, out, v)
 	return out
 }

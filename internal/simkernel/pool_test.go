@@ -1,0 +1,120 @@
+package simkernel
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStaleHandleAfterRecordReuse pins the generation discipline: once an
+// event fires, its record returns to the free list and may back a later At
+// call — the old handle must keep reporting Cancelled and must not be able
+// to cancel the record's new occupant.
+func TestStaleHandleAfterRecordReuse(t *testing.T) {
+	var e Engine
+	var firedA, firedB bool
+	hA := e.At(time.Millisecond, func(time.Duration) { firedA = true })
+	if hA.Cancelled() {
+		t.Fatal("fresh handle reports cancelled")
+	}
+	if !e.Step() || !firedA {
+		t.Fatal("first event did not fire")
+	}
+	if !hA.Cancelled() {
+		t.Fatal("fired handle does not report cancelled")
+	}
+
+	// The free list holds the fired record; this At reuses it.
+	hB := e.At(2*time.Millisecond, func(time.Duration) { firedB = true })
+	if hA.item != hB.item {
+		t.Fatalf("expected record reuse from the free list (pool broken?)")
+	}
+	if hA.gen == hB.gen {
+		t.Fatal("generation did not advance across reuse")
+	}
+	if hB.Cancelled() {
+		t.Fatal("reused record's new handle reports cancelled")
+	}
+	if !hA.Cancelled() {
+		t.Fatal("stale handle resurrected by record reuse")
+	}
+
+	e.Cancel(hA) // must be a no-op against the new occupant
+	if hB.Cancelled() {
+		t.Fatal("cancelling a stale handle cancelled the record's new event")
+	}
+	e.Run()
+	if !firedB {
+		t.Fatal("second event did not fire")
+	}
+}
+
+// TestCancelledEventRecordIsRecycled checks reaped cancellations also bump
+// the generation before reuse.
+func TestCancelledEventRecordIsRecycled(t *testing.T) {
+	var e Engine
+	h := e.At(time.Millisecond, func(time.Duration) { t.Error("cancelled event fired") })
+	e.Cancel(h)
+	fired := false
+	e.At(time.Millisecond, func(time.Duration) { fired = true })
+	e.Run()
+	if !fired {
+		t.Fatal("live event did not fire")
+	}
+	if !h.Cancelled() {
+		t.Fatal("cancelled handle reports live after reap")
+	}
+	h2 := e.At(2*time.Millisecond, func(time.Duration) {})
+	if h2.Cancelled() {
+		t.Fatal("handle on recycled record reports cancelled")
+	}
+	e.Cancel(h) // stale; must not touch h2
+	if h2.Cancelled() {
+		t.Fatal("stale cancel leaked onto recycled record")
+	}
+}
+
+// TestPoolPreservesDispatchOrder runs enough churn to cycle records through
+// the free list repeatedly and checks the (time, seq) total order survives.
+func TestPoolPreservesDispatchOrder(t *testing.T) {
+	var e Engine
+	var got []int
+	const n = 500
+	// Schedule in two interleaved waves so pops and pushes alternate and the
+	// free list is actively exercised mid-run.
+	for i := 0; i < n; i++ {
+		i := i
+		e.At(time.Duration(i)*time.Microsecond, func(now time.Duration) {
+			got = append(got, i)
+			e.At(now+time.Duration(n)*time.Microsecond, func(time.Duration) {
+				got = append(got, n+i)
+			})
+		})
+	}
+	e.Run()
+	if len(got) != 2*n {
+		t.Fatalf("fired %d events, want %d", len(got), 2*n)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("dispatch order broken at %d: got %d", i, v)
+		}
+	}
+}
+
+// BenchmarkSteadyStateChurn measures the pooled schedule-fire-reschedule
+// cycle that dominates the storage hot path; it should not allocate per
+// event once the pool is warm.
+func BenchmarkSteadyStateChurn(b *testing.B) {
+	var e Engine
+	var tick func(now time.Duration)
+	remaining := b.N
+	tick = func(now time.Duration) {
+		if remaining--; remaining > 0 {
+			e.After(time.Microsecond, tick)
+		}
+	}
+	e.After(time.Microsecond, tick)
+	b.ReportAllocs()
+	b.ResetTimer()
+	e.Run()
+}

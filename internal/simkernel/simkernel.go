@@ -19,20 +19,25 @@ import (
 // Event is a callback executed at a virtual time.
 type Event func(now time.Duration)
 
-// Handle identifies a scheduled event so it can be cancelled.
+// Handle identifies a scheduled event so it can be cancelled. Handles carry
+// the item's generation at scheduling time: fired items return to the
+// engine's free list and are reused by later At calls, so a stale handle is
+// detected by a generation mismatch rather than a dangling pointer.
 type Handle struct {
 	item *eventItem
+	gen  uint64
 }
 
 // Cancelled reports whether the handle's event has been cancelled or already
 // fired. A zero Handle reports true.
 func (h Handle) Cancelled() bool {
-	return h.item == nil || h.item.cancelled || h.item.index == fired
+	return h.item == nil || h.item.gen != h.gen || h.item.cancelled || h.item.index == fired
 }
 
 type eventItem struct {
 	at        time.Duration
 	seq       uint64
+	gen       uint64
 	fn        Event
 	index     int // heap index, or `fired` once popped
 	cancelled bool
@@ -95,10 +100,40 @@ type Engine struct {
 	seq       uint64
 	queue     eventHeap
 	runs      []preloadRun
+	free      []*eventItem // recycled event records (see alloc/release)
 	fired     uint64
 	cancelled int
 	halted    bool
 	probe     func(now time.Duration, fired uint64)
+}
+
+// alloc takes an event record off the free list, growing it a block at a
+// time: steady-state simulation (the storage hot path schedules one service
+// completion per request plus idle/spin timers) reuses records instead of
+// allocating one per event, and a cold engine pays one allocation per
+// poolBlock events rather than per event.
+const poolBlock = 64
+
+func (e *Engine) alloc() *eventItem {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free = e.free[:n-1]
+		return it
+	}
+	block := make([]eventItem, poolBlock)
+	for i := poolBlock - 1; i > 0; i-- {
+		e.free = append(e.free, &block[i])
+	}
+	return &block[0]
+}
+
+// release returns a popped record to the free list. Bumping the generation
+// invalidates every outstanding Handle to the record before it is reused;
+// dropping the callback releases whatever the closure captured.
+func (e *Engine) release(it *eventItem) {
+	it.gen++
+	it.fn = nil
+	e.free = append(e.free, it)
 }
 
 // SetProbe installs an observer called after every executed event with the
@@ -141,10 +176,11 @@ func (e *Engine) At(t time.Duration, fn Event) Handle {
 	if t < e.now {
 		panic(fmt.Errorf("%w: at=%s now=%s", ErrPast, t, e.now))
 	}
-	it := &eventItem{at: t, seq: e.seq, fn: fn}
+	it := e.alloc()
+	it.at, it.seq, it.fn, it.cancelled = t, e.seq, fn, false
 	e.seq++
 	heap.Push(&e.queue, it)
-	return Handle{item: it}
+	return Handle{item: it, gen: it.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
@@ -203,7 +239,7 @@ func cmpPreload(a, b preloadEvent) int {
 // Cancel prevents the handled event from firing. Cancelling an already-fired
 // or zero handle is a no-op.
 func (e *Engine) Cancel(h Handle) {
-	if h.item == nil || h.item.index == fired || h.item.cancelled {
+	if h.item == nil || h.item.gen != h.gen || h.item.index == fired || h.item.cancelled {
 		return
 	}
 	h.item.cancelled = true
@@ -217,7 +253,7 @@ func (e *Engine) Halt() { e.halted = true }
 // present, is live.
 func (e *Engine) reapCancelled() {
 	for len(e.queue) > 0 && e.queue[0].cancelled {
-		heap.Pop(&e.queue)
+		e.release(heap.Pop(&e.queue).(*eventItem))
 		e.cancelled--
 	}
 }
@@ -270,12 +306,17 @@ func (e *Engine) Step() bool {
 		return true
 	}
 	it := heap.Pop(&e.queue).(*eventItem)
+	fn := it.fn
 	e.now = it.at
 	e.fired++
+	// Recycle before dispatch: fn may schedule new events, and the record is
+	// free for them — any handle to the fired event is invalidated by the
+	// generation bump.
+	e.release(it)
 	if e.probe != nil {
 		e.probe(e.now, e.fired)
 	}
-	it.fn(e.now)
+	fn(e.now)
 	return true
 }
 

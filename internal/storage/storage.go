@@ -455,6 +455,7 @@ func RunOnline(cfg Config, loc sched.Locator, scheduler sched.Online, reqs []cor
 	if err != nil {
 		return nil, err
 	}
+	s.resp.Grow(len(reqs))
 	deliver := func(r core.Request) {
 		base := s.tr.DecisionCount()
 		d := scheduler.Schedule(r, s)
@@ -503,6 +504,7 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 	if err != nil {
 		return nil, err
 	}
+	s.resp.Grow(len(reqs))
 	deliver := func(r core.Request, d core.DiskID, dec obs.DecisionID) {
 		if len(o.failures) > 0 {
 			s.dispatchWithFailover(r, d, loc, dec)
@@ -510,7 +512,11 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 		}
 		s.dispatch(r, d, loc, dec)
 	}
-	var pending []core.Request
+	// pending and spare double-buffer the batch queue: each tick takes the
+	// accumulated batch and hands arrivals (and mid-tick failover re-queues)
+	// the other buffer, so steady-state ticking reuses two slices instead of
+	// reallocating the queue every interval.
+	var pending, spare []core.Request
 	tickScheduled := false
 
 	var tick func(now time.Duration)
@@ -520,7 +526,7 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 			return
 		}
 		batch := pending
-		pending = nil
+		pending = spare[:0]
 		base := s.tr.DecisionCount()
 		assignment := scheduler.ScheduleBatch(batch, s)
 		if len(assignment) != len(batch) {
@@ -551,6 +557,7 @@ func RunBatch(cfg Config, loc sched.Locator, scheduler sched.Batch, reqs []core.
 			}
 			deliver(r, assignment[i], dec)
 		}
+		spare = batch[:0] // drained: recycle as the next tick's batch buffer
 	}
 	if len(o.failures) > 0 {
 		if err := s.armFailures(o.failures, func(r core.Request) {

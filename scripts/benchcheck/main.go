@@ -4,7 +4,12 @@
 // an increase in allocs/op beyond the allocation tolerance. It is the
 // regression gate behind `scripts/bench.sh -check` and `make ci`.
 //
-//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001]
+// It also enforces one intra-run invariant: for every BenchmarkSweepCached
+// cold/warm pair in the fresh run, the warm (memoized) sweep must be at
+// least -cachespeedup times faster than the cold one, pinning the sweep
+// cache's reason to exist rather than just its trend against a baseline.
+//
+//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50]
 //
 // Both inputs may be raw benchfmt text or a bench.sh JSON envelope (the
 // envelope's "raw" field holds the text). Only benchmarks present in both
@@ -39,6 +44,7 @@ func main() {
 	newRun := flag.String("new", "", "fresh benchmark output (raw text or envelope)")
 	tol := flag.Float64("tol", 0.25, "allowed fractional wall-time increase per benchmark")
 	allocTol := flag.Float64("alloctol", 0.001, "allowed fractional allocs/op increase per benchmark")
+	cacheSpeedup := flag.Float64("cachespeedup", 50, "required cold/warm speedup for SweepCached pairs in the fresh run (0 disables)")
 	flag.Parse()
 	if *baseline == "" || *newRun == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
@@ -79,10 +85,44 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchcheck: no common benchmarks between inputs")
 		os.Exit(2)
 	}
+	if !checkCacheSpeedup(fresh, *cacheSpeedup) {
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
 	fmt.Printf("benchcheck: %d benchmarks within tolerance\n", compared)
+}
+
+// checkCacheSpeedup enforces the memoization invariant on the fresh run:
+// every SweepCached ".../warm" result must be at least `speedup` times
+// faster than its ".../cold" sibling. Returns false on violation.
+func checkCacheSpeedup(fresh map[string]result, speedup float64) bool {
+	if speedup <= 0 {
+		return true
+	}
+	ok := true
+	for name, cold := range fresh {
+		if !strings.Contains(name, "SweepCached") || !strings.Contains(name, "/cold") {
+			continue
+		}
+		warmName := strings.Replace(name, "/cold", "/warm", 1)
+		warm, found := fresh[warmName]
+		if !found || warm.nsPerOp <= 0 {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s has no usable warm sibling %s\n", name, warmName)
+			ok = false
+			continue
+		}
+		got := cold.nsPerOp / warm.nsPerOp
+		status := "ok"
+		if got < speedup {
+			status = fmt.Sprintf("FAIL speedup %.1fx < required %.0fx", got, speedup)
+			ok = false
+		}
+		fmt.Printf("%-60s %12.0f cold / %8.0f warm ns/op (%.0fx)  %s\n",
+			warmName, cold.nsPerOp, warm.nsPerOp, got, status)
+	}
+	return ok
 }
 
 // load reads benchfmt results from a raw text file or a bench.sh JSON
