@@ -470,3 +470,77 @@ func BenchmarkAnalyzeReplay(b *testing.B) {
 		b.ReportMetric(float64(len(events))*float64(b.N)/secs, "events/sec")
 	}
 }
+
+// --- Sharded kernel / fleet -------------------------------------------
+
+// benchFleetConfig is the kernel-throughput workload: a closed-loop
+// rack-partitioned fleet with burst gaps long enough to spin disks down,
+// so the event mix covers the full request/service/power-cycle machinery.
+func benchFleetConfig(disks, racks, reqsPerDisk, shards int) storage.FleetConfig {
+	cfg := storage.DefaultFleetConfig()
+	cfg.NumDisks = disks
+	cfg.NumRacks = racks
+	cfg.RequestsPerDisk = reqsPerDisk
+	cfg.Shards = shards
+	cfg.Seed = 42
+	// Fleet-regime burst shape: enough requests per disk per burst that
+	// spin cycles amortize (the paper's bursty Cello traces), keeping the
+	// event mix dominated by request service rather than power timers.
+	cfg.BurstLen = 800
+	cfg.InterArrival = 25 * time.Microsecond
+	return cfg
+}
+
+// BenchmarkKernelThroughput measures raw event throughput of the serial
+// engine (shards=0) against the sharded free-running kernel at several
+// shard counts. events/sec is computed over the event loop only (setup
+// excluded); the regression harness gates its floor via benchcheck
+// -eventsfloor.
+func BenchmarkKernelThroughput(b *testing.B) {
+	counts := []int{0, 1, 4, 40, runtime.GOMAXPROCS(0) * 4}
+	seen := map[int]bool{}
+	for _, shards := range counts {
+		if seen[shards] {
+			continue
+		}
+		seen[shards] = true
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			b.ReportAllocs()
+			var events uint64
+			var wall time.Duration
+			for i := 0; i < b.N; i++ {
+				res, err := storage.RunFleet(benchFleetConfig(2000, 40, 400, shards))
+				if err != nil {
+					b.Fatal(err)
+				}
+				events += res.Events
+				wall += res.Wall
+			}
+			if s := wall.Seconds(); s > 0 {
+				b.ReportMetric(float64(events)/s, "events/sec")
+			}
+		})
+	}
+}
+
+// BenchmarkFleet100k is the headline scale point: a 100k-disk fleet at
+// fleet event density (hundreds of millions of events). One iteration is
+// the whole run; run with -benchtime 1x. One shard per rack keeps each
+// sub-kernel's working set small enough to stay cache-resident, and the
+// GC stays off for the run (see FleetConfig.RelaxGC) — the same shape
+// cmd/figures -fleet records.
+func BenchmarkFleet100k(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchFleetConfig(100_000, 1_000, 1_400, 1_000)
+		cfg.RelaxGC = true
+		res, err := storage.RunFleet(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Served != 100_000*1_400 {
+			b.Fatalf("served %d requests", res.Served)
+		}
+		b.ReportMetric(res.EventsPerSec, "events/sec")
+		b.ReportMetric(float64(res.Events), "events")
+	}
+}

@@ -5,6 +5,8 @@
 //	figures -scale full         # the paper's 180-disk / 70k-request setup
 //	figures -fig 6,7,8          # a subset
 //	figures -tsv -out results/  # write TSV files instead of stdout tables
+//	figures -fleet              # 100k-disk fleet throughput benchmark
+//	figures -shards 8           # run simulated cells on the sharded kernel
 //
 // The standard profiling flags -cpuprofile, -memprofile, -trace and -pprof
 // are available for profiling full-scale regenerations, and -telemetry
@@ -29,6 +31,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -49,6 +52,8 @@ func run() error {
 		telemetry = flag.String("telemetry", "", `serve live sweep telemetry on this address (e.g. "localhost:8090": /healthz, /metrics, /progress)`)
 		doctor    = flag.Bool("doctor", false, "run live invariant monitors over every simulated cell; non-zero exit on any violation (doctored cells always bypass the sweep cache)")
 		cacheDir  = flag.String("cache", "", "persist replication-sweep results in this directory, keyed by a content hash of every input; repeat runs with unchanged inputs reuse them")
+		fleet     = flag.Bool("fleet", false, "run the 100k-disk fleet throughput benchmark (sharded kernel, hundreds of millions of events) instead of figures")
+		shards    = flag.Int("shards", 0, "kernel shard count (0 or 1 = serial engine); with -fleet, sub-kernels over the fleet's racks (0 = one per rack)")
 	)
 	var prof obs.Profiles
 	prof.RegisterFlags(flag.CommandLine)
@@ -64,6 +69,10 @@ func run() error {
 		}
 	}()
 
+	if *fleet {
+		return runFleet(*shards)
+	}
+
 	var scale experiments.Scale
 	switch *scaleName {
 	case "small":
@@ -74,6 +83,7 @@ func run() error {
 		return fmt.Errorf("unknown scale %q", *scaleName)
 	}
 	scale.Doctor = *doctor
+	scale.Shards = *shards
 
 	if *cacheDir != "" {
 		if err := experiments.DefaultSweepCache().SetDir(*cacheDir); err != nil {
@@ -271,5 +281,50 @@ func run() error {
 	}
 
 	fmt.Fprintf(os.Stderr, "done in %s\n", time.Since(start).Round(time.Second))
+	return nil
+}
+
+// runFleet executes the headline scale point: a 100,000-disk fleet in 1000
+// racks at fleet event density (~315 million kernel events), the same
+// configuration BenchmarkFleet100k records in BENCH_*.json. One shard per
+// rack keeps each sub-kernel's calendar queue and disk stripe
+// cache-resident, and the GC stays off for the run (FleetConfig.RelaxGC).
+func runFleet(shards int) error {
+	cfg := storage.DefaultFleetConfig()
+	cfg.NumDisks = 100_000
+	cfg.NumRacks = 1_000
+	cfg.RequestsPerDisk = 1_400
+	cfg.BurstLen = 800
+	cfg.InterArrival = 25 * time.Microsecond
+	cfg.Seed = 42
+	cfg.RelaxGC = true
+	cfg.Shards = shards
+	if shards == 0 {
+		cfg.Shards = cfg.NumRacks
+	}
+	fmt.Fprintf(os.Stderr, "figures: fleet %d disks / %d racks / %d shards, %d requests\n",
+		cfg.NumDisks, cfg.NumRacks, cfg.Shards, cfg.NumDisks*cfg.RequestsPerDisk)
+	res, err := storage.RunFleet(cfg)
+	if err != nil {
+		return err
+	}
+	t := &experiments.Table{
+		Title:  "Fleet throughput (100k disks, sharded kernel)",
+		Header: []string{"metric", "value"},
+	}
+	t.AddRow("disks", fmt.Sprintf("%d", res.NumDisks))
+	t.AddRow("shards", fmt.Sprintf("%d", res.Shards))
+	t.AddRow("events", fmt.Sprintf("%d", res.Events))
+	t.AddRow("events/sec", fmt.Sprintf("%.0f", res.EventsPerSec))
+	t.AddRow("wall", res.Wall.Round(time.Millisecond).String())
+	t.AddRow("virtual horizon", res.Horizon.Round(time.Millisecond).String())
+	t.AddRow("served", fmt.Sprintf("%d", res.Served))
+	t.AddRow("energy (J)", fmt.Sprintf("%.0f", res.Energy))
+	t.AddRow("normalized energy", fmt.Sprintf("%.3f", res.Energy/res.AlwaysOnEnergy))
+	t.AddRow("spin-ups", fmt.Sprintf("%d", res.SpinUps))
+	t.AddRow("mean response", res.MeanResponse.Round(time.Microsecond).String())
+	t.AddRow("p50 / p90 / p99", fmt.Sprintf("%s / %s / %s",
+		res.P50.Round(time.Microsecond), res.P90.Round(time.Microsecond), res.P99.Round(time.Microsecond)))
+	fmt.Println(t.Render())
 	return nil
 }

@@ -19,9 +19,10 @@ type DoneFunc func(req core.Request, completedAt time.Duration)
 type Disk struct {
 	id     core.DiskID
 	mech   MechConfig
+	mt     mechTab // mech compiled for the per-request hot path
 	pcfg   power.Config
 	policy power.Policy
-	eng    *simkernel.Engine
+	eng    simkernel.Sim
 	meter  *power.Meter
 	onDone DoneFunc
 
@@ -86,7 +87,7 @@ type Options struct {
 }
 
 // New creates a disk attached to the simulation engine. onDone may be nil.
-func New(id core.DiskID, mech MechConfig, pcfg power.Config, policy power.Policy, eng *simkernel.Engine, onDone DoneFunc, opts Options) (*Disk, error) {
+func New(id core.DiskID, mech MechConfig, pcfg power.Config, policy power.Policy, eng simkernel.Sim, onDone DoneFunc, opts Options) (*Disk, error) {
 	if err := mech.Validate(); err != nil {
 		return nil, err
 	}
@@ -110,6 +111,7 @@ func New(id core.DiskID, mech MechConfig, pcfg power.Config, policy power.Policy
 	d := &Disk{
 		id:        id,
 		mech:      mech,
+		mt:        mech.compile(),
 		pcfg:      pcfg,
 		policy:    policy,
 		eng:       eng,
@@ -291,7 +293,7 @@ func (d *Disk) startNext(now time.Duration) {
 		d.setState(now, core.StateActive)
 	}
 	d.tr.Serve(now, req.ID, d.id)
-	svc := d.mech.ServiceTime(d.headLBA, req.LBA, req.Size)
+	svc := d.mt.serviceTime(d.headLBA, req.LBA, req.Size)
 	size := req.Size
 	if size <= 0 {
 		size = d.mech.DefaultIO

@@ -102,3 +102,57 @@ func (c MechConfig) ServiceTime(prevLBA, lba, size int64) time.Duration {
 	xfer := time.Duration(float64(size) / c.TransferRate * float64(time.Second))
 	return seek + rot + xfer
 }
+
+// mechTab is MechConfig compiled for the per-request hot path: every
+// quantity that does not depend on the request — the float conversions, the
+// half-revolution latency, the default-size transfer time — is evaluated
+// once, so serviceTime costs one sqrt and one multiply per request. Each
+// derived value is computed with exactly the expressions ServiceTime uses,
+// keeping results bit-identical (TestMechTabMatchesConfig pins this).
+type mechTab struct {
+	minSeek     time.Duration
+	maxSeek     time.Duration
+	seekSpan    float64 // float64(MaxSeek - MinSeek)
+	fMaxLBA     float64 // float64(MaxLBA)
+	rotHalf     time.Duration
+	defaultXfer time.Duration
+	rate        float64
+}
+
+func (c MechConfig) compile() mechTab {
+	return mechTab{
+		minSeek:     c.MinSeek,
+		maxSeek:     c.MaxSeek,
+		seekSpan:    float64(c.MaxSeek - c.MinSeek),
+		fMaxLBA:     float64(c.MaxLBA),
+		rotHalf:     c.rotation() / 2,
+		defaultXfer: time.Duration(float64(c.DefaultIO) / c.TransferRate * float64(time.Second)),
+		rate:        c.TransferRate,
+	}
+}
+
+func (t *mechTab) seekTime(fromLBA, toLBA int64) time.Duration {
+	if fromLBA < 0 || toLBA < 0 {
+		return t.maxSeek
+	}
+	dist := fromLBA - toLBA
+	if dist < 0 {
+		dist = -dist
+	}
+	if dist == 0 {
+		return 0
+	}
+	frac := math.Sqrt(float64(dist) / t.fMaxLBA)
+	if frac > 1 {
+		frac = 1
+	}
+	return t.minSeek + time.Duration(frac*t.seekSpan)
+}
+
+func (t *mechTab) serviceTime(prevLBA, lba, size int64) time.Duration {
+	xfer := t.defaultXfer
+	if size > 0 {
+		xfer = time.Duration(float64(size) / t.rate * float64(time.Second))
+	}
+	return t.seekTime(prevLBA, lba) + t.rotHalf + xfer
+}

@@ -1,0 +1,26 @@
+package diskmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMechTabMatchesConfig pins the compiled hot-path table to the public
+// model bit-for-bit: any drift between them would silently break the
+// sharded kernel's byte-identity guarantee.
+func TestMechTabMatchesConfig(t *testing.T) {
+	c := Cheetah15K5()
+	tab := c.compile()
+	rng := rand.New(rand.NewSource(99))
+	for i := 0; i < 50000; i++ {
+		prev := rng.Int63n(c.MaxLBA+2) - 1 // includes -1 (unknown head)
+		lba := rng.Int63n(c.MaxLBA)
+		size := rng.Int63n(4<<20) - 1 // includes <=0 (default size)
+		if got, want := tab.serviceTime(prev, lba, size), c.ServiceTime(prev, lba, size); got != want {
+			t.Fatalf("serviceTime(%d,%d,%d) = %v, config says %v", prev, lba, size, got, want)
+		}
+		if got, want := tab.seekTime(prev, lba), c.SeekTime(prev, lba); got != want {
+			t.Fatalf("seekTime(%d,%d) = %v, config says %v", prev, lba, got, want)
+		}
+	}
+}

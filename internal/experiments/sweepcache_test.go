@@ -291,11 +291,14 @@ func TestSweepCacheSingleFlight(t *testing.T) {
 // TestSweepReplicationBuildsEachPlacementOnce pins the sharing discipline:
 // a cold sweep constructs exactly one placement per replication factor
 // (shared by its five algorithm cells), and a cache hit constructs none.
-// Not parallel: it reads the package-wide construction counter.
+// Not parallel: it reads the package-wide construction counter. A private
+// cache keeps the first sweep genuinely cold under `go test -count N`,
+// where the process-wide DefaultSweepCache survives between repetitions.
 func TestSweepReplicationBuildsEachPlacementOnce(t *testing.T) {
+	c := NewSweepCache()
 	s := cacheScale(9007)
 	before := placementBuilds.Load()
-	if _, err := SweepReplication(s, Cello); err != nil {
+	if _, err := c.Sweep(s, Cello); err != nil {
 		t.Fatal(err)
 	}
 	cold := placementBuilds.Load() - before
@@ -303,7 +306,7 @@ func TestSweepReplicationBuildsEachPlacementOnce(t *testing.T) {
 		t.Fatalf("cold sweep built %d placements, want %d (one per rf)", cold, want)
 	}
 	before = placementBuilds.Load()
-	if _, err := SweepReplication(s, Cello); err != nil {
+	if _, err := c.Sweep(s, Cello); err != nil {
 		t.Fatal(err)
 	}
 	if warm := placementBuilds.Load() - before; warm != 0 {

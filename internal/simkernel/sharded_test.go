@@ -1,0 +1,292 @@
+package simkernel
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+)
+
+// shardHarness drives an identical synthetic workload on either kernel:
+// numDisks independent event chains (disk events scheduling same-disk
+// follow-ups, with occasional timers that get cancelled — the disk-model
+// shape), poked by preloaded coordinator arrivals. Every execution appends
+// to a shared log through the kernel's effect path, so the log captures the
+// exact global execution order including same-instant ties.
+type shardHarness struct {
+	numDisks int
+	sims     []Sim
+	deferFn  []func(func())
+	log      []string
+	probes   []string
+	counters []int
+	timers   []Handle
+}
+
+func newSerialHarness(numDisks int) (*shardHarness, *Engine) {
+	eng := &Engine{}
+	h := &shardHarness{numDisks: numDisks}
+	for d := 0; d < numDisks; d++ {
+		h.sims = append(h.sims, eng)
+		h.deferFn = append(h.deferFn, func(fn func()) { fn() })
+	}
+	h.counters = make([]int, numDisks)
+	h.timers = make([]Handle, numDisks)
+	return h, eng
+}
+
+func newShardedHarness(numDisks, shards, workers int) (*shardHarness, *Sharded) {
+	se := NewSharded(numDisks, shards, workers)
+	h := &shardHarness{numDisks: numDisks}
+	for d := 0; d < numDisks; d++ {
+		v := se.DiskSim(core.DiskID(d))
+		h.sims = append(h.sims, v)
+		h.deferFn = append(h.deferFn, v.Defer)
+	}
+	h.counters = make([]int, numDisks)
+	h.timers = make([]Handle, numDisks)
+	return h, se
+}
+
+// poke is one disk event: log the execution, maybe cancel the disk's armed
+// timer, maybe re-arm it, and chain a few follow-ups at deterministic
+// pseudo-random delays (quantized so cross-disk same-instant ties are
+// common).
+func (h *shardHarness) poke(d int, depth int) Event {
+	return func(now time.Duration) {
+		h.counters[d]++
+		c := h.counters[d]
+		h.deferFn[d](func() {
+			h.log = append(h.log, fmt.Sprintf("d%d c%d t%d", d, c, now))
+		})
+		r := uint64(d*2654435761) ^ uint64(c*40503) // deterministic mix
+		if !h.timers[d].Cancelled() && r%3 == 0 {
+			h.sims[d].Cancel(h.timers[d])
+		}
+		if depth >= 4 {
+			return
+		}
+		quantum := 10 * time.Microsecond
+		delay := time.Duration(1+r%7) * quantum
+		h.sims[d].After(delay, h.poke(d, depth+1))
+		if r%5 == 1 {
+			h.timers[d] = h.sims[d].After(delay*3, h.poke(d, depth+2))
+		}
+	}
+}
+
+func (h *shardHarness) arrivals(n int) []core.Request {
+	reqs := make([]core.Request, n)
+	for i := range reqs {
+		reqs[i] = core.Request{
+			ID:      core.RequestID(i),
+			Arrival: time.Duration(i) * 35 * time.Microsecond,
+		}
+	}
+	return reqs
+}
+
+// deliver fans an arrival out to a couple of disks, coordinator-side.
+func (h *shardHarness) deliver(r core.Request, now time.Duration) {
+	h.log = append(h.log, fmt.Sprintf("arrive r%d t%d", r.ID, now))
+	d := int(r.ID) % h.numDisks
+	h.sims[d].At(now, h.poke(d, 0))
+	d2 := (d + h.numDisks/2) % h.numDisks
+	h.sims[d2].After(5*time.Microsecond, h.poke(d2, 1))
+}
+
+func runHarness(h *shardHarness, k Kernel, n int, deadline time.Duration) {
+	k.SetProbe(func(now time.Duration, fired uint64) {
+		h.probes = append(h.probes, fmt.Sprintf("%d@%d", fired, now))
+	})
+	k.Preload(h.arrivals(n), h.deliver)
+	k.RunUntil(deadline)
+	for k.Step() { // drain past the deadline, exercising Step on both kernels
+	}
+}
+
+// TestShardedMatchesSerial is the kernel-level determinism guarantee: the
+// execution log, probe stream, event count, and final clock of the sharded
+// kernel are identical to the serial engine's at every shard and worker
+// count.
+func TestShardedMatchesSerial(t *testing.T) {
+	const numDisks, numReqs = 16, 120
+	deadline := 2 * time.Millisecond
+
+	ref, eng := newSerialHarness(numDisks)
+	runHarness(ref, eng, numReqs, deadline)
+	refFired, refNow := eng.Fired(), eng.Now()
+	if len(ref.log) < 500 {
+		t.Fatalf("workload too small to be meaningful: %d log entries", len(ref.log))
+	}
+
+	for _, shards := range []int{1, 2, 4, 8, 16} {
+		for _, workers := range []int{1, 4} {
+			t.Run(fmt.Sprintf("shards=%d/workers=%d", shards, workers), func(t *testing.T) {
+				h, se := newShardedHarness(numDisks, shards, workers)
+				runHarness(h, se, numReqs, deadline)
+				if !reflect.DeepEqual(h.log, ref.log) {
+					i := 0
+					for i < len(h.log) && i < len(ref.log) && h.log[i] == ref.log[i] {
+						i++
+					}
+					t.Fatalf("log diverges at %d: sharded %q vs serial %q (lens %d/%d)",
+						i, at(h.log, i), at(ref.log, i), len(h.log), len(ref.log))
+				}
+				if !reflect.DeepEqual(h.probes, ref.probes) {
+					t.Fatal("probe stream diverges from serial")
+				}
+				if se.Fired() != refFired || se.Now() != refNow {
+					t.Fatalf("fired/now = %d/%v, serial %d/%v", se.Fired(), se.Now(), refFired, refNow)
+				}
+				if !reflect.DeepEqual(h.counters, ref.counters) {
+					t.Fatal("per-disk counters diverge from serial")
+				}
+			})
+		}
+	}
+}
+
+func at(s []string, i int) string {
+	if i < len(s) {
+		return s[i]
+	}
+	return "<end>"
+}
+
+// TestShardedRepeatedRuns pins run-to-run determinism of the parallel path:
+// two identical sharded runs produce identical logs.
+func TestShardedRepeatedRuns(t *testing.T) {
+	run := func() []string {
+		h, se := newShardedHarness(12, 4, 4)
+		runHarness(h, se, 80, time.Millisecond)
+		return h.log
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical sharded runs diverged")
+	}
+}
+
+// TestShardViewHandleSemantics mirrors the PR-5 pool guarantees on the
+// per-shard arenas: cancel is effective, handles to fired events are stale,
+// and record reuse cannot resurrect an old handle.
+func TestShardViewHandleSemantics(t *testing.T) {
+	se := NewSharded(4, 2, 1)
+	v := se.DiskSim(0)
+
+	var firedLog []string
+	ha := v.After(time.Millisecond, func(time.Duration) { firedLog = append(firedLog, "a") })
+	hb := v.After(2*time.Millisecond, func(time.Duration) { firedLog = append(firedLog, "b") })
+	if ha.Cancelled() || hb.Cancelled() {
+		t.Fatal("fresh handles must be live")
+	}
+	v.Cancel(hb)
+	if !hb.Cancelled() {
+		t.Fatal("cancelled handle must report Cancelled")
+	}
+	se.RunUntil(3 * time.Millisecond)
+	if got := fmt.Sprint(firedLog); got != "[a]" {
+		t.Fatalf("fired %v, want [a]", firedLog)
+	}
+	if !ha.Cancelled() {
+		t.Fatal("handle to a fired event must be stale")
+	}
+	// Reuse: the records behind ha/hb return to the shard arena; new events
+	// reuse them with a bumped generation, so the old handles stay dead and
+	// cancelling them must not touch the new events.
+	hc := v.After(time.Millisecond, func(time.Duration) { firedLog = append(firedLog, "c") })
+	v.Cancel(ha)
+	v.Cancel(hb)
+	if hc.Cancelled() {
+		t.Fatal("stale cancel leaked onto a reused record")
+	}
+	se.RunUntil(5 * time.Millisecond)
+	if got := fmt.Sprint(firedLog); got != "[a c]" {
+		t.Fatalf("fired %v, want [a c]", firedLog)
+	}
+	if se.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2 (cancelled events must not count)", se.Fired())
+	}
+}
+
+// TestShardedRunFree pins the free-running mode's shard-count invariance:
+// self-scheduling chains with shard-local sinks yield identical per-disk
+// sums, event counts, and final clocks at every shard count.
+func TestShardedRunFree(t *testing.T) {
+	const numDisks = 24
+	run := func(shards, workers int) ([]int, uint64, time.Duration) {
+		se := NewSharded(numDisks, shards, workers)
+		sums := make([]int, numDisks)
+		for d := 0; d < numDisks; d++ {
+			v := se.DiskSim(core.DiskID(d))
+			var chain func(left int) Event
+			chain = func(left int) Event {
+				return func(now time.Duration) {
+					sums[d]++ // shard-local: only disk d's shard touches sums[d]
+					if left > 0 {
+						v.After(time.Duration(1+(sums[d]*7)%13)*time.Microsecond, chain(left-1))
+					}
+				}
+			}
+			v.At(time.Duration(d)*time.Microsecond, chain(200))
+		}
+		now := se.RunFree()
+		return sums, se.Fired(), now
+	}
+	refSums, refFired, refNow := run(1, 1)
+	for _, shards := range []int{2, 4, 8, 24} {
+		sums, fired, now := run(shards, 4)
+		if !reflect.DeepEqual(sums, refSums) || fired != refFired || now != refNow {
+			t.Fatalf("shards=%d: (fired=%d now=%v) diverges from serial (fired=%d now=%v)",
+				shards, fired, now, refFired, refNow)
+		}
+	}
+}
+
+// TestShardOfMatchesRackStriping pins ShardOf to the same contiguous
+// striping as placement.RackOf, so a rack never straddles a shard boundary
+// when the shard count divides the rack count.
+func TestShardOfMatchesRackStriping(t *testing.T) {
+	for _, tc := range []struct{ disks, groups int }{
+		{100, 4}, {100, 7}, {13, 13}, {13, 1}, {100000, 1000},
+	} {
+		for d := 0; d < tc.disks; d++ {
+			got := ShardOf(core.DiskID(d), tc.disks, tc.groups)
+			want := placement.RackOf(core.DiskID(d), tc.disks, tc.groups)
+			if got != want {
+				t.Fatalf("ShardOf(%d,%d,%d) = %d, RackOf = %d", d, tc.disks, tc.groups, got, want)
+			}
+		}
+	}
+}
+
+// TestFreeRunSlotHandles pins the free-running fast path's handle
+// identity: when a newly scheduled event displaces the slot holder, the
+// returned handle must target the new event, not the demoted one —
+// cancelling it must suppress exactly the new event. A handle bound to
+// the wrong item turns every later Cancel into a misdirected cancel of a
+// live event (lost completions at fleet scale).
+func TestFreeRunSlotHandles(t *testing.T) {
+	se := NewSharded(2, 2, 1)
+	v := se.DiskSim(0)
+	var log []string
+	v.At(time.Microsecond, func(now time.Duration) {
+		// A (later) takes the empty slot; B (earlier) must displace it.
+		ha := v.At(now+10*time.Microsecond, func(time.Duration) { log = append(log, "a") })
+		hb := v.At(now+5*time.Microsecond, func(time.Duration) { log = append(log, "b") })
+		v.Cancel(hb)
+		if ha.Cancelled() {
+			t.Error("cancelling the displacing event's handle hit the demoted one")
+		}
+	})
+	se.RunFree()
+	if got := fmt.Sprint(log); got != "[a]" {
+		t.Fatalf("fired %v, want [a]: slot swap returned a handle to the wrong event", log)
+	}
+	if se.Fired() != 2 {
+		t.Fatalf("Fired = %d, want 2", se.Fired())
+	}
+}

@@ -1,0 +1,215 @@
+package storage
+
+import (
+	"bytes"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/sched"
+)
+
+// shardCounts returns the shard counts the determinism suite sweeps:
+// serial, 1, 2, 4, and GOMAXPROCS (clamped to the disk count, deduplicated).
+func shardCounts(numDisks int) []int {
+	counts := []int{0, 1, 2, 4, runtime.GOMAXPROCS(0)}
+	out := counts[:0]
+	seen := map[int]bool{}
+	for _, c := range counts {
+		if c > numDisks {
+			c = numDisks
+		}
+		if !seen[c] {
+			seen[c] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// shardedTraceRun executes one seeded heuristic online run at the given
+// shard count with a streaming JSONL tracer (shared with the scheduler so
+// decisions interleave) and returns the log bytes and result.
+func shardedTraceRun(t *testing.T, shards int) ([]byte, *Result) {
+	t.Helper()
+	reqs, p := smallWorkload(t, 12, 80, 600, 3, 5)
+	cfg := smallConfig(12)
+	cfg.Shards = shards
+	var buf bytes.Buffer
+	tr := obs.NewTracer(512) // smaller than the event count: exercises mid-run flushes
+	tr.SetSink(&buf, false)
+	h := sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+	res, err := RunOnline(cfg, p.Locations, h, reqs, WithTracer(tr))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes(), res
+}
+
+// TestShardedTraceByteIdentical is the tentpole determinism guarantee at
+// the storage layer: the canonical JSONL event log and the full Result —
+// energies bit-for-bit, response-time sample order, per-disk stats — are
+// identical across every shard count and across repeated runs.
+func TestShardedTraceByteIdentical(t *testing.T) {
+	t.Parallel()
+	refLog, refRes := shardedTraceRun(t, 0)
+	if len(refLog) == 0 {
+		t.Fatal("empty event log")
+	}
+	for _, shards := range shardCounts(12)[1:] {
+		log, res := shardedTraceRun(t, shards)
+		if !bytes.Equal(log, refLog) {
+			t.Fatalf("Shards=%d: event log differs from serial (%d vs %d bytes)", shards, len(log), len(refLog))
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("Shards=%d: Result differs from serial:\n%+v\nvs\n%+v", shards, res, refRes)
+		}
+	}
+	// Run-to-run determinism of the parallel path itself.
+	logA, _ := shardedTraceRun(t, 4)
+	logB, _ := shardedTraceRun(t, 4)
+	if !bytes.Equal(logA, logB) {
+		t.Fatal("two identical Shards=4 runs diverged")
+	}
+	// The canonical encoding round-trips.
+	evs, err := obs.ReadJSONL(bytes.NewReader(refLog))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	for _, ev := range evs {
+		buf.Write(obs.AppendJSONL(nil, ev))
+	}
+	if !bytes.Equal(buf.Bytes(), refLog) {
+		t.Fatal("JSONL round-trip is not byte-identical")
+	}
+}
+
+// TestShardedBatchByteIdentical covers the batch model: coordinator tick
+// events interleaving with shard events must merge identically too.
+func TestShardedBatchByteIdentical(t *testing.T) {
+	t.Parallel()
+	run := func(shards int) []byte {
+		reqs, p := smallWorkload(t, 12, 80, 500, 3, 9)
+		cfg := smallConfig(12)
+		cfg.Shards = shards
+		var buf bytes.Buffer
+		tr := obs.NewTracer(512)
+		tr.SetSink(&buf, false)
+		w := sched.WSC{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+		if _, err := RunBatch(cfg, p.Locations, w, reqs, 2*time.Second, WithTracer(tr)); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	ref := run(0)
+	if len(ref) == 0 {
+		t.Fatal("empty event log")
+	}
+	for _, shards := range shardCounts(12)[1:] {
+		if got := run(shards); !bytes.Equal(got, ref) {
+			t.Fatalf("Shards=%d: batch event log differs from serial", shards)
+		}
+	}
+}
+
+// TestShardedDoctorPasses runs the full runtime-verification suite plus
+// collector on a sharded run: the merged canonical stream must satisfy
+// every live invariant (power-machine legality, energy conservation,
+// request conservation, replica validity, thresholds, latency sanity), and
+// the reconciled metrics must match the serial run's exactly.
+func TestShardedDoctorPasses(t *testing.T) {
+	t.Parallel()
+	run := func(shards int) (*Result, *monitor.Suite) {
+		reqs, p := smallWorkload(t, 12, 60, 500, 2, 3)
+		cfg := smallConfig(12)
+		cfg.Shards = shards
+		suite := monitor.NewSuite(monitor.Config{
+			Power: cfg.Power, Mech: cfg.Mech, Policy: cfg.Policy, Locations: p.Locations,
+		})
+		tr := obs.NewTracer(1)
+		h := sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+		res, err := RunOnline(cfg, p.Locations, h, reqs,
+			WithTracer(tr), WithMonitor(suite), WithCollector(obs.NewCollector()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, suite
+	}
+	refRes, refSuite := run(0)
+	if !refSuite.Passed() {
+		t.Fatalf("serial doctor reported %d violations", refSuite.Total())
+	}
+	for _, shards := range []int{3, 12} {
+		res, suite := run(shards)
+		if !suite.Passed() {
+			var sb bytes.Buffer
+			suite.WriteReport(&sb)
+			t.Fatalf("Shards=%d: doctor reported %d violations:\n%s", shards, suite.Total(), sb.String())
+		}
+		if suite.Events() != refSuite.Events() {
+			t.Fatalf("Shards=%d: doctor saw %d events, serial saw %d", shards, suite.Events(), refSuite.Events())
+		}
+		if !reflect.DeepEqual(res, refRes) {
+			t.Fatalf("Shards=%d: Result differs from serial", shards)
+		}
+	}
+}
+
+// TestShardedStateLogIdentical pins the remaining side channel: the CSV
+// power-transition log written via WithStateLog replays in canonical order.
+func TestShardedStateLogIdentical(t *testing.T) {
+	t.Parallel()
+	run := func(shards int) []byte {
+		reqs, p := smallWorkload(t, 12, 60, 400, 2, 11)
+		cfg := smallConfig(12)
+		cfg.Shards = shards
+		var buf bytes.Buffer
+		res, err := RunOnline(cfg, p.Locations,
+			sched.Heuristic{Locations: p.Locations, Cost: sched.DefaultCost(cfg.Power)},
+			reqs, WithStateLog(&buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Served == 0 {
+			t.Fatal("no requests served")
+		}
+		return buf.Bytes()
+	}
+	ref := run(0)
+	if len(ref) == 0 {
+		t.Fatal("empty state log")
+	}
+	for _, shards := range shardCounts(12)[1:] {
+		if got := run(shards); !bytes.Equal(got, ref) {
+			t.Fatalf("Shards=%d: state log differs from serial", shards)
+		}
+	}
+}
+
+// TestShardsValidate pins Config-level validation of the new field.
+func TestShardsValidate(t *testing.T) {
+	t.Parallel()
+	for _, tc := range []struct {
+		shards int
+		ok     bool
+	}{
+		{-1, false}, {0, true}, {1, true}, {8, true}, {9, false},
+	} {
+		cfg := smallConfig(8)
+		cfg.Shards = tc.shards
+		reqs := []core.Request{{ID: 1, Block: 0, Arrival: 0}}
+		loc := func(core.BlockID) []core.DiskID { return []core.DiskID{0} }
+		_, err := RunOnline(cfg, loc, sched.Static{Locations: loc}, reqs)
+		if tc.ok && err != nil {
+			t.Errorf("Shards=%d: unexpected error %v", tc.shards, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("Shards=%d: validation passed, want error", tc.shards)
+		}
+	}
+}

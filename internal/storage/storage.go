@@ -35,6 +35,12 @@ type Config struct {
 	InitialState core.DiskState
 	// Discipline selects each disk's queue service order (default FIFO).
 	Discipline diskmodel.Discipline
+	// Shards partitions the event kernel into per-rack sub-kernels that
+	// advance concurrently under conservative synchronization. 0 or 1 selects
+	// the serial kernel. Any value produces bit-identical results — traces,
+	// metrics, response-time sample order — to the serial path; see
+	// simkernel.Sharded.
+	Shards int
 }
 
 // DefaultConfig returns the paper's evaluation system: 180 disks, Cheetah
@@ -52,6 +58,12 @@ func DefaultConfig() Config {
 func (c Config) validate() error {
 	if c.NumDisks <= 0 {
 		return fmt.Errorf("storage: NumDisks = %d", c.NumDisks)
+	}
+	if c.Shards < 0 {
+		return fmt.Errorf("storage: Shards = %d", c.Shards)
+	}
+	if c.Shards > c.NumDisks {
+		return fmt.Errorf("storage: Shards = %d exceeds NumDisks = %d (a shard must own at least one disk)", c.Shards, c.NumDisks)
 	}
 	if err := c.Power.Validate(); err != nil {
 		return err
@@ -96,7 +108,8 @@ func (r *Result) NormalizedEnergy() float64 { return r.Energy / r.AlwaysOnEnergy
 // sched.View.
 type system struct {
 	cfg          Config
-	eng          simkernel.Engine
+	eng          simkernel.Kernel
+	serial       simkernel.Engine // backs eng on the serial (Shards <= 1) path
 	disks        []*diskmodel.Disk
 	resp         metrics.ResponseTimes
 	tr           *obs.Tracer
@@ -121,6 +134,13 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 		policy = power.TwoCompetitive{Config: cfg.Power}
 	}
 	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer, mon: o.monitor}
+	var se *simkernel.Sharded
+	if cfg.Shards > 1 {
+		se = simkernel.NewSharded(cfg.NumDisks, cfg.Shards, 0)
+		s.eng = se
+	} else {
+		s.eng = &s.serial
+	}
 	if o.collector != nil {
 		s.rm = obs.NewRunMetrics(o.collector)
 		rm := s.rm
@@ -140,22 +160,59 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 			}
 		}
 	}
+	onDone := func(req core.Request, done time.Duration) {
+		lat := done - req.Arrival
+		s.resp.Add(lat)
+		s.served++
+		if s.rm != nil {
+			s.rm.ObserveResponse(lat)
+			s.rm.Served.Inc()
+		}
+	}
+	// Sharded runs give each shard a private relay tracer: disks emit into
+	// it from the shard's goroutine, and its observer defers each event into
+	// the real tracer, which re-stamps the sequence number at effect-replay
+	// time. Replay order is the canonical global event order, so the merged
+	// stream is byte-identical to a serial run's — monitors, sinks, and
+	// replay tools can't tell the difference.
+	var shardTrs []*obs.Tracer
+	if se != nil && o.tracer.Enabled() {
+		shardTrs = make([]*obs.Tracer, se.NumShards())
+	}
 	for i := range s.disks {
-		d, err := diskmodel.New(core.DiskID(i), cfg.Mech, cfg.Power, policy, &s.eng,
-			func(req core.Request, done time.Duration) {
-				lat := done - req.Arrival
-				s.resp.Add(lat)
-				s.served++
-				if s.rm != nil {
-					s.rm.ObserveResponse(lat)
-					s.rm.Served.Inc()
+		sim := simkernel.Sim(s.eng)
+		tr := o.tracer
+		done := onDone
+		trans := onTrans
+		if se != nil {
+			view := se.DiskSim(core.DiskID(i))
+			sim = view
+			done = func(req core.Request, doneAt time.Duration) {
+				view.Defer(func() { onDone(req, doneAt) })
+			}
+			if onTrans != nil {
+				trans = func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta) {
+					view.Defer(func() { onTrans(d, now, from, to, e) })
 				}
-			},
+			}
+			if shardTrs != nil {
+				idx := simkernel.ShardOf(core.DiskID(i), cfg.NumDisks, se.NumShards())
+				if shardTrs[idx] == nil {
+					st := obs.NewTracer(1)
+					st.SetObserver(func(ev obs.Event) {
+						view.Defer(func() { s.tr.Emit(ev) })
+					})
+					shardTrs[idx] = st
+				}
+				tr = shardTrs[idx]
+			}
+		}
+		d, err := diskmodel.New(core.DiskID(i), cfg.Mech, cfg.Power, policy, sim, done,
 			diskmodel.Options{
 				InitialState: cfg.InitialState,
 				Discipline:   cfg.Discipline,
-				OnTransition: onTrans,
-				Tracer:       o.tracer,
+				OnTransition: trans,
+				Tracer:       tr,
 			})
 		if err != nil {
 			return nil, err

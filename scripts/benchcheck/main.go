@@ -9,7 +9,12 @@
 // least -cachespeedup times faster than the cold one, pinning the sweep
 // cache's reason to exist rather than just its trend against a baseline.
 //
-//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50]
+// A second intra-run invariant gates kernel throughput: with -eventsfloor
+// set, every fresh benchmark reporting an events/sec metric (the kernel
+// and fleet benchmarks) must clear that absolute floor, independent of
+// what the baseline recorded.
+//
+//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000]
 //
 // Both inputs may be raw benchfmt text or a bench.sh JSON envelope (the
 // envelope's "raw" field holds the text). Only benchmarks present in both
@@ -34,9 +39,10 @@ import (
 )
 
 type result struct {
-	nsPerOp  float64
-	allocsOp float64
-	hasAlloc bool
+	nsPerOp   float64
+	allocsOp  float64
+	hasAlloc  bool
+	eventsSec float64
 }
 
 func main() {
@@ -45,6 +51,7 @@ func main() {
 	tol := flag.Float64("tol", 0.25, "allowed fractional wall-time increase per benchmark")
 	allocTol := flag.Float64("alloctol", 0.001, "allowed fractional allocs/op increase per benchmark")
 	cacheSpeedup := flag.Float64("cachespeedup", 50, "required cold/warm speedup for SweepCached pairs in the fresh run (0 disables)")
+	eventsFloor := flag.Float64("eventsfloor", 0, "minimum events/sec for fresh benchmarks reporting that metric (0 disables)")
 	flag.Parse()
 	if *baseline == "" || *newRun == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
@@ -88,6 +95,9 @@ func main() {
 	if !checkCacheSpeedup(fresh, *cacheSpeedup) {
 		failed = true
 	}
+	if !checkEventsFloor(fresh, *eventsFloor) {
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -121,6 +131,30 @@ func checkCacheSpeedup(fresh map[string]result, speedup float64) bool {
 		}
 		fmt.Printf("%-60s %12.0f cold / %8.0f warm ns/op (%.0fx)  %s\n",
 			warmName, cold.nsPerOp, warm.nsPerOp, got, status)
+	}
+	return ok
+}
+
+// checkEventsFloor enforces an absolute kernel-throughput floor on the
+// fresh run: every benchmark reporting an events/sec metric must clear it.
+// Unlike the relative wall-time gate this catches a slow creep that stays
+// inside -tol run over run, and it holds even when the baseline predates
+// the metric. Returns false on violation.
+func checkEventsFloor(fresh map[string]result, floor float64) bool {
+	if floor <= 0 {
+		return true
+	}
+	ok := true
+	for name, r := range fresh {
+		if r.eventsSec <= 0 {
+			continue
+		}
+		status := "ok"
+		if r.eventsSec < floor {
+			status = fmt.Sprintf("FAIL events/sec below floor %.0f", floor)
+			ok = false
+		}
+		fmt.Printf("%-60s %12.0f events/sec  %s\n", name, r.eventsSec, status)
 	}
 	return ok
 }
@@ -162,6 +196,8 @@ func load(path string) (map[string]result, error) {
 			case "allocs/op":
 				r.allocsOp = v
 				r.hasAlloc = true
+			case "events/sec":
+				r.eventsSec = v
 			}
 		}
 		if ok {
