@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate serve-gate doc-check fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -23,12 +23,15 @@ check: vet
 
 # CI gate: build, vet, race-detected tests, the benchmark-regression
 # check against the newest BENCH_*.json snapshot (wall time within
-# tolerance, allocs/op not increased), the log-replay consistency
+# tolerance, allocs/op not increased, kernel events/sec and serving
+# decisions/sec above their absolute floors), the log-replay consistency
 # gate (a seeded cell's event log must replay to a byte-identical
-# metrics export and a bit-exact energy attribution), and the doctor
+# metrics export and a bit-exact energy attribution), the doctor
 # gate (runtime invariants over both log encodings plus the
-# paper-fidelity scorecard).
-ci: build check race-hot bench-check replay-gate doctor-gate
+# paper-fidelity scorecard), the serving gate (a live eschedd run under
+# load must drain clean and doctor-clean), and the documentation gate
+# (vet + package doc comments everywhere).
+ci: build check race-hot bench-check replay-gate doctor-gate serve-gate doc-check
 
 # Focused race pass over the packages with deliberate concurrency around
 # shared state: the sweep cache's single-flight map in internal/experiments
@@ -64,6 +67,18 @@ replay-gate:
 # docs/OBSERVABILITY.md).
 doctor-gate:
 	scripts/doctorgate.sh
+
+# Serving-path gate: boot a real eschedd daemon with -events and live
+# -doctor, drive a loadgen burst, probe /healthz and /metrics, drain with
+# SIGTERM, then run `tracelens doctor` over the emitted serving log (see
+# scripts/servegate.sh and docs/SERVING.md).
+serve-gate:
+	scripts/servegate.sh
+
+# Documentation gate: go vet plus a package-doc-comment presence check
+# over every package (see scripts/doccheck.sh).
+doc-check:
+	scripts/doccheck.sh
 
 # Benchmark-regression harness: runs the tier-1 figure benchmarks plus the
 # offline pipeline benchmark and records a BENCH_<date>.json snapshot that

@@ -1,0 +1,544 @@
+// Command eschedd is the online serving daemon for energy-aware replica
+// scheduling: where esched replays a complete trace in batch, eschedd
+// keeps the simulated disk population live and serves streaming Eq. 6
+// scheduling decisions over HTTP (see docs/SERVING.md).
+//
+//	eschedd serve   -addr :8080 -disks 180 -rf 3            # the daemon
+//	eschedd loadgen -addr HOST:PORT -requests 50000         # drive it, SLO report
+//	eschedd probe   -addr HOST:PORT                         # healthz + metrics check
+//
+// serve builds the placement from the same flags esched uses
+// (-disks/-blocks/-rf/-z/-seed), so an event log written with -events can
+// be replayed and invariant-checked offline with
+//
+//	tracelens doctor -disks N -blocks B -rf R -z Z -seed S LOG
+//
+// On SIGTERM/SIGINT the daemon drains gracefully: new requests get 503,
+// admitted ones are decided, outstanding disk work completes, and the
+// final accounting (energy, spin operations, served/dropped) is printed
+// with the metrics export reconciled bit-exactly to the power meters.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"os/signal"
+	"sort"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/sched"
+	"repro/internal/serve"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "serve":
+		err = runServe(os.Args[2:])
+	case "loadgen":
+		err = runLoadgen(os.Args[2:])
+	case "probe":
+		err = runProbe(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "eschedd:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: eschedd <serve|loadgen|probe> [flags]
+
+  serve    run the scheduling daemon (eschedd serve -h)
+  loadgen  drive a running daemon and print an SLO report (eschedd loadgen -h)
+  probe    check /healthz and /metrics of a running daemon (eschedd probe -h)`)
+}
+
+func runServe(args []string) error {
+	fs := flag.NewFlagSet("eschedd serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address (\":0\" = ephemeral)")
+		addrFile = fs.String("addrfile", "", "write the bound address to this file (for scripts)")
+		disks    = fs.Int("disks", 180, "number of disks")
+		blocks   = fs.Int("blocks", 30000, "number of blocks")
+		rf       = fs.Int("rf", 3, "data replication factor")
+		zipf     = fs.Float64("z", 1, "data locality Zipf exponent (0 = uniform)")
+		seed     = fs.Int64("seed", 1, "random seed")
+		mode     = fs.String("mode", "heuristic", "decision path: heuristic | wsc")
+		alpha    = fs.Float64("alpha", 0.2, "cost-function energy/performance mix")
+		beta     = fs.Float64("beta", 10, "cost-function unit scale")
+		queue    = fs.Int("queue", 4096, "admission bound (queue-full submissions get 429)")
+		roundMax = fs.Int("roundmax", 512, "max requests decided per round")
+		deadline = fs.Duration("deadline", 0, "default per-request decision deadline (0 = none)")
+		shards   = fs.Int("shards", 0, "router shard count (0 = default)")
+		events   = fs.String("events", "", "stream the event log to this file (JSONL; .bin = binary)")
+		metrics  = fs.String("metrics", "", `write a final Prometheus snapshot at drain ("-" = stdout)`)
+		doctor   = fs.Bool("doctor", false, "run live invariant monitors; non-zero exit on violation")
+	)
+	fs.Parse(args)
+
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: *disks, NumBlocks: *blocks,
+		ReplicationFactor: *rf, ZipfExponent: *zipf, Seed: *seed,
+	})
+	if err != nil {
+		return err
+	}
+	pc := power.DefaultConfig()
+	cfg := serve.Config{
+		System: storage.Config{
+			NumDisks: *disks,
+			Power:    pc,
+			Mech:     diskmodel.Cheetah15K5(),
+			Policy:   power.TwoCompetitive{Config: pc},
+		},
+		Router:      serve.NewRouter(plc, *shards),
+		Cost:        sched.CostConfig{Alpha: *alpha, Beta: *beta, Power: pc},
+		MaxInFlight: *queue,
+		RoundMax:    *roundMax,
+		Deadline:    *deadline,
+	}
+	switch *mode {
+	case "heuristic":
+		cfg.Mode = serve.ModeHeuristic
+	case "wsc":
+		cfg.Mode = serve.ModeWSC
+	default:
+		return fmt.Errorf("unknown -mode %q", *mode)
+	}
+
+	col := obs.NewCollector()
+	cfg.Collector = col
+	var eventsBuf *bufio.Writer
+	var eventsOut *os.File
+	if *events != "" {
+		f, err := os.Create(*events)
+		if err != nil {
+			return err
+		}
+		eventsOut = f
+		eventsBuf = bufio.NewWriterSize(f, 1<<20)
+		cfg.Tracer = obs.NewTracer(0)
+		cfg.Tracer.SetSink(eventsBuf, strings.HasSuffix(*events, ".bin"))
+	}
+	var suite *monitor.Suite
+	if *doctor {
+		if cfg.Tracer == nil {
+			// Monitors ride the tracer's observer hook; a minimal ring is
+			// enough when no -events log was requested.
+			cfg.Tracer = obs.NewTracer(1)
+		}
+		suite = monitor.NewSuite(monitor.Config{
+			Power: pc, Mech: cfg.System.Mech, Policy: cfg.System.Policy,
+			Locations: plc.Locations,
+		})
+		cfg.Monitor = suite
+	}
+
+	eng, err := serve.New(cfg)
+	if err != nil {
+		return err
+	}
+	srv := serve.NewServer(eng, col)
+	bound, shutdown, err := srv.Serve(*addr)
+	if err != nil {
+		return err
+	}
+	if *addrFile != "" {
+		if err := os.WriteFile(*addrFile, []byte(bound+"\n"), 0o644); err != nil {
+			return err
+		}
+	}
+	fmt.Fprintf(os.Stderr, "eschedd: serving on %s (%d disks, %d blocks, rf=%d, mode=%s)\n",
+		bound, *disks, *blocks, *rf, *mode)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	s := <-sig
+	fmt.Fprintf(os.Stderr, "eschedd: %v — draining\n", s)
+
+	res, runErr := eng.Drain()
+	if err := shutdown(); err != nil && runErr == nil {
+		runErr = err
+	}
+	if eventsBuf != nil {
+		ferr := eventsBuf.Flush()
+		if err := eventsOut.Close(); ferr == nil {
+			ferr = err
+		}
+		if ferr != nil && runErr == nil {
+			runErr = fmt.Errorf("event log %s: %w", *events, ferr)
+		}
+		fmt.Fprintf(os.Stderr, "eschedd: event log flushed to %s\n", *events)
+	}
+	if *metrics != "" {
+		if err := writeMetrics(col, *metrics); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if res != nil {
+		fmt.Printf("decisions: %d\n", eng.Decisions())
+		fmt.Printf("energy: %.0f J (%.3f of always-on %.0f J) over %s\n",
+			res.Energy, res.NormalizedEnergy(), res.AlwaysOnEnergy, res.Horizon.Round(time.Second))
+		fmt.Printf("spin operations: %d up / %d down\n", res.SpinUps, res.SpinDowns)
+		fmt.Printf("requests: %d served, %d dropped\n", res.Served, res.Dropped)
+	}
+	if suite != nil && runErr == nil {
+		if _, err := suite.WriteReport(os.Stderr); err != nil {
+			return err
+		}
+		if !suite.Passed() {
+			runErr = fmt.Errorf("doctor: invariant violations on the serving run")
+		}
+	}
+	return runErr
+}
+
+func writeMetrics(c *obs.Collector, path string) error {
+	if path == "-" {
+		_, err := c.WriteTo(os.Stdout)
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	_, werr := c.WriteTo(f)
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		return fmt.Errorf("metrics %s: %w", path, werr)
+	}
+	fmt.Fprintf(os.Stderr, "eschedd: metrics snapshot written to %s\n", path)
+	return nil
+}
+
+func runLoadgen(args []string) error {
+	fs := flag.NewFlagSet("eschedd loadgen", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", "127.0.0.1:8080", "daemon address")
+		requests = fs.Int("requests", 10000, "number of requests to send")
+		blocks   = fs.Int("blocks", 30000, "block space to draw from (match the daemon)")
+		wl       = fs.String("workload", "cello", "arrival/popularity model: cello | financial | uniform")
+		seed     = fs.Int64("seed", 1, "random seed")
+		conns    = fs.Int("conns", 8, "concurrent connections (closed loop) / senders (open loop)")
+		loop     = fs.String("loop", "closed", "closed (next request after response) | open (fixed rate)")
+		rate     = fs.Float64("rate", 5000, "open-loop arrival rate, requests/sec")
+		batch    = fs.Int("batch", 1, "requests per POST (>1 uses the compact batch endpoint)")
+	)
+	fs.Parse(args)
+	if *batch < 1 {
+		return fmt.Errorf("-batch must be >= 1")
+	}
+
+	// Draw the block sequence from the workload model so popularity skew
+	// matches the trace-driven batch experiments.
+	var seq []core.BlockID
+	switch *wl {
+	case "cello":
+		seq = blockSeq(workload.CelloLike(*requests, *blocks, *seed))
+	case "financial":
+		seq = blockSeq(workload.FinancialLike(*requests, *blocks, *seed))
+	case "uniform":
+		rng := rand.New(rand.NewSource(*seed))
+		seq = make([]core.BlockID, *requests)
+		for i := range seq {
+			seq[i] = core.BlockID(rng.Intn(*blocks))
+		}
+	default:
+		return fmt.Errorf("unknown -workload %q", *wl)
+	}
+
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	if err := checkHealth(client, base); err != nil {
+		return err
+	}
+	startState, err := getState(client, base)
+	if err != nil {
+		return err
+	}
+
+	lat := make([]time.Duration, 0, len(seq))
+	var mu sync.Mutex
+	var sent, rejected, failed int64
+	record := func(d time.Duration, n, rej int, err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if err != nil {
+			failed++
+			return
+		}
+		sent += int64(n)
+		rejected += int64(rej)
+		for i := 0; i < n; i++ {
+			lat = append(lat, d)
+		}
+	}
+
+	start := time.Now()
+	if *loop == "open" {
+		if err := openLoop(client, base, seq, *conns, *rate, *batch, record); err != nil {
+			return err
+		}
+	} else {
+		closedLoop(client, base, seq, *conns, *batch, record)
+	}
+	wall := time.Since(start)
+
+	endState, err := getState(client, base)
+	if err != nil {
+		return err
+	}
+	return report(os.Stdout, lat, wall, sent, rejected, failed, startState, endState)
+}
+
+// blockSeq strips a generated trace down to its block sequence.
+func blockSeq(rs []core.Request) []core.BlockID {
+	out := make([]core.BlockID, len(rs))
+	for i, r := range rs {
+		out[i] = r.Block
+	}
+	return out
+}
+
+func closedLoop(client *http.Client, base string, reqs []core.BlockID, conns, batch int,
+	record func(time.Duration, int, int, error)) {
+	var next int64
+	var mu sync.Mutex
+	take := func() []core.BlockID {
+		mu.Lock()
+		defer mu.Unlock()
+		if next >= int64(len(reqs)) {
+			return nil
+		}
+		end := next + int64(batch)
+		if end > int64(len(reqs)) {
+			end = int64(len(reqs))
+		}
+		out := reqs[next:end]
+		next = end
+		return out
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < conns; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				chunk := take()
+				if chunk == nil {
+					return
+				}
+				record(post(client, base, chunk))
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func openLoop(client *http.Client, base string, reqs []core.BlockID, conns int, rate float64, batch int,
+	record func(time.Duration, int, int, error)) error {
+	if rate <= 0 {
+		return fmt.Errorf("-rate must be positive for the open loop")
+	}
+	interval := time.Duration(float64(time.Second) * float64(batch) / rate)
+	if interval <= 0 {
+		interval = time.Microsecond
+	}
+	sem := make(chan struct{}, conns)
+	var wg sync.WaitGroup
+	tick := time.NewTicker(interval)
+	defer tick.Stop()
+	for next := 0; next < len(reqs); {
+		<-tick.C
+		end := next + batch
+		if end > len(reqs) {
+			end = len(reqs)
+		}
+		chunk := reqs[next:end]
+		next = end
+		select {
+		case sem <- struct{}{}:
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				record(post(client, base, chunk))
+				<-sem
+			}()
+		default:
+			// Open loop: the system can't keep up — count as rejected
+			// rather than queue unboundedly at the client.
+			record(0, 0, len(chunk), nil)
+		}
+	}
+	wg.Wait()
+	return nil
+}
+
+// post sends one chunk (single JSON request or compact batch) and returns
+// the per-request latency, how many were decided and how many rejected.
+func post(client *http.Client, base string, chunk []core.BlockID) (time.Duration, int, int, error) {
+	t0 := time.Now()
+	if len(chunk) == 1 {
+		body := fmt.Sprintf(`{"block": %d}`, chunk[0])
+		resp, err := client.Post(base+"/v1/schedule", "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, 0, 0, err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode == http.StatusOK {
+			return time.Since(t0), 1, 0, nil
+		}
+		return time.Since(t0), 0, 1, nil
+	}
+	var sb strings.Builder
+	for _, b := range chunk {
+		fmt.Fprintf(&sb, "%d\n", b)
+	}
+	resp, err := client.Post(base+"/v1/schedule/batch", "text/plain", strings.NewReader(sb.String()))
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return time.Since(t0), 0, len(chunk), nil
+	}
+	ok, rej := 0, 0
+	for _, ln := range strings.Split(strings.TrimRight(string(body), "\n"), "\n") {
+		if strings.HasPrefix(ln, "!") {
+			rej++
+		} else if ln != "" {
+			ok++
+		}
+	}
+	return time.Since(t0), ok, rej, nil
+}
+
+func checkHealth(client *http.Client, base string) error {
+	resp, err := client.Get(base + "/healthz")
+	if err != nil {
+		return fmt.Errorf("daemon not reachable: %w", err)
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("daemon not healthy: /healthz = %d", resp.StatusCode)
+	}
+	return nil
+}
+
+// stateSnap is the subset of /state the loadgen reports on.
+type stateSnap struct {
+	Decisions uint64  `json:"decisions"`
+	Served    int     `json:"served"`
+	Dropped   int     `json:"dropped"`
+	EnergyJ   float64 `json:"energy_j"`
+	SpinUps   int     `json:"spin_ups"`
+	NowUS     int64   `json:"now_us"`
+}
+
+func getState(client *http.Client, base string) (stateSnap, error) {
+	var st stateSnap
+	resp, err := client.Get(base + "/state")
+	if err != nil {
+		return st, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return st, fmt.Errorf("/state = %d", resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&st)
+	return st, err
+}
+
+// report prints the latency/energy SLO report.
+func report(w io.Writer, lat []time.Duration, wall time.Duration, sent, rejected, failed int64,
+	start, end stateSnap) error {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	pct := func(p float64) time.Duration {
+		if len(lat) == 0 {
+			return 0
+		}
+		i := int(p / 100 * float64(len(lat)-1))
+		return lat[i]
+	}
+	decided := end.Decisions - start.Decisions
+	energy := end.EnergyJ - start.EnergyJ
+	fmt.Fprintf(w, "loadgen: %d decided, %d rejected, %d failed in %s (%.0f decisions/sec)\n",
+		sent, rejected, failed, wall.Round(time.Millisecond), float64(sent)/wall.Seconds())
+	fmt.Fprintf(w, "latency: p50 %s  p99 %s  p99.9 %s  max %s\n",
+		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond),
+		pct(99.9).Round(time.Microsecond), pct(100).Round(time.Microsecond))
+	if decided > 0 {
+		fmt.Fprintf(w, "energy: %.1f J settled across the run window, %.3f J per 1k requests (daemon decisions %d)\n",
+			energy, energy/float64(decided)*1000, decided)
+	}
+	fmt.Fprintf(w, "daemon: served %d, dropped %d, spin-ups %d, virtual time %s\n",
+		end.Served, end.Dropped, end.SpinUps,
+		(time.Duration(end.NowUS) * time.Microsecond).Round(time.Millisecond))
+	if failed > 0 {
+		return fmt.Errorf("loadgen: %d requests failed at transport level", failed)
+	}
+	return nil
+}
+
+func runProbe(args []string) error {
+	fs := flag.NewFlagSet("eschedd probe", flag.ExitOnError)
+	addr := fs.String("addr", "127.0.0.1:8080", "daemon address")
+	fs.Parse(args)
+	base := "http://" + *addr
+	client := &http.Client{Timeout: 10 * time.Second}
+	if err := checkHealth(client, base); err != nil {
+		return err
+	}
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return err
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("/metrics = %d", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "esched_") {
+		return fmt.Errorf("/metrics exposes no esched_ series")
+	}
+	st, err := getState(client, base)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("ok: healthz healthy, %d metric bytes, %d decisions, %.1f J settled\n",
+		len(body), st.Decisions, st.EnergyJ)
+	return nil
+}

@@ -1,0 +1,133 @@
+package serve
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+)
+
+// Router is the daemon's replica-lookup surface: a sharded, lock-free view
+// of a placement (internal/placement) that HTTP handlers and the decision
+// loop read concurrently with zero synchronization on the hot path.
+//
+// Blocks are striped across shards by block ID; each shard holds an
+// immutable location table behind an atomic pointer. Reads are two index
+// operations and one atomic load. Updates (replica creation or migration
+// feeding a future replication manager) copy-on-write a single shard's
+// table, so writers on different shards never contend and readers are
+// never blocked.
+type Router struct {
+	numDisks int
+	shards   []atomic.Pointer[shardTable]
+}
+
+// shardTable is one shard's immutable slice of location lists, indexed by
+// block/numShards. Location slices are shared with the source placement
+// and must never be mutated in place.
+type shardTable struct {
+	locs [][]core.DiskID
+}
+
+// NewRouter builds a sharded router over a placement. shards <= 0 selects
+// one shard per available stripe up to 64 — enough that copy-on-write
+// updates to distinct stripes never touch the same table.
+func NewRouter(p *placement.Placement, shards int) *Router {
+	if shards <= 0 {
+		shards = 64
+	}
+	if n := p.NumBlocks(); shards > n && n > 0 {
+		shards = n
+	}
+	if shards < 1 {
+		shards = 1
+	}
+	r := &Router{numDisks: p.NumDisks(), shards: make([]atomic.Pointer[shardTable], shards)}
+	tables := make([]shardTable, shards)
+	for s := range tables {
+		n := (p.NumBlocks() - s + shards - 1) / shards
+		if n < 0 {
+			n = 0
+		}
+		tables[s].locs = make([][]core.DiskID, 0, n)
+	}
+	for b := 0; b < p.NumBlocks(); b++ {
+		s := b % shards
+		tables[s].locs = append(tables[s].locs, p.Locations(core.BlockID(b)))
+	}
+	for s := range tables {
+		t := tables[s]
+		r.shards[s].Store(&t)
+	}
+	return r
+}
+
+// NumDisks returns the disk population size the router validates against.
+func (r *Router) NumDisks() int { return r.numDisks }
+
+// NumShards returns the stripe count.
+func (r *Router) NumShards() int { return len(r.shards) }
+
+// NumBlocks returns the number of blocks with a location list.
+func (r *Router) NumBlocks() int {
+	n := 0
+	for s := range r.shards {
+		n += len(r.shards[s].Load().locs)
+	}
+	return n
+}
+
+// Lookup returns the replica locations of a block, original first, or nil
+// for an unknown block. The caller must not modify the returned slice.
+// Lookup is lock-free and safe for any number of concurrent callers.
+func (r *Router) Lookup(b core.BlockID) []core.DiskID {
+	if b < 0 {
+		return nil
+	}
+	s := int(b) % len(r.shards)
+	t := r.shards[s].Load()
+	i := int(b) / len(r.shards)
+	if i >= len(t.locs) {
+		return nil
+	}
+	return t.locs[i]
+}
+
+// Update replaces one block's location list (copy-on-write on the block's
+// shard). Readers observe either the old or the new list, never a partial
+// write. The block must already exist and the new list must name at least
+// one valid, distinct disk — the serving layer only re-routes replicas, it
+// does not grow the block space.
+func (r *Router) Update(b core.BlockID, locs []core.DiskID) error {
+	if len(locs) == 0 {
+		return fmt.Errorf("serve: block %d must keep at least one location", b)
+	}
+	seen := make(map[core.DiskID]struct{}, len(locs))
+	for _, d := range locs {
+		if d < 0 || int(d) >= r.numDisks {
+			return fmt.Errorf("serve: block %d on invalid disk %d", b, d)
+		}
+		if _, dup := seen[d]; dup {
+			return fmt.Errorf("serve: block %d lists disk %d twice", b, d)
+		}
+		seen[d] = struct{}{}
+	}
+	if b < 0 {
+		return fmt.Errorf("serve: invalid block %d", b)
+	}
+	s := int(b) % len(r.shards)
+	i := int(b) / len(r.shards)
+	for {
+		old := r.shards[s].Load()
+		if i >= len(old.locs) {
+			return fmt.Errorf("serve: unknown block %d", b)
+		}
+		next := &shardTable{locs: make([][]core.DiskID, len(old.locs))}
+		copy(next.locs, old.locs)
+		next.locs[i] = append([]core.DiskID(nil), locs...)
+		if r.shards[s].CompareAndSwap(old, next) {
+			return nil
+		}
+	}
+}

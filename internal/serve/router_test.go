@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/placement"
+)
+
+func testPlacement(t *testing.T, disks, blocks, rf int) *placement.Placement {
+	t.Helper()
+	p, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: disks, NumBlocks: blocks,
+		ReplicationFactor: rf, ZipfExponent: 1, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestRouterLookupMatchesPlacement(t *testing.T) {
+	t.Parallel()
+	p := testPlacement(t, 16, 333, 3)
+	for _, shards := range []int{1, 7, 64, 1000} {
+		r := NewRouter(p, shards)
+		if r.NumBlocks() != 333 {
+			t.Fatalf("shards=%d: NumBlocks = %d, want 333", shards, r.NumBlocks())
+		}
+		for b := 0; b < 333; b++ {
+			got := r.Lookup(core.BlockID(b))
+			want := p.Locations(core.BlockID(b))
+			if len(got) != len(want) {
+				t.Fatalf("shards=%d block %d: %v != %v", shards, b, got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("shards=%d block %d: %v != %v", shards, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestRouterUnknownBlocks(t *testing.T) {
+	t.Parallel()
+	r := NewRouter(testPlacement(t, 4, 10, 2), 3)
+	for _, b := range []core.BlockID{-1, 10, 11, 1 << 30} {
+		if locs := r.Lookup(b); locs != nil {
+			t.Errorf("Lookup(%d) = %v, want nil", b, locs)
+		}
+	}
+}
+
+func TestRouterUpdate(t *testing.T) {
+	t.Parallel()
+	r := NewRouter(testPlacement(t, 8, 40, 2), 4)
+	if err := r.Update(5, []core.DiskID{7, 0, 3}); err != nil {
+		t.Fatal(err)
+	}
+	got := r.Lookup(5)
+	if len(got) != 3 || got[0] != 7 || got[1] != 0 || got[2] != 3 {
+		t.Fatalf("Lookup(5) = %v after update", got)
+	}
+	// Neighbors in the same shard are untouched.
+	if locs := r.Lookup(9); len(locs) != 2 {
+		t.Fatalf("Lookup(9) = %v, want original 2 replicas", locs)
+	}
+	for _, bad := range []struct {
+		name string
+		b    core.BlockID
+		locs []core.DiskID
+	}{
+		{"empty", 5, nil},
+		{"out of range", 5, []core.DiskID{8}},
+		{"negative disk", 5, []core.DiskID{-1}},
+		{"duplicate", 5, []core.DiskID{3, 3}},
+		{"unknown block", 40, []core.DiskID{1}},
+		{"negative block", -1, []core.DiskID{1}},
+	} {
+		if err := r.Update(bad.b, bad.locs); err == nil {
+			t.Errorf("%s: Update accepted", bad.name)
+		}
+	}
+}
+
+// TestRouterConcurrent hammers lookups against copy-on-write updates; under
+// -race this proves the lock-free path is clean, and every observed list
+// must be a valid replica set (never a partial write).
+func TestRouterConcurrent(t *testing.T) {
+	t.Parallel()
+	const blocks = 64
+	r := NewRouter(testPlacement(t, 8, blocks, 2), 8)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				b := core.BlockID((g*13 + i) % blocks)
+				locs := r.Lookup(b)
+				if len(locs) < 1 {
+					t.Errorf("block %d: empty locations", b)
+					return
+				}
+				for _, d := range locs {
+					if d < 0 || d >= 8 {
+						t.Errorf("block %d: invalid disk %d", b, d)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 2000; i++ {
+		b := core.BlockID(i % blocks)
+		if err := r.Update(b, []core.DiskID{core.DiskID(i % 8), core.DiskID((i + 3) % 8)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

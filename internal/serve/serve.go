@@ -1,0 +1,671 @@
+// Package serve turns the batch/offline energy-aware scheduling stack into
+// a long-lived serving system: eschedd's decision engine.
+//
+// An Engine ingests read requests (HTTP handlers in this package, or any
+// in-process caller), makes streaming replica-scheduling decisions with the
+// paper's Eq. 6 online cost function C(d) = E(d)·α/β + P(d)·(1−α)
+// (internal/sched) against live per-disk power state, and dispatches each
+// request into the same disk/power/discrete-event machinery the batch
+// runners use (storage.Live over internal/diskmodel, internal/power,
+// internal/simkernel). Replica lookup is a sharded lock-free Router over
+// internal/placement; batched decision rounds can reuse the weighted-set-
+// cover scheduler (internal/sched + internal/graph) instead of per-request
+// cost minimization.
+//
+// The engine is built around one decision goroutine that owns the
+// simulation clock, so a serving run keeps every batch-path guarantee:
+// the event log (internal/obs) is replayable with tracelens, the doctor
+// monitors (internal/obs/monitor) can ride along live, and the Prometheus
+// metrics reconcile bit-exactly to the power meters at drain. Admission is
+// bounded (queue-full submissions fail fast for HTTP 429 backpressure),
+// each request carries a decision deadline, and Drain performs a graceful
+// shutdown: in-flight requests complete, new ones are rejected, trailing
+// spin-downs settle, and the final accounting is returned.
+//
+// See docs/SERVING.md for the architecture and the endpoint reference.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/sched"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// Serving-path errors, mapped to HTTP statuses by the Server (http.go).
+var (
+	// ErrQueueFull reports that the admission bound was hit: the caller
+	// should back off and retry (HTTP 429 + Retry-After).
+	ErrQueueFull = errors.New("serve: decision queue full")
+	// ErrDraining reports that the engine is shutting down and rejects new
+	// work (HTTP 503).
+	ErrDraining = errors.New("serve: draining")
+	// ErrDeadline reports that a request waited past its decision deadline
+	// and was dropped (HTTP 504).
+	ErrDeadline = errors.New("serve: decision deadline exceeded")
+	// ErrNoReplica reports a block with no replica locations (HTTP 422).
+	ErrNoReplica = errors.New("serve: no replica locations for block")
+)
+
+// Mode selects the decision path for a round.
+type Mode int
+
+const (
+	// ModeHeuristic decides each request independently: the Eq. 6 argmin
+	// over the block's replicas (sched.Heuristic).
+	ModeHeuristic Mode = iota
+	// ModeWSC decides each round as one weighted-set-cover instance over
+	// the batched requests (sched.WSC), the paper's batch model applied to
+	// serving rounds.
+	ModeWSC
+)
+
+func (m Mode) String() string {
+	if m == ModeWSC {
+		return "wsc"
+	}
+	return "heuristic"
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// System is the simulated disk population (storage.Config); Shards must
+	// be 0 or 1 (the serving clock is owned by one goroutine).
+	System storage.Config
+	// Router resolves blocks to replica locations.
+	Router *Router
+	// Cost is the Eq. 6 cost function; zero Alpha+Beta selects
+	// sched.DefaultCost over System.Power.
+	Cost sched.CostConfig
+	// Mode selects per-request heuristic or per-round WSC decisions.
+	Mode Mode
+	// MaxInFlight bounds admitted-but-undecided requests; submissions over
+	// the bound fail with ErrQueueFull. Default 4096.
+	MaxInFlight int
+	// RoundMax caps how many queued requests one decision round drains.
+	// Default 512.
+	RoundMax int
+	// Deadline is the default wall-clock bound on queueing before a
+	// decision; an expired request is dropped with ErrDeadline. 0 = none.
+	Deadline time.Duration
+	// Sequential switches the engine to deterministic replay order:
+	// submitters supply dense request IDs and virtual arrival times, and
+	// decisions are made in strict ID order regardless of submission
+	// interleaving, so concurrent and serial clients produce bit-identical
+	// accounting. Rounds are per-request and wall-clock deadlines do not
+	// apply. When false (live mode), the engine stamps IDs and arrivals
+	// from the wall clock in admission order.
+	Sequential bool
+	// Tracer, Collector and Monitor attach the observability stack exactly
+	// as on a batch run (storage.WithTracer / WithCollector / WithMonitor).
+	Tracer    *obs.Tracer
+	Collector *obs.Collector
+	Monitor   *monitor.Suite
+}
+
+// Decision is the outcome of scheduling one request.
+type Decision struct {
+	Req     core.RequestID
+	Block   core.BlockID
+	Disk    core.DiskID
+	State   core.DiskState // the chosen disk's power state at decision time
+	Load    int            // queued+in-service on the chosen disk, pre-dispatch
+	Cost    float64        // composite C(d) of Eq. 6
+	EnergyJ float64        // energy term E(d) of Eq. 5
+	At      time.Duration  // virtual decision time
+}
+
+// Totals is the running aggregate surfaced on /state and /healthz.
+type Totals struct {
+	Now       time.Duration
+	Decisions uint64
+	Served    int
+	Dropped   int
+	InFlight  int
+	EnergyJ   float64
+	SpinUps   int
+	SpinDowns int
+	Draining  bool
+}
+
+// Snapshot is a consistent view of the serving system: per-disk power
+// state plus totals, taken between decision rounds.
+type Snapshot struct {
+	Totals Totals
+	Disks  []storage.DiskSnapshot
+}
+
+// serveMetrics is the engine's own metric catalog, alongside the
+// simulator's RunMetrics on the shared collector.
+type serveMetrics struct {
+	decided, queueFull, deadline, draining, noReplica *obs.Counter
+	inflight                                          *obs.Gauge
+	rounds                                            *obs.Counter
+	roundSize                                         *obs.Histogram
+	decisionLatency                                   *obs.Histogram
+}
+
+func newServeMetrics(c *obs.Collector) *serveMetrics {
+	const outName = "esched_serve_requests_total"
+	const outHelp = "Serving submissions by outcome."
+	return &serveMetrics{
+		decided:   c.Counter(outName, outHelp, obs.Label{Key: "outcome", Value: "decided"}),
+		queueFull: c.Counter(outName, outHelp, obs.Label{Key: "outcome", Value: "queue_full"}),
+		deadline:  c.Counter(outName, outHelp, obs.Label{Key: "outcome", Value: "deadline_expired"}),
+		draining:  c.Counter(outName, outHelp, obs.Label{Key: "outcome", Value: "draining"}),
+		noReplica: c.Counter(outName, outHelp, obs.Label{Key: "outcome", Value: "no_replica"}),
+		inflight:  c.Gauge("esched_serve_inflight", "Admitted requests awaiting a decision."),
+		rounds:    c.Counter("esched_serve_rounds_total", "Decision rounds executed."),
+		roundSize: c.Histogram("esched_serve_round_size",
+			"Requests decided per round.", []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512}),
+		decisionLatency: c.Histogram("esched_serve_decision_latency_seconds",
+			"Wall-clock submit-to-decision latency.",
+			[]float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+				0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}),
+	}
+}
+
+// outcome is what a waiter receives.
+type outcome struct {
+	dec Decision
+	err error
+}
+
+// pending is one admitted request traveling from Submit to the loop.
+type pending struct {
+	req      core.Request
+	deadline time.Time // zero = none
+	enqueued time.Time
+	res      chan outcome
+}
+
+// ctlMsg runs fn on the decision goroutine between rounds.
+type ctlMsg struct {
+	fn   func()
+	done chan struct{}
+}
+
+// Engine is the serving decision engine. Create with New, feed with
+// Submit from any number of goroutines, stop with Drain.
+type Engine struct {
+	cfg   Config
+	lv    *storage.Live
+	heur  sched.Heuristic
+	wsc   sched.WSC
+	sm    *serveMetrics
+	in    chan *pending
+	ctl   chan ctlMsg
+	stop  chan struct{}
+	ended chan struct{}
+
+	inflight  atomic.Int64
+	draining  atomic.Bool
+	decisions atomic.Uint64
+
+	start time.Time // wall anchor for the virtual clock (live mode)
+
+	// Loop-owned state.
+	lastArrival time.Duration
+	nextID      core.RequestID
+	parked      map[core.RequestID]*pending // sequential mode reorder buffer
+	round       []*pending
+	batch       []core.Request
+	scratch     sched.CoverScratch
+
+	// Set once the loop has exited (after Drain).
+	final    *Snapshot
+	report   *storage.Result
+	finalErr error
+}
+
+// New builds and starts a serving engine; the decision loop runs until
+// Drain.
+func New(cfg Config) (*Engine, error) {
+	if cfg.Router == nil {
+		return nil, errors.New("serve: nil Router")
+	}
+	if cfg.Router.NumDisks() != cfg.System.NumDisks {
+		return nil, fmt.Errorf("serve: router over %d disks, system has %d",
+			cfg.Router.NumDisks(), cfg.System.NumDisks)
+	}
+	if cfg.Cost.Beta == 0 && cfg.Cost.Alpha == 0 {
+		cfg.Cost = sched.DefaultCost(cfg.System.Power)
+	}
+	if err := cfg.Cost.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 4096
+	}
+	if cfg.RoundMax <= 0 {
+		cfg.RoundMax = 512
+	}
+	var opts []storage.RunOption
+	if cfg.Tracer != nil {
+		opts = append(opts, storage.WithTracer(cfg.Tracer))
+	}
+	if cfg.Collector != nil {
+		opts = append(opts, storage.WithCollector(cfg.Collector))
+	}
+	if cfg.Monitor != nil {
+		opts = append(opts, storage.WithMonitor(cfg.Monitor))
+	}
+	lv, err := storage.NewLive(cfg.System, cfg.Router.Lookup, opts...)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		lv:     lv,
+		in:     make(chan *pending, cfg.MaxInFlight),
+		ctl:    make(chan ctlMsg),
+		stop:   make(chan struct{}),
+		ended:  make(chan struct{}),
+		start:  time.Now(),
+		parked: map[core.RequestID]*pending{},
+	}
+	e.heur = sched.Heuristic{Locations: cfg.Router.Lookup, Cost: cfg.Cost, Tracer: cfg.Tracer}
+	e.wsc = sched.WSC{Locations: cfg.Router.Lookup, Cost: cfg.Cost, Scratch: &e.scratch, Tracer: cfg.Tracer}
+	if cfg.Collector != nil {
+		e.sm = newServeMetrics(cfg.Collector)
+	}
+	go e.loop()
+	return e, nil
+}
+
+// elapsed maps the wall clock onto the virtual clock (live mode).
+func (e *Engine) elapsed() time.Duration { return time.Since(e.start) }
+
+// Submit admits one read request and blocks until its decision (or
+// rejection). In live mode req.ID and req.Arrival are ignored: the engine
+// stamps both. In Sequential mode req.ID must be the dense replay ID and
+// req.Arrival the virtual arrival time. deadline zero uses the engine
+// default; a negative duration disables it for this request.
+func (e *Engine) Submit(req core.Request, deadline time.Duration) (Decision, error) {
+	if len(e.cfg.Router.Lookup(req.Block)) == 0 {
+		e.count(func(m *serveMetrics) { m.noReplica.Inc() })
+		return Decision{}, fmt.Errorf("%w %d", ErrNoReplica, req.Block)
+	}
+	if e.draining.Load() {
+		e.count(func(m *serveMetrics) { m.draining.Inc() })
+		return Decision{}, ErrDraining
+	}
+	if n := e.inflight.Add(1); n > int64(e.cfg.MaxInFlight) {
+		e.inflight.Add(-1)
+		e.count(func(m *serveMetrics) { m.queueFull.Inc() })
+		return Decision{}, ErrQueueFull
+	}
+	e.gaugeInflight()
+	if e.draining.Load() { // re-check: Drain may have begun since the first test
+		e.inflight.Add(-1)
+		e.gaugeInflight()
+		e.count(func(m *serveMetrics) { m.draining.Inc() })
+		return Decision{}, ErrDraining
+	}
+	if deadline == 0 {
+		deadline = e.cfg.Deadline
+	}
+	p := &pending{req: req, enqueued: time.Now(), res: make(chan outcome, 1)}
+	if deadline > 0 && !e.cfg.Sequential {
+		p.deadline = p.enqueued.Add(deadline)
+	}
+	e.in <- p
+	out := <-p.res
+	e.inflight.Add(-1)
+	e.gaugeInflight()
+	return out.dec, out.err
+}
+
+func (e *Engine) count(f func(*serveMetrics)) {
+	if e.sm != nil {
+		f(e.sm)
+	}
+}
+
+func (e *Engine) gaugeInflight() {
+	if e.sm != nil {
+		e.sm.inflight.Set(float64(e.inflight.Load()))
+	}
+}
+
+// Decisions returns the number of scheduling decisions made so far.
+func (e *Engine) Decisions() uint64 { return e.decisions.Load() }
+
+// Draining reports whether Drain has begun.
+func (e *Engine) Draining() bool { return e.draining.Load() }
+
+// loop is the decision goroutine: it owns the virtual clock, the disks and
+// the tracer, and is the only goroutine touching them.
+func (e *Engine) loop() {
+	defer close(e.ended)
+	// The clock tick fires kernel events (completions, idle timeouts,
+	// spin-downs) during quiet periods so /state stays live and disks spin
+	// down on schedule even with no traffic. Sequential mode advances on
+	// arrivals only.
+	var tickC <-chan time.Time
+	if !e.cfg.Sequential {
+		t := time.NewTicker(25 * time.Millisecond)
+		defer t.Stop()
+		tickC = t.C
+	}
+	for {
+		select {
+		case p := <-e.in:
+			e.gather(p)
+			e.processRound()
+		case <-tickC:
+			e.lv.Advance(e.elapsed())
+		case c := <-e.ctl:
+			c.fn()
+			close(c.done)
+		case <-e.stop:
+			e.drainLoop()
+			e.finish()
+			return
+		}
+	}
+}
+
+// gather starts a round with p and drains the queue non-blockingly up to
+// RoundMax.
+func (e *Engine) gather(p *pending) {
+	e.round = e.round[:0]
+	e.admit(p)
+	for len(e.round) < e.cfg.RoundMax {
+		select {
+		case q := <-e.in:
+			e.admit(q)
+		default:
+			return
+		}
+	}
+}
+
+// admit routes one popped submission into the current round, or parks it
+// (sequential mode) until its predecessors arrive.
+func (e *Engine) admit(p *pending) {
+	if e.cfg.Sequential {
+		e.parked[p.req.ID] = p
+		return
+	}
+	e.round = append(e.round, p)
+}
+
+// processRound decides the gathered round. Live mode stamps IDs and
+// arrivals here, in admission order; sequential mode releases the maximal
+// run of consecutive IDs from the reorder buffer, one per-request round
+// each, so round grouping can never affect results.
+func (e *Engine) processRound() {
+	if e.cfg.Sequential {
+		for {
+			p, ok := e.parked[e.nextID]
+			if !ok {
+				return
+			}
+			delete(e.parked, e.nextID)
+			e.nextID++
+			arr := p.req.Arrival
+			if arr < e.lastArrival {
+				arr = e.lastArrival
+			}
+			e.lastArrival = arr
+			p.req.Arrival = arr
+			e.decide([]*pending{p})
+		}
+	}
+	for _, p := range e.round {
+		arr := e.elapsed()
+		if arr < e.lastArrival {
+			arr = e.lastArrival
+		}
+		e.lastArrival = arr
+		p.req.ID = e.nextID
+		e.nextID++
+		p.req.Arrival = arr
+		if p.req.LBA == 0 {
+			p.req.LBA = workload.BlockLBA(p.req.Block)
+		}
+	}
+	e.decide(e.round)
+}
+
+// decide advances the clock through the round's arrivals, emits arrival
+// events, schedules (per-request or as one WSC cover), dispatches, and
+// answers the waiters.
+func (e *Engine) decide(round []*pending) {
+	if len(round) == 0 {
+		return
+	}
+	if e.sm != nil {
+		e.sm.rounds.Inc()
+		e.sm.roundSize.Observe(float64(len(round)))
+	}
+	now := time.Now()
+	// Expire deadlines first: an expired request still arrives (it was
+	// admitted) but is dropped instead of scheduled, keeping request
+	// conservation intact in the event log.
+	live := round[:0]
+	for _, p := range round {
+		if !p.deadline.IsZero() && now.After(p.deadline) {
+			e.lv.Advance(p.req.Arrival)
+			e.lv.Arrive(p.req)
+			e.lv.Drop(p.req)
+			e.count(func(m *serveMetrics) { m.deadline.Inc() })
+			p.res <- outcome{err: ErrDeadline}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	if e.cfg.Mode == ModeWSC && len(live) > 1 {
+		e.decideWSC(live)
+		return
+	}
+	for _, p := range live {
+		e.lv.Advance(p.req.Arrival)
+		e.lv.Arrive(p.req)
+		base := e.lv.DecisionBase()
+		d := e.heur.Schedule(p.req, e.lv.View())
+		e.answer(p, d, func(r core.Request, d core.DiskID) {
+			e.lv.Dispatch(r, d, base)
+		})
+	}
+}
+
+// decideWSC decides one round as a weighted-set-cover instance: arrivals
+// are emitted at their own timestamps, then the whole batch is assigned at
+// the round's decision time, mirroring storage.RunBatch's tick shape.
+func (e *Engine) decideWSC(live []*pending) {
+	e.batch = e.batch[:0]
+	for _, p := range live {
+		e.lv.Advance(p.req.Arrival)
+		e.lv.Arrive(p.req)
+		e.batch = append(e.batch, p.req)
+	}
+	base := e.lv.DecisionBase()
+	assignment := e.wsc.ScheduleBatch(e.batch, e.lv.View())
+	// A traced WSC emits one decision per placed request in batch order;
+	// pair them back exactly as storage.RunBatch does (IDs base+1..base+n).
+	placed := 0
+	for _, d := range assignment {
+		if d != core.InvalidDisk {
+			placed++
+		}
+	}
+	traced := placed > 0 && e.lv.DecisionBase() == base+uint64(placed)
+	k := base
+	for i, p := range live {
+		var dec obs.DecisionID
+		if traced && assignment[i] != core.InvalidDisk {
+			k++
+			dec = obs.DecisionID(k)
+		}
+		e.answer(p, assignment[i], func(r core.Request, d core.DiskID) {
+			e.lv.DispatchDecision(r, d, dec)
+		})
+	}
+}
+
+// answer dispatches the decision via dispatch and replies to the waiter.
+func (e *Engine) answer(p *pending, d core.DiskID, dispatch func(core.Request, core.DiskID)) {
+	if d == core.InvalidDisk {
+		// Replicas vanished between admission and decision (router update).
+		e.lv.Drop(p.req)
+		e.count(func(m *serveMetrics) { m.noReplica.Inc() })
+		p.res <- outcome{err: fmt.Errorf("%w %d", ErrNoReplica, p.req.Block)}
+		return
+	}
+	v := e.lv.View()
+	dec := Decision{
+		Req:     p.req.ID,
+		Block:   p.req.Block,
+		Disk:    d,
+		State:   v.DiskState(d),
+		Load:    v.Load(d),
+		Cost:    e.cfg.Cost.Cost(v, d),
+		EnergyJ: e.cfg.Cost.EnergyCost(v, d),
+		At:      e.lv.Now(),
+	}
+	dispatch(p.req, d)
+	if err := e.lv.Err(); err != nil {
+		p.res <- outcome{err: err}
+		return
+	}
+	e.decisions.Add(1)
+	if e.sm != nil {
+		e.sm.decided.Inc()
+		e.sm.decisionLatency.Observe(time.Since(p.enqueued).Seconds())
+	}
+	p.res <- outcome{dec: dec}
+}
+
+// drainLoop finishes the admitted backlog after Drain: parked sequential
+// requests are dropped (their predecessors will never arrive), the channel
+// is emptied, and every waiter is answered before the loop exits.
+func (e *Engine) drainLoop() {
+	e.dropParked()
+	for e.inflight.Load() > 0 {
+		select {
+		case p := <-e.in:
+			e.gather(p)
+			e.processRound()
+			e.dropParked()
+		case <-time.After(5 * time.Millisecond):
+			// A submitter may have bumped inflight and then rejected itself
+			// on the draining re-check; re-test rather than block forever.
+		}
+	}
+}
+
+// dropParked rejects every reorder-buffer resident during drain. The
+// requests were admitted but never arrived in virtual terms (their turn
+// never came), so they are rejected without trace events.
+func (e *Engine) dropParked() {
+	if len(e.parked) == 0 {
+		return
+	}
+	ids := make([]core.RequestID, 0, len(e.parked))
+	for id := range e.parked {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		p := e.parked[id]
+		delete(e.parked, id)
+		e.count(func(m *serveMetrics) { m.draining.Inc() })
+		p.res <- outcome{err: ErrDraining}
+	}
+}
+
+// Snapshot returns a consistent per-disk state view, serialized with the
+// decision loop. After Drain it returns the final snapshot.
+func (e *Engine) Snapshot() Snapshot {
+	var snap Snapshot
+	c := ctlMsg{done: make(chan struct{})}
+	c.fn = func() { snap = e.snapshotLocked() }
+	select {
+	case e.ctl <- c:
+		<-c.done
+		return snap
+	case <-e.ended:
+		if e.final != nil {
+			return *e.final
+		}
+		return Snapshot{}
+	}
+}
+
+// snapshotLocked builds the snapshot on the decision goroutine.
+func (e *Engine) snapshotLocked() Snapshot {
+	if !e.cfg.Sequential {
+		e.lv.Advance(e.elapsed())
+	}
+	disks := e.lv.Snapshot()
+	t := Totals{
+		Now:       e.lv.Now(),
+		Decisions: e.decisions.Load(),
+		Served:    e.lv.Served(),
+		Dropped:   e.lv.Dropped(),
+		InFlight:  int(e.inflight.Load()),
+		Draining:  e.draining.Load(),
+	}
+	for _, d := range disks {
+		t.EnergyJ += d.EnergyJ
+		t.SpinUps += d.SpinUps
+		t.SpinDowns += d.SpinDowns
+	}
+	return Snapshot{Totals: t, Disks: disks}
+}
+
+// Drain gracefully shuts the engine down: new submissions are rejected,
+// admitted ones are decided, outstanding disk work completes, trailing
+// idle timeouts and spin-downs settle, and the exact final accounting is
+// returned (metrics reconciled to the meters, event log flushed, monitor
+// end-of-stream checks run). Drain is idempotent; concurrent callers get
+// the same result.
+func (e *Engine) Drain() (*storage.Result, error) {
+	if e.draining.CompareAndSwap(false, true) {
+		close(e.stop)
+	}
+	<-e.ended
+	return e.report, e.finalErr
+}
+
+// finishOnce runs on the decision goroutine right before loop exit.
+func (e *Engine) finish() {
+	name := "eschedd " + e.cfg.Mode.String()
+	res, err := e.lv.Finish(name)
+	e.report, e.finalErr = res, err
+	snap := Snapshot{}
+	if res != nil {
+		t := Totals{
+			Now:       res.Horizon,
+			Decisions: e.decisions.Load(),
+			Served:    res.Served,
+			Dropped:   res.Dropped,
+			Draining:  true,
+			EnergyJ:   res.Energy,
+			SpinUps:   res.SpinUps,
+			SpinDowns: res.SpinDowns,
+		}
+		snap.Totals = t
+		for i, st := range res.PerDisk {
+			snap.Disks = append(snap.Disks, storage.DiskSnapshot{
+				Disk: core.DiskID(i), State: core.StateStandby, Load: 0,
+				Served: st.Served, EnergyJ: st.Energy,
+				SpinUps: st.SpinUps, SpinDowns: st.SpinDowns,
+			})
+		}
+	}
+	e.final = &snap
+}

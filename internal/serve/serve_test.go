@@ -1,0 +1,384 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/obs"
+	"repro/internal/obs/monitor"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+func testConfig(t *testing.T, disks, blocks, rf int) (Config, *placement.Placement) {
+	t.Helper()
+	p := testPlacement(t, disks, blocks, rf)
+	pc := power.DefaultConfig()
+	return Config{
+		System: storage.Config{
+			NumDisks: disks,
+			Power:    pc,
+			Mech:     diskmodel.Cheetah15K5(),
+			Policy:   power.TwoCompetitive{Config: pc},
+		},
+		Router: NewRouter(p, 8),
+	}, p
+}
+
+// submitTrace feeds a pre-generated trace to a Sequential engine with
+// `workers` concurrent submitters (worker g owns IDs congruent to g), each
+// submitting its IDs in order. workers=1 is the serial baseline.
+func submitTrace(t *testing.T, e *Engine, reqs []core.Request, workers int) {
+	t.Helper()
+	var wg sync.WaitGroup
+	errc := make(chan error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < len(reqs); i += workers {
+				if _, err := e.Submit(reqs[i], 0); err != nil {
+					errc <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	if err := <-errc; err != nil {
+		t.Fatal(err)
+	}
+}
+
+// runSequential runs one full serving pass over reqs and returns the final
+// accounting plus the canonical JSONL event log.
+func runSequential(t *testing.T, cfg Config, reqs []core.Request, workers int) (*storage.Result, []byte) {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := obs.NewTracer(256)
+	tr.SetSink(&buf, false)
+	cfg.Sequential = true
+	cfg.Tracer = tr
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTrace(t, e, reqs, workers)
+	res, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, buf.Bytes()
+}
+
+// TestSequentialDeterminism is the satellite determinism check: the same
+// request sequence served serially and highly concurrently must yield
+// identical energy accounting — and, stronger, a byte-identical event log.
+func TestSequentialDeterminism(t *testing.T) {
+	t.Parallel()
+	cfg, _ := testConfig(t, 10, 80, 3)
+	cfg.MaxInFlight = 128
+	reqs := workload.CelloLike(400, 80, 11)
+	serial, serialLog := runSequential(t, cfg, reqs, 1)
+	if serial.Served != 400 || serial.Dropped != 0 {
+		t.Fatalf("serial served/dropped = %d/%d", serial.Served, serial.Dropped)
+	}
+	if serial.Energy <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	for _, workers := range []int{4, 16} {
+		conc, concLog := runSequential(t, cfg, reqs, workers)
+		if conc.Energy != serial.Energy {
+			t.Errorf("workers=%d: energy %v != serial %v", workers, conc.Energy, serial.Energy)
+		}
+		if conc.EnergyByState != serial.EnergyByState {
+			t.Errorf("workers=%d: by-state %v != serial %v", workers, conc.EnergyByState, serial.EnergyByState)
+		}
+		if conc.Served != serial.Served || conc.Dropped != serial.Dropped ||
+			conc.SpinUps != serial.SpinUps || conc.SpinDowns != serial.SpinDowns ||
+			conc.Horizon != serial.Horizon {
+			t.Errorf("workers=%d: counters diverge: %+v vs %+v", workers, conc, serial)
+		}
+		if !bytes.Equal(concLog, serialLog) {
+			t.Errorf("workers=%d: event log differs from serial run", workers)
+		}
+	}
+}
+
+// TestSequentialDoctorClean attaches the full monitor suite to a concurrent
+// sequential run: a serving run must satisfy every batch-path invariant.
+func TestSequentialDoctorClean(t *testing.T) {
+	t.Parallel()
+	cfg, p := testConfig(t, 8, 60, 2)
+	cfg.MaxInFlight = 64
+	mon := monitor.NewSuite(monitor.Config{
+		Power:     cfg.System.Power,
+		Mech:      cfg.System.Mech,
+		Policy:    cfg.System.Policy,
+		Locations: p.Locations,
+	})
+	cfg.Sequential = true
+	cfg.Tracer = obs.NewTracer(256)
+	cfg.Monitor = mon
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	submitTrace(t, e, workload.CelloLike(300, 60, 3), 8)
+	if _, err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	if !mon.Passed() {
+		var rep bytes.Buffer
+		mon.WriteReport(&rep)
+		t.Fatalf("doctor violations on a live serving run:\n%s", rep.String())
+	}
+}
+
+// TestWSCRoundsServeAll runs live (wall-clock) mode with WSC decision
+// rounds under concurrent submitters and checks full conservation.
+func TestWSCRoundsServeAll(t *testing.T) {
+	t.Parallel()
+	cfg, p := testConfig(t, 8, 60, 2)
+	cfg.Mode = ModeWSC
+	cfg.MaxInFlight = 64
+	mon := monitor.NewSuite(monitor.Config{
+		Power:     cfg.System.Power,
+		Mech:      cfg.System.Mech,
+		Policy:    cfg.System.Policy,
+		Locations: p.Locations,
+	})
+	cfg.Tracer = obs.NewTracer(256)
+	cfg.Monitor = mon
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < n; i += 8 {
+				if _, err := e.Submit(core.Request{Block: core.BlockID(i % 60)}, 0); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	res, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != n || res.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d, want %d/0", res.Served, res.Dropped, n)
+	}
+	if !mon.Passed() {
+		var rep bytes.Buffer
+		mon.WriteReport(&rep)
+		t.Fatalf("doctor violations:\n%s", rep.String())
+	}
+}
+
+// TestBackpressureQueueFull parks requests behind a withheld sequential ID
+// so the admission bound is hit deterministically.
+func TestBackpressureQueueFull(t *testing.T) {
+	t.Parallel()
+	cfg, _ := testConfig(t, 4, 20, 2)
+	cfg.Sequential = true
+	cfg.MaxInFlight = 4
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// IDs 1..4 can never be decided while ID 0 is withheld: they park in
+	// the reorder buffer and hold their admission slots.
+	var wg sync.WaitGroup
+	for id := 1; id <= 4; id++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			_, err := e.Submit(core.Request{ID: core.RequestID(id), Block: 1}, 0)
+			if !errors.Is(err, ErrDraining) {
+				t.Errorf("parked request %d: err = %v, want ErrDraining", id, err)
+			}
+		}(id)
+	}
+	waitFor(t, func() bool { return e.inflight.Load() == 4 })
+	if _, err := e.Submit(core.Request{ID: 5, Block: 1}, 0); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("overflow submit: err = %v, want ErrQueueFull", err)
+	}
+	// Graceful drain rejects the parked backlog (their predecessor never
+	// arrives) and still reconciles cleanly.
+	res, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	if res.Served != 0 || res.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d, want 0/0", res.Served, res.Dropped)
+	}
+	if _, err := e.Submit(core.Request{ID: 6, Block: 1}, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: err = %v, want ErrDraining", err)
+	}
+}
+
+// TestGracefulDrain checks that in-flight work completes and accounting
+// reconciles when the engine is stopped mid-service.
+func TestGracefulDrain(t *testing.T) {
+	t.Parallel()
+	cfg, _ := testConfig(t, 6, 40, 2)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 150
+	for i := 0; i < n; i++ {
+		if _, err := e.Submit(core.Request{Block: core.BlockID(i % 40)}, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Decisions are made; disk service is still outstanding in virtual time.
+	res, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != n || res.Dropped != 0 {
+		t.Fatalf("served/dropped = %d/%d, want %d/0", res.Served, res.Dropped, n)
+	}
+	if res.Energy <= 0 {
+		t.Fatal("no energy accounted")
+	}
+	if _, err := e.Submit(core.Request{Block: 1}, 0); !errors.Is(err, ErrDraining) {
+		t.Fatalf("post-drain submit: err = %v, want ErrDraining", err)
+	}
+	if res2, err := e.Drain(); err != nil || res2 != res {
+		t.Fatalf("second Drain = (%p, %v), want same result", res2, err)
+	}
+	snap := e.Snapshot()
+	if snap.Totals.Served != n || !snap.Totals.Draining {
+		t.Fatalf("final snapshot totals = %+v", snap.Totals)
+	}
+}
+
+// TestDeadlineExpiry blocks the decision loop long enough for a short
+// per-request deadline to lapse; the request must be dropped (504 path)
+// and the run must still reconcile.
+func TestDeadlineExpiry(t *testing.T) {
+	t.Parallel()
+	cfg, _ := testConfig(t, 4, 20, 2)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blockLoop(e, 60*time.Millisecond)
+	if _, err := e.Submit(core.Request{Block: 1}, time.Millisecond); !errors.Is(err, ErrDeadline) {
+		t.Fatalf("err = %v, want ErrDeadline", err)
+	}
+	// A generous deadline on a live loop decides fine.
+	if _, err := e.Submit(core.Request{Block: 1}, time.Minute); err != nil {
+		t.Fatalf("generous deadline: %v", err)
+	}
+	res, err := e.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != 1 || res.Dropped != 1 {
+		t.Fatalf("served/dropped = %d/%d, want 1/1", res.Served, res.Dropped)
+	}
+}
+
+func TestSubmitUnknownBlock(t *testing.T) {
+	t.Parallel()
+	cfg, _ := testConfig(t, 4, 20, 2)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Submit(core.Request{Block: 999}, 0); !errors.Is(err, ErrNoReplica) {
+		t.Fatalf("err = %v, want ErrNoReplica", err)
+	}
+	if _, err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDecisionFields sanity-checks the decision surface against the view.
+func TestDecisionFields(t *testing.T) {
+	t.Parallel()
+	cfg, p := testConfig(t, 4, 20, 2)
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := e.Submit(core.Request{Block: 3}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	locs := p.Locations(3)
+	found := false
+	for _, l := range locs {
+		if l == d.Disk {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("decision disk %d not a replica of block 3 (%v)", d.Disk, locs)
+	}
+	if d.Cost < 0 || d.EnergyJ < 0 {
+		t.Fatalf("negative cost %v / energy %v", d.Cost, d.EnergyJ)
+	}
+	if e.Decisions() != 1 {
+		t.Fatalf("Decisions() = %d, want 1", e.Decisions())
+	}
+	if _, err := e.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNewValidation covers constructor rejections.
+func TestNewValidation(t *testing.T) {
+	t.Parallel()
+	cfg, _ := testConfig(t, 4, 20, 2)
+	if _, err := New(Config{System: cfg.System}); err == nil {
+		t.Error("nil router accepted")
+	}
+	bad := cfg
+	bad.System.NumDisks = 5
+	if _, err := New(bad); err == nil {
+		t.Error("router/system disk mismatch accepted")
+	}
+	sharded := cfg
+	sharded.System.Shards = 4
+	if _, err := New(sharded); err == nil {
+		t.Error("sharded kernel accepted on the serving path")
+	}
+}
+
+// blockLoop occupies the decision goroutine for d without deciding.
+func blockLoop(e *Engine, d time.Duration) {
+	c := ctlMsg{fn: func() { time.Sleep(d) }, done: make(chan struct{})}
+	e.ctl <- c
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

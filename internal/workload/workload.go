@@ -169,6 +169,12 @@ func Generate(cfg Config) ([]core.Request, error) {
 	return reqs, nil
 }
 
+// BlockLBA maps a block to its stable pseudo-random logical block address,
+// the same mapping trace generation uses. The serving path (internal/serve)
+// stamps it onto requests that arrive without an LBA so the disk
+// service-time model sees identical seek distances live and in batch.
+func BlockLBA(b core.BlockID) int64 { return blockLBA(b) }
+
 // blockLBA maps a block to a stable pseudo-random LBA so the disk
 // service-time model sees realistic seek distances.
 func blockLBA(b core.BlockID) int64 {

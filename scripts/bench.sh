@@ -14,28 +14,31 @@
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
-#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|SweepCached|KernelThroughput|Fleet100k')
+#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|SweepCached|KernelThroughput|Fleet100k|ServeThroughput')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
 #   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
 #   BENCH_ALLOC_TOL  -check allocs/op tolerance as a fraction (default 0.001)
 #   BENCH_EVENTS_FLOOR  -check absolute events/sec floor for benchmarks
 #                  reporting that metric (default 2000000)
+#   BENCH_DECISIONS_FLOOR  -check absolute decisions/sec floor for the
+#                  serving benchmark (default 100000)
 #
 # -check runs the same benchmarks but, instead of recording a snapshot,
 # compares them against the newest BENCH_*.json (or the given baseline)
 # with scripts/benchcheck: wall time must stay within BENCH_TOL and
 # allocs/op within BENCH_ALLOC_TOL (tight enough that micro-benchmarks
-# must match exactly), and every benchmark reporting an events/sec metric
+# must match exactly), every benchmark reporting an events/sec metric
 # (the kernel, fleet, replay and doctor benchmarks) must clear the
-# BENCH_EVENTS_FLOOR absolute throughput floor. Non-zero exit on
+# BENCH_EVENTS_FLOOR absolute throughput floor, and the serving benchmark
+# (decisions/sec) must clear BENCH_DECISIONS_FLOOR. Non-zero exit on
 # regression — the `make ci` gate.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|SweepCached|KernelThroughput|Fleet100k}"
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|SweepCached|KernelThroughput|Fleet100k|ServeThroughput}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
 
@@ -57,10 +60,11 @@ if [ "$check" = 1 ]; then
 		echo "bench.sh: no BENCH_*.json baseline to check against" >&2
 		exit 2
 	fi
-	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001}, eventsfloor ${BENCH_EVENTS_FLOOR:-2000000})..." >&2
+	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001}, eventsfloor ${BENCH_EVENTS_FLOOR:-2000000}, decisionsfloor ${BENCH_DECISIONS_FLOOR:-100000})..." >&2
 	exec go run ./scripts/benchcheck -baseline "$baseline" -new "$tmp" \
 		-tol "${BENCH_TOL:-0.25}" -alloctol "${BENCH_ALLOC_TOL:-0.001}" \
-		-eventsfloor "${BENCH_EVENTS_FLOOR:-2000000}"
+		-eventsfloor "${BENCH_EVENTS_FLOOR:-2000000}" \
+		-decisionsfloor "${BENCH_DECISIONS_FLOOR:-100000}"
 fi
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"

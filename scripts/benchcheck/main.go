@@ -12,9 +12,11 @@
 // A second intra-run invariant gates kernel throughput: with -eventsfloor
 // set, every fresh benchmark reporting an events/sec metric (the kernel
 // and fleet benchmarks) must clear that absolute floor, independent of
-// what the baseline recorded.
+// what the baseline recorded. -decisionsfloor does the same for the
+// serving path: every fresh benchmark reporting a decisions/sec metric
+// (BenchmarkServeThroughput) must clear the eschedd acceptance floor.
 //
-//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000]
+//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000] [-decisionsfloor 100000]
 //
 // Both inputs may be raw benchfmt text or a bench.sh JSON envelope (the
 // envelope's "raw" field holds the text). Only benchmarks present in both
@@ -39,10 +41,11 @@ import (
 )
 
 type result struct {
-	nsPerOp   float64
-	allocsOp  float64
-	hasAlloc  bool
-	eventsSec float64
+	nsPerOp      float64
+	allocsOp     float64
+	hasAlloc     bool
+	eventsSec    float64
+	decisionsSec float64
 }
 
 func main() {
@@ -52,6 +55,7 @@ func main() {
 	allocTol := flag.Float64("alloctol", 0.001, "allowed fractional allocs/op increase per benchmark")
 	cacheSpeedup := flag.Float64("cachespeedup", 50, "required cold/warm speedup for SweepCached pairs in the fresh run (0 disables)")
 	eventsFloor := flag.Float64("eventsfloor", 0, "minimum events/sec for fresh benchmarks reporting that metric (0 disables)")
+	decisionsFloor := flag.Float64("decisionsfloor", 0, "minimum decisions/sec for fresh benchmarks reporting that metric (0 disables)")
 	flag.Parse()
 	if *baseline == "" || *newRun == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
@@ -96,6 +100,10 @@ func main() {
 		failed = true
 	}
 	if !checkEventsFloor(fresh, *eventsFloor) {
+		failed = true
+	}
+	if !checkMetricFloor(fresh, *decisionsFloor, "decisions/sec",
+		func(r result) float64 { return r.decisionsSec }) {
 		failed = true
 	}
 	if failed {
@@ -159,6 +167,30 @@ func checkEventsFloor(fresh map[string]result, floor float64) bool {
 	return ok
 }
 
+// checkMetricFloor enforces an absolute per-metric floor on the fresh run:
+// every benchmark reporting the named metric must clear it. The serving
+// floor (decisions/sec) pins the eschedd acceptance criterion the same way
+// checkEventsFloor pins kernel throughput. Returns false on violation.
+func checkMetricFloor(fresh map[string]result, floor float64, metric string, get func(result) float64) bool {
+	if floor <= 0 {
+		return true
+	}
+	ok := true
+	for name, r := range fresh {
+		v := get(r)
+		if v <= 0 {
+			continue
+		}
+		status := "ok"
+		if v < floor {
+			status = fmt.Sprintf("FAIL %s below floor %.0f", metric, floor)
+			ok = false
+		}
+		fmt.Printf("%-60s %12.0f %s  %s\n", name, v, metric, status)
+	}
+	return ok
+}
+
 // load reads benchfmt results from a raw text file or a bench.sh JSON
 // envelope, keyed by full benchmark name (including the -N suffix).
 func load(path string) (map[string]result, error) {
@@ -198,6 +230,8 @@ func load(path string) (map[string]result, error) {
 				r.hasAlloc = true
 			case "events/sec":
 				r.eventsSec = v
+			case "decisions/sec":
+				r.decisionsSec = v
 			}
 		}
 		if ok {

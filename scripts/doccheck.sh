@@ -1,0 +1,27 @@
+#!/bin/sh
+# doccheck.sh — documentation presence gate (part of `make ci`).
+#
+# Two checks, per the godoc policy in docs/SERVING.md and README.md:
+#
+#   1. `go vet ./...` must be clean.
+#   2. Every package in the module (library packages and commands alike)
+#      must carry a package-level doc comment — `go list`'s .Doc field is
+#      non-empty — so `go doc repro/internal/<pkg>` always answers with the
+#      package's role in the batch or serving path.
+#
+# Non-zero exit listing the offending packages otherwise.
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+go vet ./...
+
+missing="$(go list -f '{{if not .Doc}}{{.ImportPath}}{{end}}' ./...)"
+if [ -n "$missing" ]; then
+	echo "doccheck: packages missing a package-level doc comment:" >&2
+	echo "$missing" >&2
+	exit 1
+fi
+
+echo "doccheck: OK — vet clean, every package documented" >&2

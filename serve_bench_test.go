@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/diskmodel"
+	"repro/internal/placement"
+	"repro/internal/power"
+	"repro/internal/serve"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+// BenchmarkServeThroughput measures the serving engine end to end:
+// concurrent submitters push requests through the sharded router, the
+// decision loop's Eq. 6 rounds, and live dispatch into the simulated disk
+// population. The reported decisions/sec metric is gated by scripts/bench.sh
+// via benchcheck -decisionsfloor (the eschedd acceptance floor, 100k/sec).
+func BenchmarkServeThroughput(b *testing.B) {
+	const disks, blocks = 64, 20000
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: disks, NumBlocks: blocks,
+		ReplicationFactor: 3, ZipfExponent: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	pc := power.DefaultConfig()
+	eng, err := serve.New(serve.Config{
+		System: storage.Config{
+			NumDisks: disks,
+			Power:    pc,
+			Mech:     diskmodel.Cheetah15K5(),
+			Policy:   power.TwoCompetitive{Config: pc},
+		},
+		Router:      serve.NewRouter(plc, 0),
+		MaxInFlight: 8192,
+		RoundMax:    512,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Pre-draw the block sequence so the popularity skew matches the
+	// trace-driven experiments without generator cost inside the loop.
+	trace := workload.CelloLike(1<<16, blocks, 7)
+	seq := make([]core.BlockID, len(trace))
+	for i, r := range trace {
+		seq[i] = r.Block
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			i := int(next.Add(1)-1) % len(seq)
+			if _, err := eng.Submit(core.Request{Block: seq[i]}, 0); err != nil {
+				b.Error(err)
+				return
+			}
+		}
+	})
+	b.StopTimer()
+	if el := b.Elapsed().Seconds(); el > 0 {
+		b.ReportMetric(float64(b.N)/el, "decisions/sec")
+	}
+	if _, err := eng.Drain(); err != nil {
+		b.Fatal(err)
+	}
+}
