@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate serve-gate doc-check fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate serve-gate carbon-gate doc-check fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -29,9 +29,11 @@ check: vet
 # metrics export and a bit-exact energy attribution), the doctor
 # gate (runtime invariants over both log encodings plus the
 # paper-fidelity scorecard), the serving gate (a live eschedd run under
-# load must drain clean and doctor-clean), and the documentation gate
-# (vet + package doc comments everywhere).
-ci: build check race-hot bench-check replay-gate doctor-gate serve-gate doc-check
+# load must drain clean and doctor-clean), the carbon gate (live
+# gCO2e/$ totals byte-identical to their tracelens replay under flat,
+# diurnal and custom JSON grids, batch and serving paths), and the
+# documentation gate (vet + package doc comments everywhere).
+ci: build check race-hot bench-check replay-gate doctor-gate serve-gate carbon-gate doc-check
 
 # Focused race pass over the packages with deliberate concurrency around
 # shared state: the sweep cache's single-flight map in internal/experiments
@@ -74,6 +76,15 @@ doctor-gate:
 # scripts/servegate.sh and docs/SERVING.md).
 serve-gate:
 	scripts/servegate.sh
+
+# Carbon/cost reconciliation gate: a seeded cell's live carbon:/cost:
+# lines must be byte-identical to `tracelens carbon` replayed from its
+# event log under flat, diurnal and a custom short-period JSON grid (and
+# on the binary encoding), the exported carbon/cost metric families must
+# reconcile bit-exactly, and a drained eschedd run is held to the same
+# identity (see scripts/carbongate.sh and docs/OBSERVABILITY.md).
+carbon-gate:
+	scripts/carbongate.sh
 
 # Documentation gate: go vet plus a package-doc-comment presence check
 # over every package (see scripts/doccheck.sh).

@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/diskmodel"
 	"repro/internal/experiments"
 	"repro/internal/graph"
@@ -466,6 +467,54 @@ func BenchmarkAnalyzeReplay(b *testing.B) {
 		}
 	}
 	b.StopTimer()
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		b.ReportMetric(float64(len(events))*float64(b.N)/secs, "events/sec")
+	}
+}
+
+// BenchmarkCarbonAttribution measures the carbon/cost integrator: feed a
+// recorded event stream through a fresh account.Accumulator under the
+// diurnal grid and finalize the windowed gCO2e/$ report. Throughput is
+// reported as events/sec alongside the doctor and analyzer numbers. The
+// accounting-off path needs no separate gate: no other benchmark attaches
+// an accumulator, so their alloc counts (checked exactly by
+// scripts/bench.sh -check) already pin the disabled path.
+func BenchmarkCarbonAttribution(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	var log bytes.Buffer
+	tr := obs.NewTracer(1024)
+	tr.SetSink(&log, true)
+	h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: tr}
+	if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs,
+		storage.WithTracer(tr)); err != nil {
+		b.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	events, err := analyze.Read(bytes.NewReader(log.Bytes()))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	var gco2e float64
+	for i := 0; i < b.N; i++ {
+		acct, err := account.NewAccumulator(cfg.Power, account.DiurnalGrid(), account.DefaultCostModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, ev := range events {
+			acct.Observe(ev)
+		}
+		rep := acct.Finalize()
+		if rep.GCO2e <= 0 {
+			b.Fatalf("degenerate report: %+v", rep)
+		}
+		gco2e = rep.GCO2e
+	}
+	b.StopTimer()
+	_ = gco2e
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(len(events))*float64(b.N)/secs, "events/sec")
 	}

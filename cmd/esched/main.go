@@ -12,8 +12,11 @@
 // structured event log (JSONL, or the binary format when FILE ends in
 // .bin), -metrics FILE dumps a Prometheus text snapshot at exit ("-" for
 // stdout), and the standard profiling flags -cpuprofile, -memprofile,
-// -tracefile and -pprof are available. On error, whatever events and
-// metrics were collected are still flushed before exiting non-zero.
+// -tracefile and -pprof are available. -grid PROFILE prices the run's
+// energy in gCO2e and dollars (with -cost MODEL selecting the tariff);
+// the printed totals are byte-identical to a `tracelens carbon` replay of
+// the -events log. On error, whatever events and metrics were collected
+// are still flushed before exiting non-zero.
 package main
 
 import (
@@ -56,6 +59,8 @@ func run() error {
 		events    = flag.String("events", "", "stream the structured event log to this file (JSONL; .bin = binary)")
 		metrics   = flag.String("metrics", "", `write a Prometheus text metrics snapshot at exit ("-" = stdout)`)
 		doctor    = flag.Bool("doctor", false, "run live invariant monitors over the run; non-zero exit on any violation")
+		grid      = flag.String("grid", "", "price the run's energy under this carbon grid profile: flat | diurnal | coal | profile.json")
+		costName  = flag.String("cost", "default", "cost model for -grid: default | model.json")
 	)
 	var prof repro.Profiles
 	prof.RegisterFlagsTraceName(flag.CommandLine, "tracefile")
@@ -127,6 +132,32 @@ func run() error {
 	if *metrics != "" {
 		collector = repro.NewCollector()
 		runOpts = append(runOpts, repro.WithCollector(collector))
+	}
+
+	// Carbon & cost accounting: integrate the event stream against a grid
+	// profile so the printed totals are byte-identical to a `tracelens
+	// carbon` replay of the -events log.
+	var acct *repro.CarbonAccountant
+	if *grid != "" {
+		switch {
+		case *compare:
+			return fmt.Errorf("-grid does not apply to -compare (run one scheduler at a time)")
+		case *schedName == "mwis":
+			return fmt.Errorf("-grid does not apply to the offline analytic MWIS model (no event stream)")
+		}
+		g, err := repro.ResolveGridProfile(*grid)
+		if err != nil {
+			return err
+		}
+		cm, err := repro.ResolveCostModel(*costName)
+		if err != nil {
+			return err
+		}
+		if acct, err = repro.NewCarbonAccountant(cfg, g, cm); err != nil {
+			return err
+		}
+		acct.Bind(collector) // no-op without -metrics
+		runOpts = append(runOpts, repro.WithAccounting(acct))
 	}
 
 	// The always-on baseline swaps the power policy; decide it before the
@@ -212,6 +243,12 @@ func run() error {
 		report(res)
 		return nil
 	}()
+
+	if acct != nil && runErr == nil {
+		rep := acct.Finalize()
+		fmt.Println(rep.CarbonLine())
+		fmt.Println(rep.CostLine())
+	}
 
 	// Flush whatever observability data was collected — also on the error
 	// path, so a failed run never discards its partial telemetry — and log

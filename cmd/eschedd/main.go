@@ -35,6 +35,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/obs"
@@ -101,6 +102,8 @@ func runServe(args []string) error {
 		events   = fs.String("events", "", "stream the event log to this file (JSONL; .bin = binary)")
 		metrics  = fs.String("metrics", "", `write a final Prometheus snapshot at drain ("-" = stdout)`)
 		doctor   = fs.Bool("doctor", false, "run live invariant monitors; non-zero exit on violation")
+		grid     = fs.String("grid", "", "carbon grid profile: flat | diurnal | coal | profile.json (off when empty)")
+		costName = fs.String("cost", "default", "cost model: default | model.json (used with -grid)")
 	)
 	fs.Parse(args)
 
@@ -162,6 +165,23 @@ func runServe(args []string) error {
 		cfg.Monitor = suite
 	}
 
+	var acc *account.Accumulator
+	if *grid != "" {
+		g, err := account.ResolveGrid(*grid)
+		if err != nil {
+			return err
+		}
+		cm, err := account.ResolveCost(*costName)
+		if err != nil {
+			return err
+		}
+		if acc, err = account.NewAccumulator(pc, g, cm); err != nil {
+			return err
+		}
+		acc.Bind(col)
+		cfg.Accounting = acc
+	}
+
 	eng, err := serve.New(cfg)
 	if err != nil {
 		return err
@@ -209,6 +229,11 @@ func runServe(args []string) error {
 			res.Energy, res.NormalizedEnergy(), res.AlwaysOnEnergy, res.Horizon.Round(time.Second))
 		fmt.Printf("spin operations: %d up / %d down\n", res.SpinUps, res.SpinDowns)
 		fmt.Printf("requests: %d served, %d dropped\n", res.Served, res.Dropped)
+		if acc != nil {
+			rep := acc.Finalize()
+			fmt.Println(rep.CarbonLine())
+			fmt.Println(rep.CostLine())
+		}
 	}
 	if suite != nil && runErr == nil {
 		if _, err := suite.WriteReport(os.Stderr); err != nil {
@@ -466,6 +491,8 @@ type stateSnap struct {
 	EnergyJ   float64 `json:"energy_j"`
 	SpinUps   int     `json:"spin_ups"`
 	NowUS     int64   `json:"now_us"`
+	CarbonG   float64 `json:"carbon_gco2e"`
+	CostUSD   float64 `json:"cost_usd"`
 }
 
 func getState(client *http.Client, base string) (stateSnap, error) {
@@ -503,6 +530,19 @@ func report(w io.Writer, lat []time.Duration, wall time.Duration, sent, rejected
 	if decided > 0 {
 		fmt.Fprintf(w, "energy: %.1f J settled across the run window, %.3f J per 1k requests (daemon decisions %d)\n",
 			energy, energy/float64(decided)*1000, decided)
+	}
+	if end.CarbonG > 0 || end.CostUSD > 0 {
+		// The daemon runs with -grid: report the settled carbon/cost delta
+		// over the load window alongside the energy SLO.
+		carbon := end.CarbonG - start.CarbonG
+		cost := end.CostUSD - start.CostUSD
+		perK := 0.0
+		if decided > 0 {
+			perK = carbon / float64(decided) * 1000
+		}
+		fmt.Fprintf(w, "carbon: %.6g gCO2e settled across the run window (%.6g gCO2e/1k requests)\n",
+			carbon, perK)
+		fmt.Fprintf(w, "cost: %.6g USD settled across the run window\n", cost)
 	}
 	fmt.Fprintf(w, "daemon: served %d, dropped %d, spin-ups %d, virtual time %s\n",
 		end.Served, end.Dropped, end.SpinUps,

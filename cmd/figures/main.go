@@ -28,6 +28,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/report"
@@ -54,6 +55,8 @@ func run() error {
 		cacheDir  = flag.String("cache", "", "persist replication-sweep results in this directory, keyed by a content hash of every input; repeat runs with unchanged inputs reuse them")
 		fleet     = flag.Bool("fleet", false, "run the 100k-disk fleet throughput benchmark (sharded kernel, hundreds of millions of events) instead of figures")
 		shards    = flag.Int("shards", 0, "kernel shard count (0 or 1 = serial engine); with -fleet, sub-kernels over the fleet's racks (0 = one per rack)")
+		grid      = flag.String("grid", "", "also emit carbon & what-if tables under this grid profile: flat | diurnal | coal | profile.json")
+		costName  = flag.String("cost", "default", "cost model for -grid: default | model.json")
 	)
 	var prof obs.Profiles
 	prof.RegisterFlags(flag.CommandLine)
@@ -246,11 +249,43 @@ func run() error {
 		}
 	}
 
+	// Carbon & consolidation what-if tables: re-pricings of the Cello sweep
+	// already in the cache (or simulated once here), never extra cells.
+	var gridProfile *account.GridProfile
+	var costModel account.CostModel
+	if *grid != "" {
+		g, err := account.ResolveGrid(*grid)
+		if err != nil {
+			return err
+		}
+		cm, err := account.ResolveCost(*costName)
+		if err != nil {
+			return err
+		}
+		gridProfile, costModel = g, cm
+		ct, err := experiments.CarbonTable(scale, experiments.Cello, g, cm)
+		if err != nil {
+			return err
+		}
+		if err := emit("-carbon", ct); err != nil {
+			return err
+		}
+		wt, err := experiments.WhatIfTable(scale, experiments.Cello, g, cm)
+		if err != nil {
+			return err
+		}
+		if err := emit("-whatif", wt); err != nil {
+			return err
+		}
+	}
+
 	if *summary != "" {
 		md, err := report.Generate(report.Options{
 			Scale:      scale,
 			Extensions: *ext,
 			Generated:  time.Now().UTC(),
+			Grid:       gridProfile,
+			Cost:       costModel,
 		})
 		if err != nil {
 			// Flush the partial report before exiting non-zero so completed

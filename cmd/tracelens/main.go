@@ -19,6 +19,17 @@
 //	    scheduler decisions that induced them. With -metrics, the
 //	    replayed by-state totals are checked bit-exactly against the
 //	    run's exported snapshot.
+//	tracelens carbon RUN.events [-grid P] [-cost M] [-windows N] [-metrics FILE]
+//	    Carbon & cost accounting replayed from the log: the event stream
+//	    is integrated against a grid-intensity profile window by window,
+//	    reproducing a live -grid run's gCO2e/$ byte-identically (the
+//	    carbon gate proves it). With -metrics, the replayed carbon and
+//	    cost totals are checked bit-exactly against the run's exported
+//	    snapshot.
+//	tracelens whatif [-trace T] [-grid P] [-cost M] [-scale small|full]
+//	    Consolidation what-if over the cached replication sweep: every
+//	    policy re-priced in J / gCO2e / $ at each consolidation ratio
+//	    without re-simulation.
 //	tracelens diff A.events B.events
 //	    Policy-regression report between two runs.
 //	tracelens verify RUN.events -metrics FILE
@@ -36,14 +47,22 @@
 //	    replication sweep under live invariant monitoring and scores
 //	    every cell against the committed golden envelope. -write
 //	    regenerates the envelope after an intentional change.
+//
+// Exit codes are uniform across subcommands: 0 on success (including -h),
+// 1 on an operational failure (unreadable log, violated invariant,
+// diverging metrics), 2 on a usage error (unknown subcommand, bad flag,
+// wrong arity) with the usage text on stderr.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs/analyze"
@@ -54,41 +73,93 @@ import (
 )
 
 func main() {
-	if err := run(os.Args[1:]); err != nil {
-		fmt.Fprintln(os.Stderr, "tracelens:", err)
-		os.Exit(1)
+	os.Exit(run(os.Args[1:], os.Stderr))
+}
+
+const usageText = `usage: tracelens <summary|timeline|attribute|carbon|whatif|diff|verify|doctor> [flags] LOG...
+run 'tracelens <subcommand> -h' for flags`
+
+// usageError marks a command-line mistake (as opposed to an operational
+// failure): run maps it to exit code 2 with the message on stderr. An
+// empty message means the flag package already printed the diagnostics.
+type usageError string
+
+func (e usageError) Error() string { return string(e) }
+
+func usagef(format string, a ...any) error {
+	return usageError(fmt.Sprintf(format, a...))
+}
+
+// run is the CLI entry point: it dispatches the subcommand and maps its
+// error to the exit code contract documented above.
+func run(args []string, stderr io.Writer) int {
+	err := dispatch(args, stderr)
+	var ue usageError
+	switch {
+	case err == nil:
+		return 0
+	case errors.Is(err, flag.ErrHelp):
+		return 0
+	case errors.As(err, &ue):
+		if ue != "" {
+			fmt.Fprintln(stderr, "tracelens:", ue.Error())
+		}
+		return 2
+	default:
+		fmt.Fprintln(stderr, "tracelens:", err)
+		return 1
 	}
 }
 
-func usage() error {
-	return fmt.Errorf("usage: tracelens <summary|timeline|attribute|diff|verify|doctor> [flags] LOG...\nrun 'tracelens <subcommand> -h' for flags")
-}
-
-func run(args []string) error {
+func dispatch(args []string, stderr io.Writer) error {
 	if len(args) == 0 {
-		return usage()
+		return usageError(usageText)
 	}
 	switch cmd, rest := args[0], args[1:]; cmd {
 	case "summary":
-		return cmdSummary(rest)
+		return cmdSummary(rest, stderr)
 	case "timeline":
-		return cmdTimeline(rest)
+		return cmdTimeline(rest, stderr)
 	case "attribute":
-		return cmdAttribute(rest)
+		return cmdAttribute(rest, stderr)
+	case "carbon":
+		return cmdCarbon(rest, stderr)
+	case "whatif":
+		return cmdWhatif(rest, stderr)
 	case "diff":
-		return cmdDiff(rest)
+		return cmdDiff(rest, stderr)
 	case "verify":
-		return cmdVerify(rest)
+		return cmdVerify(rest, stderr)
 	case "doctor":
 		if len(rest) > 0 && rest[0] == "fidelity" {
-			return cmdDoctorFidelity(rest[1:])
+			return cmdDoctorFidelity(rest[1:], stderr)
 		}
-		return cmdDoctor(rest)
+		return cmdDoctor(rest, stderr)
 	case "-h", "-help", "--help", "help":
-		return usage()
+		fmt.Fprintln(stderr, usageText)
+		return nil
 	default:
-		return fmt.Errorf("unknown subcommand %q\n%v", cmd, usage())
+		return usagef("unknown subcommand %q\n%s", cmd, usageText)
 	}
+}
+
+// newFlagSet builds a subcommand flag set that reports parse errors and
+// -h output on the dispatcher's stderr.
+func newFlagSet(name string, stderr io.Writer) *flag.FlagSet {
+	fs := flag.NewFlagSet(name, flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	return fs
+}
+
+// parse classifies flag-set outcomes: help passes through (exit 0), any
+// other parse failure is a usage error whose diagnostics the flag set
+// already printed.
+func parse(fs *flag.FlagSet, args []string) error {
+	err := fs.Parse(args)
+	if err == nil || errors.Is(err, flag.ErrHelp) {
+		return err
+	}
+	return usageError("")
 }
 
 // load reads and reconstructs one run log.
@@ -107,13 +178,13 @@ func load(path string) (*analyze.Run, error) {
 	return r, nil
 }
 
-func cmdSummary(args []string) error {
-	fs := flag.NewFlagSet("tracelens summary", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+func cmdSummary(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens summary", stderr)
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracelens summary LOG")
+		return usagef("usage: tracelens summary LOG")
 	}
 	r, err := load(fs.Arg(0))
 	if err != nil {
@@ -144,15 +215,15 @@ func cmdSummary(args []string) error {
 	return nil
 }
 
-func cmdTimeline(args []string) error {
-	fs := flag.NewFlagSet("tracelens timeline", flag.ContinueOnError)
+func cmdTimeline(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens timeline", stderr)
 	disk := fs.Int("disk", -1, "show only this disk (-1 = all)")
 	max := fs.Int("max", 0, "show at most this many segments per disk (0 = all)")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracelens timeline [-disk N] [-max N] LOG")
+		return usagef("usage: tracelens timeline [-disk N] [-max N] LOG")
 	}
 	r, err := load(fs.Arg(0))
 	if err != nil {
@@ -208,15 +279,15 @@ func cmdTimeline(args []string) error {
 	return nil
 }
 
-func cmdAttribute(args []string) error {
-	fs := flag.NewFlagSet("tracelens attribute", flag.ContinueOnError)
+func cmdAttribute(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens attribute", stderr)
 	top := fs.Int("top", 10, "show this many causes (0 = all)")
 	metricsFile := fs.String("metrics", "", "check by-state totals bit-exactly against this exported snapshot")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracelens attribute [-top N] [-metrics FILE] LOG")
+		return usagef("usage: tracelens attribute [-top N] [-metrics FILE] LOG")
 	}
 	r, err := load(fs.Arg(0))
 	if err != nil {
@@ -290,13 +361,144 @@ func cmdAttribute(args []string) error {
 	return nil
 }
 
-func cmdDiff(args []string) error {
-	fs := flag.NewFlagSet("tracelens diff", flag.ContinueOnError)
-	if err := fs.Parse(args); err != nil {
+// cmdCarbon replays a log through the same accounting integrator a live
+// -grid run attaches (account.Accumulator over storage's default power
+// model), so its report — windows, gCO2e, dollars — is byte-identical to
+// what the live run printed and exported.
+func cmdCarbon(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens carbon", stderr)
+	grid := fs.String("grid", "flat", "grid profile: flat | diurnal | coal | profile.json")
+	costName := fs.String("cost", "default", "cost model: default | model.json")
+	windows := fs.Int("windows", 12, "show at most this many window rows (0 = all)")
+	metricsFile := fs.String("metrics", "", "check carbon/cost totals bit-exactly against this exported snapshot")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		return usagef("usage: tracelens carbon [-grid P] [-cost M] [-windows N] [-metrics FILE] LOG")
+	}
+	g, err := account.ResolveGrid(*grid)
+	if err != nil {
+		return err
+	}
+	cm, err := account.ResolveCost(*costName)
+	if err != nil {
+		return err
+	}
+	evs, err := analyze.Load(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	if len(evs) == 0 {
+		return fmt.Errorf("%s: empty event log", fs.Arg(0))
+	}
+	acc, err := account.NewAccumulator(storage.DefaultConfig().Power, g, cm)
+	if err != nil {
+		return err
+	}
+	for _, ev := range evs {
+		acc.Observe(ev)
+	}
+	rep := acc.Finalize()
+
+	fmt.Printf("carbon accounting: %d events, %d disks, horizon %v\n", acc.Events(), rep.Disks, rep.Horizon)
+	n := len(rep.Windows)
+	if *windows > 0 && n > *windows {
+		n = *windows
+	}
+	fmt.Printf("  %-14s %-14s %12s %14s %12s\n", "start", "end", "gCO2e/kWh", "energy J", "gCO2e")
+	for _, w := range rep.Windows[:n] {
+		fmt.Printf("  %-14v %-14v %12.6g %14.6g %12.6g\n", w.Start, w.End, w.Intensity, w.EnergyJ, w.GCO2e)
+	}
+	if n < len(rep.Windows) {
+		fmt.Printf("  ... %d more windows\n", len(rep.Windows)-n)
+	}
+	fmt.Println(rep.CarbonLine())
+	fmt.Println(rep.CostLine())
+
+	if *metricsFile != "" {
+		data, err := os.ReadFile(*metricsFile)
+		if err != nil {
+			return err
+		}
+		vals, err := analyze.ParseMetricValues(data)
+		if err != nil {
+			return err
+		}
+		for key, got := range map[string]float64{
+			account.MetricCarbon + `{grid="` + g.Name + `"}`:    rep.GCO2e,
+			account.MetricCost + `{component="energy"}`:         rep.EnergyUSD,
+			account.MetricCost + `{component="capex"}`:          rep.CapexUSD,
+			account.MetricIntensity + `{grid="` + g.Name + `"}`: g.IntensityAt(rep.Horizon),
+		} {
+			want, ok := vals[key]
+			if !ok {
+				return fmt.Errorf("%s lacks %s (was the run recorded with -grid %s?)", *metricsFile, key, *grid)
+			}
+			if got != want {
+				return fmt.Errorf("carbon accounting diverges from export: %s replayed %v, exported %v", key, got, want)
+			}
+		}
+		fmt.Printf("carbon accounting matches %s bit-exactly (4/4 series)\n", *metricsFile)
+	}
+	return nil
+}
+
+// cmdWhatif renders the consolidation what-if table: cached sweep cells
+// re-priced per policy and consolidation ratio, no re-simulation.
+func cmdWhatif(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens whatif", stderr)
+	grid := fs.String("grid", "flat", "grid profile: flat | diurnal | coal | profile.json")
+	costName := fs.String("cost", "default", "cost model: default | model.json")
+	traceName := fs.String("trace", "cello", "workload trace: cello | financial")
+	scaleName := fs.String("scale", "small", "experiment scale: small | full")
+	if err := parse(fs, args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return usagef("usage: tracelens whatif [-grid P] [-cost M] [-trace T] [-scale small|full]")
+	}
+	g, err := account.ResolveGrid(*grid)
+	if err != nil {
+		return err
+	}
+	cm, err := account.ResolveCost(*costName)
+	if err != nil {
+		return err
+	}
+	var tr experiments.Trace
+	switch *traceName {
+	case "cello":
+		tr = experiments.Cello
+	case "financial":
+		tr = experiments.Financial
+	default:
+		return usagef("unknown -trace %q (want cello or financial)", *traceName)
+	}
+	var scale experiments.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiments.SmallScale()
+	case "full":
+		scale = experiments.FullScale()
+	default:
+		return usagef("unknown -scale %q (want small or full)", *scaleName)
+	}
+	t, err := experiments.WhatIfTable(scale, tr, g, cm)
+	if err != nil {
+		return err
+	}
+	fmt.Print(t.Render())
+	return nil
+}
+
+func cmdDiff(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens diff", stderr)
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 2 {
-		return fmt.Errorf("usage: tracelens diff A.LOG B.LOG")
+		return usagef("usage: tracelens diff A.LOG B.LOG")
 	}
 	a, err := load(fs.Arg(0))
 	if err != nil {
@@ -311,14 +513,14 @@ func cmdDiff(args []string) error {
 	return err
 }
 
-func cmdVerify(args []string) error {
-	fs := flag.NewFlagSet("tracelens verify", flag.ContinueOnError)
+func cmdVerify(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens verify", stderr)
 	metricsFile := fs.String("metrics", "", "exported metrics snapshot to verify against (required)")
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 || *metricsFile == "" {
-		return fmt.Errorf("usage: tracelens verify -metrics FILE LOG")
+		return usagef("usage: tracelens verify -metrics FILE LOG")
 	}
 	r, err := load(fs.Arg(0))
 	if err != nil {
@@ -343,8 +545,8 @@ func cmdVerify(args []string) error {
 // point uses); replica validity additionally needs the placement, which is
 // deterministic from its generation parameters — pass the same
 // -disks/-blocks/-rf/-z/-seed the run used to enable it.
-func cmdDoctor(args []string) error {
-	fs := flag.NewFlagSet("tracelens doctor", flag.ContinueOnError)
+func cmdDoctor(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens doctor", stderr)
 	var (
 		disks   = fs.Int("disks", 0, "placement: number of disks (0 = skip the replica-validity monitor)")
 		blocks  = fs.Int("blocks", 0, "placement: number of blocks")
@@ -355,11 +557,11 @@ func cmdDoctor(args []string) error {
 		nonFIFO = fs.Bool("nonfifo", false, "the run used a non-FIFO queue discipline (skip FIFO-order checks)")
 		max     = fs.Int("max", 8, "violations kept verbatim per monitor (all are counted)")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 1 {
-		return fmt.Errorf("usage: tracelens doctor [flags] LOG  (or: tracelens doctor fidelity [flags])")
+		return usagef("usage: tracelens doctor [flags] LOG  (or: tracelens doctor fidelity [flags])")
 	}
 
 	cfg := storage.DefaultConfig()
@@ -375,7 +577,7 @@ func cmdDoctor(args []string) error {
 	case "always-on":
 		mcfg.Policy = power.AlwaysOn{}
 	default:
-		return fmt.Errorf("unknown policy %q (want 2cpm or always-on)", *policy)
+		return usagef("unknown policy %q (want 2cpm or always-on)", *policy)
 	}
 	if *disks > 0 {
 		plc, err := placement.Generate(placement.GenerateConfig{
@@ -417,17 +619,17 @@ func cmdDoctor(args []string) error {
 // committed golden envelope (or writes a fresh envelope with -write). Every
 // simulated cell also runs under live invariant monitoring, so a pass
 // certifies both the numbers and the invariants.
-func cmdDoctorFidelity(args []string) error {
-	fs := flag.NewFlagSet("tracelens doctor fidelity", flag.ContinueOnError)
+func cmdDoctorFidelity(args []string, stderr io.Writer) error {
+	fs := newFlagSet("tracelens doctor fidelity", stderr)
 	var (
 		envPath = fs.String("envelopes", "", "score against this envelope file instead of the embedded golden one")
 		write   = fs.String("write", "", "regenerate the envelope and write it to this file instead of scoring")
 	)
-	if err := fs.Parse(args); err != nil {
+	if err := parse(fs, args); err != nil {
 		return err
 	}
 	if fs.NArg() != 0 {
-		return fmt.Errorf("usage: tracelens doctor fidelity [-envelopes FILE] [-write FILE]")
+		return usagef("usage: tracelens doctor fidelity [-envelopes FILE] [-write FILE]")
 	}
 	scale := experiments.FidelityScale()
 	scale.Doctor = true

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestRunExitCodes pins the CLI's exit-code contract: 0 for success and
+// help, 2 for usage mistakes (with usage text on stderr), 1 for
+// operational failures.
+func TestRunExitCodes(t *testing.T) {
+	cases := []struct {
+		name   string
+		args   []string
+		code   int
+		stderr string // required substring of stderr ("" = no requirement)
+	}{
+		{"no args", nil, 2, "usage: tracelens"},
+		{"unknown subcommand", []string{"frobnicate"}, 2, `unknown subcommand "frobnicate"`},
+		{"unknown subcommand shows usage", []string{"frobnicate"}, 2, "usage: tracelens"},
+		{"top-level help", []string{"-h"}, 0, "usage: tracelens"},
+		{"top-level help word", []string{"help"}, 0, "usage: tracelens"},
+		{"subcommand help", []string{"summary", "-h"}, 0, "tracelens summary"},
+		{"bad flag", []string{"summary", "-no-such-flag"}, 2, "flag provided but not defined"},
+		{"missing log arg", []string{"summary"}, 2, "usage: tracelens summary LOG"},
+		{"timeline arity", []string{"timeline", "a", "b"}, 2, "usage: tracelens timeline"},
+		{"attribute bad flag", []string{"attribute", "-top=x", "log"}, 2, "invalid value"},
+		{"carbon arity", []string{"carbon"}, 2, "usage: tracelens carbon"},
+		{"whatif rejects args", []string{"whatif", "stray"}, 2, "usage: tracelens whatif"},
+		{"whatif bad trace", []string{"whatif", "-trace", "nope"}, 2, `unknown -trace "nope"`},
+		{"verify needs metrics", []string{"verify", "log"}, 2, "usage: tracelens verify -metrics FILE LOG"},
+		{"diff arity", []string{"diff", "only-one"}, 2, "usage: tracelens diff"},
+		{"doctor bad policy", []string{"doctor", "-policy", "warp", "log"}, 2, `unknown policy "warp"`},
+		{"doctor fidelity arity", []string{"doctor", "fidelity", "stray"}, 2, "usage: tracelens doctor fidelity"},
+		{"missing log file", []string{"summary", "/no/such/file.events"}, 1, "no/such/file.events"},
+		{"carbon missing log file", []string{"carbon", "/no/such/file.events"}, 1, "no/such/file.events"},
+		{"carbon bad grid file", []string{"carbon", "-grid", "/no/such/grid.json", "testdata-absent.events"}, 1, ""},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var stderr bytes.Buffer
+			code := run(c.args, &stderr)
+			if code != c.code {
+				t.Fatalf("run(%q) = %d, want %d (stderr: %s)", c.args, code, c.code, stderr.String())
+			}
+			if c.stderr != "" && !strings.Contains(stderr.String(), c.stderr) {
+				t.Fatalf("run(%q) stderr %q lacks %q", c.args, stderr.String(), c.stderr)
+			}
+			if code == 2 && stderr.Len() == 0 {
+				t.Fatalf("run(%q): usage error with empty stderr", c.args)
+			}
+		})
+	}
+}

@@ -1,0 +1,247 @@
+// Package account prices simulated disk energy in grams of CO2-equivalent
+// and dollars.
+//
+// The paper evaluates scheduling policies in joules; operators compare them
+// in carbon and money. This package adds three models on top of the
+// power.Meter joule accounting:
+//
+//   - GridProfile: piecewise-constant grid carbon intensity (gCO2e/kWh)
+//     over virtual run time, optionally repeating with a period — a
+//     watt-hour consumed under the midday solar dip prices differently
+//     than one at midnight. Built-ins cover a flat world-average grid, a
+//     diurnal solar-heavy grid and a coal-heavy grid; arbitrary profiles
+//     load from JSON (see docs/OBSERVABILITY.md for the schema).
+//   - CostModel: $/kWh for energy plus straight-line per-disk capex
+//     amortization, emitting fleet TCO per run.
+//   - Consolidation: cloud-carbon-exporter's virtual-over-physical block
+//     storage hypothesis (a virtual disk is a fraction of replicated
+//     physical disks plus a rack overhead), with a what-if evaluator that
+//     re-prices a finished run on a smaller physical fleet without
+//     re-simulation.
+//
+// The windowed integrator (Accumulator) tees off the internal/obs event
+// stream, so a live run and a `tracelens carbon` replay of its log execute
+// the identical floating-point program and produce byte-identical gCO2e
+// and dollar totals; its final by-state joule totals reproduce the
+// power.Meter sums bit-exactly (monitor-checked, see VerifyWindows in
+// internal/obs/monitor).
+package account
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+)
+
+// JoulesPerKWh converts the meter's joule totals to the kilowatt-hours
+// grid intensities and tariffs are quoted in.
+const JoulesPerKWh = 3.6e6
+
+// GridStep is one piecewise-constant step of a grid-intensity profile.
+type GridStep struct {
+	Start     time.Duration // offset from run start (and from each period repeat)
+	Intensity float64       // gCO2e per kWh while the step is in effect
+}
+
+// GridProfile models location/time-varying grid carbon intensity as
+// piecewise-constant gCO2e/kWh steps over virtual run time. With a
+// non-zero Period the step pattern repeats (a diurnal cycle); with Period
+// zero the last step extends forever.
+type GridProfile struct {
+	Name   string
+	Period time.Duration
+	Steps  []GridStep
+}
+
+// FlatGrid returns a constant world-average grid (475 gCO2e/kWh, the IEA
+// global average), the baseline that prices energy identically at every
+// instant.
+func FlatGrid() *GridProfile {
+	return &GridProfile{
+		Name:  "flat",
+		Steps: []GridStep{{0, 475}},
+	}
+}
+
+// DiurnalGrid returns a solar-heavy grid with a 24 h cycle: intensity
+// collapses through the midday solar window and peaks in the evening ramp
+// (the classic duck curve).
+func DiurnalGrid() *GridProfile {
+	return &GridProfile{
+		Name:   "diurnal",
+		Period: 24 * time.Hour,
+		Steps: []GridStep{
+			{0, 420},
+			{6 * time.Hour, 320},
+			{9 * time.Hour, 140},
+			{15 * time.Hour, 220},
+			{18 * time.Hour, 520},
+			{21 * time.Hour, 470},
+		},
+	}
+}
+
+// CoalGrid returns a coal-heavy grid: high intensity around the clock with
+// only a mild daytime dip.
+func CoalGrid() *GridProfile {
+	return &GridProfile{
+		Name:   "coal",
+		Period: 24 * time.Hour,
+		Steps: []GridStep{
+			{0, 820},
+			{6 * time.Hour, 760},
+			{18 * time.Hour, 840},
+		},
+	}
+}
+
+// gridJSON is the on-disk schema; durations are plain seconds so profiles
+// are writable by hand and by non-Go tooling.
+type gridJSON struct {
+	Name    string         `json:"name"`
+	PeriodS float64        `json:"period_s,omitempty"`
+	Steps   []gridStepJSON `json:"steps"`
+}
+
+type gridStepJSON struct {
+	StartS    float64 `json:"start_s"`
+	Intensity float64 `json:"gco2e_per_kwh"`
+}
+
+// ParseGridProfile decodes a JSON grid profile and validates it.
+func ParseGridProfile(data []byte) (*GridProfile, error) {
+	var w gridJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return nil, fmt.Errorf("account: parse grid profile: %w", err)
+	}
+	g := &GridProfile{
+		Name:   w.Name,
+		Period: time.Duration(w.PeriodS * float64(time.Second)),
+	}
+	for _, s := range w.Steps {
+		g.Steps = append(g.Steps, GridStep{
+			Start:     time.Duration(s.StartS * float64(time.Second)),
+			Intensity: s.Intensity,
+		})
+	}
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// LoadGridProfile reads and parses a JSON grid profile from a file.
+func LoadGridProfile(path string) (*GridProfile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("account: %w", err)
+	}
+	return ParseGridProfile(data)
+}
+
+// ResolveGrid maps a -grid flag value to a profile: the built-in names
+// "flat", "diurnal" (alias "solar") and "coal", or a path to a JSON
+// profile file.
+func ResolveGrid(name string) (*GridProfile, error) {
+	switch name {
+	case "flat":
+		return FlatGrid(), nil
+	case "diurnal", "solar":
+		return DiurnalGrid(), nil
+	case "coal":
+		return CoalGrid(), nil
+	default:
+		return LoadGridProfile(name)
+	}
+}
+
+// Validate reports whether the profile is usable: at least one step, the
+// first starting at zero, strictly ascending starts, finite non-negative
+// intensities, and a period (when set) beyond the last step start.
+func (g *GridProfile) Validate() error {
+	if len(g.Steps) == 0 {
+		return fmt.Errorf("account: grid profile %q has no steps", g.Name)
+	}
+	if g.Steps[0].Start != 0 {
+		return fmt.Errorf("account: grid profile %q first step starts at %v, want 0", g.Name, g.Steps[0].Start)
+	}
+	for i, s := range g.Steps {
+		if i > 0 && s.Start <= g.Steps[i-1].Start {
+			return fmt.Errorf("account: grid profile %q step starts not ascending at %v", g.Name, s.Start)
+		}
+		if s.Intensity < 0 || math.IsNaN(s.Intensity) || math.IsInf(s.Intensity, 0) {
+			return fmt.Errorf("account: grid profile %q has invalid intensity %v", g.Name, s.Intensity)
+		}
+	}
+	if g.Period < 0 {
+		return fmt.Errorf("account: grid profile %q has negative period %v", g.Name, g.Period)
+	}
+	if g.Period > 0 && g.Period <= g.Steps[len(g.Steps)-1].Start {
+		return fmt.Errorf("account: grid profile %q period %v not beyond last step start %v",
+			g.Name, g.Period, g.Steps[len(g.Steps)-1].Start)
+	}
+	return nil
+}
+
+// IntensityAt returns the gCO2e/kWh in effect at virtual time t.
+func (g *GridProfile) IntensityAt(t time.Duration) float64 {
+	if t < 0 {
+		t = 0
+	}
+	if g.Period > 0 {
+		t %= g.Period
+	}
+	v := g.Steps[0].Intensity
+	for _, s := range g.Steps {
+		if s.Start > t {
+			break
+		}
+		v = s.Intensity
+	}
+	return v
+}
+
+// boundary returns the i-th instant (0-based, ascending, all > 0) at which
+// the profile switches steps; ok=false past the last boundary of an
+// aperiodic profile. For a periodic profile each cycle contributes its
+// interior step starts plus the wrap back to the first step.
+func (g *GridProfile) boundary(i int) (time.Duration, bool) {
+	if g.Period == 0 {
+		if i >= len(g.Steps)-1 {
+			return 0, false
+		}
+		return g.Steps[i+1].Start, true
+	}
+	perCycle := len(g.Steps) // len-1 interior starts + the period wrap
+	cycle, idx := i/perCycle, i%perCycle
+	base := time.Duration(cycle) * g.Period
+	if idx < len(g.Steps)-1 {
+		return base + g.Steps[idx+1].Start, true
+	}
+	return base + g.Period, true
+}
+
+// MeanIntensity returns the time-weighted average intensity over [0, h] —
+// the pricing factor for runs that only report end-of-run joule totals
+// (cached sweeps), which treats energy as uniform in time. Windowed
+// integration through an Accumulator is exact and preferred when an event
+// stream is available.
+func (g *GridProfile) MeanIntensity(h time.Duration) float64 {
+	if h <= 0 {
+		return g.IntensityAt(0)
+	}
+	var weighted float64
+	prev := time.Duration(0)
+	for i := 0; ; i++ {
+		b, ok := g.boundary(i)
+		if !ok || b >= h {
+			break
+		}
+		weighted += g.IntensityAt(prev) * (b - prev).Seconds()
+		prev = b
+	}
+	weighted += g.IntensityAt(prev) * (h - prev).Seconds()
+	return weighted / h.Seconds()
+}

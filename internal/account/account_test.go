@@ -1,0 +1,157 @@
+package account
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestGridValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		g    GridProfile
+		ok   bool
+	}{
+		{"empty", GridProfile{Name: "x"}, false},
+		{"nonzero first start", GridProfile{Steps: []GridStep{{time.Second, 100}}}, false},
+		{"descending starts", GridProfile{Steps: []GridStep{{0, 1}, {2 * time.Second, 2}, {time.Second, 3}}}, false},
+		{"negative intensity", GridProfile{Steps: []GridStep{{0, -1}}}, false},
+		{"nan intensity", GridProfile{Steps: []GridStep{{0, math.NaN()}}}, false},
+		{"period inside steps", GridProfile{Period: time.Second, Steps: []GridStep{{0, 1}, {2 * time.Second, 2}}}, false},
+		{"negative period", GridProfile{Period: -time.Second, Steps: []GridStep{{0, 1}}}, false},
+		{"flat ok", *FlatGrid(), true},
+		{"diurnal ok", *DiurnalGrid(), true},
+		{"coal ok", *CoalGrid(), true},
+	}
+	for _, c := range cases {
+		if err := c.g.Validate(); (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+	}
+}
+
+func TestGridIntensityAt(t *testing.T) {
+	g := &GridProfile{
+		Name:   "test",
+		Period: 10 * time.Second,
+		Steps:  []GridStep{{0, 100}, {4 * time.Second, 200}, {7 * time.Second, 50}},
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		at   time.Duration
+		want float64
+	}{
+		{0, 100},
+		{3 * time.Second, 100},
+		{4 * time.Second, 200},
+		{6 * time.Second, 200},
+		{7 * time.Second, 50},
+		{9 * time.Second, 50},
+		{10 * time.Second, 100}, // period wraps
+		{14 * time.Second, 200},
+		{-time.Second, 100}, // clamped
+	}
+	for _, c := range cases {
+		if got := g.IntensityAt(c.at); got != c.want {
+			t.Errorf("IntensityAt(%v) = %v, want %v", c.at, got, c.want)
+		}
+	}
+}
+
+func TestGridMeanIntensity(t *testing.T) {
+	g := &GridProfile{
+		Name:  "step",
+		Steps: []GridStep{{0, 100}, {4 * time.Second, 200}},
+	}
+	// [0,8s]: 4s at 100 + 4s at 200 = mean 150.
+	if got := g.MeanIntensity(8 * time.Second); got != 150 {
+		t.Fatalf("MeanIntensity(8s) = %v, want 150", got)
+	}
+	// Entirely inside the first step.
+	if got := g.MeanIntensity(2 * time.Second); got != 100 {
+		t.Fatalf("MeanIntensity(2s) = %v, want 100", got)
+	}
+	// Zero horizon falls back to the instant intensity.
+	if got := g.MeanIntensity(0); got != 100 {
+		t.Fatalf("MeanIntensity(0) = %v, want 100", got)
+	}
+	// A periodic profile keeps cycling.
+	p := &GridProfile{
+		Name:   "cycle",
+		Period: 2 * time.Second,
+		Steps:  []GridStep{{0, 100}, {time.Second, 300}},
+	}
+	if got := p.MeanIntensity(4 * time.Second); got != 200 {
+		t.Fatalf("periodic MeanIntensity(4s) = %v, want 200", got)
+	}
+}
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	data := []byte(`{
+		"name": "custom",
+		"period_s": 60,
+		"steps": [
+			{"start_s": 0, "gco2e_per_kwh": 480},
+			{"start_s": 20, "gco2e_per_kwh": 120},
+			{"start_s": 45.5, "gco2e_per_kwh": 500}
+		]
+	}`)
+	g, err := ParseGridProfile(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Name != "custom" || g.Period != time.Minute || len(g.Steps) != 3 {
+		t.Fatalf("parsed %+v", g)
+	}
+	if g.Steps[2].Start != 45500*time.Millisecond || g.Steps[2].Intensity != 500 {
+		t.Fatalf("step 2 parsed as %+v", g.Steps[2])
+	}
+	if _, err := ParseGridProfile([]byte(`{"steps": []}`)); err == nil {
+		t.Fatal("empty profile parsed without error")
+	}
+	if _, err := ParseGridProfile([]byte(`{nonsense`)); err == nil {
+		t.Fatal("malformed JSON parsed without error")
+	}
+}
+
+func TestResolveGrid(t *testing.T) {
+	for name, want := range map[string]string{
+		"flat": "flat", "diurnal": "diurnal", "solar": "diurnal", "coal": "coal",
+	} {
+		g, err := ResolveGrid(name)
+		if err != nil {
+			t.Fatalf("ResolveGrid(%q): %v", name, err)
+		}
+		if g.Name != want {
+			t.Fatalf("ResolveGrid(%q) = %q", name, g.Name)
+		}
+	}
+	if _, err := ResolveGrid("no/such/file.json"); err == nil {
+		t.Fatal("missing profile file resolved without error")
+	}
+}
+
+func TestCostModel(t *testing.T) {
+	c := CostModel{Name: "t", USDPerKWh: 0.10, DiskCapexUSD: 365.25, AmortYears: 1}
+	if got := c.EnergyUSD(JoulesPerKWh); got != 0.10 {
+		t.Fatalf("EnergyUSD(1 kWh) = %v, want 0.10", got)
+	}
+	// One disk for one day of a one-year amortization of $365.25 = $1/day.
+	if got := c.CapexUSD(1, 24*time.Hour); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("CapexUSD(1, 24h) = %v, want 1", got)
+	}
+	if got := c.CapexUSD(10, 0); got != 0 {
+		t.Fatalf("CapexUSD at zero horizon = %v, want 0", got)
+	}
+	if err := (CostModel{USDPerKWh: math.NaN()}).Validate(); err == nil {
+		t.Fatal("NaN tariff validated")
+	}
+	if m, err := ResolveCost("default"); err != nil || m != DefaultCostModel() {
+		t.Fatalf("ResolveCost(default) = %+v, %v", m, err)
+	}
+	if _, err := ResolveCost("no/such/cost.json"); err == nil {
+		t.Fatal("missing cost file resolved without error")
+	}
+}

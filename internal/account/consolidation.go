@@ -1,0 +1,92 @@
+package account
+
+import (
+	"math"
+	"time"
+
+	"repro/internal/core"
+)
+
+// RunTotals is the minimal shape of a finished run this package can
+// price without an event stream: by-state joules, the run horizon, and
+// the physical fleet size. Cached sweep cells (internal/experiments) carry
+// exactly this much in their per-disk stats, which is what lets the
+// what-if evaluator re-price policies without re-simulation.
+type RunTotals struct {
+	ByState [core.StateSpinDown + 1]float64
+	Horizon time.Duration
+	Disks   int
+}
+
+// Energy returns the total joules, summed in state order.
+func (t RunTotals) Energy() float64 {
+	var e float64
+	for _, j := range t.ByState {
+		e += j
+	}
+	return e
+}
+
+// Consolidation implements cloud-carbon-exporter's block-storage
+// hypothesis: one virtual disk is a fraction of PhysicalPerVirtual
+// replicated physical disks, and the enclosure (rack, controllers,
+// cooling fans) adds RackOverhead on top of the disks' own draw.
+type Consolidation struct {
+	PhysicalPerVirtual float64
+	RackOverhead       float64
+}
+
+// DefaultConsolidation returns the exporter's published hypothesis: a
+// virtual disk maps onto 3x replicated physical disks with a 10% rack
+// overhead.
+func DefaultConsolidation() Consolidation {
+	return Consolidation{PhysicalPerVirtual: 3, RackOverhead: 0.10}
+}
+
+// WhatIf re-prices the same workload on ratio times the physical disks
+// (ratio 1 is the measured fleet, 0.67 consolidates 3 replicas onto 2
+// spindles' worth of hardware). Work-conserving states — active service
+// and the spin transitions the workload itself forced — are unchanged;
+// idle and standby floor energy scales with the number of spindles kept
+// powered; rack overhead multiplies everything. The evaluator is pure
+// arithmetic over RunTotals, so sweep-cache hits are enough to compare
+// policies — no re-simulation.
+func (c Consolidation) WhatIf(t RunTotals, ratio float64) RunTotals {
+	out := t
+	out.Disks = int(math.Round(float64(t.Disks) * ratio))
+	oh := 1 + c.RackOverhead
+	for st := range out.ByState {
+		switch core.DiskState(st) {
+		case core.StateIdle, core.StateStandby:
+			out.ByState[st] = t.ByState[st] * ratio * oh
+		default:
+			out.ByState[st] = t.ByState[st] * oh
+		}
+	}
+	return out
+}
+
+// Price is a run priced under a grid profile and cost model.
+type Price struct {
+	EnergyJ   float64
+	GCO2e     float64
+	EnergyUSD float64
+	CapexUSD  float64
+	TotalUSD  float64
+}
+
+// PriceTotals prices end-of-run totals: carbon at the profile's
+// time-weighted mean intensity over the horizon (totals carry no timing,
+// so energy is treated as uniform in time — see GridProfile.MeanIntensity),
+// dollars at the tariff plus amortized capex.
+func PriceTotals(g *GridProfile, cm CostModel, t RunTotals) Price {
+	e := t.Energy()
+	p := Price{
+		EnergyJ:   e,
+		GCO2e:     g.MeanIntensity(t.Horizon) * e / JoulesPerKWh,
+		EnergyUSD: cm.EnergyUSD(e),
+		CapexUSD:  cm.CapexUSD(t.Disks, t.Horizon),
+	}
+	p.TotalUSD = p.EnergyUSD + p.CapexUSD
+	return p
+}

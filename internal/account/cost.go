@@ -1,0 +1,82 @@
+package account
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"time"
+)
+
+// yearSeconds is the Julian year used for capex amortization.
+const yearSeconds = 365.25 * 24 * 3600
+
+// CostModel prices a run in dollars: grid energy at a flat tariff plus
+// straight-line amortization of the physical disks over the run horizon.
+type CostModel struct {
+	Name         string  `json:"name"`
+	USDPerKWh    float64 `json:"usd_per_kwh"`
+	DiskCapexUSD float64 `json:"disk_capex_usd"`
+	AmortYears   float64 `json:"amort_years"`
+}
+
+// DefaultCostModel returns a plausible datacenter tariff and enterprise
+// disk price: $0.12/kWh, $450 per disk amortized over 5 years.
+func DefaultCostModel() CostModel {
+	return CostModel{Name: "default", USDPerKWh: 0.12, DiskCapexUSD: 450, AmortYears: 5}
+}
+
+// ParseCostModel decodes a JSON cost model and validates it.
+func ParseCostModel(data []byte) (CostModel, error) {
+	var c CostModel
+	if err := json.Unmarshal(data, &c); err != nil {
+		return CostModel{}, fmt.Errorf("account: parse cost model: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return CostModel{}, err
+	}
+	return c, nil
+}
+
+// LoadCostModel reads and parses a JSON cost model from a file.
+func LoadCostModel(path string) (CostModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return CostModel{}, fmt.Errorf("account: %w", err)
+	}
+	return ParseCostModel(data)
+}
+
+// ResolveCost maps a -cost flag value to a model: the built-in name
+// "default", or a path to a JSON cost-model file.
+func ResolveCost(name string) (CostModel, error) {
+	if name == "default" {
+		return DefaultCostModel(), nil
+	}
+	return LoadCostModel(name)
+}
+
+// Validate reports whether the model is usable.
+func (c CostModel) Validate() error {
+	for _, v := range []float64{c.USDPerKWh, c.DiskCapexUSD, c.AmortYears} {
+		if v < 0 || math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("account: cost model %q has invalid field %v", c.Name, v)
+		}
+	}
+	return nil
+}
+
+// EnergyUSD prices joules at the model's tariff.
+func (c CostModel) EnergyUSD(joules float64) float64 {
+	return joules / JoulesPerKWh * c.USDPerKWh
+}
+
+// CapexUSD returns the amortized purchase cost of `disks` physical disks
+// over a run of length horizon (straight-line over AmortYears).
+func (c CostModel) CapexUSD(disks int, horizon time.Duration) float64 {
+	if c.AmortYears <= 0 || horizon <= 0 {
+		return 0
+	}
+	years := horizon.Seconds() / yearSeconds
+	return c.DiskCapexUSD * float64(disks) * years / c.AmortYears
+}

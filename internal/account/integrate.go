@@ -1,0 +1,315 @@
+package account
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/power"
+)
+
+// acctDisk mirrors one power.Meter from the event stream: the state
+// timeline plus by-state settled energy, accumulated with the meter's
+// exact addition order (the idiom of internal/obs/monitor's energy
+// invariant).
+type acctDisk struct {
+	state core.DiskState
+	since time.Duration
+	known bool
+	ended bool
+	by    [core.StateSpinDown + 1]float64
+}
+
+// Window is one grid-intensity window of a finished run.
+type Window struct {
+	Start     time.Duration
+	End       time.Duration
+	Intensity float64 // gCO2e/kWh in effect throughout the window
+	ByState   [core.StateSpinDown + 1]float64
+	EnergyJ   float64
+	GCO2e     float64
+}
+
+// Report is the carbon/cost accounting of a run.
+type Report struct {
+	Grid    string
+	Cost    string
+	Horizon time.Duration
+	Disks   int
+	Windows []Window
+	// ByState is the final cumulative by-state joule total, bit-identical
+	// to the power.Meter sums in storage.Result.EnergyByState (the
+	// windowed-energy monitor check pins this).
+	ByState   [core.StateSpinDown + 1]float64
+	EnergyJ   float64
+	GCO2e     float64
+	EnergyUSD float64
+	CapexUSD  float64
+	TotalUSD  float64
+}
+
+// Accumulator integrates the obs event stream against a grid profile and
+// cost model. It is attached to a live run as a tracer observer
+// (storage.WithAccounting) or fed a decoded log (tracelens carbon); both
+// paths execute the identical floating-point program over the identical
+// event order, so live and replayed reports are byte-identical.
+//
+// Windowing works by cumulative readings rather than by splitting
+// segments: for every grid boundary b the accumulator reconstructs the
+// fleet's cumulative by-state energy reading at b — settled segments
+// ending at or before b count in full, a segment open across b counts its
+// pro-rated power.Config.Accrual over [since, b) — and a window's energy
+// is the difference of consecutive readings. An impulse landing exactly
+// on a boundary belongs to the later window. The final reading is the sum
+// of per-disk settled totals in ascending disk order, exactly the
+// additions storage performs for Result.EnergyByState, which is what
+// makes the sum of windows reconcile bit-exactly with Meter.Energy().
+//
+// The accumulator is not safe for concurrent use; storage feeds it from
+// the single goroutine that owns the tracer.
+type Accumulator struct {
+	cfg  power.Config
+	grid *GridProfile
+	cost CostModel
+
+	disks    map[core.DiskID]*acctDisk
+	events   uint64
+	maxAt    time.Duration
+	horizon  time.Duration
+	runEnded bool
+
+	// bounds holds the grid boundaries generated so far; prorate[k] the
+	// open-segment accruals pro-rated to bounds[k]; full[k] the settled
+	// credits that first become visible in the reading at bounds[k]
+	// (prefix-summed at report time).
+	bounds  []time.Duration
+	prorate [][core.StateSpinDown + 1]float64
+	full    [][core.StateSpinDown + 1]float64
+
+	final *Report
+	m     *binding
+}
+
+// NewAccumulator returns an accumulator for runs under the given power
+// configuration (the accrual arithmetic it mirrors), grid profile and
+// cost model. The profile must Validate.
+func NewAccumulator(cfg power.Config, grid *GridProfile, cost CostModel) (*Accumulator, error) {
+	if err := grid.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	return &Accumulator{
+		cfg:   cfg,
+		grid:  grid,
+		cost:  cost,
+		disks: map[core.DiskID]*acctDisk{},
+	}, nil
+}
+
+// Grid returns the profile the accumulator prices against.
+func (a *Accumulator) Grid() *GridProfile { return a.grid }
+
+// CostModel returns the cost model the accumulator prices against.
+func (a *Accumulator) CostModel() CostModel { return a.cost }
+
+// Events returns the number of events observed.
+func (a *Accumulator) Events() uint64 { return a.events }
+
+// ensure extends the generated boundary list until its last entry is >= t
+// or the profile has no further boundaries.
+func (a *Accumulator) ensure(t time.Duration) {
+	for len(a.bounds) == 0 || a.bounds[len(a.bounds)-1] < t {
+		b, ok := a.grid.boundary(len(a.bounds))
+		if !ok {
+			return
+		}
+		a.bounds = append(a.bounds, b)
+		a.prorate = append(a.prorate, [core.StateSpinDown + 1]float64{})
+		a.full = append(a.full, [core.StateSpinDown + 1]float64{})
+	}
+}
+
+// boundAt returns the index of the first boundary >= t (strict: > t),
+// generating boundaries on demand; ok=false when the profile has no such
+// boundary.
+func (a *Accumulator) boundAt(t time.Duration, strict bool) (int, bool) {
+	a.ensure(t + 1)
+	k := sort.Search(len(a.bounds), func(i int) bool { return a.bounds[i] >= t })
+	if strict && k < len(a.bounds) && a.bounds[k] == t {
+		k++
+	}
+	if k >= len(a.bounds) {
+		return 0, false
+	}
+	return k, true
+}
+
+// credit books a closed segment [since, at) in state st that settled j
+// joules: full credit from the first boundary at or after the segment
+// end, pro-rated accruals at boundaries the segment spans.
+func (a *Accumulator) credit(st core.DiskState, since, at time.Duration, j float64) {
+	if k, ok := a.boundAt(at, false); ok {
+		a.full[k][st] += j
+	}
+	if at <= since {
+		return
+	}
+	lo := sort.Search(len(a.bounds), func(i int) bool { return a.bounds[i] > since })
+	for k := lo; k < len(a.bounds) && a.bounds[k] < at; k++ {
+		a.prorate[k][st] += a.cfg.Accrual(st, a.bounds[k]-since)
+	}
+}
+
+// impulse books an instantaneous transition impulse at time t into state
+// st: it becomes visible strictly after t, so an impulse exactly on a
+// boundary belongs to the later window.
+func (a *Accumulator) impulse(st core.DiskState, t time.Duration, j float64) {
+	if k, ok := a.boundAt(t, true); ok {
+		a.full[k][st] += j
+	}
+}
+
+// Observe folds one event into the accounting. It mirrors the energy
+// monitor: power and end events settle the accrual on the state being
+// left and any impulse on the transition state entered; everything else
+// only advances the clock.
+func (a *Accumulator) Observe(ev obs.Event) {
+	a.events++
+	if ev.At > a.maxAt {
+		a.maxAt = ev.At
+	}
+	switch ev.Kind {
+	case obs.KindRunEnd:
+		a.runEnded, a.horizon = true, ev.At
+		return
+	case obs.KindPower, obs.KindEnd:
+	default:
+		return
+	}
+	if !ev.From.Valid() || !ev.To.Valid() {
+		return // the doctor reports it; nothing to integrate
+	}
+	t := a.disks[ev.Disk]
+	if t == nil {
+		t = &acctDisk{}
+		a.disks[ev.Disk] = t
+	}
+	if t.ended {
+		return
+	}
+	if !t.known {
+		// The first event reveals the state the disk has held since t=0.
+		t.state, t.known = ev.From, true
+	}
+	a.credit(ev.From, t.since, ev.At, ev.EnergyJ)
+	t.by[ev.From] += ev.EnergyJ
+	if a.m != nil {
+		a.m.observe(a, ev)
+	}
+	if ev.Kind == obs.KindEnd {
+		t.ended = true
+		return
+	}
+	if ev.ImpulseJ != 0 {
+		t.by[ev.To] += ev.ImpulseJ
+		a.impulse(ev.To, ev.At, ev.ImpulseJ)
+	}
+	t.state, t.since = ev.To, ev.At
+}
+
+// ByState returns the cumulative settled by-state joules: per-disk totals
+// accumulated in event order, disks summed in ascending ID order — the
+// exact additions storage performs for Result.EnergyByState.
+func (a *Accumulator) ByState() [core.StateSpinDown + 1]float64 {
+	ids := make([]core.DiskID, 0, len(a.disks))
+	for d := range a.disks {
+		ids = append(ids, d)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var tot [core.StateSpinDown + 1]float64
+	for _, d := range ids {
+		for st, j := range a.disks[d].by {
+			tot[st] += j
+		}
+	}
+	return tot
+}
+
+// window builds one report window from consecutive cumulative readings.
+func (a *Accumulator) window(start, end time.Duration, from, to [core.StateSpinDown + 1]float64) Window {
+	w := Window{Start: start, End: end, Intensity: a.grid.IntensityAt(start)}
+	for st := range to {
+		d := to[st] - from[st]
+		w.ByState[st] = d
+		w.EnergyJ += d
+	}
+	w.GCO2e = w.Intensity * w.EnergyJ / JoulesPerKWh
+	return w
+}
+
+// reportAt prices the stream observed so far against horizon h. It is a
+// pure read; open (unsettled) segments are not included.
+func (a *Accumulator) reportAt(h time.Duration) Report {
+	tot := a.ByState()
+	r := Report{
+		Grid:    a.grid.Name,
+		Cost:    a.cost.Name,
+		Horizon: h,
+		Disks:   len(a.disks),
+		ByState: tot,
+	}
+	var cum, reading, prev [core.StateSpinDown + 1]float64
+	start := time.Duration(0)
+	for k := 0; k < len(a.bounds) && a.bounds[k] < h; k++ {
+		for st := range cum {
+			cum[st] += a.full[k][st]
+			reading[st] = cum[st] + a.prorate[k][st]
+		}
+		r.Windows = append(r.Windows, a.window(start, a.bounds[k], prev, reading))
+		start, prev = a.bounds[k], reading
+	}
+	r.Windows = append(r.Windows, a.window(start, h, prev, tot))
+	for _, w := range r.Windows {
+		r.GCO2e += w.GCO2e
+	}
+	for _, j := range tot {
+		r.EnergyJ += j
+	}
+	r.EnergyUSD = a.cost.EnergyUSD(r.EnergyJ)
+	r.CapexUSD = a.cost.CapexUSD(r.Disks, h)
+	r.TotalUSD = r.EnergyUSD + r.CapexUSD
+	return r
+}
+
+// Snapshot prices the settled energy observed so far (for live /state
+// endpoints); the report is partial until the run ends.
+func (a *Accumulator) Snapshot() (gco2e, usd float64) {
+	if a.final != nil {
+		return a.final.GCO2e, a.final.TotalUSD
+	}
+	r := a.reportAt(a.maxAt)
+	return r.GCO2e, r.TotalUSD
+}
+
+// Finalize closes the accounting at the run horizon (the run-end event's
+// timestamp; the last observed timestamp for partial captures), reconciles
+// any bound metric families to the authoritative totals, and returns the
+// report. Subsequent calls return the cached report.
+func (a *Accumulator) Finalize() Report {
+	if a.final != nil {
+		return *a.final
+	}
+	h := a.horizon
+	if !a.runEnded {
+		h = a.maxAt
+	}
+	r := a.reportAt(h)
+	a.final = &r
+	if a.m != nil {
+		a.m.reconcile(a, r)
+	}
+	return r
+}

@@ -1,0 +1,249 @@
+package account
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+	"repro/internal/power"
+)
+
+// testPower has distinct per-state draws and instantaneous (impulse-
+// accounted) spin transitions, so window splits are easy to compute by
+// hand: idle 1 W, active 2 W, standby 0.5 W.
+func testPower() power.Config {
+	return power.Config{
+		ActivePower:    2,
+		IdlePower:      1,
+		StandbyPower:   0.5,
+		SpinUpEnergy:   10,
+		SpinDownEnergy: 5,
+	}
+}
+
+func mustAcc(t *testing.T, g *GridProfile) *Accumulator {
+	t.Helper()
+	a, err := NewAccumulator(testPower(), g, DefaultCostModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func sec(n float64) time.Duration { return time.Duration(n * float64(time.Second)) }
+
+func TestAccumulatorWindowsSegments(t *testing.T) {
+	// One disk: idle [0,3s), active [3s,5s), idle [5s,10s]; boundary at 4s.
+	g := &GridProfile{Name: "step", Steps: []GridStep{{0, 100}, {4 * time.Second, 200}}}
+	a := mustAcc(t, g)
+	cfg := testPower()
+	a.Observe(obs.Event{At: sec(3), Kind: obs.KindPower, Disk: 0,
+		From: core.StateIdle, To: core.StateActive, EnergyJ: cfg.Accrual(core.StateIdle, sec(3))})
+	a.Observe(obs.Event{At: sec(5), Kind: obs.KindPower, Disk: 0,
+		From: core.StateActive, To: core.StateIdle, EnergyJ: cfg.Accrual(core.StateActive, sec(2))})
+	a.Observe(obs.Event{At: sec(10), Kind: obs.KindEnd, Disk: 0,
+		From: core.StateIdle, To: core.StateIdle, EnergyJ: cfg.Accrual(core.StateIdle, sec(5))})
+	a.Observe(obs.Event{At: sec(10), Kind: obs.KindRunEnd})
+	r := a.Finalize()
+
+	if len(r.Windows) != 2 {
+		t.Fatalf("got %d windows, want 2: %+v", len(r.Windows), r.Windows)
+	}
+	// Window 1 [0,4s) at 100: idle 3 J settled + active pro-rated 1s*2W = 2 J.
+	w := r.Windows[0]
+	if w.Start != 0 || w.End != sec(4) || w.Intensity != 100 {
+		t.Fatalf("window 1 shape %+v", w)
+	}
+	if w.ByState[core.StateIdle] != 3 || w.ByState[core.StateActive] != 2 || w.EnergyJ != 5 {
+		t.Fatalf("window 1 energy %+v", w)
+	}
+	// Window 2 [4s,10s] at 200: remaining idle 5 J + active 2 J.
+	w = r.Windows[1]
+	if w.Start != sec(4) || w.End != sec(10) || w.Intensity != 200 {
+		t.Fatalf("window 2 shape %+v", w)
+	}
+	if w.ByState[core.StateIdle] != 5 || w.ByState[core.StateActive] != 2 || w.EnergyJ != 7 {
+		t.Fatalf("window 2 energy %+v", w)
+	}
+	if r.EnergyJ != 12 || r.ByState[core.StateIdle] != 8 || r.ByState[core.StateActive] != 4 {
+		t.Fatalf("totals %+v", r)
+	}
+	wantG := 100*5/JoulesPerKWh + 200*7/JoulesPerKWh
+	if r.GCO2e != wantG {
+		t.Fatalf("gCO2e %v, want %v", r.GCO2e, wantG)
+	}
+	if r.Horizon != sec(10) || r.Disks != 1 {
+		t.Fatalf("report meta %+v", r)
+	}
+}
+
+func TestAccumulatorImpulseOnBoundary(t *testing.T) {
+	// An impulse exactly on a window boundary belongs to the later window;
+	// a segment ending exactly on the boundary belongs to the earlier one.
+	g := &GridProfile{Name: "step", Steps: []GridStep{{0, 100}, {4 * time.Second, 200}}}
+	a := mustAcc(t, g)
+	cfg := testPower()
+	a.Observe(obs.Event{At: sec(4), Kind: obs.KindPower, Disk: 0,
+		From: core.StateIdle, To: core.StateSpinDown,
+		EnergyJ: cfg.Accrual(core.StateIdle, sec(4)), ImpulseJ: cfg.SpinDownEnergy})
+	a.Observe(obs.Event{At: sec(6), Kind: obs.KindEnd, Disk: 0,
+		From: core.StateSpinDown, To: core.StateSpinDown,
+		EnergyJ: cfg.Accrual(core.StateSpinDown, sec(2))})
+	a.Observe(obs.Event{At: sec(6), Kind: obs.KindRunEnd})
+	r := a.Finalize()
+
+	if len(r.Windows) != 2 {
+		t.Fatalf("got %d windows: %+v", len(r.Windows), r.Windows)
+	}
+	if w := r.Windows[0]; w.ByState[core.StateIdle] != 4 || w.ByState[core.StateSpinDown] != 0 {
+		t.Fatalf("window 1 %+v: idle accrual should settle at the boundary, the impulse should not", w)
+	}
+	if w := r.Windows[1]; w.ByState[core.StateSpinDown] != cfg.SpinDownEnergy {
+		t.Fatalf("window 2 %+v: the boundary impulse belongs here", w)
+	}
+}
+
+func TestAccumulatorMultipleDisksAndPeriods(t *testing.T) {
+	// Two disks across a periodic 2s grid; the final cumulative reading
+	// must equal the per-disk settled sums in ascending disk order.
+	g := &GridProfile{Name: "cycle", Period: 2 * time.Second,
+		Steps: []GridStep{{0, 100}, {time.Second, 300}}}
+	a := mustAcc(t, g)
+	cfg := testPower()
+	// Disk 1 first in event order; disk 0 revealed later — ByState must
+	// still sum disk 0 before disk 1.
+	a.Observe(obs.Event{At: sec(3), Kind: obs.KindPower, Disk: 1,
+		From: core.StateIdle, To: core.StateActive, EnergyJ: cfg.Accrual(core.StateIdle, sec(3))})
+	a.Observe(obs.Event{At: sec(5), Kind: obs.KindEnd, Disk: 1,
+		From: core.StateActive, To: core.StateActive, EnergyJ: cfg.Accrual(core.StateActive, sec(2))})
+	a.Observe(obs.Event{At: sec(5), Kind: obs.KindEnd, Disk: 0,
+		From: core.StateStandby, To: core.StateStandby, EnergyJ: cfg.Accrual(core.StateStandby, sec(5))})
+	a.Observe(obs.Event{At: sec(5), Kind: obs.KindRunEnd})
+	r := a.Finalize()
+
+	// Boundaries at 1,2,3,4s → 5 windows over [0,5s].
+	if len(r.Windows) != 5 {
+		t.Fatalf("got %d windows: %+v", len(r.Windows), r.Windows)
+	}
+	for i, want := range []float64{100, 300, 100, 300, 100} {
+		if r.Windows[i].Intensity != want {
+			t.Fatalf("window %d intensity %v, want %v", i, r.Windows[i].Intensity, want)
+		}
+	}
+	if r.ByState[core.StateIdle] != 3 || r.ByState[core.StateActive] != 4 || r.ByState[core.StateStandby] != 2.5 {
+		t.Fatalf("totals %+v", r.ByState)
+	}
+	// Telescoping: the per-window energies sum (within fp) to the totals,
+	// and the windows partition [0, horizon].
+	var sum float64
+	for i, w := range r.Windows {
+		sum += w.EnergyJ
+		if i > 0 && w.Start != r.Windows[i-1].End {
+			t.Fatalf("window %d starts at %v, previous ended %v", i, w.Start, r.Windows[i-1].End)
+		}
+	}
+	if r.Windows[0].Start != 0 || r.Windows[len(r.Windows)-1].End != r.Horizon {
+		t.Fatalf("windows do not span the run: %+v", r.Windows)
+	}
+	if diff := sum - r.EnergyJ; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("window sum %v vs total %v", sum, r.EnergyJ)
+	}
+}
+
+func TestAccumulatorFlatSingleWindow(t *testing.T) {
+	a := mustAcc(t, FlatGrid())
+	cfg := testPower()
+	a.Observe(obs.Event{At: sec(7), Kind: obs.KindEnd, Disk: 0,
+		From: core.StateIdle, To: core.StateIdle, EnergyJ: cfg.Accrual(core.StateIdle, sec(7))})
+	a.Observe(obs.Event{At: sec(7), Kind: obs.KindRunEnd})
+	r := a.Finalize()
+	if len(r.Windows) != 1 {
+		t.Fatalf("flat grid produced %d windows", len(r.Windows))
+	}
+	if r.GCO2e != 475*7/JoulesPerKWh {
+		t.Fatalf("gCO2e %v", r.GCO2e)
+	}
+	// Finalize is idempotent and cached.
+	if r2 := a.Finalize(); r2.GCO2e != r.GCO2e || len(r2.Windows) != 1 {
+		t.Fatalf("second Finalize differs: %+v", r2)
+	}
+}
+
+func TestAccumulatorSnapshotPartial(t *testing.T) {
+	a := mustAcc(t, FlatGrid())
+	cfg := testPower()
+	if g, u := a.Snapshot(); g != 0 || u != 0 {
+		t.Fatalf("empty snapshot %v %v", g, u)
+	}
+	a.Observe(obs.Event{At: sec(2), Kind: obs.KindPower, Disk: 0,
+		From: core.StateIdle, To: core.StateActive, EnergyJ: cfg.Accrual(core.StateIdle, sec(2))})
+	g, u := a.Snapshot()
+	if g != 475*2/JoulesPerKWh {
+		t.Fatalf("snapshot gCO2e %v", g)
+	}
+	if u <= 0 {
+		t.Fatalf("snapshot cost %v", u)
+	}
+}
+
+func TestWhatIfConsolidation(t *testing.T) {
+	c := DefaultConsolidation()
+	base := RunTotals{Horizon: time.Hour, Disks: 24}
+	base.ByState[core.StateActive] = 100
+	base.ByState[core.StateSpinUp] = 30
+	base.ByState[core.StateSpinDown] = 10
+	base.ByState[core.StateIdle] = 200
+	base.ByState[core.StateStandby] = 60
+
+	oh := 1 + c.RackOverhead
+	full := c.WhatIf(base, 1)
+	if full.Disks != 24 {
+		t.Fatalf("ratio 1 disks %d", full.Disks)
+	}
+	// Overhead applies uniformly at ratio 1.
+	if full.ByState[core.StateActive] != 100*oh || full.ByState[core.StateIdle] != 200*1*oh {
+		t.Fatalf("ratio 1 totals %+v", full.ByState)
+	}
+
+	ratio := 2.0 / 3
+	twoThirds := c.WhatIf(base, ratio)
+	if twoThirds.Disks != 16 {
+		t.Fatalf("ratio 2/3 disks %d, want 16", twoThirds.Disks)
+	}
+	// Work-conserving states keep only the overhead; floor states scale.
+	if twoThirds.ByState[core.StateActive] != 100*oh || twoThirds.ByState[core.StateSpinUp] != 30*oh {
+		t.Fatalf("work states scaled: %+v", twoThirds.ByState)
+	}
+	wantIdle := base.ByState[core.StateIdle] * ratio * oh
+	if got := twoThirds.ByState[core.StateIdle]; got != wantIdle {
+		t.Fatalf("idle %v, want %v", got, wantIdle)
+	}
+	if twoThirds.Energy() >= full.Energy() {
+		t.Fatal("consolidation did not reduce energy")
+	}
+}
+
+func TestPriceTotals(t *testing.T) {
+	g := &GridProfile{Name: "step", Steps: []GridStep{{0, 100}, {time.Hour, 300}}}
+	cm := CostModel{Name: "t", USDPerKWh: 0.2, DiskCapexUSD: 100, AmortYears: 1}
+	tot := RunTotals{Horizon: 2 * time.Hour, Disks: 2}
+	tot.ByState[core.StateIdle] = JoulesPerKWh // exactly 1 kWh
+	p := PriceTotals(g, cm, tot)
+	if p.EnergyJ != JoulesPerKWh {
+		t.Fatalf("energy %v", p.EnergyJ)
+	}
+	if p.GCO2e != 200 { // mean of 100 and 300 over the two hours
+		t.Fatalf("gCO2e %v, want 200", p.GCO2e)
+	}
+	if p.EnergyUSD != 0.2 {
+		t.Fatalf("energy USD %v", p.EnergyUSD)
+	}
+	wantCapex := 100.0 * 2 * (2.0 / (365.25 * 24))
+	if d := p.CapexUSD - wantCapex; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("capex %v, want %v", p.CapexUSD, wantCapex)
+	}
+	if p.TotalUSD != p.EnergyUSD+p.CapexUSD {
+		t.Fatalf("total %v", p.TotalUSD)
+	}
+}

@@ -1,0 +1,82 @@
+package account
+
+import (
+	"repro/internal/obs"
+)
+
+// Metric family names exported by a bound Accumulator. Both follow the
+// esched_energy_joules_total discipline: registered (and rendered, even
+// at zero) up front, incremented approximately as events stream, then
+// overwritten with the authoritative report totals at Finalize so the
+// export reconciles exactly with the run report.
+const (
+	MetricCarbon    = "esched_carbon_gco2e_total"
+	MetricCost      = "esched_cost_usd_total"
+	MetricIntensity = "esched_carbon_intensity_gco2e_kwh"
+)
+
+// binding holds the Prometheus series a live accumulator feeds.
+type binding struct {
+	carbon    *obs.Counter
+	energyUSD *obs.Counter
+	capexUSD  *obs.Counter
+	intensity *obs.Gauge
+
+	boundIdx int // next grid boundary to cross (gauge updates)
+}
+
+// Bind registers the accumulator's carbon/cost families on the collector
+// and streams live (approximate) increments into them; Finalize
+// reconciles the counters to the report totals bit-exactly. Bind is a
+// no-op on a nil collector.
+func (a *Accumulator) Bind(c *obs.Collector) {
+	if c == nil {
+		return
+	}
+	a.m = &binding{
+		carbon: c.Counter(MetricCarbon,
+			"Grams of CO2-equivalent attributed to disk energy under the run's grid profile.",
+			obs.Label{Key: "grid", Value: a.grid.Name}),
+		energyUSD: c.Counter(MetricCost,
+			"Run cost in US dollars by component (energy tariff, amortized disk capex).",
+			obs.Label{Key: "component", Value: "energy"}),
+		capexUSD: c.Counter(MetricCost,
+			"Run cost in US dollars by component (energy tariff, amortized disk capex).",
+			obs.Label{Key: "component", Value: "capex"}),
+		intensity: c.Gauge(MetricIntensity,
+			"Grid carbon intensity in effect at the current virtual time.",
+			obs.Label{Key: "grid", Value: a.grid.Name}),
+	}
+	a.m.intensity.Set(a.grid.IntensityAt(0))
+}
+
+// observe streams approximate live increments for one settling event: the
+// settled joules priced at the instantaneous intensity. The capex counter
+// has no meaningful live increment; it stays at zero until reconcile.
+func (b *binding) observe(a *Accumulator, ev obs.Event) {
+	j := ev.EnergyJ + ev.ImpulseJ
+	if j != 0 {
+		intensity := a.grid.IntensityAt(ev.At)
+		b.carbon.Add(intensity * j / JoulesPerKWh)
+		b.energyUSD.Add(a.cost.EnergyUSD(j))
+	}
+	for {
+		next, ok := a.grid.boundary(b.boundIdx)
+		if !ok || next > ev.At {
+			break
+		}
+		b.boundIdx++
+		b.intensity.Set(a.grid.IntensityAt(next))
+	}
+}
+
+// reconcile overwrites the live counters with the authoritative report
+// totals, the same end-of-run discipline as esched_energy_joules_total.
+// The intensity gauge is pinned to the horizon's intensity so the final
+// export is a pure function of the event stream (replay-verifiable).
+func (b *binding) reconcile(a *Accumulator, r Report) {
+	b.carbon.Reconcile(r.GCO2e)
+	b.energyUSD.Reconcile(r.EnergyUSD)
+	b.capexUSD.Reconcile(r.CapexUSD)
+	b.intensity.Set(a.grid.IntensityAt(r.Horizon))
+}

@@ -1,0 +1,20 @@
+package account
+
+import "fmt"
+
+// CarbonLine and CostLine format the report's headline totals. Every
+// surface that prints them — esched, eschedd's drain summary, tracelens
+// carbon — calls exactly these functions, which is what lets the carbon
+// gate (scripts/carbongate.sh) diff a live run's output against a replay
+// byte-for-byte.
+
+// CarbonLine is the one-line gCO2e summary.
+func (r Report) CarbonLine() string {
+	return fmt.Sprintf("carbon: %.6g gCO2e (grid %s, %d windows)", r.GCO2e, r.Grid, len(r.Windows))
+}
+
+// CostLine is the one-line TCO summary.
+func (r Report) CostLine() string {
+	return fmt.Sprintf("cost: %.6g USD energy + %.6g USD capex = %.6g USD (tariff %s)",
+		r.EnergyUSD, r.CapexUSD, r.TotalUSD, r.Cost)
+}

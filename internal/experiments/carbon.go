@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/account"
+	"repro/internal/core"
+)
+
+// runTotals projects one measurement cell onto the accounting shape: the
+// per-disk stats a sweep already carries hold everything the pricer needs
+// (by-state joules, the horizon, the fleet size), which is why carbon and
+// what-if tables are pure re-pricing of SweepCache hits — no cell is ever
+// re-simulated for them.
+func runTotals(r Run) account.RunTotals {
+	t := account.RunTotals{Disks: len(r.PerDisk)}
+	if len(r.PerDisk) > 0 {
+		t.Horizon = r.PerDisk[0].Total()
+	}
+	for _, d := range r.PerDisk {
+		for st := core.StateStandby; st <= core.StateSpinDown; st++ {
+			t.ByState[st] += d.EnergyIn[st]
+		}
+	}
+	return t
+}
+
+// CarbonTable prices every algorithm of the shared replication sweep at
+// rf=3 under a grid profile and cost model: joules, gCO2e at the profile's
+// horizon-mean intensity, and the energy/capex/total dollar split.
+func CarbonTable(s Scale, tr Trace, g *account.GridProfile, cm account.CostModel) (*Table, error) {
+	sw, err := SweepReplication(s, tr)
+	if err != nil {
+		return nil, err
+	}
+	t := &Table{
+		Title: fmt.Sprintf("Carbon & cost: %s, rf=3, grid %s, tariff %s ($%.2f/kWh)",
+			tr, g.Name, cm.Name, cm.USDPerKWh),
+		Header: []string{"algorithm", "energy J", "gCO2e", "energy $", "capex $", "total $"},
+	}
+	for _, algo := range Algorithms() {
+		r, ok := sw.Get(3, algo)
+		if !ok {
+			return nil, fmt.Errorf("experiments: sweep lacks rf=3 %s", algo)
+		}
+		p := account.PriceTotals(g, cm, runTotals(r))
+		t.AddRow(algo,
+			fmt.Sprintf("%.6g", p.EnergyJ),
+			fmt.Sprintf("%.6g", p.GCO2e),
+			fmt.Sprintf("%.4f", p.EnergyUSD),
+			fmt.Sprintf("%.4f", p.CapexUSD),
+			fmt.Sprintf("%.4f", p.TotalUSD))
+	}
+	return t, nil
+}
+
+// WhatIfRatios are the consolidation scenarios the what-if table compares:
+// the measured fleet, a 20% consolidation, and 3-replicas-on-2-spindles
+// (cloud-carbon-exporter's block-storage hypothesis).
+func WhatIfRatios() []float64 { return []float64{1, 0.8, 2.0 / 3} }
+
+// WhatIfTable answers "same workload, N% fewer physical disks" for every
+// algorithm of the shared sweep at rf=3: each cached cell's totals are
+// re-priced under account.Consolidation at each ratio — work-conserving
+// energy unchanged, idle/standby floor scaled, rack overhead on top —
+// without re-running a single simulation.
+func WhatIfTable(s Scale, tr Trace, g *account.GridProfile, cm account.CostModel) (*Table, error) {
+	sw, err := SweepReplication(s, tr)
+	if err != nil {
+		return nil, err
+	}
+	con := account.DefaultConsolidation()
+	t := &Table{
+		Title: fmt.Sprintf("What-if consolidation: %s, rf=3, grid %s, tariff %s (rack overhead %.0f%%)",
+			tr, g.Name, cm.Name, con.RackOverhead*100),
+		Header: []string{"algorithm", "ratio", "disks", "energy J", "gCO2e", "total $", "vs measured"},
+	}
+	for _, algo := range Algorithms() {
+		r, ok := sw.Get(3, algo)
+		if !ok {
+			return nil, fmt.Errorf("experiments: sweep lacks rf=3 %s", algo)
+		}
+		base := runTotals(r)
+		var baseline float64
+		for _, ratio := range WhatIfRatios() {
+			w := con.WhatIf(base, ratio)
+			p := account.PriceTotals(g, cm, w)
+			if ratio == 1 {
+				baseline = p.TotalUSD
+			}
+			delta := "-"
+			if ratio != 1 && baseline > 0 {
+				delta = fmt.Sprintf("%+.1f%%", (p.TotalUSD-baseline)/baseline*100)
+			}
+			t.AddRow(algo,
+				fmt.Sprintf("%.2f", ratio),
+				fmt.Sprint(w.Disks),
+				fmt.Sprintf("%.6g", p.EnergyJ),
+				fmt.Sprintf("%.6g", p.GCO2e),
+				fmt.Sprintf("%.4f", p.TotalUSD),
+				delta)
+		}
+	}
+	return t, nil
+}

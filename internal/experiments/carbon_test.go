@@ -1,0 +1,70 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/account"
+)
+
+func TestCarbonAndWhatIfTablesAreCacheHits(t *testing.T) {
+	s := cacheScale(41)
+	g := account.FlatGrid()
+	cm := account.DefaultCostModel()
+
+	ct, err := CarbonTable(s, Cello, g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ct.Rows) != len(Algorithms()) {
+		t.Fatalf("carbon table has %d rows, want %d", len(ct.Rows), len(Algorithms()))
+	}
+	for _, row := range ct.Rows {
+		var e, gc float64
+		if _, err := fmtSscan(row[1], &e); err != nil || e <= 0 {
+			t.Fatalf("row %v: bad energy", row)
+		}
+		if _, err := fmtSscan(row[2], &gc); err != nil || gc <= 0 {
+			t.Fatalf("row %v: bad gCO2e", row)
+		}
+		// Flat grid: gCO2e must be exactly energy × intensity / kWh.
+		want := g.Steps[0].Intensity * e / account.JoulesPerKWh
+		if rel := (gc - want) / want; rel > 1e-4 || rel < -1e-4 {
+			t.Fatalf("row %v: gCO2e %v inconsistent with energy %v (want %v)", row, gc, e, want)
+		}
+	}
+
+	// The what-if table must come from the same cached sweep (no fresh
+	// simulation) and cover every algorithm at every ratio.
+	misses := DefaultSweepCache().Stats().Misses
+	wt, err := WhatIfTable(s, Cello, g, cm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := DefaultSweepCache().Stats().Misses; got != misses {
+		t.Fatalf("what-if simulated fresh: misses %d -> %d", misses, got)
+	}
+	if want := len(Algorithms()) * len(WhatIfRatios()); len(wt.Rows) != want {
+		t.Fatalf("what-if table has %d rows, want %d", len(wt.Rows), want)
+	}
+	// Consolidating must not increase total cost for any policy: fewer
+	// spindles mean less floor energy and less amortized capex.
+	for i := 0; i < len(wt.Rows); i += len(WhatIfRatios()) {
+		var full, cons float64
+		if _, err := fmtSscan(wt.Rows[i][5], &full); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := fmtSscan(wt.Rows[i+len(WhatIfRatios())-1][5], &cons); err != nil {
+			t.Fatal(err)
+		}
+		if cons >= full {
+			t.Fatalf("%s: consolidated total $%v >= measured $%v", wt.Rows[i][0], cons, full)
+		}
+		if wt.Rows[i][6] != "-" || !strings.HasPrefix(wt.Rows[i+1][6], "-") {
+			t.Fatalf("delta column malformed: %v / %v", wt.Rows[i], wt.Rows[i+1])
+		}
+	}
+	if !strings.Contains(wt.Render(), "What-if consolidation") {
+		t.Fatal("what-if table renders without its title")
+	}
+}

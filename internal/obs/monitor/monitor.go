@@ -35,11 +35,25 @@ const (
 	MonitorOrder     = "event-order"
 	MonitorPower     = "power-machine"
 	MonitorEnergy    = "energy-conservation"
+	MonitorWindows   = "windowed-energy"
 	MonitorRequests  = "request-conservation"
 	MonitorReplicas  = "replica-validity"
 	MonitorThreshold = "2cpm-threshold"
 	MonitorLatency   = "latency-sanity"
 )
+
+// windowMonitor anchors the windowed-energy reconciliation check
+// (Suite.VerifyWindows) in the registry. It is stream-passive: the
+// carbon-accounting integrator (internal/account) consumes the same event
+// stream independently, and the check compares its final cumulative
+// by-state reading — the telescoped sum of its grid windows — against the
+// meters' totals at end of run. The report shows SKIP until an accounting
+// layer exercises it.
+type windowMonitor struct{ exercised bool }
+
+func (*windowMonitor) name() string               { return MonitorWindows }
+func (*windowMonitor) observe(*Suite, *obs.Event) {}
+func (*windowMonitor) finish(*Suite)              {}
 
 // Config parameterizes a Suite with the run's physical model. The power
 // configuration is required (it defines legal transition durations and the
@@ -134,6 +148,7 @@ func NewSuite(cfg Config) *Suite {
 		&orderMonitor{},
 		newPowerMonitor(cfg.Power),
 		newEnergyMonitor(cfg.Power),
+		&windowMonitor{},
 		newRequestMonitor(!cfg.NonFIFO),
 	)
 	if cfg.Locations != nil {
@@ -316,6 +331,25 @@ func (s *Suite) energyMonitor() *energyMonitor {
 	return s.mons[s.monitorIndex(MonitorEnergy)].(*energyMonitor)
 }
 
+// VerifyWindows cross-checks the carbon accounting's windowed energy
+// against the meters: `integrated` is the accounting integrator's final
+// cumulative by-state reading (by construction the telescoped sum of its
+// grid-window energies), `byState` the run's reported meter totals. Any
+// state that is not bit-identical records a windowed-energy violation.
+// Storage calls it at end of run whenever both a monitor and an
+// accounting accumulator are attached.
+func (s *Suite) VerifyWindows(integrated, byState [core.StateSpinDown + 1]float64) {
+	i := s.monitorIndex(MonitorWindows)
+	s.mons[i].(*windowMonitor).exercised = true
+	for st := core.StateStandby; st <= core.StateSpinDown; st++ {
+		if integrated[st] != byState[st] {
+			s.add(i, s.lastSeq, s.lastAt, core.InvalidDisk, -1, 0,
+				"windowed accounting integrates %v J in %v, meter reports %v J (diff %g)",
+				integrated[st], st, byState[st], integrated[st]-byState[st])
+		}
+	}
+}
+
 // WriteReport renders one PASS/FAIL line per monitor, the kept violations
 // for failing monitors, and a summary line.
 func (s *Suite) WriteReport(w io.Writer) (int64, error) {
@@ -326,6 +360,12 @@ func (s *Suite) WriteReport(w io.Writer) (int64, error) {
 		return err
 	}
 	for i, m := range s.mons {
+		if wm, ok := m.(*windowMonitor); ok && !wm.exercised && s.counts[i] == 0 {
+			if err := pf("doctor: SKIP %-20s (no accounting attached)\n", m.name()); err != nil {
+				return n, err
+			}
+			continue
+		}
 		if s.counts[i] == 0 {
 			if err := pf("doctor: PASS %-20s\n", m.name()); err != nil {
 				return n, err

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCollectorEmitsZeroValuedSeries pins the emit-when-zero contract the
+// reconciliation gates rely on: a registered series renders even when it
+// was never incremented (or was explicitly set to zero), with its HELP and
+// TYPE headers and an exact "0" value — absence of a sample is a scrape
+// bug, not a quiet zero.
+func TestCollectorEmitsZeroValuedSeries(t *testing.T) {
+	c := NewCollector()
+	c.Counter("untouched_total", "Registered but never incremented.")
+	z := c.Counter("zeroed_total", "Incremented by zero.", Label{Key: "grid", Value: "flat"})
+	z.Add(0)
+	g := c.Gauge("zero_gauge", "Set to zero explicitly.")
+	g.Set(0)
+	c.Histogram("empty_seconds", "No observations.", []float64{1, 2})
+
+	out := c.String()
+	for _, want := range []string{
+		"# HELP untouched_total Registered but never incremented.\n",
+		"# TYPE untouched_total counter\n",
+		"untouched_total 0\n",
+		`zeroed_total{grid="flat"} 0` + "\n",
+		"zero_gauge 0\n",
+		// Empty histograms render every bucket at zero.
+		`empty_seconds_bucket{le="1"} 0` + "\n",
+		`empty_seconds_bucket{le="+Inf"} 0` + "\n",
+		"empty_seconds_sum 0\n",
+		"empty_seconds_count 0\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("export lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestCounterReconcileToZero checks the end-of-run overwrite discipline on
+// the degenerate run: a counter that accumulated live increments can be
+// reconciled back to exactly zero, and renders as "0".
+func TestCounterReconcileToZero(t *testing.T) {
+	c := NewCollector()
+	x := c.Counter("settled_total", "Reconciled to the authoritative zero.")
+	x.Add(0.125) // approximate live increment
+	x.Reconcile(0)
+	if got := x.Value(); got != 0 {
+		t.Fatalf("Value() after Reconcile(0) = %v, want 0", got)
+	}
+	if out := c.String(); !strings.Contains(out, "settled_total 0\n") {
+		t.Fatalf("export lacks zero sample after reconcile:\n%s", out)
+	}
+}

@@ -1,0 +1,129 @@
+package power
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+)
+
+// TestMeterUnclosedReads pins the read-side behavior of a meter that has
+// never been closed: EnergyIn, TimeIn and Breakdown report only settled
+// segments — the open segment since the last transition is invisible
+// until the next Transition or Close accrues it.
+func TestMeterUnclosedReads(t *testing.T) {
+	cfg := Config{ActivePower: 4, IdlePower: 2, StandbyPower: 1}
+	m := NewMeter(cfg, core.StateIdle, 0)
+	m.Transition(3*time.Second, core.StateActive)
+	// The disk has now been active for 5 more virtual seconds, but nothing
+	// observed it: reads must not include the open [3s, now) segment.
+	if got := m.EnergyIn(core.StateIdle); got != 6 {
+		t.Fatalf("EnergyIn(idle) = %v, want 6", got)
+	}
+	if got := m.EnergyIn(core.StateActive); got != 0 {
+		t.Fatalf("EnergyIn(active) = %v on unclosed meter, want 0 (open segment unsettled)", got)
+	}
+	if got := m.TimeIn(core.StateActive); got != 0 {
+		t.Fatalf("TimeIn(active) = %v on unclosed meter, want 0", got)
+	}
+	if got := m.Energy(); got != 6 {
+		t.Fatalf("Energy() = %v, want 6", got)
+	}
+	// Breakdown over settled time only: all of it idle.
+	bd := m.Breakdown()
+	if bd[core.StateIdle] != 1 || bd[core.StateActive] != 0 {
+		t.Fatalf("Breakdown() = %v, want all settled time in idle", bd)
+	}
+	// Closing settles the open segment and the reads catch up.
+	if j := m.Close(8 * time.Second); j != 20 {
+		t.Fatalf("Close accrual = %v, want 20 (5s active at 4W)", j)
+	}
+	if got := m.EnergyIn(core.StateActive); got != 20 {
+		t.Fatalf("EnergyIn(active) after Close = %v, want 20", got)
+	}
+	if got := m.TimeIn(core.StateActive); got != 5*time.Second {
+		t.Fatalf("TimeIn(active) after Close = %v, want 5s", got)
+	}
+}
+
+// TestMeterEmptyTimelineBreakdown checks the never-transitioned,
+// never-closed meter: no settled time at all, every breakdown fraction
+// exactly zero (not NaN).
+func TestMeterEmptyTimelineBreakdown(t *testing.T) {
+	m := NewMeter(DefaultConfig(), core.StateStandby, 0)
+	if got := m.Total(); got != 0 {
+		t.Fatalf("Total() = %v on fresh meter, want 0", got)
+	}
+	for s, f := range m.Breakdown() {
+		if f != 0 {
+			t.Fatalf("Breakdown()[%v] = %v on fresh meter, want 0", s, f)
+		}
+	}
+	if got := m.Energy(); got != 0 {
+		t.Fatalf("Energy() = %v on fresh meter, want 0", got)
+	}
+}
+
+// TestMeterZeroDurationTransitions drives a full standby→up→idle→down
+// cycle where every state change happens at the same instant under a
+// zero-transition-time config: all energy arrives as impulses attributed
+// to the transition states, no state accrues any time, and the spin
+// counters still advance.
+func TestMeterZeroDurationTransitions(t *testing.T) {
+	cfg := Config{ActivePower: 1, IdlePower: 1, StandbyPower: 0,
+		SpinUpEnergy: 135, SpinDownEnergy: 13} // instantaneous transitions
+	at := 5 * time.Second
+	m := NewMeter(cfg, core.StateStandby, at)
+
+	stateJ, impulseJ := m.Transition(at, core.StateSpinUp)
+	if stateJ != 0 || impulseJ != 135 {
+		t.Fatalf("standby→spin-up settled (%v, %v), want (0, 135)", stateJ, impulseJ)
+	}
+	stateJ, impulseJ = m.Transition(at, core.StateIdle)
+	if stateJ != 0 || impulseJ != 0 {
+		t.Fatalf("spin-up→idle settled (%v, %v), want (0, 0)", stateJ, impulseJ)
+	}
+	stateJ, impulseJ = m.Transition(at, core.StateSpinDown)
+	if stateJ != 0 || impulseJ != 13 {
+		t.Fatalf("idle→spin-down settled (%v, %v), want (0, 13)", stateJ, impulseJ)
+	}
+	m.Transition(at, core.StateStandby)
+	m.Close(at)
+
+	if got := m.Energy(); got != 148 {
+		t.Fatalf("Energy() = %v, want 148 (impulses only)", got)
+	}
+	if got := m.EnergyIn(core.StateSpinUp); got != 135 {
+		t.Fatalf("EnergyIn(spin-up) = %v, want 135", got)
+	}
+	if got := m.EnergyIn(core.StateSpinDown); got != 13 {
+		t.Fatalf("EnergyIn(spin-down) = %v, want 13", got)
+	}
+	if m.SpinUps() != 1 || m.SpinDowns() != 1 {
+		t.Fatalf("spin counters = %d up / %d down, want 1 / 1", m.SpinUps(), m.SpinDowns())
+	}
+	for s := core.StateStandby; s <= core.StateSpinDown; s++ {
+		if got := m.TimeIn(s); got != 0 {
+			t.Fatalf("TimeIn(%v) = %v, want 0 (zero-duration timeline)", s, got)
+		}
+	}
+}
+
+// TestMeterDoubleClose pins Close idempotence: the first Close settles
+// the tail and returns its accrual, the second accrues nothing, returns
+// zero, and leaves every total untouched.
+func TestMeterDoubleClose(t *testing.T) {
+	cfg := Config{ActivePower: 4, IdlePower: 2, StandbyPower: 1}
+	m := NewMeter(cfg, core.StateIdle, 0)
+	if j := m.Close(10 * time.Second); j != 20 {
+		t.Fatalf("first Close = %v, want 20 (10s idle at 2W)", j)
+	}
+	energy, elapsed := m.Energy(), m.TimeIn(core.StateIdle)
+	if j := m.Close(25 * time.Second); j != 0 {
+		t.Fatalf("second Close = %v, want 0", j)
+	}
+	if m.Energy() != energy || m.TimeIn(core.StateIdle) != elapsed {
+		t.Fatalf("second Close changed totals: energy %v→%v, idle time %v→%v",
+			energy, m.Energy(), elapsed, m.TimeIn(core.StateIdle))
+	}
+}

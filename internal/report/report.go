@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/experiments"
 )
 
@@ -19,6 +20,13 @@ type Options struct {
 	Extensions bool
 	// Generated stamps the document; zero omits the stamp.
 	Generated time.Time
+	// Grid, when non-nil, adds the carbon & TCO section: per-policy
+	// gCO2e/cost pricing of the Cello sweep plus the consolidation
+	// what-if, all cache hits against the sweeps above.
+	Grid *account.GridProfile
+	// Cost is the cost model for the carbon & TCO section (zero value
+	// falls back to account.DefaultCostModel).
+	Cost account.CostModel
 }
 
 // Generate runs the sweeps and renders the Markdown report. On error the
@@ -46,6 +54,25 @@ func Generate(opts Options) (string, error) {
 		} {
 			writeMarkdownTable(&b, tbl)
 		}
+	}
+
+	if opts.Grid != nil {
+		cost := opts.Cost
+		if cost == (account.CostModel{}) {
+			cost = account.DefaultCostModel()
+		}
+		fmt.Fprintf(&b, "## Carbon & TCO (grid %s, tariff %s)\n\n", opts.Grid.Name, cost.Name)
+		b.WriteString("Re-pricings of the Cello sweep above — sweep-cache hits, no extra simulation.\n\n")
+		ct, err := experiments.CarbonTable(opts.Scale, experiments.Cello, opts.Grid, cost)
+		if err != nil {
+			return truncated(&b, err), err
+		}
+		writeMarkdownTable(&b, ct)
+		wt, err := experiments.WhatIfTable(opts.Scale, experiments.Cello, opts.Grid, cost)
+		if err != nil {
+			return truncated(&b, err), err
+		}
+		writeMarkdownTable(&b, wt)
 	}
 
 	if opts.Extensions {

@@ -46,16 +46,20 @@ type ErrorResponse struct {
 
 // StateResponse is the JSON body of GET /state.
 type StateResponse struct {
-	NowUS     int64       `json:"now_us"`
-	Decisions uint64      `json:"decisions"`
-	Served    int         `json:"served"`
-	Dropped   int         `json:"dropped"`
-	InFlight  int         `json:"in_flight"`
-	Draining  bool        `json:"draining"`
-	EnergyJ   float64     `json:"energy_j"`
-	SpinUps   int         `json:"spin_ups"`
-	SpinDowns int         `json:"spin_downs"`
-	Disks     []DiskState `json:"disks"`
+	NowUS     int64   `json:"now_us"`
+	Decisions uint64  `json:"decisions"`
+	Served    int     `json:"served"`
+	Dropped   int     `json:"dropped"`
+	InFlight  int     `json:"in_flight"`
+	Draining  bool    `json:"draining"`
+	EnergyJ   float64 `json:"energy_j"`
+	SpinUps   int     `json:"spin_ups"`
+	SpinDowns int     `json:"spin_downs"`
+	// Carbon/cost accounting snapshot; omitted when the engine runs
+	// without a grid profile attached.
+	CarbonG float64     `json:"carbon_gco2e,omitempty"`
+	CostUSD float64     `json:"cost_usd,omitempty"`
+	Disks   []DiskState `json:"disks"`
 }
 
 // DiskState is one disk's entry in StateResponse.
@@ -137,7 +141,7 @@ func errStatus(err error) (int, string) {
 func (s *Server) writeErr(w http.ResponseWriter, err error) {
 	status, code := errStatus(err)
 	if status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", strconv.Itoa(int((s.RetryAfter + time.Second - 1) / time.Second)))
+		w.Header().Set("Retry-After", strconv.Itoa(int((s.RetryAfter+time.Second-1)/time.Second)))
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
@@ -289,6 +293,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		EnergyJ:   snap.Totals.EnergyJ,
 		SpinUps:   snap.Totals.SpinUps,
 		SpinDowns: snap.Totals.SpinDowns,
+		CarbonG:   snap.Totals.CarbonG,
+		CostUSD:   snap.Totals.CostUSD,
 		Disks:     make([]DiskState, len(snap.Disks)),
 	}
 	for i, d := range snap.Disks {

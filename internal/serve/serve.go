@@ -32,6 +32,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
@@ -109,6 +110,10 @@ type Config struct {
 	Tracer    *obs.Tracer
 	Collector *obs.Collector
 	Monitor   *monitor.Suite
+	// Accounting attaches carbon/cost attribution (storage.WithAccounting):
+	// the accumulator sees the live event stream, surfaces running gCO2e/$
+	// on /state, and is finalized and reconciled at Drain.
+	Accounting *account.Accumulator
 }
 
 // Decision is the outcome of scheduling one request.
@@ -134,6 +139,11 @@ type Totals struct {
 	SpinUps   int
 	SpinDowns int
 	Draining  bool
+	// CarbonG and CostUSD are the accounting snapshot (zero without
+	// Config.Accounting): settled gCO2e and energy dollars so far, exact
+	// after Drain.
+	CarbonG float64
+	CostUSD float64
 }
 
 // Snapshot is a consistent view of the serving system: per-disk power
@@ -257,6 +267,9 @@ func New(cfg Config) (*Engine, error) {
 	}
 	if cfg.Monitor != nil {
 		opts = append(opts, storage.WithMonitor(cfg.Monitor))
+	}
+	if cfg.Accounting != nil {
+		opts = append(opts, storage.WithAccounting(cfg.Accounting))
 	}
 	lv, err := storage.NewLive(cfg.System, cfg.Router.Lookup, opts...)
 	if err != nil {
@@ -624,6 +637,9 @@ func (e *Engine) snapshotLocked() Snapshot {
 		t.SpinUps += d.SpinUps
 		t.SpinDowns += d.SpinDowns
 	}
+	if acc := e.lv.Accounting(); acc != nil {
+		t.CarbonG, t.CostUSD = acc.Snapshot()
+	}
 	return Snapshot{Totals: t, Disks: disks}
 }
 
@@ -657,6 +673,9 @@ func (e *Engine) finish() {
 			EnergyJ:   res.Energy,
 			SpinUps:   res.SpinUps,
 			SpinDowns: res.SpinDowns,
+		}
+		if acc := e.lv.Accounting(); acc != nil {
+			t.CarbonG, t.CostUSD = acc.Snapshot()
 		}
 		snap.Totals = t
 		for i, st := range res.PerDisk {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/obs"
@@ -138,6 +139,11 @@ func (l *Live) Outstanding() int {
 // Served returns the number of completed requests so far.
 func (l *Live) Served() int { return l.sys.served }
 
+// Accounting returns the carbon/cost accumulator attached via
+// WithAccounting, or nil. Callers may snapshot it (Accumulator.Snapshot)
+// from the same goroutine that drives the system.
+func (l *Live) Accounting() *account.Accumulator { return l.sys.acct }
+
 // Dropped returns the number of dropped requests so far.
 func (l *Live) Dropped() int { return l.sys.dropped }
 
@@ -222,6 +228,14 @@ func (l *Live) Finish(name string) (*Result, error) {
 	}
 	res.AlwaysOnEnergy = offline.AlwaysOnEnergy(s.cfg.Power, s.cfg.NumDisks, end)
 	s.tr.RunEnd(end, s.eng.Fired())
+	if s.acct != nil {
+		// Mirror system.finish: close the carbon/cost accounting at the
+		// horizon and pin its windowed integral to the meters.
+		s.acct.Finalize()
+		if s.mon != nil {
+			s.mon.VerifyWindows(s.acct.ByState(), res.EnergyByState)
+		}
+	}
 	if s.mon != nil {
 		s.mon.VerifyResult(res.EnergyByState)
 		s.mon.Finish()

@@ -12,6 +12,7 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/metrics"
@@ -115,6 +116,7 @@ type system struct {
 	tr           *obs.Tracer
 	rm           *obs.RunMetrics
 	mon          *monitor.Suite
+	acct         *account.Accumulator
 	err          error
 	served       int
 	dropped      int
@@ -133,7 +135,7 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 	if policy == nil {
 		policy = power.TwoCompetitive{Config: cfg.Power}
 	}
-	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer, mon: o.monitor}
+	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer, mon: o.monitor, acct: o.acct}
 	var se *simkernel.Sharded
 	if cfg.Shards > 1 {
 		se = simkernel.NewSharded(cfg.NumDisks, cfg.Shards, 0)
@@ -359,6 +361,14 @@ func (s *system) finish(name string, reqs []core.Request) (*Result, error) {
 	// this run-end marker make the log self-contained: a replay recovers the
 	// horizon, the kernel event count and the exact meter totals.
 	s.tr.RunEnd(end, s.eng.Fired())
+	if s.acct != nil {
+		// Close the carbon/cost accounting at the horizon (reconciling any
+		// bound metric families) and pin its windowed integral to the meters.
+		s.acct.Finalize()
+		if s.mon != nil {
+			s.mon.VerifyWindows(s.acct.ByState(), res.EnergyByState)
+		}
+	}
 	if s.mon != nil {
 		// The stream is complete: cross-check the meters' totals against the
 		// live integral, then run the suite's end-of-stream checks.
@@ -413,6 +423,7 @@ type runOptions struct {
 	tracer    *obs.Tracer
 	collector *obs.Collector
 	monitor   *monitor.Suite
+	acct      *account.Accumulator
 }
 
 // WithCache places a block cache in front of the scheduler: read hits are
@@ -455,16 +466,46 @@ func WithMonitor(m *monitor.Suite) RunOption {
 	return func(o *runOptions) { o.monitor = m }
 }
 
+// WithAccounting tees every traced event into a carbon/cost accounting
+// accumulator (internal/account): per-state energy is integrated over the
+// grid profile's intensity windows as the run executes, so gCO2e and
+// dollar totals are priced window by window rather than from end-of-run
+// totals. When no WithTracer is given, a minimal internal tracer is
+// created to feed the accumulator. At the end of the run the accounting
+// is finalized (and, when a collector is attached, the carbon/cost
+// counter families are reconciled to the report totals); with a monitor
+// also attached, the accumulator's windowed integral is cross-checked
+// bit-exactly against the meters (Suite.VerifyWindows).
+func WithAccounting(a *account.Accumulator) RunOption {
+	return func(o *runOptions) { o.acct = a }
+}
+
 func applyOptions(opts []RunOption) runOptions {
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.monitor != nil {
+	if o.monitor != nil || o.acct != nil {
 		if o.tracer == nil {
 			o.tracer = obs.NewTracer(1)
 		}
-		o.tracer.SetObserver(o.monitor.Observe)
+		// The tracer holds a single observer slot; chain the doctor and the
+		// accountant when both are attached.
+		switch {
+		case o.monitor != nil && o.acct != nil:
+			mon, acct := o.monitor, o.acct
+			o.tracer.SetObserver(func(ev obs.Event) {
+				mon.Observe(ev)
+				acct.Observe(ev)
+			})
+		case o.monitor != nil:
+			o.tracer.SetObserver(o.monitor.Observe)
+		default:
+			o.tracer.SetObserver(o.acct.Observe)
+		}
+	}
+	if o.acct != nil && o.collector != nil {
+		o.acct.Bind(o.collector)
 	}
 	return o
 }

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"repro/internal/account"
 	"repro/internal/obs"
 	"repro/internal/obs/monitor"
 	"repro/internal/sched"
@@ -73,6 +74,44 @@ func NewDoctor(cfg DoctorConfig) *Doctor { return monitor.NewSuite(cfg) }
 // when the run ends. Violations never alter the run; callers inspect
 // Doctor.Passed afterwards.
 func WithDoctor(d *Doctor) RunOption { return storage.WithMonitor(d) }
+
+// Carbon & cost accounting (internal/account): gCO2e and dollar
+// attribution of a run's disk energy. See the "Carbon & cost accounting"
+// section of docs/OBSERVABILITY.md.
+type (
+	// GridProfile is a piecewise-constant grid carbon-intensity profile
+	// (gCO2e/kWh over virtual run time, optionally periodic).
+	GridProfile = account.GridProfile
+	// CostModel prices a run in dollars: $/kWh energy tariff plus
+	// straight-line per-disk capex amortization.
+	CostModel = account.CostModel
+	// CarbonAccountant integrates the event stream against a grid profile
+	// and cost model; live runs and log replays produce byte-identical
+	// reports.
+	CarbonAccountant = account.Accumulator
+	// CarbonReport is the finalized carbon/cost accounting of a run.
+	CarbonReport = account.Report
+)
+
+// ResolveGridProfile maps a -grid flag value to a profile: "flat",
+// "diurnal" (alias "solar"), "coal", or a path to a JSON profile file.
+func ResolveGridProfile(name string) (*GridProfile, error) { return account.ResolveGrid(name) }
+
+// ResolveCostModel maps a -cost flag value to a model: "default" or a
+// path to a JSON cost-model file.
+func ResolveCostModel(name string) (CostModel, error) { return account.ResolveCost(name) }
+
+// NewCarbonAccountant returns an accumulator pricing runs under cfg's
+// power model against the given grid profile and cost model.
+func NewCarbonAccountant(cfg SystemConfig, grid *GridProfile, cost CostModel) (*CarbonAccountant, error) {
+	return account.NewAccumulator(cfg.Power, grid, cost)
+}
+
+// WithAccounting tees a live run's event stream into the accountant and
+// finalizes it when the run ends; when a collector is also attached, call
+// CarbonAccountant.Bind first so the carbon/cost metric families are
+// registered and reconciled.
+func WithAccounting(a *CarbonAccountant) RunOption { return storage.WithAccounting(a) }
 
 // NewTracedHeuristicScheduler is NewHeuristicScheduler with decision
 // tracing: every placement emits a decision event carrying the winning

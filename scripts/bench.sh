@@ -2,8 +2,8 @@
 # bench.sh — benchmark-regression harness.
 #
 # Runs the tier-1 figure benchmarks (BenchmarkFigure*) plus the offline
-# pipeline, trace-analyzer and live-doctor benchmarks with -benchmem and
-# records the result as
+# pipeline, trace-analyzer, live-doctor and carbon-attribution benchmarks
+# with -benchmem and records the result as
 # BENCH_<date>.json in the repo root: a small JSON envelope with machine
 # metadata and the raw `go test -bench` text embedded verbatim, so
 #
@@ -14,7 +14,7 @@
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
-#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|SweepCached|KernelThroughput|Fleet100k|ServeThroughput')
+#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
 #   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
@@ -29,7 +29,7 @@
 # with scripts/benchcheck: wall time must stay within BENCH_TOL and
 # allocs/op within BENCH_ALLOC_TOL (tight enough that micro-benchmarks
 # must match exactly), every benchmark reporting an events/sec metric
-# (the kernel, fleet, replay and doctor benchmarks) must clear the
+# (the kernel, fleet, replay, doctor and carbon benchmarks) must clear the
 # BENCH_EVENTS_FLOOR absolute throughput floor, and the serving benchmark
 # (decisions/sec) must clear BENCH_DECISIONS_FLOOR. Non-zero exit on
 # regression — the `make ci` gate.
@@ -38,7 +38,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|SweepCached|KernelThroughput|Fleet100k|ServeThroughput}"
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
 
