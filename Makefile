@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate serve-gate carbon-gate doc-check fuzz figures figures-full summary examples cover clean
+.PHONY: all build test vet check race-hot ci bench bench-check benchcheck bench-all replay-gate doctor-gate serve-gate carbon-gate flight-gate doc-check fuzz figures figures-full summary examples cover clean
 
 all: build vet test
 
@@ -31,9 +31,12 @@ check: vet
 # paper-fidelity scorecard), the serving gate (a live eschedd run under
 # load must drain clean and doctor-clean), the carbon gate (live
 # gCO2e/$ totals byte-identical to their tracelens replay under flat,
-# diurnal and custom JSON grids, batch and serving paths), and the
-# documentation gate (vet + package doc comments everywhere).
-ci: build check race-hot bench-check replay-gate doctor-gate serve-gate carbon-gate doc-check
+# diurnal and custom JSON grids, batch and serving paths), the flight
+# gate (an SLO breach on a live eschedd run must freeze a replayable
+# flight dump that decodes with tracelens last/shards and replays
+# doctor-clean), and the documentation gate (vet + package doc comments
+# everywhere).
+ci: build check race-hot bench-check replay-gate doctor-gate serve-gate carbon-gate flight-gate doc-check
 
 # Focused race pass over the packages with deliberate concurrency around
 # shared state: the sweep cache's single-flight map in internal/experiments
@@ -86,6 +89,13 @@ serve-gate:
 carbon-gate:
 	scripts/carbongate.sh
 
+# Flight-recorder gate: an eschedd run with the recorder armed and a
+# 1ns -flight-slo must dump on the first decision, and the dump must
+# decode (tracelens last/shards) and replay doctor-clean (see
+# scripts/flightgate.sh and docs/OBSERVABILITY.md).
+flight-gate:
+	scripts/flightgate.sh
+
 # Documentation gate: go vet plus a package-doc-comment presence check
 # over every package (see scripts/doccheck.sh).
 doc-check:
@@ -101,12 +111,14 @@ bench:
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
-# Short fuzz pass over the trace parsers and the event-log reader.
+# Short fuzz pass over the trace parsers, the event-log reader and the
+# flight-snapshot reader.
 fuzz:
 	$(GO) test ./internal/trace -fuzz FuzzReadSPC -fuzztime 10s
 	$(GO) test ./internal/trace -fuzz FuzzReadCelloText -fuzztime 10s
 	$(GO) test ./internal/obs -fuzz FuzzReadJSONL -fuzztime 10s
 	$(GO) test ./internal/obs -fuzz FuzzReadBinary -fuzztime 10s
+	$(GO) test ./internal/obs/flight -fuzz FuzzReadSnapshot -fuzztime 10s
 
 # Fast (small-scale) regeneration of every paper figure.
 figures:

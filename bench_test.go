@@ -3,6 +3,7 @@ package repro
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"runtime"
 	"testing"
 	"time"
@@ -13,6 +14,7 @@ import (
 	"repro/internal/graph"
 	"repro/internal/obs"
 	"repro/internal/obs/analyze"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/monitor"
 	"repro/internal/offline"
 	"repro/internal/placement"
@@ -517,6 +519,58 @@ func BenchmarkCarbonAttribution(b *testing.B) {
 	_ = gco2e
 	if secs := b.Elapsed().Seconds(); secs > 0 {
 		b.ReportMetric(float64(len(events))*float64(b.N)/secs, "events/sec")
+	}
+}
+
+// BenchmarkFlightRecorder prices the always-on flight recorder at the run
+// level, in three steps. "off" is the plain untraced run — the recorder-off
+// hot path, whose allocs/op scripts/bench.sh -check pins EXACTLY (zero
+// tolerance, via benchcheck -exactallocs): the recorder must cost nothing
+// when absent. "base" adds the streaming binary tracer the recorder rides
+// on, and "on" attaches the recorder to it; on-vs-base is the recorder's
+// marginal cost (one ring copy plus a pending-trigger check per event),
+// which benchcheck -overheadtol holds under the <5% budget.
+func BenchmarkFlightRecorder(b *testing.B) {
+	reqs, plc, cfg := benchFixture(b, 3)
+	rec := flight.New(flight.Config{Dir: b.TempDir()})
+	// One ring-buffered run up front pins the deterministic event count, so
+	// the traced sub-benchmarks can report events/sec without counting
+	// inside the timed loop.
+	pre := obs.NewTracer(1 << 16)
+	hpre := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power), Tracer: pre}
+	if _, err := storage.RunOnline(cfg, plc.Locations, hpre, reqs, storage.WithTracer(pre)); err != nil {
+		b.Fatal(err)
+	}
+	eventsPerRun := pre.Len()
+	run := func(b *testing.B, traced bool, rec *flight.Recorder) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var opts []storage.RunOption
+			h := sched.Heuristic{Locations: plc.Locations, Cost: sched.DefaultCost(cfg.Power)}
+			if traced {
+				tr := obs.NewTracer(512)
+				tr.SetSink(io.Discard, true)
+				h.Tracer = tr
+				opts = append(opts, storage.WithTracer(tr))
+			}
+			if rec != nil {
+				opts = append(opts, storage.WithFlight(rec))
+			}
+			if _, err := storage.RunOnline(cfg, plc.Locations, h, reqs, opts...); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if traced {
+			if secs := b.Elapsed().Seconds(); secs > 0 {
+				b.ReportMetric(float64(eventsPerRun)*float64(b.N)/secs, "events/sec")
+			}
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, false, nil) })
+	b.Run("base", func(b *testing.B) { run(b, true, nil) })
+	b.Run("on", func(b *testing.B) { run(b, true, rec) })
+	if rec.Dumps() != 0 {
+		b.Fatalf("untriggered recorder wrote %d dumps", rec.Dumps())
 	}
 }
 

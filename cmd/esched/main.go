@@ -61,6 +61,7 @@ func run() error {
 		doctor    = flag.Bool("doctor", false, "run live invariant monitors over the run; non-zero exit on any violation")
 		grid      = flag.String("grid", "", "price the run's energy under this carbon grid profile: flat | diurnal | coal | profile.json")
 		costName  = flag.String("cost", "default", "cost model for -grid: default | model.json")
+		flightDir = flag.String("flight", "", "flight-recorder dump directory: ring of recent events, dumped on doctor violations (off when empty)")
 	)
 	var prof repro.Profiles
 	prof.RegisterFlagsTraceName(flag.CommandLine, "tracefile")
@@ -186,6 +187,22 @@ func run() error {
 		runOpts = append(runOpts, repro.WithDoctor(suite))
 	}
 
+	// Flight recorder: an always-on ring of the most recent events. On a
+	// batch run its trigger is the doctor (each violation freezes the
+	// window into a replayable dump under -flight); inspect dumps with
+	// `tracelens last DIR`.
+	var rec *repro.FlightRecorder
+	if *flightDir != "" {
+		switch {
+		case *compare:
+			return fmt.Errorf("-flight does not apply to -compare (run one scheduler at a time)")
+		case *schedName == "mwis":
+			return fmt.Errorf("-flight does not apply to the offline analytic MWIS model (no event stream)")
+		}
+		rec = repro.NewFlightRecorder(repro.FlightConfig{Dir: *flightDir, Pprof: true})
+		runOpts = append(runOpts, repro.WithFlight(rec))
+	}
+
 	ws := repro.AnalyzeWorkload(reqs)
 	fmt.Printf("workload: %d requests, %d unique blocks, %s span, inter-arrival CoV %.1f\n",
 		ws.Count, ws.UniqueBlocks, ws.Duration.Round(time.Second), ws.CoV)
@@ -268,6 +285,19 @@ func run() error {
 	}
 	if collector != nil {
 		if err := writeMetrics(collector, *metrics); err != nil && runErr == nil {
+			runErr = err
+		}
+	}
+	if rec != nil {
+		// Flush a trigger raised after the last observed event, then surface
+		// any dump-write failure (the observer chain cannot).
+		if _, err := rec.MaybeDump(); err != nil && runErr == nil {
+			runErr = err
+		}
+		if n := rec.Dumps(); n > 0 {
+			fmt.Fprintf(os.Stderr, "esched: flight recorder wrote %d dump(s) under %s\n", n, *flightDir)
+		}
+		if err := rec.Err(); err != nil && runErr == nil {
 			runErr = err
 		}
 	}

@@ -39,6 +39,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/diskmodel"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/monitor"
 	"repro/internal/placement"
 	"repro/internal/power"
@@ -85,25 +86,27 @@ func usage() {
 func runServe(args []string) error {
 	fs := flag.NewFlagSet("eschedd serve", flag.ExitOnError)
 	var (
-		addr     = fs.String("addr", ":8080", "listen address (\":0\" = ephemeral)")
-		addrFile = fs.String("addrfile", "", "write the bound address to this file (for scripts)")
-		disks    = fs.Int("disks", 180, "number of disks")
-		blocks   = fs.Int("blocks", 30000, "number of blocks")
-		rf       = fs.Int("rf", 3, "data replication factor")
-		zipf     = fs.Float64("z", 1, "data locality Zipf exponent (0 = uniform)")
-		seed     = fs.Int64("seed", 1, "random seed")
-		mode     = fs.String("mode", "heuristic", "decision path: heuristic | wsc")
-		alpha    = fs.Float64("alpha", 0.2, "cost-function energy/performance mix")
-		beta     = fs.Float64("beta", 10, "cost-function unit scale")
-		queue    = fs.Int("queue", 4096, "admission bound (queue-full submissions get 429)")
-		roundMax = fs.Int("roundmax", 512, "max requests decided per round")
-		deadline = fs.Duration("deadline", 0, "default per-request decision deadline (0 = none)")
-		shards   = fs.Int("shards", 0, "router shard count (0 = default)")
-		events   = fs.String("events", "", "stream the event log to this file (JSONL; .bin = binary)")
-		metrics  = fs.String("metrics", "", `write a final Prometheus snapshot at drain ("-" = stdout)`)
-		doctor   = fs.Bool("doctor", false, "run live invariant monitors; non-zero exit on violation")
-		grid     = fs.String("grid", "", "carbon grid profile: flat | diurnal | coal | profile.json (off when empty)")
-		costName = fs.String("cost", "default", "cost model: default | model.json (used with -grid)")
+		addr      = fs.String("addr", ":8080", "listen address (\":0\" = ephemeral)")
+		addrFile  = fs.String("addrfile", "", "write the bound address to this file (for scripts)")
+		disks     = fs.Int("disks", 180, "number of disks")
+		blocks    = fs.Int("blocks", 30000, "number of blocks")
+		rf        = fs.Int("rf", 3, "data replication factor")
+		zipf      = fs.Float64("z", 1, "data locality Zipf exponent (0 = uniform)")
+		seed      = fs.Int64("seed", 1, "random seed")
+		mode      = fs.String("mode", "heuristic", "decision path: heuristic | wsc")
+		alpha     = fs.Float64("alpha", 0.2, "cost-function energy/performance mix")
+		beta      = fs.Float64("beta", 10, "cost-function unit scale")
+		queue     = fs.Int("queue", 4096, "admission bound (queue-full submissions get 429)")
+		roundMax  = fs.Int("roundmax", 512, "max requests decided per round")
+		deadline  = fs.Duration("deadline", 0, "default per-request decision deadline (0 = none)")
+		shards    = fs.Int("shards", 0, "router shard count (0 = default)")
+		events    = fs.String("events", "", "stream the event log to this file (JSONL; .bin = binary)")
+		metrics   = fs.String("metrics", "", `write a final Prometheus snapshot at drain ("-" = stdout)`)
+		doctor    = fs.Bool("doctor", false, "run live invariant monitors; non-zero exit on violation")
+		grid      = fs.String("grid", "", "carbon grid profile: flat | diurnal | coal | profile.json (off when empty)")
+		costName  = fs.String("cost", "default", "cost model: default | model.json (used with -grid)")
+		flightDir = fs.String("flight", "", "flight-recorder dump directory (off when empty; SIGQUIT forces a dump)")
+		flightSLO = fs.Duration("flight-slo", 0, "submit-to-reply bound whose first breach triggers a flight dump (0 = off)")
 	)
 	fs.Parse(args)
 
@@ -182,6 +185,13 @@ func runServe(args []string) error {
 		cfg.Accounting = acc
 	}
 
+	var rec *flight.Recorder
+	if *flightDir != "" {
+		rec = flight.New(flight.Config{Dir: *flightDir, Pprof: true})
+		cfg.Flight = rec
+		cfg.FlightSLO = *flightSLO
+	}
+
 	eng, err := serve.New(cfg)
 	if err != nil {
 		return err
@@ -201,7 +211,24 @@ func runServe(args []string) error {
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
-	s := <-sig
+	var quit chan os.Signal
+	if rec != nil {
+		// SIGQUIT freezes the flight recorder's window without draining.
+		quit = make(chan os.Signal, 1)
+		signal.Notify(quit, syscall.SIGQUIT)
+	}
+	var s os.Signal
+wait:
+	for {
+		select {
+		case s = <-sig:
+			break wait
+		case <-quit:
+			fmt.Fprintln(os.Stderr, "eschedd: SIGQUIT — flight dump requested")
+			rec.RequestDump("sigquit")
+			eng.FlushFlight()
+		}
+	}
 	fmt.Fprintf(os.Stderr, "eschedd: %v — draining\n", s)
 
 	res, runErr := eng.Drain()
@@ -233,6 +260,15 @@ func runServe(args []string) error {
 			rep := acc.Finalize()
 			fmt.Println(rep.CarbonLine())
 			fmt.Println(rep.CostLine())
+		}
+	}
+	if rec != nil {
+		if n := rec.Dumps(); n > 0 {
+			fmt.Fprintf(os.Stderr, "eschedd: flight recorder wrote %d dump(s) under %s (tracelens last %s)\n",
+				n, *flightDir, *flightDir)
+		}
+		if err := rec.Err(); err != nil && runErr == nil {
+			runErr = err
 		}
 	}
 	if suite != nil && runErr == nil {
@@ -312,10 +348,17 @@ func runLoadgen(args []string) error {
 		return err
 	}
 
+	// lat is the SLO latency series. In the open loop it is measured from
+	// each request's *intended* send time on the fixed-rate schedule, not
+	// from the actual POST — the coordinated-omission correction: a stalled
+	// client would otherwise stop sampling exactly while the daemon is slow
+	// and underreport the tail. service keeps the uncorrected POST-to-reply
+	// times so the report can show the correction's size.
 	lat := make([]time.Duration, 0, len(seq))
+	service := make([]time.Duration, 0, len(seq))
 	var mu sync.Mutex
 	var sent, rejected, failed int64
-	record := func(d time.Duration, n, rej int, err error) {
+	record := func(corrected, svc time.Duration, n, rej int, err error) {
 		mu.Lock()
 		defer mu.Unlock()
 		if err != nil {
@@ -325,12 +368,14 @@ func runLoadgen(args []string) error {
 		sent += int64(n)
 		rejected += int64(rej)
 		for i := 0; i < n; i++ {
-			lat = append(lat, d)
+			lat = append(lat, corrected)
+			service = append(service, svc)
 		}
 	}
 
+	open := *loop == "open"
 	start := time.Now()
-	if *loop == "open" {
+	if open {
 		if err := openLoop(client, base, seq, *conns, *rate, *batch, record); err != nil {
 			return err
 		}
@@ -343,7 +388,7 @@ func runLoadgen(args []string) error {
 	if err != nil {
 		return err
 	}
-	return report(os.Stdout, lat, wall, sent, rejected, failed, startState, endState)
+	return report(os.Stdout, lat, service, open, wall, sent, rejected, failed, startState, endState)
 }
 
 // blockSeq strips a generated trace down to its block sequence.
@@ -356,7 +401,7 @@ func blockSeq(rs []core.Request) []core.BlockID {
 }
 
 func closedLoop(client *http.Client, base string, reqs []core.BlockID, conns, batch int,
-	record func(time.Duration, int, int, error)) {
+	record func(corrected, service time.Duration, n, rej int, err error)) {
 	var next int64
 	var mu sync.Mutex
 	take := func() []core.BlockID {
@@ -383,7 +428,10 @@ func closedLoop(client *http.Client, base string, reqs []core.BlockID, conns, ba
 				if chunk == nil {
 					return
 				}
-				record(post(client, base, chunk))
+				// Closed loop: the next request waits for this response, so
+				// intended and actual send coincide — no correction to apply.
+				d, n, rej, err := post(client, base, chunk)
+				record(d, d, n, rej, err)
 			}
 		}()
 	}
@@ -391,7 +439,7 @@ func closedLoop(client *http.Client, base string, reqs []core.BlockID, conns, ba
 }
 
 func openLoop(client *http.Client, base string, reqs []core.BlockID, conns int, rate float64, batch int,
-	record func(time.Duration, int, int, error)) error {
+	record func(corrected, service time.Duration, n, rej int, err error)) error {
 	if rate <= 0 {
 		return fmt.Errorf("-rate must be positive for the open loop")
 	}
@@ -403,8 +451,14 @@ func openLoop(client *http.Client, base string, reqs []core.BlockID, conns int, 
 	var wg sync.WaitGroup
 	tick := time.NewTicker(interval)
 	defer tick.Stop()
-	for next := 0; next < len(reqs); {
+	start := time.Now()
+	for next, k := 0, 0; next < len(reqs); k++ {
 		<-tick.C
+		// The k-th chunk belongs at start + k·interval on the fixed-rate
+		// schedule. Latency is measured against that intended send time, so
+		// ticker lag and sender stalls show up as latency instead of being
+		// silently omitted from the sample (coordinated omission).
+		intended := start.Add(time.Duration(k) * interval)
 		end := next + batch
 		if end > len(reqs) {
 			end = len(reqs)
@@ -416,13 +470,14 @@ func openLoop(client *http.Client, base string, reqs []core.BlockID, conns int, 
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				record(post(client, base, chunk))
+				d, n, rej, err := post(client, base, chunk)
+				record(time.Since(intended), d, n, rej, err)
 				<-sem
 			}()
 		default:
 			// Open loop: the system can't keep up — count as rejected
 			// rather than queue unboundedly at the client.
-			record(0, 0, len(chunk), nil)
+			record(0, 0, 0, len(chunk), nil)
 		}
 	}
 	wg.Wait()
@@ -485,14 +540,15 @@ func checkHealth(client *http.Client, base string) error {
 
 // stateSnap is the subset of /state the loadgen reports on.
 type stateSnap struct {
-	Decisions uint64  `json:"decisions"`
-	Served    int     `json:"served"`
-	Dropped   int     `json:"dropped"`
-	EnergyJ   float64 `json:"energy_j"`
-	SpinUps   int     `json:"spin_ups"`
-	NowUS     int64   `json:"now_us"`
-	CarbonG   float64 `json:"carbon_gco2e"`
-	CostUSD   float64 `json:"cost_usd"`
+	Decisions uint64           `json:"decisions"`
+	Served    int              `json:"served"`
+	Dropped   int              `json:"dropped"`
+	EnergyJ   float64          `json:"energy_j"`
+	SpinUps   int              `json:"spin_ups"`
+	NowUS     int64            `json:"now_us"`
+	CarbonG   float64          `json:"carbon_gco2e"`
+	CostUSD   float64          `json:"cost_usd"`
+	Slow      []serve.SlowSpan `json:"slow_requests"`
 }
 
 func getState(client *http.Client, base string) (stateSnap, error) {
@@ -509,17 +565,21 @@ func getState(client *http.Client, base string) (stateSnap, error) {
 	return st, err
 }
 
-// report prints the latency/energy SLO report.
-func report(w io.Writer, lat []time.Duration, wall time.Duration, sent, rejected, failed int64,
-	start, end stateSnap) error {
+// report prints the latency/energy SLO report. lat carries the SLO series
+// (intended-send basis in the open loop); service the uncorrected
+// POST-to-reply times, reported as a correction delta when they diverge.
+func report(w io.Writer, lat, service []time.Duration, open bool, wall time.Duration,
+	sent, rejected, failed int64, start, end stateSnap) error {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	pct := func(p float64) time.Duration {
-		if len(lat) == 0 {
+	sort.Slice(service, func(i, j int) bool { return service[i] < service[j] })
+	pctOf := func(sl []time.Duration, p float64) time.Duration {
+		if len(sl) == 0 {
 			return 0
 		}
-		i := int(p / 100 * float64(len(lat)-1))
-		return lat[i]
+		i := int(p / 100 * float64(len(sl)-1))
+		return sl[i]
 	}
+	pct := func(p float64) time.Duration { return pctOf(lat, p) }
 	decided := end.Decisions - start.Decisions
 	energy := end.EnergyJ - start.EnergyJ
 	fmt.Fprintf(w, "loadgen: %d decided, %d rejected, %d failed in %s (%.0f decisions/sec)\n",
@@ -527,6 +587,26 @@ func report(w io.Writer, lat []time.Duration, wall time.Duration, sent, rejected
 	fmt.Fprintf(w, "latency: p50 %s  p99 %s  p99.9 %s  max %s\n",
 		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond),
 		pct(99.9).Round(time.Microsecond), pct(100).Round(time.Microsecond))
+	if open {
+		// Show how much the coordinated-omission correction moved the tail:
+		// the service series is what a naive send-to-reply measurement would
+		// have reported.
+		mp99, cp99 := pctOf(service, 99), pct(99)
+		fmt.Fprintf(w, "coordinated omission: uncorrected p99 %s, corrected p99 %s (delta %s)\n",
+			mp99.Round(time.Microsecond), cp99.Round(time.Microsecond),
+			(cp99 - mp99).Round(time.Microsecond))
+	}
+	for i, s := range end.Slow {
+		if i == 3 {
+			break
+		}
+		fmt.Fprintf(w, "slow exemplar: req %d block %d disk %d decision %d — total %s (queue %s, decide %s, dispatch %s)\n",
+			s.Req, s.Block, s.Disk, s.Decision,
+			time.Duration(s.TotalUS)*time.Microsecond,
+			time.Duration(s.QueueUS)*time.Microsecond,
+			time.Duration(s.DecideUS)*time.Microsecond,
+			time.Duration(s.DispatchUS)*time.Microsecond)
+	}
 	if decided > 0 {
 		fmt.Fprintf(w, "energy: %.1f J settled across the run window, %.3f J per 1k requests (daemon decisions %d)\n",
 			energy, energy/float64(decided)*1000, decided)

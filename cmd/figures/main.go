@@ -13,7 +13,10 @@
 // ADDR serves live per-cell sweep progress over HTTP while a regeneration
 // runs (see docs/OBSERVABILITY.md), and -doctor runs every simulated cell
 // under live invariant monitoring, failing the regeneration on any
-// violation. A failing run still writes the partial -summary accumulated
+// violation; -flight DIR additionally arms a per-cell flight recorder, so
+// a violation leaves a replayable dump of the cell's recent events under
+// DIR (inspect with `tracelens last`). A failing run still writes the
+// partial -summary accumulated
 // before the error and logs where it went. -cache DIR persists
 // replication-sweep results on disk, content-addressed by every input, so
 // unchanged repeat runs skip the simulation entirely (doctored runs always
@@ -21,6 +24,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -55,6 +59,8 @@ func run() error {
 		cacheDir  = flag.String("cache", "", "persist replication-sweep results in this directory, keyed by a content hash of every input; repeat runs with unchanged inputs reuse them")
 		fleet     = flag.Bool("fleet", false, "run the 100k-disk fleet throughput benchmark (sharded kernel, hundreds of millions of events) instead of figures")
 		shards    = flag.Int("shards", 0, "kernel shard count (0 or 1 = serial engine); with -fleet, sub-kernels over the fleet's racks (0 = one per rack)")
+		kstats    = flag.String("kernelstats", "", "with -fleet: arm per-shard kernel timing and write the telemetry snapshot to this JSON file (inspect with `tracelens shards FILE`)")
+		flightDir = flag.String("flight", "", "with -doctor: arm a flight recorder on every monitored cell; a doctor violation freezes the cell's recent events into a replayable dump under this directory (inspect with `tracelens last`)")
 		grid      = flag.String("grid", "", "also emit carbon & what-if tables under this grid profile: flat | diurnal | coal | profile.json")
 		costName  = flag.String("cost", "default", "cost model for -grid: default | model.json")
 	)
@@ -73,7 +79,13 @@ func run() error {
 	}()
 
 	if *fleet {
-		return runFleet(*shards)
+		if *flightDir != "" {
+			return fmt.Errorf("-flight applies to figure regenerations, not -fleet (fleet runs are untraced)")
+		}
+		return runFleet(*shards, *kstats)
+	}
+	if *kstats != "" {
+		return fmt.Errorf("-kernelstats applies to the -fleet benchmark only")
 	}
 
 	var scale experiments.Scale
@@ -87,6 +99,12 @@ func run() error {
 	}
 	scale.Doctor = *doctor
 	scale.Shards = *shards
+	if *flightDir != "" {
+		if !*doctor {
+			return fmt.Errorf("-flight requires -doctor: without the monitors no trigger can fire")
+		}
+		scale.FlightDir = *flightDir
+	}
 
 	if *cacheDir != "" {
 		if err := experiments.DefaultSweepCache().SetDir(*cacheDir); err != nil {
@@ -324,7 +342,7 @@ func run() error {
 // configuration BenchmarkFleet100k records in BENCH_*.json. One shard per
 // rack keeps each sub-kernel's calendar queue and disk stripe
 // cache-resident, and the GC stays off for the run (FleetConfig.RelaxGC).
-func runFleet(shards int) error {
+func runFleet(shards int, kstats string) error {
 	cfg := storage.DefaultFleetConfig()
 	cfg.NumDisks = 100_000
 	cfg.NumRacks = 1_000
@@ -334,6 +352,7 @@ func runFleet(shards int) error {
 	cfg.Seed = 42
 	cfg.RelaxGC = true
 	cfg.Shards = shards
+	cfg.Telemetry = kstats != ""
 	if shards == 0 {
 		cfg.Shards = cfg.NumRacks
 	}
@@ -361,5 +380,15 @@ func runFleet(shards int) error {
 	t.AddRow("p50 / p90 / p99", fmt.Sprintf("%s / %s / %s",
 		res.P50.Round(time.Microsecond), res.P90.Round(time.Microsecond), res.P99.Round(time.Microsecond)))
 	fmt.Println(t.Render())
+	if kstats != "" {
+		data, err := json.MarshalIndent(res.Kernel, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(kstats, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "figures: kernel telemetry written to %s (tracelens shards %s)\n", kstats, kstats)
+	}
 	return nil
 }

@@ -47,6 +47,15 @@
 //	    replication sweep under live invariant monitoring and scores
 //	    every cell against the committed golden envelope. -write
 //	    regenerates the envelope after an intentional change.
+//	tracelens shards STATS.json
+//	    Per-shard kernel telemetry report over a KernelStats snapshot
+//	    (figures -fleet -kernelstats FILE, or a flight dump's
+//	    telemetry.json): events, queue ops and high-water marks per
+//	    shard, wall-clock attribution (execute / queue ops / stall) and
+//	    the straggler shard holding the drain open.
+//	tracelens last DIR
+//	    Inspect the most recent flight-recorder dump under DIR: trigger,
+//	    captured event window, engine telemetry and bundled artifacts.
 //
 // Exit codes are uniform across subcommands: 0 on success (including -h),
 // 1 on an operational failure (unreadable log, violated invariant,
@@ -76,7 +85,7 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stderr))
 }
 
-const usageText = `usage: tracelens <summary|timeline|attribute|carbon|whatif|diff|verify|doctor> [flags] LOG...
+const usageText = `usage: tracelens <summary|timeline|attribute|carbon|whatif|diff|verify|doctor|shards|last> [flags] LOG...
 run 'tracelens <subcommand> -h' for flags`
 
 // usageError marks a command-line mistake (as opposed to an operational
@@ -135,6 +144,10 @@ func dispatch(args []string, stderr io.Writer) error {
 			return cmdDoctorFidelity(rest[1:], stderr)
 		}
 		return cmdDoctor(rest, stderr)
+	case "shards":
+		return cmdShards(rest, stderr)
+	case "last":
+		return cmdLast(rest, stderr)
 	case "-h", "-help", "--help", "help":
 		fmt.Fprintln(stderr, usageText)
 		return nil
@@ -186,9 +199,19 @@ func cmdSummary(args []string, stderr io.Writer) error {
 	if fs.NArg() != 1 {
 		return usagef("usage: tracelens summary LOG")
 	}
-	r, err := load(fs.Arg(0))
+	evs, err := analyze.Load(fs.Arg(0))
 	if err != nil {
 		return err
+	}
+	if len(evs) == 0 {
+		// An empty log is a legitimate capture (a run that recorded nothing
+		// yet), not an operational failure: report it and exit 0.
+		fmt.Println("events        0 (empty log)")
+		return nil
+	}
+	r, err := analyze.New(evs)
+	if err != nil {
+		return fmt.Errorf("%s: %w", fs.Arg(0), err)
 	}
 	s := r.Summarize()
 	fmt.Printf("events        %d\n", s.Events)

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"io"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -33,6 +36,10 @@ func TestRunExitCodes(t *testing.T) {
 		{"diff arity", []string{"diff", "only-one"}, 2, "usage: tracelens diff"},
 		{"doctor bad policy", []string{"doctor", "-policy", "warp", "log"}, 2, `unknown policy "warp"`},
 		{"doctor fidelity arity", []string{"doctor", "fidelity", "stray"}, 2, "usage: tracelens doctor fidelity"},
+		{"shards arity", []string{"shards"}, 2, "usage: tracelens shards"},
+		{"last arity", []string{"last", "a", "b"}, 2, "usage: tracelens last"},
+		{"shards missing file", []string{"shards", "/no/such/stats.json"}, 1, "no/such/stats.json"},
+		{"last missing dir", []string{"last", "/no/such/dir"}, 1, "no/such/dir"},
 		{"missing log file", []string{"summary", "/no/such/file.events"}, 1, "no/such/file.events"},
 		{"carbon missing log file", []string{"carbon", "/no/such/file.events"}, 1, "no/such/file.events"},
 		{"carbon bad grid file", []string{"carbon", "-grid", "/no/such/grid.json", "testdata-absent.events"}, 1, ""},
@@ -51,5 +58,33 @@ func TestRunExitCodes(t *testing.T) {
 				t.Fatalf("run(%q): usage error with empty stderr", c.args)
 			}
 		})
+	}
+}
+
+// TestSummaryEmptyLog pins the empty-log contract: summary over a log with
+// no events prints an explicit zero-event line and exits 0, instead of an
+// opaque analysis error.
+func TestSummaryEmptyLog(t *testing.T) {
+	log := filepath.Join(t.TempDir(), "empty.jsonl")
+	if err := os.WriteFile(log, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	var stderr bytes.Buffer
+	code := run([]string{"summary", log}, &stderr)
+	w.Close()
+	os.Stdout = old
+	out, _ := io.ReadAll(r)
+	r.Close()
+	if code != 0 {
+		t.Fatalf("summary on empty log exits %d (stderr: %s)", code, stderr.String())
+	}
+	if !strings.Contains(string(out), "0 (empty log)") {
+		t.Fatalf("stdout %q lacks the explicit zero-event line", out)
 	}
 }

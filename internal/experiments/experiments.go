@@ -6,6 +6,7 @@ package experiments
 
 import (
 	"fmt"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync/atomic"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/diskmodel"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/monitor"
 	"repro/internal/offline"
 	"repro/internal/placement"
@@ -69,6 +71,15 @@ type Scale struct {
 	// offline MWIS cells are analytic (no event stream) and are not
 	// doctored. Verification never influences results.
 	Doctor bool
+	// FlightDir, with Doctor set, arms an always-on flight recorder on
+	// every monitored cell: each cell rides its own recorder (its ring is
+	// owned by the cell's goroutine) recording into a distinct cell-NNN
+	// subdirectory, and a doctor violation freezes the cell's recent event
+	// window into a replayable dump there (inspect with `tracelens last`).
+	// Without Doctor no trigger can fire, so the field is ignored. Like
+	// Doctor, it never influences results and is excluded from the
+	// sweep-cache key.
+	FlightDir string
 }
 
 // FullScale reproduces the paper's experimental scale.
@@ -245,6 +256,8 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 
 	var suite *monitor.Suite
 	var tr *obs.Tracer
+	var rec *flight.Recorder
+	var recDir string
 	var opts []storage.RunOption
 	if s.Doctor {
 		suite = monitor.NewSuite(monitor.Config{
@@ -254,6 +267,15 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 		// it so decisions are replica-checked too.
 		tr = obs.NewTracer(1)
 		opts = append(opts, storage.WithTracer(tr), storage.WithMonitor(suite))
+		if s.FlightDir != "" {
+			// One recorder per cell: the ring is written from the cell's own
+			// goroutine, and the sequence number keeps parallel cells' dump
+			// directories distinct. Nothing touches the filesystem unless a
+			// violation actually triggers a dump.
+			recDir = filepath.Join(s.FlightDir, fmt.Sprintf("cell-%03d", flightCells.Add(1)))
+			rec = flight.New(flight.Config{Dir: recDir, Pprof: true})
+			opts = append(opts, storage.WithFlight(rec))
+		}
 	}
 
 	var res *storage.Result
@@ -279,8 +301,16 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 	if suite != nil && !suite.Passed() {
 		var sb strings.Builder
 		suite.WriteReport(&sb)
+		if rec != nil && rec.Dumps() > 0 {
+			fmt.Fprintf(&sb, "flight dump: %s (tracelens last %s)\n", recDir, recDir)
+		}
 		return Run{}, fmt.Errorf("experiments: doctor: %s violated %d invariants:\n%s",
 			algo, suite.Total(), sb.String())
+	}
+	if rec != nil {
+		if ferr := rec.Err(); ferr != nil {
+			return Run{}, fmt.Errorf("experiments: flight recorder: %w", ferr)
+		}
 	}
 	return Run{
 		Algo:       algo,
@@ -298,6 +328,11 @@ func cell(s Scale, reqs []core.Request, plc *placement.Placement, algo string, c
 // sharing discipline: one build per (rf, zipf) cell group, zero on a sweep
 // cache hit.
 var placementBuilds atomic.Int64
+
+// flightCells numbers flight-armed cells process-wide so parallel cells
+// never share a dump directory. The numbering order is scheduling-dependent
+// and deliberately carries no meaning beyond uniqueness.
+var flightCells atomic.Int64
 
 // makePlacement builds the Section 4.2 layout for a replication factor and
 // locality exponent.

@@ -112,7 +112,8 @@ func sweepKey(s Scale, tr Trace, cost sched.CostConfig) string {
 	ks := s
 	ks.Monitor = nil // pointer: nondeterministic and result-neutral
 	ks.Doctor = false
-	ks.Shards = 0 // kernel sharding is bit-identical, so shard counts share entries
+	ks.FlightDir = "" // recorder is an observer, never a participant
+	ks.Shards = 0     // kernel sharding is bit-identical, so shard counts share entries
 	h := sha256.New()
 	fmt.Fprintf(h, "replication-sweep-v1\n")
 	fmt.Fprintf(h, "scale=%+v\n", ks)

@@ -1,0 +1,241 @@
+package flight
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/obs"
+)
+
+// mkEvents builds n well-formed events with strictly increasing sequence
+// numbers starting at seq0.
+func mkEvents(seq0 uint64, n int) []obs.Event {
+	out := make([]obs.Event, n)
+	for i := range out {
+		out[i] = obs.Event{
+			Kind:  obs.KindArrive,
+			At:    time.Duration(i) * time.Millisecond,
+			Seq:   seq0 + uint64(i),
+			Disk:  -1,
+			Req:   -1,
+			Block: core.BlockID(i),
+		}
+	}
+	return out
+}
+
+// snapshotBytes encodes events the way DumpNow writes events.bin.
+func snapshotBytes(evs []obs.Event) []byte {
+	buf := []byte(obs.BinaryMagic)
+	for _, ev := range evs {
+		buf = obs.AppendBinary(buf, ev)
+	}
+	return buf
+}
+
+// TestDumpRoundTrip pins the full cycle: observe, dump, locate, read back —
+// with and without ring wrap.
+func TestDumpRoundTrip(t *testing.T) {
+	t.Parallel()
+	dir := t.TempDir()
+	r := New(Config{Capacity: 8, Dir: dir, Telemetry: func() any {
+		return map[string]int{"shards": 4}
+	}})
+	for _, ev := range mkEvents(1, 5) {
+		r.Observe(ev)
+	}
+	if _, err := r.DumpNow("unit test"); err != nil {
+		t.Fatal(err)
+	}
+	// Push past capacity so the second dump's window is a wrapped suffix.
+	for _, ev := range mkEvents(6, 10) {
+		r.Observe(ev)
+	}
+	dump2, err := r.DumpNow("queue full")
+	if err != nil {
+		t.Fatal(err)
+	}
+	latest, err := FindLatest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if latest != dump2 {
+		t.Fatalf("FindLatest = %s, want %s", latest, dump2)
+	}
+	d, err := ReadDump(latest)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Meta.Reason != "queue full" || !d.Meta.Wrapped || d.Meta.Observed != 15 {
+		t.Fatalf("meta = %+v", d.Meta)
+	}
+	if len(d.Events) != 8 {
+		t.Fatalf("window holds %d events, want ring capacity 8", len(d.Events))
+	}
+	if d.Events[0].Seq != 8 || d.Events[7].Seq != 15 {
+		t.Fatalf("window spans seq %d..%d, want 8..15 (last 8 observed)",
+			d.Events[0].Seq, d.Events[7].Seq)
+	}
+	if d.Meta.FirstSeq != 8 || d.Meta.LastSeq != 15 {
+		t.Fatalf("manifest seq bounds %d..%d diverge from window", d.Meta.FirstSeq, d.Meta.LastSeq)
+	}
+	if d.Telemetry == nil || !strings.Contains(string(d.Telemetry), `"shards"`) {
+		t.Fatalf("telemetry.json not captured: %q", d.Telemetry)
+	}
+	if !strings.Contains(filepath.Base(latest), "queue-full") {
+		t.Fatalf("dump dir %s does not carry the sanitized reason", latest)
+	}
+	// Reading the first (unwrapped, prefix) dump still works.
+	d1, err := ReadDump(filepath.Join(dir, "flight-001-unit-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d1.Events) != 5 || d1.Meta.Wrapped {
+		t.Fatalf("first dump: %d events wrapped=%v, want 5 unwrapped", len(d1.Events), d1.Meta.Wrapped)
+	}
+}
+
+// TestRequestDumpCrossGoroutine pins the trigger protocol: a request
+// published from another goroutine materialises at the owner's next sweep,
+// and a sweep with no pending trigger is a no-op.
+func TestRequestDumpCrossGoroutine(t *testing.T) {
+	t.Parallel()
+	r := New(Config{Capacity: 4, Dir: t.TempDir()})
+	if dir, err := r.MaybeDump(); err != nil || dir != "" {
+		t.Fatalf("idle MaybeDump = %q, %v", dir, err)
+	}
+	r.Observe(mkEvents(1, 1)[0])
+	done := make(chan struct{})
+	go func() {
+		r.RequestDump("slo breach")
+		close(done)
+	}()
+	<-done
+	if !r.Pending() {
+		t.Fatal("trigger not visible to owner goroutine")
+	}
+	dir, err := r.MaybeDump()
+	if err != nil || dir == "" {
+		t.Fatalf("MaybeDump = %q, %v", dir, err)
+	}
+	if r.Pending() {
+		t.Fatal("trigger not consumed")
+	}
+	if r.Dumps() != 1 {
+		t.Fatalf("dump counter %d, want 1", r.Dumps())
+	}
+}
+
+// TestDumpPprofBundle pins the profile artifacts: with Pprof set, a dump
+// carries a readable goroutine listing and a non-empty heap profile.
+func TestDumpPprofBundle(t *testing.T) {
+	t.Parallel()
+	r := New(Config{Capacity: 4, Dir: t.TempDir(), Pprof: true})
+	r.Observe(mkEvents(1, 1)[0])
+	dir, err := r.DumpNow("sigquit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := os.ReadFile(filepath.Join(dir, "goroutine.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(g, []byte("goroutine")) {
+		t.Fatal("goroutine.txt does not look like a goroutine profile")
+	}
+	h, err := os.Stat(filepath.Join(dir, "heap.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Size() == 0 {
+		t.Fatal("heap.pprof is empty")
+	}
+}
+
+// TestReadSnapshotSingleByteCorruption flips every byte of a snapshot in
+// turn: no corruption may be accepted (the magic, payload CRCs and CRC
+// bytes themselves cover the whole file) and none may panic.
+func TestReadSnapshotSingleByteCorruption(t *testing.T) {
+	t.Parallel()
+	good := snapshotBytes(mkEvents(1, 6))
+	if _, err := ReadSnapshot(good); err != nil {
+		t.Fatal(err)
+	}
+	for i := range good {
+		bad := bytes.Clone(good)
+		bad[i] ^= 0x40
+		if _, err := ReadSnapshot(bad); err == nil {
+			t.Fatalf("byte %d: corruption accepted", i)
+		}
+	}
+}
+
+// TestReadSnapshotRejectsOutOfOrder pins the flight-specific framing check:
+// a stream of individually valid records with non-monotone sequence numbers
+// passes the generic reader but not the snapshot reader.
+func TestReadSnapshotRejectsOutOfOrder(t *testing.T) {
+	t.Parallel()
+	evs := mkEvents(1, 4)
+	evs[2].Seq = evs[1].Seq // duplicate
+	data := snapshotBytes(evs)
+	if _, err := obs.ReadBinary(bytes.NewReader(data)); err != nil {
+		t.Fatalf("generic reader rejected the stream: %v", err)
+	}
+	if _, err := ReadSnapshot(data); err == nil || !strings.Contains(err.Error(), "out of order") {
+		t.Fatalf("out-of-order window: err = %v", err)
+	}
+}
+
+// TestSanitizeReason pins the dump-directory slug mapping.
+func TestSanitizeReason(t *testing.T) {
+	t.Parallel()
+	for in, want := range map[string]string{
+		"SLO breach":             "slo-breach",
+		"doctor-power":           "doctor-power",
+		"  ":                     "manual",
+		"":                       "manual",
+		"q/full!!spike":          "q-full-spike",
+		strings.Repeat("x", 100): strings.Repeat("x", 40),
+	} {
+		if got := sanitizeReason(in); got != want {
+			t.Errorf("sanitizeReason(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// FuzzReadSnapshot throws arbitrary bytes at the snapshot reader: it must
+// never panic, and every snapshot it accepts must have strictly increasing
+// sequence numbers and re-encode to the identical bytes.
+func FuzzReadSnapshot(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte(obs.BinaryMagic))
+	good := snapshotBytes(mkEvents(1, 6))
+	f.Add(good)
+	trunc := bytes.Clone(good)
+	f.Add(trunc[:len(trunc)-9])
+	flip := bytes.Clone(good)
+	flip[len(obs.BinaryMagic)+20] ^= 0x04
+	f.Add(flip)
+	dup := mkEvents(1, 3)
+	dup[2].Seq = dup[0].Seq
+	f.Add(snapshotBytes(dup))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		evs, err := ReadSnapshot(data)
+		if err != nil {
+			return
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].Seq <= evs[i-1].Seq {
+				t.Fatalf("accepted snapshot has non-monotone seq at %d", i)
+			}
+		}
+		if !bytes.Equal(snapshotBytes(evs), data) {
+			t.Fatal("accepted snapshot does not round-trip")
+		}
+	})
+}

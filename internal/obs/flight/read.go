@@ -1,0 +1,95 @@
+package flight
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Dump is one flight-recorder dump read back from disk.
+type Dump struct {
+	Dir       string
+	Meta      Meta
+	Events    []obs.Event
+	Telemetry json.RawMessage // contents of telemetry.json, nil when absent
+}
+
+// FindLatest locates the most recent dump directory under root (dumps sort
+// by their zero-padded sequence number, so lexicographic order is creation
+// order). root may itself be a dump directory, in which case it is returned
+// as-is.
+func FindLatest(root string) (string, error) {
+	if _, err := os.Stat(filepath.Join(root, "meta.json")); err == nil {
+		return root, nil
+	}
+	entries, err := os.ReadDir(root)
+	if err != nil {
+		return "", fmt.Errorf("flight: %w", err)
+	}
+	var dumps []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "flight-") {
+			dumps = append(dumps, e.Name())
+		}
+	}
+	if len(dumps) == 0 {
+		return "", fmt.Errorf("flight: no dumps under %s", root)
+	}
+	sort.Strings(dumps)
+	return filepath.Join(root, dumps[len(dumps)-1]), nil
+}
+
+// ReadDump reads one dump directory back: manifest, event window (validated
+// the same way ReadSnapshot validates it) and the raw telemetry snapshot.
+func ReadDump(dir string) (*Dump, error) {
+	d := &Dump{Dir: dir}
+	metaRaw, err := os.ReadFile(filepath.Join(dir, "meta.json"))
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	if err := json.Unmarshal(metaRaw, &d.Meta); err != nil {
+		return nil, fmt.Errorf("flight: %s: %w", filepath.Join(dir, "meta.json"), err)
+	}
+	evRaw, err := os.ReadFile(filepath.Join(dir, "events.bin"))
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	if d.Events, err = ReadSnapshot(evRaw); err != nil {
+		return nil, fmt.Errorf("flight: %s: %w", filepath.Join(dir, "events.bin"), err)
+	}
+	if len(d.Events) != d.Meta.Events {
+		return nil, fmt.Errorf("flight: %s holds %d events, manifest says %d",
+			filepath.Join(dir, "events.bin"), len(d.Events), d.Meta.Events)
+	}
+	if tel, err := os.ReadFile(filepath.Join(dir, "telemetry.json")); err == nil {
+		if !json.Valid(tel) {
+			return nil, fmt.Errorf("flight: %s: invalid JSON", filepath.Join(dir, "telemetry.json"))
+		}
+		d.Telemetry = tel
+	}
+	return d, nil
+}
+
+// ReadSnapshot decodes a dump's event window (a standard ESCHOBS2 stream)
+// and validates the flight-recorder framing on top of the per-record CRCs:
+// sequence numbers must be strictly increasing, since the ring preserves
+// emit order. It never panics on arbitrary input.
+func ReadSnapshot(data []byte) ([]obs.Event, error) {
+	evs, err := obs.ReadBinary(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Seq <= evs[i-1].Seq {
+			return nil, fmt.Errorf("flight: record %d: seq %d not after %d (window out of order)",
+				i, evs[i].Seq, evs[i-1].Seq)
+		}
+	}
+	return evs, nil
+}

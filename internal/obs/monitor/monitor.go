@@ -133,6 +133,9 @@ type Suite struct {
 	lastAt   time.Duration
 	hasEnd   bool
 	finished bool
+	// onViolation, when set, fires synchronously on every recorded
+	// violation (see SetOnViolation).
+	onViolation func(Violation)
 }
 
 // NewSuite builds the full monitor suite for a run described by cfg.
@@ -223,13 +226,25 @@ func (s *Suite) monitorIndex(name string) int {
 // monitor but counting all of them.
 func (s *Suite) add(i int, seq uint64, at time.Duration, disk core.DiskID, req core.RequestID, dec obs.DecisionID, format string, args ...any) {
 	s.counts[i]++
-	if len(s.kept[i]) < s.cfg.MaxViolations {
-		s.kept[i] = append(s.kept[i], Violation{
+	if len(s.kept[i]) < s.cfg.MaxViolations || s.onViolation != nil {
+		v := Violation{
 			Monitor: s.mons[i].name(), Seq: seq, At: at,
 			Disk: disk, Req: req, Dec: dec, Msg: fmt.Sprintf(format, args...),
-		})
+		}
+		if len(s.kept[i]) < s.cfg.MaxViolations {
+			s.kept[i] = append(s.kept[i], v)
+		}
+		if s.onViolation != nil {
+			s.onViolation(v)
+		}
 	}
 }
+
+// SetOnViolation registers a hook called synchronously on every recorded
+// violation (including ones beyond the per-monitor keep cap). It is the
+// flight-recorder trigger point: the hook runs on the observing goroutine,
+// inside Observe/Finish, so it must not re-enter the suite.
+func (s *Suite) SetOnViolation(fn func(Violation)) { s.onViolation = fn }
 
 // addEv records a violation pinned to ev.
 func (s *Suite) addEv(i int, ev *obs.Event, format string, args ...any) {

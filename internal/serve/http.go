@@ -13,6 +13,8 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/simkernel"
+	"repro/internal/storage"
 )
 
 // ScheduleRequest is the JSON body of POST /v1/schedule.
@@ -60,6 +62,13 @@ type StateResponse struct {
 	CarbonG float64     `json:"carbon_gco2e,omitempty"`
 	CostUSD float64     `json:"cost_usd,omitempty"`
 	Disks   []DiskState `json:"disks"`
+	// Slow lists the slowest request lifecycle spans seen so far, worst
+	// first (admit→queue→decide→dispatch→reply breakdown per entry);
+	// empty when the engine runs without a metrics collector.
+	Slow []SlowSpan `json:"slow_requests,omitempty"`
+	// Kernel is the simulation kernel's introspection snapshot (event
+	// counts, queue churn, pool high-water marks).
+	Kernel *simkernel.KernelStats `json:"kernel,omitempty"`
 }
 
 // DiskState is one disk's entry in StateResponse.
@@ -276,9 +285,17 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if s.col != nil {
-		s.col.WriteTo(w)
+	if s.col == nil {
+		return
 	}
+	// Refresh the esched_kernel_* families before rendering. The kernel
+	// counters are owned by the decision goroutine, so they are read through
+	// the serialized Snapshot path and reconciled into the (mutex-protected)
+	// collector here on the scrape goroutine.
+	if ks := s.eng.Snapshot().Kernel; ks != nil {
+		storage.ExportKernelMetrics(s.col, ks)
+	}
+	s.col.WriteTo(w)
 }
 
 func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
@@ -296,6 +313,8 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		CarbonG:   snap.Totals.CarbonG,
 		CostUSD:   snap.Totals.CostUSD,
 		Disks:     make([]DiskState, len(snap.Disks)),
+		Slow:      snap.Slow,
+		Kernel:    snap.Kernel,
 	}
 	for i, d := range snap.Disks {
 		resp.Disks[i] = DiskState{

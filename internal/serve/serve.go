@@ -35,8 +35,10 @@ import (
 	"repro/internal/account"
 	"repro/internal/core"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/monitor"
 	"repro/internal/sched"
+	"repro/internal/simkernel"
 	"repro/internal/storage"
 	"repro/internal/workload"
 )
@@ -114,6 +116,14 @@ type Config struct {
 	// the accumulator sees the live event stream, surfaces running gCO2e/$
 	// on /state, and is finalized and reconciled at Drain.
 	Accounting *account.Accumulator
+	// Flight attaches an always-on flight recorder (storage.WithFlight).
+	// The engine arms its triggers: a doctor violation (via Monitor), the
+	// first queue-full rejection, and the first decision span breaching
+	// FlightSLO each freeze the recorder's window into a dump.
+	Flight *flight.Recorder
+	// FlightSLO is the wall-clock submit-to-reply bound whose first breach
+	// triggers a flight dump (requires Flight and Collector; 0 disables).
+	FlightSLO time.Duration
 }
 
 // Decision is the outcome of scheduling one request.
@@ -151,6 +161,12 @@ type Totals struct {
 type Snapshot struct {
 	Totals Totals
 	Disks  []storage.DiskSnapshot
+	// Slow holds the slow-request exemplars (slowest first), populated when
+	// a collector is attached.
+	Slow []SlowSpan
+	// Kernel is the engine's kernel introspection snapshot (serial
+	// pseudo-shard: events, queue/pool high-water marks).
+	Kernel *simkernel.KernelStats
 }
 
 // serveMetrics is the engine's own metric catalog, alongside the
@@ -161,6 +177,10 @@ type serveMetrics struct {
 	rounds                                            *obs.Counter
 	roundSize                                         *obs.Histogram
 	decisionLatency                                   *obs.Histogram
+	// Request lifecycle spans: per-phase wall-clock latency from admission
+	// to the decision reply (queue: admitted, waiting for a round; decide:
+	// scheduling; dispatch: kernel advance + submit-to-disk + reply).
+	spanQueue, spanDecide, spanDispatch *obs.Histogram
 }
 
 func newServeMetrics(c *obs.Collector) *serveMetrics {
@@ -180,8 +200,37 @@ func newServeMetrics(c *obs.Collector) *serveMetrics {
 			"Wall-clock submit-to-decision latency.",
 			[]float64{0.00005, 0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
 				0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1}),
+		spanQueue:    spanHistogram(c, "queue"),
+		spanDecide:   spanHistogram(c, "decide"),
+		spanDispatch: spanHistogram(c, "dispatch"),
 	}
 }
+
+func spanHistogram(c *obs.Collector, phase string) *obs.Histogram {
+	return c.Histogram("esched_span_phase_seconds",
+		"Request lifecycle phase latency (admit->queue->decide->dispatch->reply).",
+		[]float64{0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005, 0.001,
+			0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1},
+		obs.Label{Key: "phase", Value: phase})
+}
+
+// SlowSpan is one slow-request exemplar: the per-phase wall-clock breakdown
+// of a request whose total span ranked among the slowest seen. Surfaced on
+// /state and in the loadgen SLO report so a tail-latency spike carries its
+// own diagnosis (which phase, which disk, which decision).
+type SlowSpan struct {
+	Req        core.RequestID `json:"req"`
+	Block      core.BlockID   `json:"block"`
+	Disk       core.DiskID    `json:"disk"`
+	Decision   uint64         `json:"decision"`
+	QueueUS    int64          `json:"queue_us"`
+	DecideUS   int64          `json:"decide_us"`
+	DispatchUS int64          `json:"dispatch_us"`
+	TotalUS    int64          `json:"total_us"`
+}
+
+// slowSpanCap bounds the exemplar ring.
+const slowSpanCap = 8
 
 // outcome is what a waiter receives.
 type outcome struct {
@@ -194,7 +243,12 @@ type pending struct {
 	req      core.Request
 	deadline time.Time // zero = none
 	enqueued time.Time
-	res      chan outcome
+	// Span timestamps, populated only when metrics are attached: when the
+	// request's round started (queue phase ends) and when its scheduling
+	// decision was computed (decide phase ends).
+	roundAt   time.Time
+	decidedAt time.Time
+	res       chan outcome
 }
 
 // ctlMsg runs fn on the decision goroutine between rounds.
@@ -229,6 +283,11 @@ type Engine struct {
 	round       []*pending
 	batch       []core.Request
 	scratch     sched.CoverScratch
+	slow        []SlowSpan // slowest spans seen, descending by TotalUS
+	sloDumped   bool       // the FlightSLO trigger fires once per run
+
+	// qfDumped latches the queue-full flight trigger (any goroutine).
+	qfDumped atomic.Bool
 
 	// Set once the loop has exited (after Drain).
 	final    *Snapshot
@@ -271,9 +330,18 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.Accounting != nil {
 		opts = append(opts, storage.WithAccounting(cfg.Accounting))
 	}
+	if cfg.Flight != nil {
+		opts = append(opts, storage.WithFlight(cfg.Flight))
+	}
 	lv, err := storage.NewLive(cfg.System, cfg.Router.Lookup, opts...)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Flight != nil {
+		// Dump telemetry rides the kernel's introspection counters. Dumps are
+		// written on the decision goroutine (observer chain or finish), the
+		// only goroutine allowed to read them.
+		cfg.Flight.SetTelemetry(func() any { return lv.KernelStats() })
 	}
 	e := &Engine{
 		cfg:    cfg,
@@ -314,6 +382,12 @@ func (e *Engine) Submit(req core.Request, deadline time.Duration) (Decision, err
 	if n := e.inflight.Add(1); n > int64(e.cfg.MaxInFlight) {
 		e.inflight.Add(-1)
 		e.count(func(m *serveMetrics) { m.queueFull.Inc() })
+		if e.cfg.Flight != nil && e.qfDumped.CompareAndSwap(false, true) {
+			// A queue-full spike is a flight trigger: freeze the window that
+			// led up to it. Cross-goroutine safe; the decision goroutine
+			// materialises the dump at its next observed event.
+			e.cfg.Flight.RequestDump("queue full")
+		}
 		return Decision{}, ErrQueueFull
 	}
 	e.gaugeInflight()
@@ -480,6 +554,13 @@ func (e *Engine) decide(round []*pending) {
 	if len(live) == 0 {
 		return
 	}
+	if e.sm != nil {
+		// The round timestamp closes every member's queue phase; per-request
+		// decide timestamps are taken after each Schedule call below.
+		for _, p := range live {
+			p.roundAt = now
+		}
+	}
 	if e.cfg.Mode == ModeWSC && len(live) > 1 {
 		e.decideWSC(live)
 		return
@@ -489,6 +570,9 @@ func (e *Engine) decide(round []*pending) {
 		e.lv.Arrive(p.req)
 		base := e.lv.DecisionBase()
 		d := e.heur.Schedule(p.req, e.lv.View())
+		if e.sm != nil {
+			p.decidedAt = time.Now()
+		}
 		e.answer(p, d, func(r core.Request, d core.DiskID) {
 			e.lv.Dispatch(r, d, base)
 		})
@@ -507,6 +591,14 @@ func (e *Engine) decideWSC(live []*pending) {
 	}
 	base := e.lv.DecisionBase()
 	assignment := e.wsc.ScheduleBatch(e.batch, e.lv.View())
+	if e.sm != nil {
+		// One cover decides the whole batch; every member's decide phase
+		// closes at the same instant.
+		decided := time.Now()
+		for _, p := range live {
+			p.decidedAt = decided
+		}
+	}
 	// A traced WSC emits one decision per placed request in batch order;
 	// pair them back exactly as storage.RunBatch does (IDs base+1..base+n).
 	placed := 0
@@ -554,12 +646,71 @@ func (e *Engine) answer(p *pending, d core.DiskID, dispatch func(core.Request, c
 		p.res <- outcome{err: err}
 		return
 	}
-	e.decisions.Add(1)
+	n := e.decisions.Add(1)
 	if e.sm != nil {
 		e.sm.decided.Inc()
 		e.sm.decisionLatency.Observe(time.Since(p.enqueued).Seconds())
+		e.recordSpan(p, dec, n)
 	}
 	p.res <- outcome{dec: dec}
+}
+
+// recordSpan closes a decided request's lifecycle span: per-phase
+// histograms, the slow-exemplar ring, and the FlightSLO trigger. Runs on
+// the decision goroutine with p.roundAt/p.decidedAt already stamped.
+func (e *Engine) recordSpan(p *pending, dec Decision, decision uint64) {
+	done := time.Now()
+	queue := p.roundAt.Sub(p.enqueued)
+	decide := p.decidedAt.Sub(p.roundAt)
+	dispatch := done.Sub(p.decidedAt)
+	e.sm.spanQueue.Observe(queue.Seconds())
+	e.sm.spanDecide.Observe(decide.Seconds())
+	e.sm.spanDispatch.Observe(dispatch.Seconds())
+	total := done.Sub(p.enqueued)
+	if len(e.slow) == slowSpanCap && total.Microseconds() <= e.slow[len(e.slow)-1].TotalUS {
+		// Fast path: not among the slowest seen.
+	} else {
+		s := SlowSpan{
+			Req: dec.Req, Block: dec.Block, Disk: dec.Disk, Decision: decision,
+			QueueUS: queue.Microseconds(), DecideUS: decide.Microseconds(),
+			DispatchUS: dispatch.Microseconds(), TotalUS: total.Microseconds(),
+		}
+		i := sort.Search(len(e.slow), func(i int) bool { return e.slow[i].TotalUS < s.TotalUS })
+		if len(e.slow) < slowSpanCap {
+			e.slow = append(e.slow, SlowSpan{})
+		}
+		copy(e.slow[i+1:], e.slow[i:])
+		e.slow[i] = s
+	}
+	if e.cfg.Flight != nil && e.cfg.FlightSLO > 0 && total > e.cfg.FlightSLO && !e.sloDumped {
+		e.sloDumped = true
+		e.cfg.Flight.RequestDump("slo breach")
+	}
+}
+
+// SlowSpans returns a copy of the slow-request exemplars, slowest first.
+// Loop-owned; callers outside the decision goroutine go through Snapshot.
+func (e *Engine) slowSpans() []SlowSpan {
+	out := make([]SlowSpan, len(e.slow))
+	copy(out, e.slow)
+	return out
+}
+
+// FlushFlight materialises a pending flight-dump trigger on the decision
+// goroutine. Triggers raised while the engine is idle (an operator SIGQUIT
+// with no traffic) have no event flow to sweep them; this forces the sweep.
+// No-op without a recorder or pending trigger.
+func (e *Engine) FlushFlight() {
+	if e.cfg.Flight == nil {
+		return
+	}
+	c := ctlMsg{done: make(chan struct{})}
+	c.fn = func() { e.cfg.Flight.MaybeDump() }
+	select {
+	case e.ctl <- c:
+		<-c.done
+	case <-e.ended:
+	}
 }
 
 // drainLoop finishes the admitted backlog after Drain: parked sequential
@@ -640,7 +791,7 @@ func (e *Engine) snapshotLocked() Snapshot {
 	if acc := e.lv.Accounting(); acc != nil {
 		t.CarbonG, t.CostUSD = acc.Snapshot()
 	}
-	return Snapshot{Totals: t, Disks: disks}
+	return Snapshot{Totals: t, Disks: disks, Slow: e.slowSpans(), Kernel: e.lv.KernelStats()}
 }
 
 // Drain gracefully shuts the engine down: new submissions are rejected,
@@ -662,6 +813,14 @@ func (e *Engine) finish() {
 	name := "eschedd " + e.cfg.Mode.String()
 	res, err := e.lv.Finish(name)
 	e.report, e.finalErr = res, err
+	if rec := e.cfg.Flight; rec != nil {
+		// Flush a trigger raised after the last observed event (the drain
+		// itself emits events, so this is usually a no-op).
+		rec.MaybeDump()
+		if err == nil && rec.Err() != nil {
+			e.finalErr = rec.Err()
+		}
+	}
 	snap := Snapshot{}
 	if res != nil {
 		t := Totals{
@@ -686,5 +845,7 @@ func (e *Engine) finish() {
 			})
 		}
 	}
+	snap.Slow = e.slowSpans()
+	snap.Kernel = e.lv.KernelStats()
 	e.final = &snap
 }

@@ -71,6 +71,17 @@ type calQueue struct {
 	cost    int    // slots touched by searches and insertions since then
 	stable  int    // pops since the bucket count last changed
 	scratch []*eventItem
+
+	// Introspection meters (see ShardStats): lifetime push/pop counts, how
+	// often and why the geometry was rebuilt, and both tiers' high-water
+	// occupancy. Plain increments on paths that already own the struct.
+	pushes     uint64
+	pops       uint64
+	rebuilds   uint64
+	recals     uint64 // rebuilds triggered by cost calibration
+	migrations uint64
+	farHW      int
+	nHW        int
 }
 
 // calSlot pairs an item with an inline copy of its ordering key: the
@@ -216,6 +227,10 @@ func (q *calQueue) rebuild(count int, shift uint, start time.Duration) {
 	for _, it := range q.scratch {
 		q.place(it)
 	}
+	q.rebuilds++
+	if len(q.far) > q.farHW {
+		q.farHW = len(q.far)
+	}
 }
 
 // place routes one item to its tier; n is not touched.
@@ -251,10 +266,17 @@ func (q *calQueue) Push(it *eventItem) {
 		// exact-mode pushes behind a merged span ever take this path.
 		q.rebuild(len(q.buckets), q.shift, it.at)
 	}
+	q.pushes++
 	q.n++
+	if q.n > q.nHW {
+		q.nHW = q.n
+	}
 	if it.at >= q.limit {
 		it.index = inFar
 		q.far = append(q.far, it)
+		if len(q.far) > q.farHW {
+			q.farHW = len(q.far)
+		}
 		return
 	}
 	if q.nNear >= len(q.buckets)*calGrowFactor && len(q.buckets) < calMaxBuckets {
@@ -299,6 +321,7 @@ func (q *calQueue) Pop() *eventItem {
 				// threshold would otherwise trigger an identical rebuild every
 				// few hundred pops, each an O(n) redistribution for nothing.
 				if s != q.shift || count != len(q.buckets) {
+					q.recals++
 					q.rebuild(count, s, q.curStart)
 				}
 			}
@@ -309,6 +332,7 @@ func (q *calQueue) Pop() *eventItem {
 	if it == nil {
 		return nil
 	}
+	q.pops++
 	// Inter-pop gap EWMA: the pop-rate width estimator. Pops are monotone
 	// in at except across a cursor rewind, so negative gaps are skipped.
 	if gap := it.at - q.lastPop; gap > 0 {
@@ -391,6 +415,7 @@ func (q *calQueue) migrate() {
 		}
 	}
 	q.cost += len(q.far)
+	q.migrations++
 	q.rebuild(count, shift, minAt)
 }
 

@@ -47,6 +47,12 @@ type Sharded struct {
 	shards   []*shard
 	active   []*shard // scratch for span assembly
 	probe    func(now time.Duration, fired uint64)
+
+	// Wall-clock telemetry (see EnableTelemetry): drain wall and
+	// deferred-effect merge time, accumulated on the coordinator goroutine.
+	telemetry bool
+	wallNS    int64
+	mergeNS   int64
 }
 
 // provSeqBase is the first provisional sequence number. Events scheduled
@@ -93,6 +99,16 @@ type shard struct {
 	// entirely. Never populated outside RunFree.
 	slot *eventItem
 	view ShardView
+
+	// Introspection counters (see ShardStats).
+	firedTotal     uint64 // lifetime events, surviving RunFree's fold-and-reset
+	poolBlocks     int    // event-arena blocks ever allocated
+	spanRounds     uint64 // exact-mode spans this shard executed events in
+	lookaheadWaits uint64 // spans it held events above the lookahead bound
+	deferred       uint64 // deferred effects replayed by mergeSpans
+	replayHW       int    // deepest single-span effect replay
+	slotHits       uint64 // free-running slot fast-path consumes
+	telem          *shardTimes
 }
 
 // inSlot marks an item held in a shard's fast-path slot: not in either
@@ -237,6 +253,7 @@ func (sh *shard) alloc() *eventItem {
 		sh.free = sh.free[:n-1]
 		return it
 	}
+	sh.poolBlocks++
 	block := make([]eventItem, poolBlock)
 	for i := range block {
 		block[i].owner = sh.idx
@@ -286,6 +303,7 @@ func (se *Sharded) execInline(sh *shard, it *eventItem) {
 	at, fn := it.at, it.fn
 	sh.now, se.now = at, at
 	se.fired++
+	sh.firedTotal++
 	sh.release(it)
 	if se.probe != nil {
 		se.probe(se.now, se.fired)
@@ -327,8 +345,15 @@ func (se *Sharded) RunUntil(deadline time.Duration) time.Duration {
 func (se *Sharded) runSpan(boundAt time.Duration, boundSeq uint64) {
 	active := se.active[:0]
 	for _, sh := range se.shards {
-		if it := sh.peekLive(); it != nil && keyLess(it.at, it.seq, boundAt, boundSeq) {
+		it := sh.peekLive()
+		if it == nil {
+			continue
+		}
+		if keyLess(it.at, it.seq, boundAt, boundSeq) {
 			active = append(active, sh)
+			sh.spanRounds++
+		} else {
+			sh.lookaheadWaits++
 		}
 	}
 	switch len(active) {
@@ -349,11 +374,20 @@ func (se *Sharded) runSpan(boundAt time.Duration, boundSeq uint64) {
 		}
 	}
 	se.inSpan = true
+	var spanStart time.Time
+	if se.telemetry {
+		spanStart = time.Now()
+	}
 	if se.workers <= 1 || len(active) == 1 {
 		for _, sh := range active {
-			sh.runSpanLocal(boundAt, boundSeq)
+			if sh.telem != nil && se.telemetry {
+				sh.runSpanLocalTimed(boundAt, boundSeq)
+			} else {
+				sh.runSpanLocal(boundAt, boundSeq)
+			}
 		}
 	} else {
+		timed := se.telemetry
 		var next atomic.Int32
 		var wg sync.WaitGroup
 		n := min(se.workers, len(active))
@@ -366,13 +400,33 @@ func (se *Sharded) runSpan(boundAt time.Duration, boundSeq uint64) {
 					if i >= len(active) {
 						return
 					}
-					active[i].runSpanLocal(boundAt, boundSeq)
+					if timed {
+						active[i].runSpanLocalTimed(boundAt, boundSeq)
+					} else {
+						active[i].runSpanLocal(boundAt, boundSeq)
+					}
 				}
 			}()
 		}
 		wg.Wait()
 	}
 	se.inSpan = false
+	if se.telemetry {
+		// Barrier stall: the span holds every active shard until the slowest
+		// one (or the worker pool) finishes; the gap between a shard's own
+		// span wall and the barrier wall is its sync-stall time.
+		spanWall := int64(time.Since(spanStart))
+		se.wallNS += spanWall
+		for _, sh := range active {
+			if d := spanWall - sh.telem.lastSpan; d > 0 {
+				sh.telem.stallNS += d
+			}
+		}
+		mergeStart := time.Now()
+		se.mergeSpans(active)
+		se.mergeNS += int64(time.Since(mergeStart))
+		return
+	}
 	se.mergeSpans(active)
 }
 
@@ -394,6 +448,7 @@ func (sh *shard) runSpanLocal(boundAt time.Duration, boundSeq uint64) {
 		}
 		fn := it.fn
 		sh.now = it.at
+		sh.firedTotal++
 		sh.release(it)
 		fn(rec.at)
 		rec.provB = uint32(sh.provSeq - provSeqBase)
@@ -462,6 +517,10 @@ func (se *Sharded) mergeSpans(active []*shard) {
 				}
 			})
 		}
+		sh.deferred += uint64(len(sh.effects))
+		if len(sh.effects) > sh.replayHW {
+			sh.replayHW = len(sh.effects)
+		}
 		sh.head = 0
 		sh.execs = sh.execs[:0]
 		clear(sh.effects)
@@ -482,10 +541,24 @@ func (se *Sharded) RunFree() time.Duration {
 	if _, _, ok := se.coord.peekKey(); ok {
 		panic("simkernel: RunFree with pending coordinator events")
 	}
+	timed := se.telemetry
+	var loop0 []int64
+	var start time.Time
+	if timed {
+		loop0 = make([]int64, len(se.shards))
+		for i, sh := range se.shards {
+			loop0[i] = sh.telem.loopNS
+		}
+		start = time.Now()
+	}
 	se.inSpan, se.freeRun = true, true
 	if w := min(se.workers, len(se.shards)); w <= 1 {
 		for _, sh := range se.shards {
-			sh.runFreeLocal()
+			if timed {
+				sh.runFreeLocalTimed()
+			} else {
+				sh.runFreeLocal()
+			}
 		}
 	} else {
 		var next atomic.Int32
@@ -499,15 +572,32 @@ func (se *Sharded) RunFree() time.Duration {
 					if i >= len(se.shards) {
 						return
 					}
-					se.shards[i].runFreeLocal()
+					if timed {
+						se.shards[i].runFreeLocalTimed()
+					} else {
+						se.shards[i].runFreeLocal()
+					}
 				}
 			}()
 		}
 		wg.Wait()
 	}
 	se.inSpan, se.freeRun = false, false
+	if timed {
+		// A shard's stall is the drain wall minus its own loop wall: time it
+		// spent finished (or waiting for a worker slot) while the straggler
+		// held the drain open.
+		wall := int64(time.Since(start))
+		se.wallNS += wall
+		for i, sh := range se.shards {
+			if d := wall - (sh.telem.loopNS - loop0[i]); d > 0 {
+				sh.telem.stallNS += d
+			}
+		}
+	}
 	for _, sh := range se.shards {
 		se.fired += sh.fired
+		sh.firedTotal += sh.fired
 		sh.fired = 0
 		if sh.now > se.now {
 			se.now = sh.now
@@ -529,6 +619,7 @@ func (sh *shard) runFreeLocal() {
 			} else {
 				sh.slot = nil
 				it.index = fired
+				sh.slotHits++
 			}
 		} else if it = sh.q.Pop(); it == nil {
 			return

@@ -41,6 +41,7 @@ type Kernel interface {
 	Halt()
 	Fired() uint64
 	SetProbe(fn func(now time.Duration, fired uint64))
+	Telemetry() *KernelStats
 }
 
 // Handle identifies a scheduled event so it can be cancelled. Handles carry
@@ -133,6 +134,11 @@ type Engine struct {
 	cancelled int
 	halted    bool
 	probe     func(now time.Duration, fired uint64)
+
+	// Introspection counters (see Telemetry): heap occupancy high-water and
+	// event-pool blocks ever allocated.
+	queueHW    int
+	poolBlocks int
 }
 
 // takeSeq reserves n consecutive sequence numbers and returns the first.
@@ -163,6 +169,7 @@ func (e *Engine) alloc() *eventItem {
 		e.free = e.free[:n-1]
 		return it
 	}
+	e.poolBlocks++
 	block := make([]eventItem, poolBlock)
 	for i := range block {
 		block[i].owner = ownerSerial
@@ -225,6 +232,9 @@ func (e *Engine) At(t time.Duration, fn Event) Handle {
 	it := e.alloc()
 	it.at, it.seq, it.fn, it.cancelled = t, e.takeSeq(1), fn, false
 	heap.Push(&e.queue, it)
+	if len(e.queue) > e.queueHW {
+		e.queueHW = len(e.queue)
+	}
 	return Handle{item: it, gen: it.gen}
 }
 

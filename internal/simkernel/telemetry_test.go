@@ -1,0 +1,121 @@
+package simkernel
+
+import (
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestEngineTelemetry pins the serial pseudo-shard snapshot: event count
+// matches Fired, the queue and pool high-water marks are live, and the
+// snapshot is untimed.
+func TestEngineTelemetry(t *testing.T) {
+	h, eng := newSerialHarness(8)
+	runHarness(h, eng, 60, time.Millisecond)
+	ks := eng.Telemetry()
+	if len(ks.Shards) != 1 {
+		t.Fatalf("serial engine reports %d shards, want 1", len(ks.Shards))
+	}
+	s := ks.Shards[0]
+	if s.Events != eng.Fired() || ks.Events != eng.Fired() {
+		t.Fatalf("events %d/%d, want %d", s.Events, ks.Events, eng.Fired())
+	}
+	if s.QueueHighWater <= 0 || s.PoolHighWater <= 0 {
+		t.Fatalf("high-water marks not recorded: queue=%d pool=%d",
+			s.QueueHighWater, s.PoolHighWater)
+	}
+	if s.PoolHighWater%poolBlock != 0 {
+		t.Fatalf("pool high-water %d not a multiple of block size %d",
+			s.PoolHighWater, poolBlock)
+	}
+	if ks.Timed {
+		t.Fatal("serial snapshot must be untimed")
+	}
+	if _, _, _, cov := ks.Attribution(); cov != 0 {
+		t.Fatalf("untimed snapshot reports coverage %v", cov)
+	}
+}
+
+// TestShardedTelemetryCounters pins the structural counters on the exact
+// span path: per-shard events sum to the global count, queue pushes cover
+// pops, spans and deferred effects are recorded, and arming telemetry does
+// not perturb the execution order.
+func TestShardedTelemetryCounters(t *testing.T) {
+	const numDisks, numReqs = 16, 120
+	deadline := 2 * time.Millisecond
+
+	ref, eng := newSerialHarness(numDisks)
+	runHarness(ref, eng, numReqs, deadline)
+
+	h, se := newShardedHarness(numDisks, 4, 4)
+	se.EnableTelemetry()
+	runHarness(h, se, numReqs, deadline)
+	if !reflect.DeepEqual(h.log, ref.log) {
+		t.Fatal("telemetry perturbed the execution log")
+	}
+
+	ks := se.Telemetry()
+	if len(ks.Shards) != 4 {
+		t.Fatalf("snapshot has %d shards, want 4", len(ks.Shards))
+	}
+	var events, pushes, pops, spans, deferred uint64
+	for i, s := range ks.Shards {
+		if s.Shard != i {
+			t.Fatalf("shard %d labelled %d", i, s.Shard)
+		}
+		if s.Rebuilds == 0 {
+			t.Fatalf("shard %d recorded no calendar rebuilds (init counts one)", i)
+		}
+		if s.Pushes < s.Pops {
+			t.Fatalf("shard %d popped %d of %d pushes", i, s.Pops, s.Pushes)
+		}
+		events += s.Events
+		pushes += s.Pushes
+		pops += s.Pops
+		spans += s.SpanRounds
+		deferred += s.DeferredEffects
+	}
+	if events+ks.CoordEvents != se.Fired() || ks.Events != se.Fired() {
+		t.Fatalf("per-shard events %d + coordinator %d != global %d",
+			events, ks.CoordEvents, se.Fired())
+	}
+	if pushes == 0 || pops == 0 || spans == 0 {
+		t.Fatalf("structural counters dead: pushes=%d pops=%d spans=%d", pushes, pops, spans)
+	}
+	if deferred == 0 {
+		t.Fatal("exact-mode run recorded no deferred effects")
+	}
+	if !ks.Timed || ks.WallNS <= 0 {
+		t.Fatalf("telemetry armed but snapshot untimed (wall=%d)", ks.WallNS)
+	}
+	if got := ks.Straggler(); got < 0 || got >= 4 {
+		t.Fatalf("straggler index %d out of range", got)
+	}
+	exec, queue, stall, cov := ks.Attribution()
+	if exec <= 0 {
+		t.Fatalf("no exec time attributed (exec=%d queue=%d stall=%d)", exec, queue, stall)
+	}
+	if cov <= 0 || cov > 1.10 {
+		t.Fatalf("attribution coverage %.3f outside (0, 1.1]", cov)
+	}
+}
+
+// TestTelemetryDeterministicSnapshot pins that two identical runs produce
+// identical structural counters (wall-clock fields aside).
+func TestTelemetryDeterministicSnapshot(t *testing.T) {
+	run := func() *KernelStats {
+		h, se := newShardedHarness(12, 4, 4)
+		runHarness(h, se, 80, time.Millisecond)
+		ks := se.Telemetry()
+		ks.WallNS, ks.MergeNS = 0, 0
+		for i := range ks.Shards {
+			ks.Shards[i].ExecNS = 0
+			ks.Shards[i].QueueNS = 0
+			ks.Shards[i].StallNS = 0
+		}
+		return ks
+	}
+	if a, b := run(), run(); !reflect.DeepEqual(a, b) {
+		t.Fatalf("structural counters diverged between identical runs:\n%+v\nvs\n%+v", a, b)
+	}
+}

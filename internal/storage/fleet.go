@@ -39,6 +39,12 @@ type FleetConfig struct {
 	// Workers caps the goroutines driving a sharded run; 0 means
 	// GOMAXPROCS.
 	Workers int
+	// Telemetry arms the kernel's wall-clock attribution
+	// (simkernel.EnableTelemetry) and attaches a KernelStats snapshot to the
+	// result. Costs two clock reads per event, so leave it off when
+	// measuring peak throughput; the structural counters in the snapshot are
+	// collected either way.
+	Telemetry bool
 	// RelaxGC turns the garbage collector off for the duration of the run
 	// (previous settings are restored before RunFleet returns), trading
 	// peak memory for event throughput. The event graph is allocated up
@@ -119,12 +125,18 @@ type FleetResult struct {
 
 	Wall         time.Duration // wall-clock time of the event loop only
 	EventsPerSec float64
+
+	// Kernel is the engine-introspection snapshot (always populated; the
+	// wall-clock buckets require FleetConfig.Telemetry). Its shard counters
+	// depend on the shard count by nature, so Deterministic drops it.
+	Kernel *simkernel.KernelStats
 }
 
-// Deterministic returns the result with the wall-clock measurements and
-// the Shards echo zeroed, for shard-count-invariance comparisons.
+// Deterministic returns the result with the wall-clock measurements, the
+// Shards echo and the kernel telemetry zeroed, for shard-count-invariance
+// comparisons.
 func (r FleetResult) Deterministic() FleetResult {
-	r.Wall, r.EventsPerSec, r.Shards = 0, 0, 0
+	r.Wall, r.EventsPerSec, r.Shards, r.Kernel = 0, 0, 0, nil
 	return r
 }
 
@@ -323,6 +335,9 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 
 	var horizon time.Duration
 	var events uint64
+	if sharded && cfg.Telemetry {
+		se.EnableTelemetry()
+	}
 	t0 := time.Now()
 	if sharded {
 		horizon = se.RunFree()
@@ -344,6 +359,11 @@ func RunFleet(cfg FleetConfig) (*FleetResult, error) {
 	}
 	if s := wall.Seconds(); s > 0 {
 		res.EventsPerSec = float64(events) / s
+	}
+	if sharded {
+		res.Kernel = se.Telemetry()
+	} else {
+		res.Kernel = eng.Telemetry()
 	}
 	for _, d := range disks { // disk order: float sums deterministic
 		st := d.Close()

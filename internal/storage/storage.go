@@ -17,6 +17,7 @@ import (
 	"repro/internal/diskmodel"
 	"repro/internal/metrics"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/monitor"
 	"repro/internal/offline"
 	"repro/internal/power"
@@ -424,6 +425,7 @@ type runOptions struct {
 	collector *obs.Collector
 	monitor   *monitor.Suite
 	acct      *account.Accumulator
+	flight    *flight.Recorder
 }
 
 // WithCache places a block cache in front of the scheduler: read hits are
@@ -480,28 +482,66 @@ func WithAccounting(a *account.Accumulator) RunOption {
 	return func(o *runOptions) { o.acct = a }
 }
 
+// WithFlight attaches an always-on flight recorder: every traced event is
+// copied into its ring ahead of the doctor and the accountant, and a dump
+// trigger raised by any of them (or by RequestDump from another goroutine,
+// e.g. a SIGQUIT handler) is materialised inline, on the observing
+// goroutine, right after the event that raised it — so the dump's window
+// always ends at the triggering event. When no WithTracer is given, a
+// minimal internal tracer is created to feed the recorder. With a monitor
+// also attached, each violation requests a dump automatically (once; later
+// triggers reuse the already-armed request until it is written).
+func WithFlight(r *flight.Recorder) RunOption {
+	return func(o *runOptions) { o.flight = r }
+}
+
 func applyOptions(opts []RunOption) runOptions {
 	var o runOptions
 	for _, opt := range opts {
 		opt(&o)
 	}
-	if o.monitor != nil || o.acct != nil {
+	if o.monitor != nil || o.acct != nil || o.flight != nil {
 		if o.tracer == nil {
 			o.tracer = obs.NewTracer(1)
 		}
-		// The tracer holds a single observer slot; chain the doctor and the
-		// accountant when both are attached.
-		switch {
-		case o.monitor != nil && o.acct != nil:
-			mon, acct := o.monitor, o.acct
+		// The tracer holds a single observer slot; chain the recorder, the
+		// doctor and the accountant when several are attached. The recorder
+		// observes first (its window must include the event a monitor is
+		// about to flag) and sweeps pending dump triggers last.
+		var chain []func(obs.Event)
+		if o.flight != nil {
+			chain = append(chain, o.flight.Observe)
+			if o.monitor != nil {
+				rec := o.flight
+				o.monitor.SetOnViolation(func(v monitor.Violation) {
+					rec.RequestDump("doctor-" + v.Monitor)
+				})
+			}
+		}
+		if o.monitor != nil {
+			chain = append(chain, o.monitor.Observe)
+		}
+		if o.acct != nil {
+			chain = append(chain, o.acct.Observe)
+		}
+		switch rec := o.flight; {
+		case rec != nil:
 			o.tracer.SetObserver(func(ev obs.Event) {
-				mon.Observe(ev)
-				acct.Observe(ev)
+				for _, f := range chain {
+					f(ev)
+				}
+				if rec.Pending() {
+					rec.MaybeDump() // write failures surface via rec.Err()
+				}
 			})
-		case o.monitor != nil:
-			o.tracer.SetObserver(o.monitor.Observe)
+		case len(chain) == 1:
+			o.tracer.SetObserver(chain[0])
 		default:
-			o.tracer.SetObserver(o.acct.Observe)
+			o.tracer.SetObserver(func(ev obs.Event) {
+				for _, f := range chain {
+					f(ev)
+				}
+			})
 		}
 	}
 	if o.acct != nil && o.collector != nil {

@@ -3,8 +3,10 @@ package repro
 import (
 	"repro/internal/account"
 	"repro/internal/obs"
+	"repro/internal/obs/flight"
 	"repro/internal/obs/monitor"
 	"repro/internal/sched"
+	"repro/internal/simkernel"
 	"repro/internal/storage"
 )
 
@@ -112,6 +114,40 @@ func NewCarbonAccountant(cfg SystemConfig, grid *GridProfile, cost CostModel) (*
 // CarbonAccountant.Bind first so the carbon/cost metric families are
 // registered and reconciled.
 func WithAccounting(a *CarbonAccountant) RunOption { return storage.WithAccounting(a) }
+
+// Flight recorder (internal/obs/flight): an always-on ring of the most
+// recent events that freezes into a replayable ESCHOBS2 snapshot (plus
+// telemetry and pprof bundles) when something goes wrong. See the "Engine
+// introspection & the flight recorder" section of docs/OBSERVABILITY.md.
+type (
+	// FlightRecorder is the always-on incident ring; attach one to a run
+	// with WithFlight and trigger dumps with FlightRecorder.RequestDump.
+	FlightRecorder = flight.Recorder
+	// FlightConfig parameterizes a FlightRecorder (ring capacity, dump
+	// directory, pprof bundling, telemetry snapshot source).
+	FlightConfig = flight.Config
+	// FlightDump is one decoded dump directory: manifest, event window and
+	// raw telemetry snapshot.
+	FlightDump = flight.Dump
+	// KernelTelemetry is the simulation kernel's introspection snapshot:
+	// per-shard event/queue/pool counters and, when timing is armed, the
+	// exec/queue/stall wall-clock attribution behind `tracelens shards`.
+	KernelTelemetry = simkernel.KernelStats
+)
+
+// NewFlightRecorder returns a flight recorder; it touches no files until a
+// dump triggers.
+func NewFlightRecorder(cfg FlightConfig) *FlightRecorder { return flight.New(cfg) }
+
+// WithFlight tees a live run's event stream into the recorder's ring (one
+// slot store per event, no allocation) and materialises requested dumps
+// inline on the observing goroutine. When a Doctor rides the same run,
+// every violation automatically requests a dump.
+func WithFlight(r *FlightRecorder) RunOption { return storage.WithFlight(r) }
+
+// ReadFlightDump decodes a dump directory written by a FlightRecorder,
+// verifying the event window against its manifest.
+func ReadFlightDump(dir string) (*FlightDump, error) { return flight.ReadDump(dir) }
 
 // NewTracedHeuristicScheduler is NewHeuristicScheduler with decision
 // tracing: every placement emits a decision event carrying the winning

@@ -2,8 +2,8 @@
 # bench.sh — benchmark-regression harness.
 #
 # Runs the tier-1 figure benchmarks (BenchmarkFigure*) plus the offline
-# pipeline, trace-analyzer, live-doctor and carbon-attribution benchmarks
-# with -benchmem and records the result as
+# pipeline, trace-analyzer, live-doctor, carbon-attribution, flight-recorder
+# and span-overhead benchmarks with -benchmem and records the result as
 # BENCH_<date>.json in the repo root: a small JSON envelope with machine
 # metadata and the raw `go test -bench` text embedded verbatim, so
 #
@@ -14,7 +14,7 @@
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
-#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput')
+#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput|FlightRecorder|SpanOverhead')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
 #   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
@@ -23,6 +23,16 @@
 #                  reporting that metric (default 2000000)
 #   BENCH_DECISIONS_FLOOR  -check absolute decisions/sec floor for the
 #                  serving benchmark (default 100000)
+#   BENCH_EXACT_ALLOCS  -check regexp of benchmarks whose allocs/op must
+#                  equal the baseline exactly — the instrumentation-off
+#                  allocation-identity gate (default
+#                  'FlightRecorder/off|SpanOverhead/off')
+#   BENCH_OVERHEAD_TOL  -check allowed wall-time overhead of the
+#                  flight-recorder-on leg over its traced baseline
+#                  (FlightRecorder/on vs /base). The design budget is <5%
+#                  per event; the default 0.5 pads for single-run noise on
+#                  shared machines, so the gate trips on a recorder costing
+#                  multiples rather than on scheduler jitter.
 #
 # -check runs the same benchmarks but, instead of recording a snapshot,
 # compares them against the newest BENCH_*.json (or the given baseline)
@@ -30,15 +40,18 @@
 # allocs/op within BENCH_ALLOC_TOL (tight enough that micro-benchmarks
 # must match exactly), every benchmark reporting an events/sec metric
 # (the kernel, fleet, replay, doctor and carbon benchmarks) must clear the
-# BENCH_EVENTS_FLOOR absolute throughput floor, and the serving benchmark
-# (decisions/sec) must clear BENCH_DECISIONS_FLOOR. Non-zero exit on
-# regression — the `make ci` gate.
+# BENCH_EVENTS_FLOOR absolute throughput floor, the serving benchmark
+# (decisions/sec) must clear BENCH_DECISIONS_FLOOR, the recorder-off /
+# spans-off hot paths must keep allocs/op byte-for-byte identical to the
+# baseline (BENCH_EXACT_ALLOCS), and the recorder-on leg must stay within
+# BENCH_OVERHEAD_TOL of its traced baseline. Non-zero exit on regression —
+# the `make ci` gate.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput}"
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput|FlightRecorder|SpanOverhead}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
 
@@ -60,11 +73,13 @@ if [ "$check" = 1 ]; then
 		echo "bench.sh: no BENCH_*.json baseline to check against" >&2
 		exit 2
 	fi
-	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001}, eventsfloor ${BENCH_EVENTS_FLOOR:-2000000}, decisionsfloor ${BENCH_DECISIONS_FLOOR:-100000})..." >&2
+	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001}, eventsfloor ${BENCH_EVENTS_FLOOR:-2000000}, decisionsfloor ${BENCH_DECISIONS_FLOOR:-100000}, exactallocs ${BENCH_EXACT_ALLOCS:-FlightRecorder/off|SpanOverhead/off}, overheadtol ${BENCH_OVERHEAD_TOL:-0.5})..." >&2
 	exec go run ./scripts/benchcheck -baseline "$baseline" -new "$tmp" \
 		-tol "${BENCH_TOL:-0.25}" -alloctol "${BENCH_ALLOC_TOL:-0.001}" \
 		-eventsfloor "${BENCH_EVENTS_FLOOR:-2000000}" \
-		-decisionsfloor "${BENCH_DECISIONS_FLOOR:-100000}"
+		-decisionsfloor "${BENCH_DECISIONS_FLOOR:-100000}" \
+		-exactallocs "${BENCH_EXACT_ALLOCS:-FlightRecorder/off|SpanOverhead/off}" \
+		-overheadtol "${BENCH_OVERHEAD_TOL:-0.5}"
 fi
 
 out="${1:-BENCH_$(date +%Y%m%d).json}"

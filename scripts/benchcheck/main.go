@@ -16,7 +16,20 @@
 // serving path: every fresh benchmark reporting a decisions/sec metric
 // (BenchmarkServeThroughput) must clear the eschedd acceptance floor.
 //
-//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000] [-decisionsfloor 100000]
+// -exactallocs names (by regexp) benchmarks whose allocs/op must match the
+// baseline EXACTLY — zero tolerance, both directions. It pins allocation
+// identity on observability-off hot paths (e.g. the flight-recorder-off
+// run in BenchmarkFlightRecorder): even a single extra allocation per op
+// means the disabled instrumentation leaks into the fast path.
+//
+// -overheadtol gates instrumentation overhead inside the fresh run: every
+// ".../on" benchmark with a ".../base" sibling (BenchmarkFlightRecorder's
+// recorder-on vs traced-baseline pair) must run within the given fraction
+// of its sibling's wall time. The design budget is <5% per event; the
+// shipped tolerance is padded for single-run noise, so this check catches
+// a recorder that suddenly costs multiples, not percent-level drift.
+//
+//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000] [-decisionsfloor 100000] [-exactallocs REGEX] [-overheadtol 0.5]
 //
 // Both inputs may be raw benchfmt text or a bench.sh JSON envelope (the
 // envelope's "raw" field holds the text). Only benchmarks present in both
@@ -36,6 +49,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"regexp"
 	"strconv"
 	"strings"
 )
@@ -56,6 +70,8 @@ func main() {
 	cacheSpeedup := flag.Float64("cachespeedup", 50, "required cold/warm speedup for SweepCached pairs in the fresh run (0 disables)")
 	eventsFloor := flag.Float64("eventsfloor", 0, "minimum events/sec for fresh benchmarks reporting that metric (0 disables)")
 	decisionsFloor := flag.Float64("decisionsfloor", 0, "minimum decisions/sec for fresh benchmarks reporting that metric (0 disables)")
+	exactAllocs := flag.String("exactallocs", "", "regexp of benchmarks whose allocs/op must equal the baseline exactly (empty disables)")
+	overheadTol := flag.Float64("overheadtol", 0, "allowed fractional wall-time overhead of fresh '/on' benchmarks over their '/base' siblings (0 disables)")
 	flag.Parse()
 	if *baseline == "" || *newRun == "" {
 		fmt.Fprintln(os.Stderr, "benchcheck: -baseline and -new are required")
@@ -104,6 +120,12 @@ func main() {
 	}
 	if !checkMetricFloor(fresh, *decisionsFloor, "decisions/sec",
 		func(r result) float64 { return r.decisionsSec }) {
+		failed = true
+	}
+	if !checkExactAllocs(base, fresh, *exactAllocs) {
+		failed = true
+	}
+	if !checkOverhead(fresh, *overheadTol) {
 		failed = true
 	}
 	if failed {
@@ -163,6 +185,84 @@ func checkEventsFloor(fresh map[string]result, floor float64) bool {
 			ok = false
 		}
 		fmt.Printf("%-60s %12.0f events/sec  %s\n", name, r.eventsSec, status)
+	}
+	return ok
+}
+
+// checkExactAllocs pins allocation identity: every fresh benchmark whose
+// name matches the pattern and that reports allocs/op must match the
+// baseline's count exactly — zero tolerance in either direction. This is
+// the instrumentation-off gate: a drifting count on a recorder-off or
+// spans-off run means the disabled observability path started allocating.
+// Returns false on violation (or an unusable pattern).
+func checkExactAllocs(base, fresh map[string]result, pattern string) bool {
+	if pattern == "" {
+		return true
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: bad -exactallocs pattern: %v\n", err)
+		return false
+	}
+	ok := true
+	matched := 0
+	for name, nb := range fresh {
+		if !re.MatchString(name) || !nb.hasAlloc {
+			continue
+		}
+		ob, found := base[name]
+		if !found || !ob.hasAlloc {
+			continue
+		}
+		matched++
+		status := "ok"
+		if nb.allocsOp != ob.allocsOp {
+			status = fmt.Sprintf("FAIL allocs %v -> %v (exact match required)", ob.allocsOp, nb.allocsOp)
+			ok = false
+		}
+		fmt.Printf("%-60s %12.0f == %12.0f allocs/op  %s\n", name, ob.allocsOp, nb.allocsOp, status)
+	}
+	if matched == 0 {
+		fmt.Fprintf(os.Stderr, "benchcheck: -exactallocs %q matched no benchmark with allocs in both inputs\n", pattern)
+		return false
+	}
+	return ok
+}
+
+// checkOverhead enforces the instrumentation-overhead pair invariant on
+// the fresh run: every benchmark whose name contains "/on" and that has a
+// "/base" sibling must stay within `tol` of the sibling's wall time. Both
+// legs run back to back in the same process, so the comparison dodges the
+// machine-to-machine drift the relative -tol gate has to absorb. Returns
+// false on violation or when no pair exists (set 0 to disable when running
+// a pattern that excludes the paired benchmarks).
+func checkOverhead(fresh map[string]result, tol float64) bool {
+	if tol <= 0 {
+		return true
+	}
+	ok := true
+	matched := 0
+	for name, on := range fresh {
+		if !strings.Contains(name, "/on") {
+			continue
+		}
+		base, found := fresh[strings.Replace(name, "/on", "/base", 1)]
+		if !found || base.nsPerOp <= 0 {
+			continue
+		}
+		matched++
+		got := on.nsPerOp / base.nsPerOp
+		status := "ok"
+		if got > 1+tol {
+			status = fmt.Sprintf("FAIL overhead +%.1f%% > allowed %.0f%%", 100*(got-1), 100*tol)
+			ok = false
+		}
+		fmt.Printf("%-60s %12.0f base / %8.0f on ns/op (x%.3f)  %s\n",
+			name, base.nsPerOp, on.nsPerOp, got, status)
+	}
+	if matched == 0 {
+		fmt.Fprintln(os.Stderr, "benchcheck: -overheadtol set but no /on benchmark has a /base sibling")
+		return false
 	}
 	return ok
 }

@@ -1,0 +1,101 @@
+#!/bin/sh
+# flightgate.sh — flight-recorder gate (part of `make ci`).
+#
+# Boots a real eschedd daemon with the always-on flight recorder armed and a
+# deliberately unmeetable -flight-slo, drives a short loadgen burst so the
+# first decided request breaches the SLO and freezes the recorder's window,
+# drains the daemon, and then holds the dump to the replayability contract:
+# `tracelens last` must decode the dump (trigger, window bounds, embedded
+# kernel telemetry), `tracelens shards` must render the telemetry snapshot,
+# and `tracelens doctor` must replay the dumped events.bin — a standard
+# ESCHOBS2 log — with zero invariant violations (the window is a clean run
+# prefix; the breach was an SLO event, not a correctness one). Non-zero exit
+# (set -e) on a missing dump, an undecodable artifact, or a doctor
+# violation in the replay.
+#
+# Usage: scripts/flightgate.sh
+#   FLIGHT_DISKS / FLIGHT_BLOCKS / FLIGHT_REQUESTS / FLIGHT_SEED override
+#   the gate's shape (defaults: 24 disks, 1500 blocks, 800 requests, seed 7).
+
+set -eu
+
+cd "$(dirname "$0")/.."
+
+disks="${FLIGHT_DISKS:-24}"
+blocks="${FLIGHT_BLOCKS:-1500}"
+requests="${FLIGHT_REQUESTS:-800}"
+seed="${FLIGHT_SEED:-7}"
+
+tmp="$(mktemp -d)"
+daemon_pid=""
+cleanup() {
+	if [ -n "$daemon_pid" ] && kill -0 "$daemon_pid" 2>/dev/null; then
+		kill -KILL "$daemon_pid" 2>/dev/null || true
+	fi
+	rm -rf "$tmp"
+}
+trap cleanup EXIT
+
+go build -o "$tmp/eschedd" ./cmd/eschedd
+go build -o "$tmp/tracelens" ./cmd/tracelens
+
+echo "flightgate: booting eschedd (-flight, -flight-slo 1ns)..." >&2
+"$tmp/eschedd" serve -addr 127.0.0.1:0 -addrfile "$tmp/addr" \
+	-disks "$disks" -blocks "$blocks" -rf 3 -z 1 -seed "$seed" \
+	-flight "$tmp/flight" -flight-slo 1ns \
+	>"$tmp/daemon.out" 2>"$tmp/daemon.err" &
+daemon_pid=$!
+
+i=0
+while [ ! -s "$tmp/addr" ]; do
+	i=$((i + 1))
+	if [ "$i" -gt 100 ]; then
+		echo "flightgate: daemon did not bind within 10s" >&2
+		cat "$tmp/daemon.err" >&2
+		exit 1
+	fi
+	if ! kill -0 "$daemon_pid" 2>/dev/null; then
+		echo "flightgate: daemon exited during startup" >&2
+		cat "$tmp/daemon.err" >&2
+		exit 1
+	fi
+	sleep 0.1
+done
+addr="$(cat "$tmp/addr")"
+
+echo "flightgate: loadgen burst ($requests requests against $addr)..." >&2
+"$tmp/eschedd" loadgen -addr "$addr" -requests "$requests" \
+	-blocks "$blocks" -seed "$seed" -conns 4 -batch 8 >&2
+
+echo "flightgate: draining daemon (SIGTERM)..." >&2
+kill -TERM "$daemon_pid"
+drain_rc=0
+wait "$daemon_pid" || drain_rc=$?
+daemon_pid=""
+if [ "$drain_rc" -ne 0 ]; then
+	echo "flightgate: daemon exited $drain_rc" >&2
+	cat "$tmp/daemon.err" >&2
+	exit 1
+fi
+grep "flight recorder wrote" "$tmp/daemon.err" >&2
+
+dump="$(ls -d "$tmp"/flight/flight-* | sort | tail -1)"
+if [ -z "$dump" ]; then
+	echo "flightgate: no flight dump written" >&2
+	exit 1
+fi
+
+echo "flightgate: tracelens last over $dump..." >&2
+"$tmp/tracelens" last "$tmp/flight" >"$tmp/last.out"
+cat "$tmp/last.out" >&2
+grep -q "trigger       slo breach" "$tmp/last.out"
+grep -q "kernel telemetry:" "$tmp/last.out"
+
+echo "flightgate: tracelens shards over the dump telemetry..." >&2
+"$tmp/tracelens" shards "$dump/telemetry.json" >&2
+
+echo "flightgate: tracelens doctor replay of the dumped window..." >&2
+"$tmp/tracelens" doctor -disks "$disks" -blocks "$blocks" \
+	-rf 3 -z 1 -seed "$seed" "$dump/events.bin" >&2
+
+echo "flightgate: OK — SLO breach dumped, window decodes, replay doctor-clean" >&2

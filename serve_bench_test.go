@@ -3,9 +3,11 @@ package repro
 import (
 	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/diskmodel"
+	"repro/internal/obs"
 	"repro/internal/placement"
 	"repro/internal/power"
 	"repro/internal/serve"
@@ -67,4 +69,65 @@ func BenchmarkServeThroughput(b *testing.B) {
 	if _, err := eng.Drain(); err != nil {
 		b.Fatal(err)
 	}
+}
+
+// BenchmarkSpanOverhead prices request lifecycle spans on the serving
+// path: one submitter drives the engine in Sequential mode (deterministic
+// virtual clock, so allocs/op is reproducible) without a collector ("off",
+// spans disabled — the hot path scripts/bench.sh -check pins exactly via
+// benchcheck -exactallocs) and with one ("on", spans plus the serving
+// metric families). benchcheck -overheadtol holds on-vs-off under the <5%
+// span budget. No decisions/sec metric here: the single blocking submitter
+// measures per-request cost, not the engine's parallel throughput.
+func BenchmarkSpanOverhead(b *testing.B) {
+	const disks, blocks = 32, 4000
+	plc, err := placement.Generate(placement.GenerateConfig{
+		NumDisks: disks, NumBlocks: blocks,
+		ReplicationFactor: 3, ZipfExponent: 1, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	trace := workload.CelloLike(1<<14, blocks, 7)
+	seq := make([]core.BlockID, len(trace))
+	for i, r := range trace {
+		seq[i] = r.Block
+	}
+	run := func(b *testing.B, col *obs.Collector) {
+		pc := power.DefaultConfig()
+		eng, err := serve.New(serve.Config{
+			System: storage.Config{
+				NumDisks: disks,
+				Power:    pc,
+				Mech:     diskmodel.Cheetah15K5(),
+				Policy:   power.TwoCompetitive{Config: pc},
+			},
+			Router:      serve.NewRouter(plc, 0),
+			MaxInFlight: 1024,
+			RoundMax:    512,
+			Sequential:  true,
+			Collector:   col,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			req := core.Request{
+				ID:      core.RequestID(i),
+				Block:   seq[i%len(seq)],
+				Arrival: time.Duration(i) * 50 * time.Microsecond,
+			}
+			if _, err := eng.Submit(req, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if _, err := eng.Drain(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewCollector()) })
 }
