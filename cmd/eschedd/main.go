@@ -13,6 +13,12 @@
 //
 //	tracelens doctor -disks N -blocks B -rf R -z Z -seed S LOG
 //
+// -shards N partitions the fleet into N per-rack decision shards, each
+// with its own lock-free admission ring and decision loop; the placement
+// switches to the rack-local layout (replicas inside the original's rack)
+// so every decision stays shard-local. Pass the same -shards to tracelens
+// doctor when replaying such a log.
+//
 // On SIGTERM/SIGINT the daemon drains gracefully: new requests get 503,
 // admitted ones are decided, outstanding disk work completes, and the
 // final accounting (energy, spin operations, served/dropped) is printed
@@ -99,7 +105,7 @@ func runServe(args []string) error {
 		queue     = fs.Int("queue", 4096, "admission bound (queue-full submissions get 429)")
 		roundMax  = fs.Int("roundmax", 512, "max requests decided per round")
 		deadline  = fs.Duration("deadline", 0, "default per-request decision deadline (0 = none)")
-		shards    = fs.Int("shards", 0, "router shard count (0 = default)")
+		shards    = fs.Int("shards", 1, "decision shards (>1 switches to the rack-local placement, one rack per shard)")
 		events    = fs.String("events", "", "stream the event log to this file (JSONL; .bin = binary)")
 		metrics   = fs.String("metrics", "", `write a final Prometheus snapshot at drain ("-" = stdout)`)
 		doctor    = fs.Bool("doctor", false, "run live invariant monitors; non-zero exit on violation")
@@ -110,10 +116,19 @@ func runServe(args []string) error {
 	)
 	fs.Parse(args)
 
-	plc, err := placement.Generate(placement.GenerateConfig{
+	pcfg := placement.GenerateConfig{
 		NumDisks: *disks, NumBlocks: *blocks,
 		ReplicationFactor: *rf, ZipfExponent: *zipf, Seed: *seed,
-	})
+	}
+	var plc *placement.Placement
+	var err error
+	if *shards > 1 {
+		// Sharded decisions need shard-local replica sets: rack-local
+		// placement with one rack per decision shard.
+		plc, err = placement.GenerateRackLocal(pcfg, *shards)
+	} else {
+		plc, err = placement.Generate(pcfg)
+	}
 	if err != nil {
 		return err
 	}
@@ -125,7 +140,8 @@ func runServe(args []string) error {
 			Mech:     diskmodel.Cheetah15K5(),
 			Policy:   power.TwoCompetitive{Config: pc},
 		},
-		Router:      serve.NewRouter(plc, *shards),
+		Router:      serve.NewRouter(plc, 0),
+		Shards:      *shards,
 		Cost:        sched.CostConfig{Alpha: *alpha, Beta: *beta, Power: pc},
 		MaxInFlight: *queue,
 		RoundMax:    *roundMax,
@@ -206,8 +222,8 @@ func runServe(args []string) error {
 			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr, "eschedd: serving on %s (%d disks, %d blocks, rf=%d, mode=%s)\n",
-		bound, *disks, *blocks, *rf, *mode)
+	fmt.Fprintf(os.Stderr, "eschedd: serving on %s (%d disks, %d blocks, rf=%d, mode=%s, shards=%d)\n",
+		bound, *disks, *blocks, *rf, *mode, *shards)
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
@@ -388,7 +404,7 @@ func runLoadgen(args []string) error {
 	if err != nil {
 		return err
 	}
-	return report(os.Stdout, lat, service, open, wall, sent, rejected, failed, startState, endState)
+	return report(os.Stdout, lat, service, open, *batch, wall, sent, rejected, failed, startState, endState)
 }
 
 // blockSeq strips a generated trace down to its block sequence.
@@ -568,7 +584,7 @@ func getState(client *http.Client, base string) (stateSnap, error) {
 // report prints the latency/energy SLO report. lat carries the SLO series
 // (intended-send basis in the open loop); service the uncorrected
 // POST-to-reply times, reported as a correction delta when they diverge.
-func report(w io.Writer, lat, service []time.Duration, open bool, wall time.Duration,
+func report(w io.Writer, lat, service []time.Duration, open bool, batch int, wall time.Duration,
 	sent, rejected, failed int64, start, end stateSnap) error {
 	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
 	sort.Slice(service, func(i, j int) bool { return service[i] < service[j] })
@@ -587,6 +603,14 @@ func report(w io.Writer, lat, service []time.Duration, open bool, wall time.Dura
 	fmt.Fprintf(w, "latency: p50 %s  p99 %s  p99.9 %s  max %s\n",
 		pct(50).Round(time.Microsecond), pct(99).Round(time.Microsecond),
 		pct(99.9).Round(time.Microsecond), pct(100).Round(time.Microsecond))
+	if batch > 1 {
+		// Batched POSTs amortize one round trip over the whole chunk; the
+		// per-request share is what a single decision effectively cost.
+		amort := func(p float64) time.Duration { return pct(p) / time.Duration(batch) }
+		fmt.Fprintf(w, "amortized per request (batch %d): p50 %s  p99 %s  max %s\n",
+			batch, amort(50).Round(time.Microsecond), amort(99).Round(time.Microsecond),
+			amort(100).Round(time.Microsecond))
+	}
 	if open {
 		// Show how much the coordinated-omission correction moved the tail:
 		// the service series is what a naive send-to-reply measurement would

@@ -42,6 +42,17 @@ func (r *ResponseTimes) Grow(n int) {
 // Count returns the number of samples.
 func (r *ResponseTimes) Count() int { return len(r.samples) }
 
+// Append concatenates another accumulator's samples (in their insertion
+// order) onto r. Sharded runs use it to combine per-shard sample sets when
+// no canonical global order is being maintained.
+func (r *ResponseTimes) Append(o *ResponseTimes) {
+	if o == nil || len(o.samples) == 0 {
+		return
+	}
+	r.samples = append(r.samples, o.samples...)
+	r.sorted = false
+}
+
 // MarshalJSON encodes the samples (in insertion order, nanoseconds) so
 // cached results round-trip bit-exactly; the sorted flag is derived state
 // and is not persisted.

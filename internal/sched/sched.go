@@ -95,9 +95,17 @@ func (c CostConfig) EnergyCost(v View, d core.DiskID) float64 {
 	}
 }
 
+// CostOf computes the composite C(d_k) of Eq. 6 from an already-evaluated
+// E(d_k) and queue depth, so a caller that reports both the energy term
+// and the composite (the serving engine's per-decision payload) prices
+// the disk with a single energy evaluation.
+func (c CostConfig) CostOf(energy float64, load int) float64 {
+	return energy*c.Alpha/c.Beta + float64(load)*(1-c.Alpha)
+}
+
 // Cost computes the composite C(d_k) of Eq. 6.
 func (c CostConfig) Cost(v View, d core.DiskID) float64 {
-	return c.EnergyCost(v, d)*c.Alpha/c.Beta + float64(v.Load(d))*(1-c.Alpha)
+	return c.CostOf(c.EnergyCost(v, d), v.Load(d))
 }
 
 // Random is the energy-oblivious baseline that sends each request to a

@@ -62,6 +62,9 @@ type StateResponse struct {
 	CarbonG float64     `json:"carbon_gco2e,omitempty"`
 	CostUSD float64     `json:"cost_usd,omitempty"`
 	Disks   []DiskState `json:"disks"`
+	// Shards breaks the run down per decision shard (disk range, clock
+	// segment, decision/round counters).
+	Shards []ShardState `json:"shards,omitempty"`
 	// Slow lists the slowest request lifecycle spans seen so far, worst
 	// first (admit→queue→decide→dispatch→reply breakdown per entry);
 	// empty when the engine runs without a metrics collector.
@@ -313,6 +316,7 @@ func (s *Server) handleState(w http.ResponseWriter, r *http.Request) {
 		CarbonG:   snap.Totals.CarbonG,
 		CostUSD:   snap.Totals.CostUSD,
 		Disks:     make([]DiskState, len(snap.Disks)),
+		Shards:    snap.Shards,
 		Slow:      snap.Slow,
 		Kernel:    snap.Kernel,
 	}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/placement"
+	"repro/internal/simkernel"
 )
 
 // Router is the daemon's replica-lookup surface: a sharded, lock-free view
@@ -21,13 +22,51 @@ import (
 type Router struct {
 	numDisks int
 	shards   []atomic.Pointer[shardTable]
+	// alignShards, when set (see SetAlignment), makes Update reject location
+	// lists that straddle the serving engine's decision shards.
+	alignShards atomic.Int32
 }
 
-// shardTable is one shard's immutable slice of location lists, indexed by
-// block/numShards. Location slices are shared with the source placement
-// and must never be mutated in place.
+// shardTable is one shard's immutable location store, indexed by
+// block/numShards. Replica lists are packed into fixed-width rows of one
+// flat array instead of a slice of slices: a lookup loads the row
+// directly rather than chasing a per-block slice header first, halving
+// the dependent cache misses on the decision hot path. The table must
+// never be mutated in place.
 type shardTable struct {
-	locs [][]core.DiskID
+	width int           // replica slots per row (the widest list stored)
+	cnt   []uint16      // live replica count per block
+	flat  []core.DiskID // rows, width apart; block i's row starts at i*width
+}
+
+// lookup returns block row i's live replicas, or nil when out of range.
+func (t *shardTable) lookup(i int) []core.DiskID {
+	if i >= len(t.cnt) {
+		return nil
+	}
+	off := i * t.width
+	end := off + int(t.cnt[i])
+	return t.flat[off:end:end]
+}
+
+// packTable builds an immutable shardTable from per-block location lists.
+func packTable(lists [][]core.DiskID) *shardTable {
+	w := 1
+	for _, l := range lists {
+		if len(l) > w {
+			w = len(l)
+		}
+	}
+	t := &shardTable{
+		width: w,
+		cnt:   make([]uint16, len(lists)),
+		flat:  make([]core.DiskID, len(lists)*w),
+	}
+	for i, l := range lists {
+		t.cnt[i] = uint16(len(l))
+		copy(t.flat[i*w:], l)
+	}
+	return t
 }
 
 // NewRouter builds a sharded router over a placement. shards <= 0 selects
@@ -44,21 +83,20 @@ func NewRouter(p *placement.Placement, shards int) *Router {
 		shards = 1
 	}
 	r := &Router{numDisks: p.NumDisks(), shards: make([]atomic.Pointer[shardTable], shards)}
-	tables := make([]shardTable, shards)
-	for s := range tables {
+	lists := make([][][]core.DiskID, shards)
+	for s := range lists {
 		n := (p.NumBlocks() - s + shards - 1) / shards
 		if n < 0 {
 			n = 0
 		}
-		tables[s].locs = make([][]core.DiskID, 0, n)
+		lists[s] = make([][]core.DiskID, 0, n)
 	}
 	for b := 0; b < p.NumBlocks(); b++ {
 		s := b % shards
-		tables[s].locs = append(tables[s].locs, p.Locations(core.BlockID(b)))
+		lists[s] = append(lists[s], p.Locations(core.BlockID(b)))
 	}
-	for s := range tables {
-		t := tables[s]
-		r.shards[s].Store(&t)
+	for s := range lists {
+		r.shards[s].Store(packTable(lists[s]))
 	}
 	return r
 }
@@ -73,7 +111,7 @@ func (r *Router) NumShards() int { return len(r.shards) }
 func (r *Router) NumBlocks() int {
 	n := 0
 	for s := range r.shards {
-		n += len(r.shards[s].Load().locs)
+		n += len(r.shards[s].Load().cnt)
 	}
 	return n
 }
@@ -87,11 +125,16 @@ func (r *Router) Lookup(b core.BlockID) []core.DiskID {
 	}
 	s := int(b) % len(r.shards)
 	t := r.shards[s].Load()
-	i := int(b) / len(r.shards)
-	if i >= len(t.locs) {
-		return nil
-	}
-	return t.locs[i]
+	return t.lookup(int(b) / len(r.shards))
+}
+
+// SetAlignment pins the router to a decision-shard topology: every
+// subsequent Update must keep a block's replicas inside one engine shard's
+// disk range, preserving the invariant serve.New validated at startup (a
+// decision never needs two shards' state). The serving engine calls this
+// once, before traffic; shards <= 1 clears the constraint.
+func (r *Router) SetAlignment(shards int) {
+	r.alignShards.Store(int32(shards))
 }
 
 // Update replaces one block's location list (copy-on-write on the block's
@@ -113,6 +156,14 @@ func (r *Router) Update(b core.BlockID, locs []core.DiskID) error {
 		}
 		seen[d] = struct{}{}
 	}
+	if shards := int(r.alignShards.Load()); shards > 1 {
+		home := simkernel.ShardOf(locs[0], r.numDisks, shards)
+		for _, d := range locs[1:] {
+			if simkernel.ShardOf(d, r.numDisks, shards) != home {
+				return fmt.Errorf("serve: block %d update %v straddles decision shards (engine is aligned to %d shards)", b, locs, shards)
+			}
+		}
+	}
 	if b < 0 {
 		return fmt.Errorf("serve: invalid block %d", b)
 	}
@@ -120,12 +171,37 @@ func (r *Router) Update(b core.BlockID, locs []core.DiskID) error {
 	i := int(b) / len(r.shards)
 	for {
 		old := r.shards[s].Load()
-		if i >= len(old.locs) {
+		if i >= len(old.cnt) {
 			return fmt.Errorf("serve: unknown block %d", b)
 		}
-		next := &shardTable{locs: make([][]core.DiskID, len(old.locs))}
-		copy(next.locs, old.locs)
-		next.locs[i] = append([]core.DiskID(nil), locs...)
+		var next *shardTable
+		if len(locs) <= old.width {
+			// Same row width: copy the packed table and overwrite one row.
+			next = &shardTable{
+				width: old.width,
+				cnt:   append([]uint16(nil), old.cnt...),
+				flat:  append([]core.DiskID(nil), old.flat...),
+			}
+			row := next.flat[i*next.width : i*next.width+next.width]
+			n := copy(row, locs)
+			for j := n; j < len(row); j++ {
+				row[j] = 0
+			}
+			next.cnt[i] = uint16(len(locs))
+		} else {
+			// The new list is wider than any row; repack the shard with
+			// wider rows. Updates are rare and per-shard, so the rebuild
+			// never touches another stripe or blocks a reader.
+			lists := make([][]core.DiskID, len(old.cnt))
+			for j := range lists {
+				if j == i {
+					lists[j] = locs
+				} else {
+					lists[j] = old.lookup(j)
+				}
+			}
+			next = packTable(lists)
+		}
 		if r.shards[s].CompareAndSwap(old, next) {
 			return nil
 		}

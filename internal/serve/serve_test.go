@@ -366,10 +366,30 @@ func TestNewValidation(t *testing.T) {
 	}
 }
 
-// blockLoop occupies the decision goroutine for d without deciding.
+// blockLoop occupies every decision shard for d without deciding: it seizes
+// all combining tokens, so submissions queue in the rings until release.
 func blockLoop(e *Engine, d time.Duration) {
-	c := ctlMsg{fn: func() { time.Sleep(d) }, done: make(chan struct{})}
-	e.ctl <- c
+	acquired := make(chan struct{})
+	go func() {
+		for _, s := range e.shards {
+			for !s.tok.CompareAndSwap(0, 1) {
+				time.Sleep(time.Microsecond)
+			}
+		}
+		close(acquired)
+		time.Sleep(d)
+		for _, s := range e.shards {
+			s.tok.Store(0)
+		}
+		// Combine anything that queued while the tokens were held, exactly
+		// as a real holder's release-recheck would.
+		for _, s := range e.shards {
+			if !s.ring.empty() {
+				e.combineOn(s)
+			}
+		}
+	}()
+	<-acquired
 }
 
 func waitFor(t *testing.T, cond func() bool) {

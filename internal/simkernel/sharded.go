@@ -166,6 +166,19 @@ func ShardOf(d core.DiskID, numDisks, numShards int) int {
 	return s
 }
 
+// ShardRange returns the contiguous disk range [base, base+count) owned by
+// shard s under the ShardOf striping: every shard owns numDisks/numShards
+// disks, with the final shard absorbing any remainder.
+func ShardRange(numDisks, numShards, s int) (base, count int) {
+	per := numDisks / numShards
+	base = s * per
+	count = per
+	if s == numShards-1 {
+		count = numDisks - base
+	}
+	return base, count
+}
+
 // NumShards returns the number of sub-kernels.
 func (se *Sharded) NumShards() int { return len(se.shards) }
 

@@ -1,0 +1,320 @@
+package storage
+
+// The shard journal is the ordering backbone of the sharded serving path
+// (LiveSet): each decision shard runs a private serial kernel over its
+// contiguous disk range and records every observable emission — relayed
+// trace events, completions, power transitions, queue depths, decision and
+// drop counts — as a keyed record. A k-way merge over the per-shard
+// journals then replays the records in the canonical global order and
+// applies them to the real observability surfaces (tracer + observer
+// chain, run metrics, state log, response accumulator), so a sharded
+// Sequential run's outputs are byte-identical to the serial engine's.
+//
+// Records are keyed (at, class, gid):
+//
+//   - class 0 is a kernel emission (a completion, idle timeout or spin
+//     transition fired while advancing the shard clock); gid is the shard
+//     index, so same-instant kernel activity across shards lands in disk
+//     order (shard ranges are contiguous and ascending).
+//   - class 1 is request-processing output (arrive, decision, dispatch,
+//     queue; plus any spin-up the dispatch triggers synchronously); gid is
+//     the request ID, so same-instant requests land in submission order.
+//
+// A serial engine fires every kernel event at or before time t during
+// Advance(t) *before* processing the request admitted at t (RunUntil is
+// deadline-inclusive), which is exactly "class 0 before class 1 at equal
+// at". Within one shard, keys are clamped monotonically non-decreasing
+// (key = max(computed, last appended)) so the journal is always sorted by
+// construction and equal-key records replay in emission order — the same
+// position a serial run gives them.
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/obs"
+)
+
+// jkey orders journal records globally; see the package comment above.
+type jkey struct {
+	at    time.Duration
+	class uint8
+	gid   uint64
+}
+
+func (k jkey) less(o jkey) bool {
+	if k.at != o.at {
+		return k.at < o.at
+	}
+	if k.class != o.class {
+		return k.class < o.class
+	}
+	return k.gid < o.gid
+}
+
+// Journal record kinds. recEvent replays into the tracer; the others carry
+// the side effects the serial path performs inline (metrics, samples,
+// state-log lines) at the equivalent stream position.
+const (
+	recEvent uint8 = iota
+	recDone
+	recTrans
+	recDepth
+	recDecision
+	recDrop
+)
+
+type jrec struct {
+	key  jkey
+	kind uint8
+	ev   obs.Event // recEvent
+	// recDone: req + at (completion time); recTrans: at/disk/from/to/ed.
+	req      core.Request
+	at       time.Duration
+	disk     core.DiskID
+	from, to core.DiskState
+	ed       obs.EnergyDelta
+	depth    int // recDepth
+}
+
+// shardJournal buffers one shard's records. Appends run on whichever
+// goroutine holds the shard's combining token; drains run on the
+// maintenance or draining goroutine — the mutex covers that handoff (the
+// token already serializes appenders among themselves).
+type shardJournal struct {
+	idx uint64 // shard index: the class-0 tiebreak gid
+
+	mu   sync.Mutex
+	recs []jrec
+	last jkey
+
+	// Request bracket: between begin and end, every record is class 1 at
+	// the bracketed (time, request) regardless of its own timestamp.
+	inReq  bool
+	reqKey jkey
+}
+
+// key computes the record key for an emission at time at, applying the
+// request bracket and the monotone clamp. Callers hold mu.
+func (j *shardJournal) key(at time.Duration) jkey {
+	k := jkey{at: at, gid: j.idx}
+	if j.inReq {
+		k = j.reqKey
+	}
+	if k.less(j.last) {
+		k = j.last
+	}
+	j.last = k
+	return k
+}
+
+// begin opens a request-processing bracket: subsequent records are keyed
+// (at, 1, gid) until end.
+func (j *shardJournal) begin(at time.Duration, gid uint64) {
+	j.mu.Lock()
+	j.inReq = true
+	j.reqKey = jkey{at: at, class: 1, gid: gid}
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) end() {
+	j.mu.Lock()
+	j.inReq = false
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) event(ev obs.Event) {
+	j.mu.Lock()
+	j.recs = append(j.recs, jrec{key: j.key(ev.At), kind: recEvent, ev: ev})
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) done(req core.Request, at time.Duration) {
+	j.mu.Lock()
+	j.recs = append(j.recs, jrec{key: j.key(at), kind: recDone, req: req, at: at})
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) trans(d core.DiskID, at time.Duration, from, to core.DiskState, e obs.EnergyDelta) {
+	j.mu.Lock()
+	j.recs = append(j.recs, jrec{key: j.key(at), kind: recTrans, at: at, disk: d, from: from, to: to, ed: e})
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) depth(load int) {
+	j.mu.Lock()
+	j.recs = append(j.recs, jrec{key: j.key(j.reqKey.at), kind: recDepth, depth: load})
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) decision() {
+	j.mu.Lock()
+	j.recs = append(j.recs, jrec{key: j.key(j.reqKey.at), kind: recDecision})
+	j.mu.Unlock()
+}
+
+func (j *shardJournal) drop() {
+	j.mu.Lock()
+	j.recs = append(j.recs, jrec{key: j.key(j.reqKey.at), kind: recDrop})
+	j.mu.Unlock()
+}
+
+// steal removes and returns the prefix of records with at < upTo
+// (everything when upTo < 0). The journal is sorted by construction, so
+// the cut is a prefix; later appends are keyed at or after the shard's
+// published clock, which is at or after any watermark the caller computed.
+func (j *shardJournal) steal(upTo time.Duration) []jrec {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	cut := len(j.recs)
+	if upTo >= 0 {
+		cut = 0
+		for cut < len(j.recs) && j.recs[cut].key.at < upTo {
+			cut++
+		}
+	}
+	if cut == 0 {
+		return nil
+	}
+	out := j.recs[:cut:cut]
+	j.recs = append([]jrec(nil), j.recs[cut:]...)
+	return out
+}
+
+// decEntry maps a shard-local decision ID to its global renumbering; at is
+// kept so stale entries can be evicted once no future record can
+// reference them.
+type decEntry struct {
+	id obs.DecisionID
+	at time.Duration
+}
+
+// merger replays journal records in canonical global order onto the real
+// observability surfaces. All methods run on one goroutine at a time (the
+// maintenance flusher or the finisher).
+type merger struct {
+	tr       *obs.Tracer // real tracer (with the observer chain); nil when untraced
+	rm       *obs.RunMetrics
+	stateLog io.Writer
+	resp     *metrics.ResponseTimes
+
+	// decisions is the canonical run-wide decision counter; decMap[s]
+	// renumbers shard s's local IDs into it.
+	decisions uint64
+	decMap    []map[obs.DecisionID]decEntry
+	// decHorizon bounds how far back a record can reference a decision
+	// (a spin-up caused by a dispatch lands within the spin-up time);
+	// entries older than watermark-decHorizon are evicted.
+	decHorizon time.Duration
+}
+
+const decEvictThreshold = 16384
+
+func newMerger(shards int, o runOptions, resp *metrics.ResponseTimes, decHorizon time.Duration) *merger {
+	m := &merger{tr: o.tracer, stateLog: o.stateLog, resp: resp, decMap: make([]map[obs.DecisionID]decEntry, shards), decHorizon: decHorizon}
+	if o.collector != nil {
+		m.rm = obs.NewRunMetrics(o.collector)
+	}
+	for i := range m.decMap {
+		m.decMap[i] = make(map[obs.DecisionID]decEntry)
+	}
+	return m
+}
+
+// apply replays one record from shard s.
+func (m *merger) apply(s int, r jrec) {
+	switch r.kind {
+	case recEvent:
+		ev := r.ev
+		if ev.Kind == obs.KindDecision {
+			m.decisions++
+			g := obs.DecisionID(m.decisions)
+			m.decMap[s][ev.Dec] = decEntry{id: g, at: ev.At}
+			ev.Dec = g
+		} else if ev.Dec != 0 {
+			if e, ok := m.decMap[s][ev.Dec]; ok {
+				ev.Dec = e.id
+			}
+		}
+		m.tr.Emit(ev)
+	case recDone:
+		lat := r.at - r.req.Arrival
+		if m.resp != nil {
+			m.resp.Add(lat)
+		}
+		if m.rm != nil {
+			m.rm.ObserveResponse(lat)
+			m.rm.Served.Inc()
+		}
+	case recTrans:
+		if m.stateLog != nil {
+			fmt.Fprintf(m.stateLog, "%.6f,%d,%s,%s\n", r.at.Seconds(), r.disk, r.from, r.to)
+		}
+		if m.rm != nil {
+			m.rm.Transition(r.from, r.to, r.ed)
+		}
+	case recDepth:
+		if m.rm != nil {
+			m.rm.QueueDepth.Observe(float64(r.depth))
+		}
+	case recDecision:
+		if m.rm != nil {
+			m.rm.Decisions.Inc()
+		}
+	case recDrop:
+		if m.rm != nil {
+			m.rm.Dropped.Inc()
+		}
+	}
+}
+
+// merge steals each journal's prefix below upTo (everything when upTo < 0)
+// and replays the combined stream in key order, stable within a shard.
+func (m *merger) merge(journals []*shardJournal, upTo time.Duration) {
+	runs := make([][]jrec, len(journals))
+	total := 0
+	for i, j := range journals {
+		runs[i] = j.steal(upTo)
+		total += len(runs[i])
+	}
+	if total == 0 {
+		return
+	}
+	pos := make([]int, len(runs))
+	for done := 0; done < total; done++ {
+		best := -1
+		for i, rs := range runs {
+			if pos[i] >= len(rs) {
+				continue
+			}
+			if best < 0 || rs[pos[i]].key.less(runs[best][pos[best]].key) {
+				best = i
+			}
+		}
+		m.apply(best, runs[best][pos[best]])
+		pos[best]++
+	}
+	if upTo >= 0 {
+		m.evict(upTo)
+	}
+}
+
+// evict drops decision-map entries that no future record (all keyed at or
+// after watermark) can reference.
+func (m *merger) evict(watermark time.Duration) {
+	cutoff := watermark - m.decHorizon
+	for _, dm := range m.decMap {
+		if len(dm) < decEvictThreshold {
+			continue
+		}
+		for k, e := range dm {
+			if e.at < cutoff {
+				delete(dm, k)
+			}
+		}
+	}
+}

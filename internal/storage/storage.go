@@ -109,13 +109,18 @@ func (r *Result) NormalizedEnergy() float64 { return r.Energy / r.AlwaysOnEnergy
 // system wires an engine, disks and metrics together and implements
 // sched.View.
 type system struct {
-	cfg          Config
-	eng          simkernel.Kernel
+	cfg Config
+	eng simkernel.Kernel
+	// base is the global ID of disks[0]: a full system has base 0, a
+	// serving-shard sub-range system (see LiveSet) owns the global disks
+	// [base, base+len(disks)) and indexes disks by gid-base.
+	base         int
 	serial       simkernel.Engine // backs eng on the serial (Shards <= 1) path
 	disks        []*diskmodel.Disk
 	resp         metrics.ResponseTimes
 	tr           *obs.Tracer
 	rm           *obs.RunMetrics
+	jr           *shardJournal // canonical-order capture for sub-range systems
 	mon          *monitor.Suite
 	acct         *account.Accumulator
 	err          error
@@ -129,14 +134,31 @@ type system struct {
 var _ sched.View = (*system)(nil)
 
 func newSystem(cfg Config, o runOptions) (*system, error) {
+	return newSystemRange(cfg, o, 0, cfg.NumDisks, nil)
+}
+
+// newSystemRange builds a system over the global disk range
+// [base, base+count). The full range with a nil journal is the classic
+// path; a sub-range is one serving shard's slice of the fleet: its disks
+// keep their global IDs, its kernel is always serial, and jr (when
+// non-nil) captures every emission — relay-traced events, completions,
+// transitions, queue depths — into the shard journal so LiveSet can merge
+// the per-shard streams into the canonical global order.
+func newSystemRange(cfg Config, o runOptions, base, count int, jr *shardJournal) (*system, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if base < 0 || count <= 0 || base+count > cfg.NumDisks {
+		return nil, fmt.Errorf("storage: disk range [%d, %d) outside population %d", base, base+count, cfg.NumDisks)
+	}
+	if cfg.Shards > 1 && (base != 0 || count != cfg.NumDisks) {
+		return nil, errors.New("storage: a sub-range system runs the serial kernel")
 	}
 	policy := cfg.Policy
 	if policy == nil {
 		policy = power.TwoCompetitive{Config: cfg.Power}
 	}
-	s := &system{cfg: cfg, disks: make([]*diskmodel.Disk, cfg.NumDisks), tr: o.tracer, mon: o.monitor, acct: o.acct}
+	s := &system{cfg: cfg, base: base, disks: make([]*diskmodel.Disk, count), tr: o.tracer, jr: jr, mon: o.monitor, acct: o.acct}
 	var se *simkernel.Sharded
 	if cfg.Shards > 1 {
 		se = simkernel.NewSharded(cfg.NumDisks, cfg.Shards, 0)
@@ -172,6 +194,19 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 			s.rm.Served.Inc()
 		}
 	}
+	if jr != nil {
+		// Journaling shard: completions and transitions are recorded in the
+		// shard journal and applied — response samples, state-log lines,
+		// metrics — in canonical global order at merge time. Only the local
+		// served counter (conservation bookkeeping) advances here.
+		onDone = func(req core.Request, done time.Duration) {
+			s.served++
+			jr.done(req, done)
+		}
+		onTrans = func(d core.DiskID, now time.Duration, from, to core.DiskState, e obs.EnergyDelta) {
+			jr.trans(d, now, from, to, e)
+		}
+	}
 	// Sharded runs give each shard a private relay tracer: disks emit into
 	// it from the shard's goroutine, and its observer defers each event into
 	// the real tracer, which re-stamps the sequence number at effect-replay
@@ -183,12 +218,13 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 		shardTrs = make([]*obs.Tracer, se.NumShards())
 	}
 	for i := range s.disks {
+		gid := core.DiskID(base + i)
 		sim := simkernel.Sim(s.eng)
 		tr := o.tracer
 		done := onDone
 		trans := onTrans
 		if se != nil {
-			view := se.DiskSim(core.DiskID(i))
+			view := se.DiskSim(gid)
 			sim = view
 			done = func(req core.Request, doneAt time.Duration) {
 				view.Defer(func() { onDone(req, doneAt) })
@@ -199,7 +235,7 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 				}
 			}
 			if shardTrs != nil {
-				idx := simkernel.ShardOf(core.DiskID(i), cfg.NumDisks, se.NumShards())
+				idx := simkernel.ShardOf(gid, cfg.NumDisks, se.NumShards())
 				if shardTrs[idx] == nil {
 					st := obs.NewTracer(1)
 					st.SetObserver(func(ev obs.Event) {
@@ -210,7 +246,7 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 				tr = shardTrs[idx]
 			}
 		}
-		d, err := diskmodel.New(core.DiskID(i), cfg.Mech, cfg.Power, policy, sim, done,
+		d, err := diskmodel.New(gid, cfg.Mech, cfg.Power, policy, sim, done,
 			diskmodel.Options{
 				InitialState: cfg.InitialState,
 				Discipline:   cfg.Discipline,
@@ -229,14 +265,14 @@ func newSystem(cfg Config, o runOptions) (*system, error) {
 func (s *system) Now() time.Duration { return s.eng.Now() }
 
 // DiskState implements sched.View.
-func (s *system) DiskState(d core.DiskID) core.DiskState { return s.disks[d].State() }
+func (s *system) DiskState(d core.DiskID) core.DiskState { return s.disks[int(d)-s.base].State() }
 
 // Load implements sched.View.
-func (s *system) Load(d core.DiskID) int { return s.disks[d].Load() }
+func (s *system) Load(d core.DiskID) int { return s.disks[int(d)-s.base].Load() }
 
 // LastRequestTime implements sched.View.
 func (s *system) LastRequestTime(d core.DiskID) (time.Duration, bool) {
-	return s.disks[d].LastRequestTime()
+	return s.disks[int(d)-s.base].LastRequestTime()
 }
 
 // fail records the first simulation error and halts the run.
@@ -254,6 +290,9 @@ func (s *system) drop(req core.Request) {
 	if s.rm != nil {
 		s.rm.Dropped.Inc()
 	}
+	if s.jr != nil {
+		s.jr.drop()
+	}
 }
 
 // submit hands the request to its chosen disk, emitting the dispatch event
@@ -262,9 +301,13 @@ func (s *system) drop(req core.Request) {
 // spin-up the arrival triggers is attributed to it in the log.
 func (s *system) submit(req core.Request, d core.DiskID, dec obs.DecisionID) {
 	s.tr.Dispatch(s.eng.Now(), req.ID, req.Block, d, dec)
-	s.disks[d].SubmitCaused(req, dec)
+	disk := s.disks[int(d)-s.base]
+	disk.SubmitCaused(req, dec)
 	if s.rm != nil {
-		s.rm.QueueDepth.Observe(float64(s.disks[d].Load()))
+		s.rm.QueueDepth.Observe(float64(disk.Load()))
+	}
+	if s.jr != nil {
+		s.jr.depth(disk.Load())
 	}
 }
 
@@ -274,8 +317,8 @@ func (s *system) dispatch(req core.Request, d core.DiskID, loc sched.Locator, de
 		s.drop(req)
 		return
 	}
-	if d < 0 || int(d) >= len(s.disks) {
-		s.fail(fmt.Errorf("storage: scheduler chose nonexistent disk %d for %v", d, req))
+	if int(d) < s.base || int(d) >= s.base+len(s.disks) {
+		s.fail(fmt.Errorf("storage: scheduler chose disk %d outside range [%d, %d) for %v", d, s.base, s.base+len(s.disks), req))
 		return
 	}
 	valid := false

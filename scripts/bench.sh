@@ -2,8 +2,9 @@
 # bench.sh — benchmark-regression harness.
 #
 # Runs the tier-1 figure benchmarks (BenchmarkFigure*) plus the offline
-# pipeline, trace-analyzer, live-doctor, carbon-attribution, flight-recorder
-# and span-overhead benchmarks with -benchmem and records the result as
+# pipeline, trace-analyzer, live-doctor, carbon-attribution, serving
+# (sharded throughput + hot submit), flight-recorder and span-overhead
+# benchmarks with -benchmem and records the result as
 # BENCH_<date>.json in the repo root: a small JSON envelope with machine
 # metadata and the raw `go test -bench` text embedded verbatim, so
 #
@@ -14,7 +15,7 @@
 # Usage: scripts/bench.sh [output.json]
 #        scripts/bench.sh -check [baseline.json]
 #   BENCH_PATTERN  regex of benchmarks to run
-#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput|FlightRecorder|SpanOverhead')
+#                  (default 'Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput|ServeSubmit|FlightRecorder|SpanOverhead')
 #   BENCH_TIME     per-benchmark time (default 1s)
 #   BENCH_COUNT    repetitions for benchstat confidence (default 1)
 #   BENCH_TOL      -check wall-time tolerance as a fraction (default 0.25)
@@ -22,11 +23,15 @@
 #   BENCH_EVENTS_FLOOR  -check absolute events/sec floor for benchmarks
 #                  reporting that metric (default 2000000)
 #   BENCH_DECISIONS_FLOOR  -check absolute decisions/sec floor for the
-#                  serving benchmark (default 100000)
+#                  serving throughput benchmark, held at every shard count
+#                  (default 1000000)
 #   BENCH_EXACT_ALLOCS  -check regexp of benchmarks whose allocs/op must
 #                  equal the baseline exactly — the instrumentation-off
 #                  allocation-identity gate (default
-#                  'FlightRecorder/off|SpanOverhead/off')
+#                  'FlightRecorder/off|SpanOverhead/off|ServeSubmit/off')
+#   BENCH_ZERO_ALLOCS  -check regexp of benchmarks that must report exactly
+#                  0 allocs/op, baseline-independent — the zero-alloc
+#                  submit-path gate (default 'ServeSubmit/off')
 #   BENCH_OVERHEAD_TOL  -check allowed wall-time overhead of the
 #                  flight-recorder-on leg over its traced baseline
 #                  (FlightRecorder/on vs /base). The design budget is <5%
@@ -41,17 +46,18 @@
 # must match exactly), every benchmark reporting an events/sec metric
 # (the kernel, fleet, replay, doctor and carbon benchmarks) must clear the
 # BENCH_EVENTS_FLOOR absolute throughput floor, the serving benchmark
-# (decisions/sec) must clear BENCH_DECISIONS_FLOOR, the recorder-off /
-# spans-off hot paths must keep allocs/op byte-for-byte identical to the
-# baseline (BENCH_EXACT_ALLOCS), and the recorder-on leg must stay within
-# BENCH_OVERHEAD_TOL of its traced baseline. Non-zero exit on regression —
-# the `make ci` gate.
+# (decisions/sec) must clear BENCH_DECISIONS_FLOOR at every shard count,
+# the recorder-off / spans-off / submit hot paths must keep allocs/op
+# byte-for-byte identical to the baseline (BENCH_EXACT_ALLOCS), the
+# serving submit path must allocate nothing at all (BENCH_ZERO_ALLOCS),
+# and the recorder-on leg must stay within BENCH_OVERHEAD_TOL of its
+# traced baseline. Non-zero exit on regression — the `make ci` gate.
 
 set -eu
 
 cd "$(dirname "$0")/.."
 
-pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput|FlightRecorder|SpanOverhead}"
+pattern="${BENCH_PATTERN:-Figure|OfflineMWISPipeline|AnalyzeReplay|DoctorLive|CarbonAttribution|SweepCached|KernelThroughput|Fleet100k|ServeThroughput|ServeSubmit|FlightRecorder|SpanOverhead}"
 benchtime="${BENCH_TIME:-1s}"
 count="${BENCH_COUNT:-1}"
 
@@ -73,12 +79,13 @@ if [ "$check" = 1 ]; then
 		echo "bench.sh: no BENCH_*.json baseline to check against" >&2
 		exit 2
 	fi
-	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001}, eventsfloor ${BENCH_EVENTS_FLOOR:-2000000}, decisionsfloor ${BENCH_DECISIONS_FLOOR:-100000}, exactallocs ${BENCH_EXACT_ALLOCS:-FlightRecorder/off|SpanOverhead/off}, overheadtol ${BENCH_OVERHEAD_TOL:-0.5})..." >&2
+	echo "checking against $baseline (tol ${BENCH_TOL:-0.25}, alloctol ${BENCH_ALLOC_TOL:-0.001}, eventsfloor ${BENCH_EVENTS_FLOOR:-2000000}, decisionsfloor ${BENCH_DECISIONS_FLOOR:-1000000}, exactallocs ${BENCH_EXACT_ALLOCS:-FlightRecorder/off|SpanOverhead/off|ServeSubmit/off}, zeroallocs ${BENCH_ZERO_ALLOCS:-ServeSubmit/off}, overheadtol ${BENCH_OVERHEAD_TOL:-0.5})..." >&2
 	exec go run ./scripts/benchcheck -baseline "$baseline" -new "$tmp" \
 		-tol "${BENCH_TOL:-0.25}" -alloctol "${BENCH_ALLOC_TOL:-0.001}" \
 		-eventsfloor "${BENCH_EVENTS_FLOOR:-2000000}" \
-		-decisionsfloor "${BENCH_DECISIONS_FLOOR:-100000}" \
-		-exactallocs "${BENCH_EXACT_ALLOCS:-FlightRecorder/off|SpanOverhead/off}" \
+		-decisionsfloor "${BENCH_DECISIONS_FLOOR:-1000000}" \
+		-exactallocs "${BENCH_EXACT_ALLOCS:-FlightRecorder/off|SpanOverhead/off|ServeSubmit/off}" \
+		-zeroallocs "${BENCH_ZERO_ALLOCS:-ServeSubmit/off}" \
 		-overheadtol "${BENCH_OVERHEAD_TOL:-0.5}"
 fi
 

@@ -22,6 +22,13 @@
 // run in BenchmarkFlightRecorder): even a single extra allocation per op
 // means the disabled instrumentation leaks into the fast path.
 //
+// -zeroallocs is the absolute version of that pin: benchmarks matching the
+// regexp must report exactly 0 allocs/op in the fresh run, independent of
+// any baseline. It gates the serving engine's hot submit path
+// (BenchmarkServeSubmit's collector-off leg): the ring-buffer admission
+// and pooled pending records mean a steady-state submit must not touch
+// the heap at all, and this check holds even on the first recorded run.
+//
 // -overheadtol gates instrumentation overhead inside the fresh run: every
 // ".../on" benchmark with a ".../base" sibling (BenchmarkFlightRecorder's
 // recorder-on vs traced-baseline pair) must run within the given fraction
@@ -29,7 +36,7 @@
 // shipped tolerance is padded for single-run noise, so this check catches
 // a recorder that suddenly costs multiples, not percent-level drift.
 //
-//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000] [-decisionsfloor 100000] [-exactallocs REGEX] [-overheadtol 0.5]
+//	benchcheck -baseline BENCH_20260805.json -new bench.txt [-tol 0.25] [-alloctol 0.001] [-cachespeedup 50] [-eventsfloor 2000000] [-decisionsfloor 1000000] [-exactallocs REGEX] [-zeroallocs REGEX] [-overheadtol 0.5]
 //
 // Both inputs may be raw benchfmt text or a bench.sh JSON envelope (the
 // envelope's "raw" field holds the text). Only benchmarks present in both
@@ -71,6 +78,7 @@ func main() {
 	eventsFloor := flag.Float64("eventsfloor", 0, "minimum events/sec for fresh benchmarks reporting that metric (0 disables)")
 	decisionsFloor := flag.Float64("decisionsfloor", 0, "minimum decisions/sec for fresh benchmarks reporting that metric (0 disables)")
 	exactAllocs := flag.String("exactallocs", "", "regexp of benchmarks whose allocs/op must equal the baseline exactly (empty disables)")
+	zeroAllocs := flag.String("zeroallocs", "", "regexp of fresh benchmarks that must report exactly 0 allocs/op (empty disables)")
 	overheadTol := flag.Float64("overheadtol", 0, "allowed fractional wall-time overhead of fresh '/on' benchmarks over their '/base' siblings (0 disables)")
 	flag.Parse()
 	if *baseline == "" || *newRun == "" {
@@ -123,6 +131,9 @@ func main() {
 		failed = true
 	}
 	if !checkExactAllocs(base, fresh, *exactAllocs) {
+		failed = true
+	}
+	if !checkZeroAllocs(fresh, *zeroAllocs) {
 		failed = true
 	}
 	if !checkOverhead(fresh, *overheadTol) {
@@ -224,6 +235,48 @@ func checkExactAllocs(base, fresh map[string]result, pattern string) bool {
 	}
 	if matched == 0 {
 		fmt.Fprintf(os.Stderr, "benchcheck: -exactallocs %q matched no benchmark with allocs in both inputs\n", pattern)
+		return false
+	}
+	return ok
+}
+
+// checkZeroAllocs pins matching fresh benchmarks at exactly 0 allocs/op,
+// with no baseline involved. Where checkExactAllocs freezes a count
+// against history, this asserts the count itself: the serving engine's
+// collector-off submit path recycles its pending records and admission
+// slots, so any nonzero figure means the hot path regained a per-request
+// heap allocation. Returns false on violation, a benchmark matching the
+// pattern without alloc data, or no match at all (the gate must bite).
+func checkZeroAllocs(fresh map[string]result, pattern string) bool {
+	if pattern == "" {
+		return true
+	}
+	re, err := regexp.Compile(pattern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcheck: bad -zeroallocs pattern: %v\n", err)
+		return false
+	}
+	ok := true
+	matched := 0
+	for name, nb := range fresh {
+		if !re.MatchString(name) {
+			continue
+		}
+		if !nb.hasAlloc {
+			fmt.Fprintf(os.Stderr, "benchcheck: %s matches -zeroallocs but reports no allocs/op\n", name)
+			ok = false
+			continue
+		}
+		matched++
+		status := "ok"
+		if nb.allocsOp != 0 {
+			status = fmt.Sprintf("FAIL allocs %v != 0 (zero-alloc hot path required)", nb.allocsOp)
+			ok = false
+		}
+		fmt.Printf("%-60s %12.0f allocs/op (must be 0)  %s\n", name, nb.allocsOp, status)
+	}
+	if matched == 0 && ok {
+		fmt.Fprintf(os.Stderr, "benchcheck: -zeroallocs %q matched no benchmark in the fresh run\n", pattern)
 		return false
 	}
 	return ok

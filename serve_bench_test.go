@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"fmt"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -15,35 +16,31 @@ import (
 	"repro/internal/workload"
 )
 
-// BenchmarkServeThroughput measures the serving engine end to end:
-// concurrent submitters push requests through the sharded router, the
-// decision loop's Eq. 6 rounds, and live dispatch into the simulated disk
-// population. The reported decisions/sec metric is gated by scripts/bench.sh
-// via benchcheck -decisionsfloor (the eschedd acceptance floor, 100k/sec).
-func BenchmarkServeThroughput(b *testing.B) {
-	const disks, blocks = 64, 20000
-	plc, err := placement.Generate(placement.GenerateConfig{
+// serveBenchPlacement builds the rack-local layout the sharded engine
+// needs: replicas inside the original's rack, racks nesting into any shard
+// count that divides them.
+func serveBenchPlacement(b *testing.B, disks, blocks, racks int) *placement.Placement {
+	b.Helper()
+	plc, err := placement.GenerateRackLocal(placement.GenerateConfig{
 		NumDisks: disks, NumBlocks: blocks,
 		ReplicationFactor: 3, ZipfExponent: 1, Seed: 1,
-	})
+	}, racks)
 	if err != nil {
 		b.Fatal(err)
 	}
-	pc := power.DefaultConfig()
-	eng, err := serve.New(serve.Config{
-		System: storage.Config{
-			NumDisks: disks,
-			Power:    pc,
-			Mech:     diskmodel.Cheetah15K5(),
-			Policy:   power.TwoCompetitive{Config: pc},
-		},
-		Router:      serve.NewRouter(plc, 0),
-		MaxInFlight: 8192,
-		RoundMax:    512,
-	})
-	if err != nil {
-		b.Fatal(err)
-	}
+	return plc
+}
+
+// BenchmarkServeThroughput measures the serving engine end to end at 1, 4
+// and 8 decision shards: concurrent submitters push requests through the
+// router, the per-shard ring-buffer admission queues, the flat-combined
+// Eq. 6 decision rounds, and live dispatch into the simulated disk
+// population. The reported decisions/sec metric is gated by
+// scripts/bench.sh via benchcheck -decisionsfloor (the eschedd acceptance
+// floor, 1M/sec) at every shard count.
+func BenchmarkServeThroughput(b *testing.B) {
+	const disks, blocks, racks = 64, 20000, 8
+	plc := serveBenchPlacement(b, disks, blocks, racks)
 	// Pre-draw the block sequence so the popularity skew matches the
 	// trace-driven experiments without generator cost inside the loop.
 	trace := workload.CelloLike(1<<16, blocks, 7)
@@ -51,24 +48,98 @@ func BenchmarkServeThroughput(b *testing.B) {
 	for i, r := range trace {
 		seq[i] = r.Block
 	}
-	var next atomic.Int64
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		for pb.Next() {
-			i := int(next.Add(1)-1) % len(seq)
-			if _, err := eng.Submit(core.Request{Block: seq[i]}, 0); err != nil {
-				b.Error(err)
-				return
+	for _, shards := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			pc := power.DefaultConfig()
+			eng, err := serve.New(serve.Config{
+				System: storage.Config{
+					NumDisks: disks,
+					Power:    pc,
+					Mech:     diskmodel.Cheetah15K5(),
+					Policy:   power.TwoCompetitive{Config: pc},
+				},
+				Router:      serve.NewRouter(plc, 0),
+				Shards:      shards,
+				MaxInFlight: 8192,
+				RoundMax:    512,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var lane atomic.Int64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				// Per-goroutine cursor over the power-of-two trace (offset
+				// per lane): the harness adds one mask per request instead
+				// of a shared atomic counter the engine never needed.
+				i := int(lane.Add(1)) * (len(seq) / 8)
+				for pb.Next() {
+					if _, err := eng.Submit(core.Request{Block: seq[i&(len(seq)-1)]}, 0); err != nil {
+						b.Error(err)
+						return
+					}
+					i++
+				}
+			})
+			b.StopTimer()
+			if el := b.Elapsed().Seconds(); el > 0 {
+				b.ReportMetric(float64(b.N)/el, "decisions/sec")
+			}
+			if _, err := eng.Drain(); err != nil {
+				b.Fatal(err)
+			}
+		})
+	}
+}
+
+// BenchmarkServeSubmit prices the hot submit path in live mode on a
+// 4-shard engine: one submitter, so every request is flat-combined inline
+// on the submitting goroutine — lookup, admission ring push, decision,
+// dispatch and reply with no cross-goroutine handoff. The "off" leg (no
+// collector) is pinned at 0 allocs/op by scripts/bench.sh via benchcheck
+// -zeroallocs; "on" adds the serving metric families and lifecycle spans.
+// No decisions/sec metric here: the single blocking submitter measures
+// per-request cost, not the engine's parallel throughput.
+func BenchmarkServeSubmit(b *testing.B) {
+	const disks, blocks, racks = 32, 4000, 4
+	plc := serveBenchPlacement(b, disks, blocks, racks)
+	trace := workload.CelloLike(1<<14, blocks, 7)
+	seq := make([]core.BlockID, len(trace))
+	for i, r := range trace {
+		seq[i] = r.Block
+	}
+	run := func(b *testing.B, col *obs.Collector) {
+		pc := power.DefaultConfig()
+		eng, err := serve.New(serve.Config{
+			System: storage.Config{
+				NumDisks: disks,
+				Power:    pc,
+				Mech:     diskmodel.Cheetah15K5(),
+				Policy:   power.TwoCompetitive{Config: pc},
+			},
+			Router:      serve.NewRouter(plc, 0),
+			Shards:      4,
+			MaxInFlight: 1024,
+			RoundMax:    512,
+			Collector:   col,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Submit(core.Request{Block: seq[i%len(seq)]}, 0); err != nil {
+				b.Fatal(err)
 			}
 		}
-	})
-	b.StopTimer()
-	if el := b.Elapsed().Seconds(); el > 0 {
-		b.ReportMetric(float64(b.N)/el, "decisions/sec")
+		b.StopTimer()
+		if _, err := eng.Drain(); err != nil {
+			b.Fatal(err)
+		}
 	}
-	if _, err := eng.Drain(); err != nil {
-		b.Fatal(err)
-	}
+	b.Run("off", func(b *testing.B) { run(b, nil) })
+	b.Run("on", func(b *testing.B) { run(b, obs.NewCollector()) })
 }
 
 // BenchmarkSpanOverhead prices request lifecycle spans on the serving
